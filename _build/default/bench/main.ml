@@ -1,0 +1,102 @@
+(* Benchmark harness: one experiment per paper table/figure, plus bechamel
+   micro-benchmarks of the building blocks.
+
+   Usage: main.exe [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|micro|all]
+   With no argument, everything runs. *)
+
+let seed = 2015
+
+let run_fig4 () = Experiments.Fig4.print (Experiments.Fig4.run ~seed ())
+let run_fig5 () = Experiments.Fig5.print (Experiments.Fig5.run ~seed ())
+let run_fig6 () = Experiments.Fig6.print (Experiments.Fig6.run ~seed ())
+let run_fig7 () = Experiments.Fig7.print (Experiments.Fig7.run ~seed ())
+let run_fig9 () = Experiments.Fig9.print (Experiments.Fig9.run ~seed ())
+let run_fig10 () = Experiments.Fig10.print (Experiments.Fig10.run ~seed ())
+let run_fig11 () = Experiments.Fig11.print (Experiments.Fig11.run ~seed ())
+let run_verify () = Experiments.Protocol_check.print (Experiments.Protocol_check.run ())
+let run_cache () = Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
+
+let run_ablations () =
+  Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
+  Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
+  Experiments.Ablations.print_ticks (Experiments.Ablations.tick_sweep ());
+  Experiments.Ablations.print_latency (Experiments.Ablations.detection_latency ~seed ~trials:4 ())
+
+(* --- Micro-benchmarks (bechamel): the primitives under the protocol. --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let drbg = Crypto.Drbg.create ~seed:"bench" in
+  let kb = Crypto.Drbg.random_bytes drbg 1024 in
+  let four_kb = Crypto.Drbg.random_bytes drbg 4096 in
+  let key32 = Crypto.Drbg.random_bytes drbg 32 in
+  let nonce12 = Crypto.Drbg.random_bytes drbg 12 in
+  let rsa = Crypto.Rsa.generate drbg ~bits:1024 in
+  let signature = Crypto.Rsa.sign rsa.secret "payload" in
+  let tm = Tpm.Trust_module.create ~key_bits:512 ~seed:"bench-tm" () in
+  let session = Tpm.Trust_module.begin_session tm in
+  [
+    Test.make ~name:"sha256-1KB" (Staged.stage (fun () -> Crypto.Sha256.digest kb));
+    Test.make ~name:"hmac-1KB" (Staged.stage (fun () -> Crypto.Hmac.mac ~key:key32 kb));
+    Test.make ~name:"chacha20-4KB"
+      (Staged.stage (fun () -> Crypto.Chacha20.xor ~key:key32 ~nonce:nonce12 four_kb));
+    Test.make ~name:"rsa1024-sign" (Staged.stage (fun () -> Crypto.Rsa.sign rsa.secret "payload"));
+    Test.make ~name:"rsa1024-verify"
+      (Staged.stage (fun () -> Crypto.Rsa.verify rsa.public ~signature "payload"));
+    Test.make ~name:"tpm-quote-sign"
+      (Staged.stage (fun () -> Tpm.Trust_module.sign_with_session tm session "measurements"));
+    Test.make ~name:"pcr-extend"
+      (Staged.stage
+         (let pcrs = Tpm.Pcr.create ~count:16 in
+          fun () -> Tpm.Pcr.extend pcrs 0 "measurement"));
+  ]
+
+let run_micro () =
+  Experiments.Common.section "Micro-benchmarks (bechamel, host CPU time)";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-24s %12.1f ns/op\n" name est
+          | Some _ | None -> Printf.printf "  %-24s (no estimate)\n" name)
+        results)
+    tests
+
+let experiments =
+  [
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("fig11", run_fig11);
+    ("verify", run_verify);
+    ("cache", run_cache);
+    ("ablations", run_ablations);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) else [ "all" ] in
+  let run_all = List.mem "all" which in
+  print_endline "CloudMonatt evaluation harness (ISCA'15 figures)";
+  List.iter
+    (fun (name, f) ->
+      if (run_all || List.mem name which) && name <> "skip" then begin
+        let t0 = Sys.time () in
+        f ();
+        Printf.printf "[%s done in %.1fs host time]\n%!" name (Sys.time () -. t0)
+      end)
+    experiments

@@ -1,0 +1,159 @@
+(* CloudMonatt command-line interface.
+
+   Subcommands:
+     experiment  -- regenerate the paper's figures (fig4..fig11, verify, all)
+     verify      -- check the attestation protocol symbolically
+     launch      -- spin up a simulated cloud, launch a VM, attest properties
+     catalog     -- list supported properties, images, flavors, workloads *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- experiment --------------------------------------------------------- *)
+
+let experiment_names =
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "ablations"; "all" ]
+
+let run_experiment seed name =
+  match name with
+  | "fig4" -> Experiments.Fig4.print (Experiments.Fig4.run ~seed ())
+  | "fig5" -> Experiments.Fig5.print (Experiments.Fig5.run ~seed ())
+  | "fig6" -> Experiments.Fig6.print (Experiments.Fig6.run ~seed ())
+  | "fig7" -> Experiments.Fig7.print (Experiments.Fig7.run ~seed ())
+  | "fig9" -> Experiments.Fig9.print (Experiments.Fig9.run ~seed ())
+  | "fig10" -> Experiments.Fig10.print (Experiments.Fig10.run ~seed ())
+  | "fig11" -> Experiments.Fig11.print (Experiments.Fig11.run ~seed ())
+  | "verify" -> Experiments.Protocol_check.print (Experiments.Protocol_check.run ())
+  | "cache" -> Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
+  | "ablations" ->
+      Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
+      Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
+      Experiments.Ablations.print_ticks (Experiments.Ablations.tick_sweep ());
+      Experiments.Ablations.print_latency (Experiments.Ablations.detection_latency ~seed ())
+  | other -> Printf.printf "unknown experiment %s (try: %s)\n" other (String.concat ", " experiment_names)
+
+let experiment_cmd =
+  let names =
+    let doc = "Experiments to run (fig4..fig11, verify, all)." in
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run seed names =
+    let names =
+      if List.mem "all" names then
+        [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "ablations" ]
+      else names
+    in
+    List.iter (run_experiment seed) names
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation figures")
+    Term.(const run $ seed_arg $ names)
+
+(* --- verify -------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run () =
+    let results = Experiments.Protocol_check.run () in
+    Experiments.Protocol_check.print results;
+    if Experiments.Protocol_check.all_as_expected results then begin
+      print_endline "\nAll protocol variants behave as expected.";
+      0
+    end
+    else begin
+      print_endline "\nUNEXPECTED verification outcome!";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Symbolically verify the attestation protocol (section 7.2.2)")
+    Term.(const (fun () -> Stdlib.exit (run ())) $ const ())
+
+(* --- launch ---------------------------------------------------------------- *)
+
+let property_conv =
+  let parse s =
+    match Core.Property.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown property %s (known: %s)" s
+               (String.concat ", " (List.map Core.Property.to_string Core.Property.all))))
+  in
+  Arg.conv (parse, Core.Property.pp)
+
+let launch_cmd =
+  let image =
+    Arg.(value & opt string "ubuntu" & info [ "image" ] ~docv:"IMAGE" ~doc:"VM image name.")
+  in
+  let flavor =
+    Arg.(value & opt string "small" & info [ "flavor" ] ~docv:"FLAVOR" ~doc:"VM flavor.")
+  in
+  let workload =
+    Arg.(value & opt string "busy" & info [ "workload" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+  in
+  let properties =
+    Arg.(
+      value
+      & opt_all property_conv Core.Property.all
+      & info [ "property"; "p" ] ~docv:"PROPERTY" ~doc:"Security property to monitor (repeatable).")
+  in
+  let run seed image flavor workload properties =
+    let config = { Core.Cloud.default_config with seed; key_bits = 512 } in
+    let cloud = Core.Cloud.build ~config () in
+    let customer = Core.Cloud.Customer.create cloud ~name:"cli-user" in
+    Printf.printf "Launching %s/%s with workload %s...\n%!" image flavor workload;
+    match Core.Cloud.Customer.launch customer ~image ~flavor ~properties ~workload () with
+    | Error e -> Format.printf "launch failed: %a@." Core.Cloud.Customer.pp_error e
+    | Ok info ->
+        Printf.printf "VM %s launched. Stages:\n" info.Core.Commands.vid;
+        List.iter
+          (fun (stage, cost) -> Printf.printf "  %-12s %6.0f ms\n" stage (Sim.Time.to_ms cost))
+          info.Core.Commands.stages;
+        Core.Cloud.run_for cloud (Sim.Time.sec 5);
+        print_endline "\nAttestation results after 5 s of simulated runtime:";
+        List.iter
+          (fun property ->
+            match Core.Cloud.Customer.attest customer ~vid:info.Core.Commands.vid ~property with
+            | Ok report ->
+                Format.printf "  %-22s %a  (%s)@."
+                  (Core.Property.to_string property)
+                  Core.Report.pp_status report.Core.Report.status report.Core.Report.evidence
+            | Error e ->
+                Format.printf "  %-22s error: %a@."
+                  (Core.Property.to_string property)
+                  Core.Cloud.Customer.pp_error e)
+          properties
+  in
+  Cmd.v
+    (Cmd.info "launch" ~doc:"Launch a monitored VM in a simulated cloud and attest it")
+    Term.(const run $ seed_arg $ image $ flavor $ workload $ properties)
+
+(* --- catalog ------------------------------------------------------------------ *)
+
+let catalog_cmd =
+  let run () =
+    print_endline "Security properties (paper section 4):";
+    List.iter
+      (fun p -> Printf.printf "  %s\n" (Core.Property.to_string p))
+      Core.Property.all;
+    print_endline "\nImages:";
+    List.iter
+      (fun i -> Printf.printf "  %-8s %4d MB\n" (Hypervisor.Image.name i) (Hypervisor.Image.size_mb i))
+      [ Hypervisor.Image.cirros; Hypervisor.Image.fedora; Hypervisor.Image.ubuntu ];
+    print_endline "\nFlavors:";
+    List.iter (fun f -> Format.printf "  %a@." Hypervisor.Flavor.pp f) Hypervisor.Flavor.all;
+    print_endline "\nWorkloads: idle, busy, database, file, web, app, stream, mail"
+  in
+  Cmd.v (Cmd.info "catalog" ~doc:"List properties, images, flavors and workloads")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "CloudMonatt: security health monitoring and attestation of VMs (ISCA'15)" in
+  Cmd.group (Cmd.info "cloudmonatt" ~version:"1.0.0" ~doc)
+    [ experiment_cmd; verify_cmd; launch_cmd; catalog_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

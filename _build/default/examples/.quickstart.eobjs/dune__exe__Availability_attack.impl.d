@@ -1,0 +1,1 @@
+examples/availability_attack.ml: Attacks Cloud Commands Controller Core Format Hypervisor List Option Printf Property Report Sim

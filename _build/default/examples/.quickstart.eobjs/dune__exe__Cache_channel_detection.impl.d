@@ -1,0 +1,1 @@
+examples/cache_channel_detection.ml: Attacks Cloud Commands Controller Core Format Hypervisor Interpret List Option Printf Property Report Sim

@@ -1,0 +1,1 @@
+examples/cache_channel_detection.mli:

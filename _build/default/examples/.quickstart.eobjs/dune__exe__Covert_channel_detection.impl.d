@@ -1,0 +1,1 @@
+examples/covert_channel_detection.ml: Attacks Cloud Commands Controller Core Format Hypervisor List Option Printf Property Report Sim

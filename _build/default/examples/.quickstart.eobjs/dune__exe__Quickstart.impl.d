@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cloud Commands Controller Core Format List Printf Property Report Sim

@@ -1,0 +1,1 @@
+lib/attacks/availability.ml: Hypervisor Sim

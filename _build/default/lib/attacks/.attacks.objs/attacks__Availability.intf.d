@@ -1,0 +1,1 @@
+lib/attacks/availability.mli: Hypervisor Sim

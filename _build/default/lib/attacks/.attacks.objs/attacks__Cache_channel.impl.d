@@ -1,0 +1,1 @@
+lib/attacks/cache_channel.ml: Hypervisor List Sim

@@ -1,0 +1,1 @@
+lib/attacks/cache_channel.mli: Hypervisor Sim

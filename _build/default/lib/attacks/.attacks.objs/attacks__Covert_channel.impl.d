@@ -1,0 +1,1 @@
+lib/attacks/covert_channel.ml: Bool Hypervisor List Sim

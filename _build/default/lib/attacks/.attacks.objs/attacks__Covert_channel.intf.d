@@ -1,0 +1,1 @@
+lib/attacks/covert_channel.mli: Hypervisor Sim

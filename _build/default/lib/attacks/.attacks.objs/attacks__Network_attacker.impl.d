@@ -1,0 +1,1 @@
+lib/attacks/network_attacker.ml: Bytes Char Hashtbl Net String

@@ -1,0 +1,1 @@
+lib/core/attestation_client.ml: Costs Crypto Hypervisor List Monitors Net Protocol Tpm Wire

@@ -1,0 +1,1 @@
+lib/core/attestation_client.mli: Hypervisor Monitors Net Protocol Sim

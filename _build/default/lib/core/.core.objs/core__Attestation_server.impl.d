@@ -1,0 +1,1 @@
+lib/core/attestation_server.ml: Attestation_client Costs Crypto Format Hashtbl Interpret Ledger List Monitors Net Option Privacy_ca Property Protocol Report Result Sim Wire

@@ -1,0 +1,1 @@
+lib/core/attestation_server.mli: Crypto Format Interpret Ledger Net Privacy_ca Property Protocol Report Sim

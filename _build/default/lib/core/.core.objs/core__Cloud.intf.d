@@ -1,0 +1,1 @@
+lib/core/cloud.mli: Attestation_server Commands Controller Format Hypervisor Interpret Net Privacy_ca Property Report Schedule Sim

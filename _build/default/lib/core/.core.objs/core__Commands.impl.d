@@ -1,0 +1,1 @@
+lib/core/commands.ml: Property Protocol Schedule Sim Wire

@@ -1,0 +1,1 @@
+lib/core/commands.mli: Property Protocol Schedule Sim

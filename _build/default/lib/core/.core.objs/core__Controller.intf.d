@@ -1,0 +1,1 @@
+lib/core/controller.mli: Commands Crypto Database Hypervisor Ledger Net Property Protocol Report Schedule Sim

@@ -1,0 +1,1 @@
+lib/core/database.ml: Hashtbl Hypervisor List Property String

@@ -1,0 +1,1 @@
+lib/core/interpret.ml: Array Crypto Float Hypervisor List Monitors Option Printf Property Report Sim String

@@ -1,0 +1,1 @@
+lib/core/interpret.mli: Monitors Property Report

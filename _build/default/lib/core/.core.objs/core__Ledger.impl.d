@@ -1,0 +1,1 @@
+lib/core/ledger.ml: Format Hashtbl List Option Sim

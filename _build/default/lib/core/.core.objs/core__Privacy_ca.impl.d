@@ -1,0 +1,1 @@
+lib/core/privacy_ca.ml: Crypto Hashtbl List Net String Tpm

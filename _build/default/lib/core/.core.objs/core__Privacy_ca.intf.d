@@ -1,0 +1,1 @@
+lib/core/privacy_ca.mli: Crypto Net

@@ -1,0 +1,1 @@
+lib/core/property.ml: Format List Stdlib String Wire

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Crypto Format Privacy_ca Property Report Result String Wire

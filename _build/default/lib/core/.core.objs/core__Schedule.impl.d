@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Crypto Format Sim Wire

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Crypto Format Sim Wire

@@ -1,0 +1,102 @@
+type t = {
+  server : Hypervisor.Server.t;
+  trust : Tpm.Trust_module.t;
+  kernel : Monitors.Monitor_kernel.t;
+  identity : Net.Secure_channel.Identity.t;
+  mutable served : int;
+}
+
+let address_of name = "att:" ^ name
+
+let address t = address_of (Hypervisor.Server.name t.server)
+let server t = t.server
+let kernel t = t.kernel
+let identity t = t.identity
+let requests_served t = t.served
+
+let error_reply reason =
+  Wire.Codec.encode (fun e ->
+      Wire.Codec.Enc.u8 e 0;
+      Wire.Codec.Enc.str e reason)
+
+let ok_reply payload =
+  Wire.Codec.encode (fun e ->
+      Wire.Codec.Enc.u8 e 1;
+      Wire.Codec.Enc.str e payload)
+
+let handle t plaintext =
+  match Protocol.decode_measure_request plaintext with
+  | None -> error_reply "malformed measurement request"
+  | Some req -> (
+      match Monitors.Measurement.decode_requests req.requests_raw with
+      | None -> error_reply "malformed measurement list"
+      | Some requests -> (
+          match Monitors.Monitor_kernel.collect t.kernel ~vid:req.vid requests with
+          | Error (`Unknown_vm vid) -> error_reply ("unknown vm " ^ vid)
+          | Error (`Unsupported r) ->
+              error_reply ("unsupported measurement " ^ Monitors.Measurement.request_to_string r)
+          | Ok values ->
+              let values_raw = Monitors.Measurement.encode_values values in
+              let session = Tpm.Trust_module.begin_session t.trust in
+              let quote =
+                Protocol.q3 ~vid:req.vid ~requests_raw:req.requests_raw ~values_raw
+                  ~nonce:req.nonce
+              in
+              let unsigned =
+                {
+                  Protocol.vid = req.vid;
+                  requests_raw = req.requests_raw;
+                  values_raw;
+                  nonce = req.nonce;
+                  quote;
+                  signature = "";
+                  avk = Crypto.Rsa.public_to_string session.public;
+                  endorsement = session.endorsement;
+                }
+              in
+              let signature =
+                match
+                  Tpm.Trust_module.sign_with_session t.trust session
+                    (Protocol.measure_response_payload unsigned)
+                with
+                | Some s -> s
+                | None -> ""
+              in
+              Tpm.Trust_module.end_session t.trust session;
+              t.served <- t.served + 1;
+              ok_reply (Protocol.encode_measure_response { unsigned with signature })))
+
+let create ~net ~ca ~seed server =
+  match Hypervisor.Server.trust_module server with
+  | None -> Error `Not_secure
+  | Some trust ->
+      (* The channel identity key is the Trust Module's identity keypair
+         would be ideal; we give the attestation client its own CA-certified
+         channel identity (as real deployments separate TLS keys from
+         attestation keys) while the measurement signatures come from the
+         Trust Module. *)
+      let name = Hypervisor.Server.name server in
+      let identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|attclient") ~name () in
+      let t =
+        {
+          server;
+          trust;
+          kernel = Monitors.Monitor_kernel.create server;
+          identity;
+          served = 0;
+        }
+      in
+      let channel_server =
+        Net.Secure_channel.Server.create ~identity ~ca:(Net.Ca.public ca) ~seed
+          ~on_request:(fun ~peer:_ plaintext -> handle t plaintext)
+      in
+      Net.Network.register net (address_of name) (Net.Secure_channel.Server.handle channel_server);
+      Ok t
+
+let measurement_cost (req : Protocol.measure_request) =
+  let n =
+    match Monitors.Measurement.decode_requests req.requests_raw with
+    | Some rs -> List.length rs
+    | None -> 1
+  in
+  Costs.session_keygen + Costs.quote_sign + (n * Costs.measurement_collect)

@@ -1,0 +1,36 @@
+(** Attestation Client — the host-VM daemon on each secure cloud server
+    (the "oat client" + Monitor Kernel + Trust Module glue of Figure 2).
+
+    Registered on the network at ["att:<server-name>"], behind a secure
+    channel authenticated with the server's identity key.  For each
+    measurement request it: generates a fresh session attestation keypair
+    in the Trust Module, collects the requested measurements through the
+    Monitor Kernel (loading the Trust Evidence Registers), computes the
+    quote Q3, signs the payload with the session key, and returns the
+    response together with the endorsement the privacy CA needs. *)
+
+type t
+
+val create :
+  net:Net.Network.t ->
+  ca:Net.Ca.t ->
+  seed:string ->
+  Hypervisor.Server.t ->
+  (t, [ `Not_secure ]) result
+(** Fails on servers without a Trust Module.  Registers the network
+    handler as a side effect. *)
+
+val address : t -> string
+val server : t -> Hypervisor.Server.t
+val kernel : t -> Monitors.Monitor_kernel.t
+val identity : t -> Net.Secure_channel.Identity.t
+
+val address_of : string -> string
+(** [address_of server_name] is the network address of that server's
+    attestation client. *)
+
+val measurement_cost : Protocol.measure_request -> Sim.Time.t
+(** Simulated server-side cost of serving a request: session key
+    generation, per-measurement collection, quote signing. *)
+
+val requests_served : t -> int

@@ -1,0 +1,223 @@
+type error =
+  [ `Server_unreachable of string
+  | `Channel of Net.Secure_channel.error
+  | `Server_refused of string
+  | `Verification of Protocol.verify_error
+  | `Uncertified_key ]
+
+let pp_error ppf = function
+  | `Server_unreachable s -> Format.fprintf ppf "server %s unreachable" s
+  | `Channel e -> Format.fprintf ppf "channel error: %a" Net.Secure_channel.pp_error e
+  | `Server_refused why -> Format.fprintf ppf "server refused: %s" why
+  | `Verification e -> Format.fprintf ppf "verification failed: %a" Protocol.pp_verify_error e
+  | `Uncertified_key -> Format.pp_print_string ppf "privacy CA would not certify the session key"
+
+type history_entry = {
+  at : Sim.Time.t;
+  vid : string;
+  property : Property.t;
+  status : Report.status;
+}
+
+type t = {
+  name : string;
+  net : Net.Network.t;
+  ca_public : Crypto.Rsa.public;
+  pca : Privacy_ca.t;
+  identity : Net.Secure_channel.Identity.t;
+  drbg : Crypto.Drbg.t;
+  mutable refs : Interpret.refs;
+  mutable vm_image_lookup : string -> string option;
+  channels : (string, Net.Secure_channel.Client.t) Hashtbl.t;
+  mutable history : history_entry list; (* newest first *)
+  mutable count : int;
+  mutable engine_now : unit -> Sim.Time.t;
+}
+
+let create ~net ~ca ~pca ~refs ~seed ?(name = "attestation-server") () =
+  {
+    name;
+    net;
+    ca_public = Net.Ca.public ca;
+    pca;
+    identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|as") ~name ();
+    drbg = Crypto.Drbg.create ~seed:(seed ^ "|as-drbg");
+    refs;
+    vm_image_lookup = (fun _ -> None);
+    channels = Hashtbl.create 8;
+    history = [];
+    count = 0;
+    engine_now = (fun () -> 0);
+  }
+
+let name t = t.name
+let identity t = t.identity
+let public_key t = t.identity.Net.Secure_channel.Identity.keypair.public
+let refs t = t.refs
+let set_refs t refs = t.refs <- refs
+let set_vm_image_lookup t f = t.vm_image_lookup <- f
+let set_clock t f = t.engine_now <- f
+
+let transport t ~dst ledger msg =
+  let result, elapsed = Net.Network.call t.net ~src:t.name ~dst msg in
+  Ledger.add ledger "network" elapsed;
+  match result with
+  | Ok r -> Ok r
+  | Error `Dropped -> Error "message dropped"
+  | Error (`No_such_host h) -> Error ("no such host: " ^ h)
+
+let channel_to t ~server ledger =
+  let dst = Attestation_client.address_of server in
+  match Hashtbl.find_opt t.channels server with
+  | Some ch -> Ok ch
+  | None -> (
+      Ledger.add ledger "handshake-crypto" Costs.handshake_crypto;
+      match
+        Net.Secure_channel.Client.connect ~identity:t.identity ~ca:t.ca_public
+          ~seed:(t.name ^ "->" ^ server)
+          ~peer:server
+          ~transport:(transport t ~dst ledger)
+      with
+      | Ok ch ->
+          Hashtbl.replace t.channels server ch;
+          Ok ch
+      | Error e -> Error (`Channel e))
+
+let parse_client_reply raw =
+  match
+    Wire.Codec.decode_opt raw (fun d ->
+        let tag = Wire.Codec.Dec.u8 d in
+        let body = Wire.Codec.Dec.str d in
+        (tag, body))
+  with
+  | Some (1, body) -> Ok body
+  | Some (0, reason) -> Error (`Server_refused reason)
+  | Some _ | None -> Error (`Server_refused "malformed reply")
+
+let ( let* ) = Result.bind
+
+let record t vid property status =
+  t.count <- t.count + 1;
+  t.history <- { at = t.engine_now (); vid; property; status } :: t.history
+
+let attest t ~vid ~server ~property ~nonce =
+  let ledger = Ledger.create () in
+  let result =
+    Ledger.add ledger "db-lookup" Costs.db_lookup;
+    let requests = Interpret.requests_for t.refs property in
+    let requests_raw = Monitors.Measurement.encode_requests requests in
+    let* channel = channel_to t ~server ledger in
+    let n3 = Crypto.Drbg.nonce t.drbg in
+    let req = { Protocol.vid; requests_raw; nonce = n3 } in
+    (* Server-side simulated cost: key generation, collection, signing. *)
+    Ledger.add ledger "server-measure" (Attestation_client.measurement_cost req);
+    let* raw =
+      match Net.Secure_channel.Client.call channel (Protocol.encode_measure_request req) with
+      | Ok raw -> Ok raw
+      | Error e ->
+          (* A failed record leaves the cached channel unusable. *)
+          Hashtbl.remove t.channels server;
+          Error (`Channel e)
+    in
+    let* body = parse_client_reply raw in
+    let* response =
+      match Protocol.decode_measure_response body with
+      | Some r -> Ok r
+      | None -> Error (`Server_refused "malformed measurement response")
+    in
+    (* Certify the session key through the privacy CA, then verify. *)
+    Ledger.add ledger "pca-certify" Costs.pca_certify;
+    let* cert =
+      match Crypto.Rsa.public_of_string response.avk with
+      | None -> Error `Uncertified_key
+      | Some avk -> (
+          match
+            Privacy_ca.certify_attestation_key t.pca ~key:avk
+              ~endorsement:response.endorsement
+          with
+          | Ok cert -> Ok cert
+          | Error `Unknown_server -> Error `Uncertified_key)
+    in
+    Ledger.add ledger "verify" Costs.signature_verify;
+    let* () =
+      Result.map_error
+        (fun e -> `Verification e)
+        (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
+           ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3 response)
+    in
+    (* Interpret. *)
+    Ledger.add ledger "interpret" Costs.interpret;
+    let values =
+      Option.value ~default:[] (Monitors.Measurement.decode_values response.values_raw)
+    in
+    let status, evidence = Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values in
+    let report =
+      { Report.vid; property; status; evidence; produced_at = t.engine_now () }
+    in
+    record t vid property status;
+    (* Sign the AS report. *)
+    Ledger.add ledger "report-sign" Costs.report_sign;
+    let quote = Protocol.q2 ~vid ~server ~property ~report ~nonce in
+    let unsigned =
+      { Protocol.vid; server; property; report; nonce; quote; signature = "" }
+    in
+    let signature =
+      Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
+        (Protocol.as_report_payload unsigned)
+    in
+    Ok { unsigned with Protocol.signature }
+  in
+  (result, ledger)
+
+let history t = List.rev t.history
+let attestations_done t = t.count
+
+(* --- Network service ------------------------------------------------------ *)
+
+let encode_service_reply result ledger =
+  Wire.Codec.encode (fun e ->
+      match result with
+      | Ok report ->
+          Wire.Codec.Enc.u8 e 1;
+          Wire.Codec.Enc.str e (Protocol.encode_as_report report);
+          Wire.Codec.Enc.list e
+            (fun (label, cost) ->
+              Wire.Codec.Enc.str e label;
+              Wire.Codec.Enc.int e cost)
+            (Ledger.entries ledger)
+      | Error err ->
+          Wire.Codec.Enc.u8 e 0;
+          Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
+
+let request_handler t ~peer:_ plaintext =
+  match Protocol.decode_as_request plaintext with
+  | None -> encode_service_reply (Error (`Server_refused "malformed request")) (Ledger.create ())
+  | Some req ->
+      let result, ledger =
+        attest t ~vid:req.Protocol.vid ~server:req.Protocol.server
+          ~property:req.Protocol.property ~nonce:req.Protocol.nonce
+      in
+      encode_service_reply result ledger
+
+let decode_service_reply raw =
+  match
+    Wire.Codec.decode_opt raw (fun d ->
+        match Wire.Codec.Dec.u8 d with
+        | 1 ->
+            let report_raw = Wire.Codec.Dec.str d in
+            let entries =
+              Wire.Codec.Dec.list d (fun d ->
+                  let label = Wire.Codec.Dec.str d in
+                  let cost = Wire.Codec.Dec.int d in
+                  (label, cost))
+            in
+            `Ok (report_raw, entries)
+        | 0 -> `Err (Wire.Codec.Dec.str d)
+        | _ -> raise (Wire.Codec.Error "bad reply tag"))
+  with
+  | Some (`Ok (report_raw, entries)) -> (
+      match Protocol.decode_as_report report_raw with
+      | Some report -> Ok (report, entries)
+      | None -> Error "malformed report in AS reply")
+  | Some (`Err why) -> Error why
+  | None -> Error "malformed AS reply"

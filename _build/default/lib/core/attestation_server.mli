@@ -1,0 +1,85 @@
+(** Attestation Server (the "oat appraiser" + interpreter of Figure 8).
+
+    Acts as attestation requester and appraiser: asked by the Cloud
+    Controller to attest property P of VM Vid on server I, it opens a
+    secure channel to that server's attestation client, sends the
+    measurement list rM with a fresh nonce N3, verifies the signed response
+    (privacy-CA certificate, session-key signature, quote Q3, nonce),
+    interprets the measurements, and returns a report signed with its own
+    identity key SKa together with the quote Q2.
+
+    Every attestation also returns its simulated cost ledger, which the
+    evaluation benches turn into the Figure 9/11 timings. *)
+
+type t
+
+type error =
+  [ `Server_unreachable of string
+  | `Channel of Net.Secure_channel.error
+  | `Server_refused of string
+  | `Verification of Protocol.verify_error
+  | `Uncertified_key ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  net:Net.Network.t ->
+  ca:Net.Ca.t ->
+  pca:Privacy_ca.t ->
+  refs:Interpret.refs ->
+  seed:string ->
+  ?name:string ->
+  unit ->
+  t
+(** Registers nothing on the network by itself (the controller talks to it
+    through {!handle_controller_request} wired up by {!Cloud}); [name]
+    defaults to ["attestation-server"]. *)
+
+val name : t -> string
+val identity : t -> Net.Secure_channel.Identity.t
+val public_key : t -> Crypto.Rsa.public
+val refs : t -> Interpret.refs
+val set_refs : t -> Interpret.refs -> unit
+
+val set_vm_image_lookup : t -> (string -> string option) -> unit
+(** How the interpreter resolves Vid -> image name (reads the controller's
+    nova database in the prototype). *)
+
+val set_clock : t -> (unit -> Sim.Time.t) -> unit
+(** Wire the simulation clock in (done by {!Cloud}); reports carry the
+    production time. *)
+
+val attest :
+  t ->
+  vid:string ->
+  server:string ->
+  property:Property.t ->
+  nonce:string ->
+  (Protocol.as_report, error) result * Ledger.t
+(** One full measurement-collection + interpretation round.  The nonce is
+    the controller's N2, echoed in the signed report. *)
+
+(** {2 Introspection for tests and benches} *)
+
+type history_entry = {
+  at : Sim.Time.t;
+  vid : string;
+  property : Property.t;
+  status : Report.status;
+}
+
+val history : t -> history_entry list
+(** All appraisals, oldest first (the "oat database"). *)
+
+val attestations_done : t -> int
+
+(** {2 Network service} *)
+
+val request_handler : t -> peer:string -> string -> string
+(** The on-request function for the AS's secure channel: decodes a
+    {!Protocol.as_request}, runs {!attest} and encodes the reply (report +
+    cost ledger entries, so the controller can account end-to-end time). *)
+
+val decode_service_reply :
+  string -> (Protocol.as_report * (string * Sim.Time.t) list, string) result
+(** Parse a {!request_handler} reply on the controller side. *)

@@ -1,0 +1,120 @@
+(** Whole-cloud assembly: engine, network, CAs, Cloud Controller,
+    Attestation Server and a fleet of cloud servers, wired as in paper
+    Figure 1, plus the customer-side API with end-to-end report
+    verification. *)
+
+type config = {
+  seed : int;
+  num_servers : int;
+  num_attestation_servers : int;
+      (** AS instances; cloud servers are partitioned into clusters
+          round-robin, one AS each (paper 3.2.3 scalability) *)
+  pcpus : int;  (** per server *)
+  mem_mb : int;  (** per server *)
+  key_bits : int;  (** RSA modulus size for every identity (tests use 512) *)
+  insecure_servers : int;  (** trailing servers built without a Trust Module *)
+  corrupt_platforms : int list;  (** indices of servers booted with a tampered hypervisor *)
+  refs : Interpret.refs;
+}
+
+val default_config : config
+(** 3 servers (as in the paper's testbed), 4 pCPUs / 32 GB each, 1024-bit
+    keys, everything secure and pristine. *)
+
+type t
+
+val build : ?config:config -> unit -> t
+(** Create and wire everything: CA + privacy CA, identities, per-server
+    attestation clients and monitor kernels, network handlers, golden
+    reference values, and the standard workload registry (idle, the six
+    cloud benchmarks, busy). *)
+
+val config : t -> config
+val engine : t -> Sim.Engine.t
+val net : t -> Net.Network.t
+val ca : t -> Net.Ca.t
+val pca : t -> Privacy_ca.t
+val controller : t -> Controller.t
+val attestation_server : t -> Attestation_server.t
+(** The first (or only) attestation server. *)
+
+val attestation_servers : t -> Attestation_server.t list
+val servers : t -> Hypervisor.Server.t list
+val find_server : t -> string -> Hypervisor.Server.t option
+
+val run_for : t -> Sim.Time.t -> unit
+(** Advance simulated time (runs scheduler ticks, periodic attestations,
+    workload programs...). *)
+
+val now : t -> Sim.Time.t
+
+(** Customer-side API: issues Table 1 requests over a secure channel and
+    verifies the full signature chain of every report it accepts. *)
+module Customer : sig
+  type cloud := t
+  type t
+
+  type error = [ `Cloud of string | `Channel of Net.Secure_channel.error | `Forged of string ]
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val create : cloud -> name:string -> t
+  val name : t -> string
+
+  val launch :
+    t ->
+    image:string ->
+    flavor:string ->
+    ?properties:Property.t list ->
+    ?workload:string ->
+    unit ->
+    (Commands.launch_info, error) result
+
+  val attest : t -> vid:string -> property:Property.t -> (Report.t, error) result
+  (** One-time attestation with a fresh nonce; the controller report's
+      signature, quote Q1, vid, property and nonce are all verified before
+      the report is trusted. *)
+
+  val attest_periodic :
+    t ->
+    vid:string ->
+    property:Property.t ->
+    freq:Sim.Time.t ->
+    ?on_report:(Report.t -> unit) ->
+    unit ->
+    (unit, error) result
+  (** Table 1 [runtime_attest_periodic]: results arrive as the simulation
+      advances; each is chain-verified before [on_report] sees it. *)
+
+  val attest_periodic_random :
+    t ->
+    vid:string ->
+    property:Property.t ->
+    min:Sim.Time.t ->
+    max:Sim.Time.t ->
+    ?on_report:(Report.t -> unit) ->
+    unit ->
+    (unit, error) result
+  (** Periodic attestation at unpredictable intervals, so an attacker
+      cannot time its activity around the measurement windows. *)
+
+  val attest_periodic_scheduled :
+    t ->
+    vid:string ->
+    property:Property.t ->
+    schedule:Schedule.t ->
+    ?on_report:(Report.t -> unit) ->
+    unit ->
+    (unit, error) result
+
+  val stop_periodic : t -> vid:string -> property:Property.t -> (unit, error) result
+  val terminate : t -> vid:string -> (unit, error) result
+  val describe : t -> vid:string -> (string * Property.t list, error) result
+
+  val periodic_reports : t -> Report.t list
+  (** All verified periodic reports received so far, oldest first. *)
+
+  val forged_count : t -> int
+  (** Periodic deliveries that failed verification (would indicate an
+      attack on the monitoring plane). *)
+end

@@ -1,0 +1,123 @@
+module Codec = Wire.Codec
+
+type command =
+  | Launch of { image : string; flavor : string; properties : Property.t list; workload : string }
+  | Attest_current of Protocol.attest_request
+  | Attest_periodic of { vid : string; property : Property.t; schedule : Schedule.t; nonce : string }
+  | Stop_periodic of { vid : string; property : Property.t; nonce : string }
+  | Terminate of { vid : string }
+  | Describe of { vid : string }
+
+type launch_info = { vid : string; stages : (string * Sim.Time.t) list }
+
+type reply =
+  | Ok_launch of launch_info
+  | Ok_report of Protocol.controller_report
+  | Ok_ack
+  | Ok_describe of { state : string; properties : Property.t list }
+  | Err of string
+
+let encode_command c =
+  Codec.encode (fun e ->
+      match c with
+      | Launch { image; flavor; properties; workload } ->
+          Codec.Enc.u8 e 1;
+          Codec.Enc.str e image;
+          Codec.Enc.str e flavor;
+          Property.encode_list e properties;
+          Codec.Enc.str e workload
+      | Attest_current r ->
+          Codec.Enc.u8 e 2;
+          Codec.Enc.str e (Protocol.encode_attest_request r)
+      | Attest_periodic { vid; property; schedule; nonce } ->
+          Codec.Enc.u8 e 3;
+          Codec.Enc.str e vid;
+          Property.encode e property;
+          Schedule.encode e schedule;
+          Codec.Enc.str e nonce
+      | Stop_periodic { vid; property; nonce } ->
+          Codec.Enc.u8 e 4;
+          Codec.Enc.str e vid;
+          Property.encode e property;
+          Codec.Enc.str e nonce
+      | Terminate { vid } ->
+          Codec.Enc.u8 e 5;
+          Codec.Enc.str e vid
+      | Describe { vid } ->
+          Codec.Enc.u8 e 6;
+          Codec.Enc.str e vid)
+
+let decode_command s =
+  Codec.decode_opt s (fun d ->
+      match Codec.Dec.u8 d with
+      | 1 ->
+          let image = Codec.Dec.str d in
+          let flavor = Codec.Dec.str d in
+          let properties = Property.decode_list d in
+          let workload = Codec.Dec.str d in
+          Launch { image; flavor; properties; workload }
+      | 2 -> (
+          match Protocol.decode_attest_request (Codec.Dec.str d) with
+          | Some r -> Attest_current r
+          | None -> raise (Codec.Error "bad attest request"))
+      | 3 ->
+          let vid = Codec.Dec.str d in
+          let property = Property.decode d in
+          let schedule = Schedule.decode d in
+          let nonce = Codec.Dec.str d in
+          Attest_periodic { vid; property; schedule; nonce }
+      | 4 ->
+          let vid = Codec.Dec.str d in
+          let property = Property.decode d in
+          let nonce = Codec.Dec.str d in
+          Stop_periodic { vid; property; nonce }
+      | 5 -> Terminate { vid = Codec.Dec.str d }
+      | 6 -> Describe { vid = Codec.Dec.str d }
+      | _ -> raise (Codec.Error "bad command tag"))
+
+let encode_reply r =
+  Codec.encode (fun e ->
+      match r with
+      | Ok_launch { vid; stages } ->
+          Codec.Enc.u8 e 1;
+          Codec.Enc.str e vid;
+          Codec.Enc.list e
+            (fun (label, cost) ->
+              Codec.Enc.str e label;
+              Codec.Enc.int e cost)
+            stages
+      | Ok_report report ->
+          Codec.Enc.u8 e 2;
+          Codec.Enc.str e (Protocol.encode_controller_report report)
+      | Ok_ack -> Codec.Enc.u8 e 3
+      | Ok_describe { state; properties } ->
+          Codec.Enc.u8 e 4;
+          Codec.Enc.str e state;
+          Property.encode_list e properties
+      | Err why ->
+          Codec.Enc.u8 e 0;
+          Codec.Enc.str e why)
+
+let decode_reply s =
+  Codec.decode_opt s (fun d ->
+      match Codec.Dec.u8 d with
+      | 1 ->
+          let vid = Codec.Dec.str d in
+          let stages =
+            Codec.Dec.list d (fun d ->
+                let label = Codec.Dec.str d in
+                let cost = Codec.Dec.int d in
+                (label, cost))
+          in
+          Ok_launch { vid; stages }
+      | 2 -> (
+          match Protocol.decode_controller_report (Codec.Dec.str d) with
+          | Some r -> Ok_report r
+          | None -> raise (Codec.Error "bad report"))
+      | 3 -> Ok_ack
+      | 4 ->
+          let state = Codec.Dec.str d in
+          let properties = Property.decode_list d in
+          Ok_describe { state; properties }
+      | 0 -> Err (Codec.Dec.str d)
+      | _ -> raise (Codec.Error "bad reply tag"))

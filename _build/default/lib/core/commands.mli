@@ -1,0 +1,38 @@
+(** Customer-facing command wire format — the API of paper Table 1 plus VM
+    management, carried over the customer's secure channel to the Cloud
+    Controller. *)
+
+type command =
+  | Launch of {
+      image : string;
+      flavor : string;
+      properties : Property.t list;
+      workload : string;  (** name in the controller's workload registry *)
+    }
+  | Attest_current of Protocol.attest_request
+      (** Table 1 [startup_attest_current] / [runtime_attest_current] *)
+  | Attest_periodic of { vid : string; property : Property.t; schedule : Schedule.t; nonce : string }
+      (** Table 1 [runtime_attest_periodic]: fixed frequency or random intervals *)
+  | Stop_periodic of { vid : string; property : Property.t; nonce : string }
+      (** Table 1 [stop_attest_periodic] *)
+  | Terminate of { vid : string }
+  | Describe of { vid : string }
+
+type launch_info = {
+  vid : string;
+  stages : (string * Sim.Time.t) list;
+      (** per-stage launch times; the host name is deliberately not
+          revealed to the customer *)
+}
+
+type reply =
+  | Ok_launch of launch_info
+  | Ok_report of Protocol.controller_report
+  | Ok_ack
+  | Ok_describe of { state : string; properties : Property.t list }
+  | Err of string
+
+val encode_command : command -> string
+val decode_command : string -> command option
+val encode_reply : reply -> string
+val decode_reply : string -> reply option

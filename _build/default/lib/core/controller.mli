@@ -1,0 +1,133 @@
+(** Cloud Controller — the modified OpenStack Nova of paper section 6.1.
+
+    Owns the nova database, the image store (glance), the hypervisor fleet,
+    and the customer-facing API (Table 1 commands over a secure channel).
+    Its [nova attest_service] forwards attestation requests to the
+    Attestation Server, verifies the signed AS report, re-signs it with the
+    controller key SKc, and hands it back to the customer.  Its
+    [nova response] module executes the three remediation strategies of
+    paper section 5.2 when attestation results turn bad. *)
+
+type t
+
+type response_strategy = Terminate_vm | Suspend_vm | Migrate_vm
+
+val strategy_label : response_strategy -> string
+
+type response_record = {
+  at : Sim.Time.t;
+  vid : string;
+  strategy : response_strategy;
+  reaction : Sim.Time.t;  (** simulated time the response took *)
+  detail : string;
+}
+
+type launch_error =
+  [ `No_qualified_server
+  | `Insufficient_memory
+  | `Rejected of Report.t  (** startup attestation failed definitively *)
+  | `Attestation_failed of string ]
+
+val create :
+  net:Net.Network.t ->
+  engine:Sim.Engine.t ->
+  ca:Net.Ca.t ->
+  seed:string ->
+  ?name:string ->
+  attestation_servers:(string * Crypto.Rsa.public) list ->
+  ?cluster_of:(string -> int) ->
+  unit ->
+  t
+(** [name] defaults to ["cloud-controller"].  Registers its customer API
+    handler on the network under [name].  [attestation_servers] lists the
+    (network name, VKa) of each cluster's Attestation Server (paper 3.2.3:
+    several AS instances give scalability); [cluster_of] maps a cloud
+    server name to its AS index (default: everything on AS 0). *)
+
+val set_cluster_map : t -> (string -> int) -> unit
+
+val name : t -> string
+val identity : t -> Net.Secure_channel.Identity.t
+val public_key : t -> Crypto.Rsa.public
+val db : t -> Database.t
+val engine : t -> Sim.Engine.t
+
+(** {2 Fleet, images and workloads} *)
+
+val register_hypervisor : t -> Hypervisor.Server.t -> unit
+val hypervisor : t -> string -> Hypervisor.Server.t option
+val add_image : t -> Hypervisor.Image.t -> unit
+val find_image : t -> string -> Hypervisor.Image.t option
+
+val corrupt_image : t -> string -> bool
+(** Attack hook: replace the stored image with a tampered copy. *)
+
+val register_workload :
+  t -> string -> (Hypervisor.Flavor.t -> unit -> Hypervisor.Program.t list) -> unit
+(** Workload factories the launch command can reference by name
+    (simulation stand-in for the customer's actual image payload). *)
+
+(** {2 VM lifecycle} *)
+
+type launch_request = {
+  owner : string;
+  image : string;
+  flavor : string;
+  properties : Property.t list;
+  workload : string;  (** "" = idle *)
+  pins : int option list;  (** per-vCPU pCPU pinning, for experiments *)
+}
+
+val launch : t -> launch_request -> (Commands.launch_info, launch_error) result
+(** The five-stage launch of section 7.1.1, including startup attestation
+    when security properties were requested.  A compromised platform makes
+    the scheduler pick another server (section 5.1); a compromised image
+    rejects the launch. *)
+
+val terminate : t -> vid:string -> bool
+
+(** {2 Attestation service} *)
+
+val attest :
+  t -> Protocol.attest_request -> (Protocol.controller_report, string) result * Ledger.t
+(** One-time attestation: forwards to the AS with a fresh N2, verifies the
+    AS signature and quote Q2, then signs the controller report (quote Q1
+    over the customer's nonce N1). *)
+
+val subscribe : t -> owner:string -> (Protocol.controller_report -> unit) -> unit
+(** Where periodic attestation results for this customer's VMs are
+    delivered (the push channel back to the customer). *)
+
+val periodic_start :
+  t -> vid:string -> property:Property.t -> schedule:Schedule.t -> nonce:string -> bool
+val periodic_stop : t -> vid:string -> property:Property.t -> bool
+val periodic_active : t -> int
+
+(** {2 Responses} *)
+
+val set_response_policy : t -> (Report.t -> response_strategy option) -> unit
+(** Decide the remediation for a failed attestation; the default policy
+    terminates on runtime-integrity compromise and migrates on
+    covert-channel or availability compromise. *)
+
+val respond : t -> response_strategy -> vid:string -> (Sim.Time.t, string) result
+(** Execute a response; returns the simulated reaction time (Figure 11). *)
+
+val resume : t -> vid:string -> (Sim.Time.t, string) result
+(** Resume a suspended VM after the platform re-attests healthy. *)
+
+val set_auto_resume : t -> ?recheck_period:Sim.Time.t -> ?max_rechecks:int -> bool -> unit
+(** Section 5.2 response #2 behaviour: when a periodic attestation triggers
+    suspension, keep re-attesting the VM every [recheck_period]; resume it
+    if health returns, terminate it after [max_rechecks] failures.  On by
+    default (5 s, 10 checks). *)
+
+val responses : t -> response_record list
+(** Responses executed so far, oldest first. *)
+
+(** {2 Introspection (operator-side, not exposed to customers)} *)
+
+val vm_host : t -> vid:string -> string option
+val vm_state : t -> vid:string -> Database.vm_state option
+val events : t -> string list
+(** Human-readable event log, oldest first. *)

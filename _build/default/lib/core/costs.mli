@@ -1,0 +1,53 @@
+(** Simulated-latency cost model.
+
+    The paper measures wall-clock stage times on its OpenStack testbed with
+    Ceilometer; we account the same costs in an explicit ledger.  Constants
+    are calibrated to the magnitudes the paper reports (Figures 9 and 11):
+    spawning dominates VM launch, the attestation stage adds ~20%, and
+    migration dwarfs suspension dwarfs termination. *)
+
+(** {2 Crypto and attestation-path costs} *)
+
+val session_keygen : Sim.Time.t
+(** Trust Module generates the per-attestation RSA keypair (the dominant
+    attestation cost, as on a real TPM). *)
+
+val quote_sign : Sim.Time.t (** Trust Module signs the measurement payload *)
+
+val signature_verify : Sim.Time.t
+
+val report_sign : Sim.Time.t
+
+val pca_certify : Sim.Time.t (** privacy CA checks + issues the AVKs cert *)
+
+val measurement_collect : Sim.Time.t (** Monitor Module gathers one request *)
+
+val interpret : Sim.Time.t (** property interpretation and decision *)
+
+val db_lookup : Sim.Time.t
+
+val handshake_crypto : Sim.Time.t
+(** CPU cost of an SSL-style handshake (both sides combined). *)
+
+(** {2 VM launch stage costs (OpenStack-shaped)} *)
+
+val scheduling_base : Sim.Time.t
+val scheduling_per_candidate : Sim.Time.t
+val networking : Sim.Time.t
+val mapping_base : Sim.Time.t
+val mapping_per_gb : Sim.Time.t
+val spawn_base : Sim.Time.t
+val spawn_per_image_mb : Sim.Time.t
+val spawn_per_mem_gb : Sim.Time.t
+
+(** {2 Response costs (Figure 11)} *)
+
+val terminate_base : Sim.Time.t
+val suspend_base : Sim.Time.t
+val suspend_per_mem_gb : Sim.Time.t
+val resume_base : Sim.Time.t
+
+val migration_dirty_fraction : float
+(** Fraction of the VM's RAM actually transferred by pre-copy migration. *)
+
+val migration_base : Sim.Time.t

@@ -1,0 +1,56 @@
+type vm_state = Building | Active | Suspended | Migrating | Terminated
+
+let vm_state_to_string = function
+  | Building -> "building"
+  | Active -> "active"
+  | Suspended -> "suspended"
+  | Migrating -> "migrating"
+  | Terminated -> "terminated"
+
+type vm_record = {
+  vid : string;
+  owner : string;
+  image_name : string;
+  flavor : Hypervisor.Flavor.t;
+  properties : Property.t list;
+  mutable host : string option;
+  mutable state : vm_state;
+}
+
+type server_record = { name : string; secure : bool; monitoring : Property.t list }
+
+type t = {
+  vm_table : (string, vm_record) Hashtbl.t;
+  server_table : (string, server_record) Hashtbl.t;
+  mutable vm_order : string list; (* newest first *)
+  mutable server_order : string list;
+}
+
+let create () =
+  { vm_table = Hashtbl.create 16; server_table = Hashtbl.create 8; vm_order = []; server_order = [] }
+
+let add_server t r =
+  if not (Hashtbl.mem t.server_table r.name) then t.server_order <- r.name :: t.server_order;
+  Hashtbl.replace t.server_table r.name r
+
+let server t name = Hashtbl.find_opt t.server_table name
+
+let servers t = List.rev_map (fun n -> Hashtbl.find t.server_table n) t.server_order
+
+let add_vm t r =
+  if not (Hashtbl.mem t.vm_table r.vid) then t.vm_order <- r.vid :: t.vm_order;
+  Hashtbl.replace t.vm_table r.vid r
+
+let vm t vid = Hashtbl.find_opt t.vm_table vid
+
+let vms t = List.rev (List.filter_map (Hashtbl.find_opt t.vm_table) t.vm_order)
+
+let vms_on t host = List.filter (fun r -> r.host = Some host) (vms t)
+
+let set_host t ~vid host = match vm t vid with Some r -> r.host <- host | None -> ()
+
+let set_state t ~vid state = match vm t vid with Some r -> r.state <- state | None -> ()
+
+let remove_vm t ~vid =
+  Hashtbl.remove t.vm_table vid;
+  t.vm_order <- List.filter (fun v -> not (String.equal v vid)) t.vm_order

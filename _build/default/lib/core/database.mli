@@ -1,0 +1,40 @@
+(** Controller database (the modified nova database of paper section 6.1):
+    VM records with their requested security properties, and per-server
+    monitoring/attestation capabilities. *)
+
+type vm_state = Building | Active | Suspended | Migrating | Terminated
+
+val vm_state_to_string : vm_state -> string
+
+type vm_record = {
+  vid : string;
+  owner : string;
+  image_name : string;
+  flavor : Hypervisor.Flavor.t;
+  properties : Property.t list;  (** security properties to monitor *)
+  mutable host : string option;
+  mutable state : vm_state;
+}
+
+type server_record = {
+  name : string;
+  secure : bool;  (** has a Trust Module *)
+  monitoring : Property.t list;  (** properties it can monitor *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_server : t -> server_record -> unit
+val server : t -> string -> server_record option
+val servers : t -> server_record list
+
+val add_vm : t -> vm_record -> unit
+val vm : t -> string -> vm_record option
+val vms : t -> vm_record list
+val vms_on : t -> string -> vm_record list
+
+val set_host : t -> vid:string -> string option -> unit
+val set_state : t -> vid:string -> vm_state -> unit
+val remove_vm : t -> vid:string -> unit

@@ -1,0 +1,30 @@
+type decision = { host : string; candidates : int; considered : int }
+
+let property_filter (r : Database.server_record) properties =
+  match properties with
+  | [] -> true
+  | _ -> r.secure && List.for_all (fun p -> List.exists (Property.equal p) r.monitoring) properties
+
+let select ~db ~free_mem ~properties ~flavor ?(exclude = []) () =
+  let records = Database.servers db in
+  let qualified =
+    List.filter_map
+      (fun (r : Database.server_record) ->
+        if List.exists (String.equal r.name) exclude then None
+        else if not (property_filter r properties) then None
+        else begin
+          match free_mem r.name with
+          | Some free when free >= flavor.Hypervisor.Flavor.mem_mb -> Some (r.name, free)
+          | Some _ | None -> None
+        end)
+      records
+  in
+  match qualified with
+  | [] -> Error `No_qualified_server
+  | _ ->
+      let best =
+        List.fold_left
+          (fun (bn, bf) (n, f) -> if f > bf then (n, f) else (bn, bf))
+          (List.hd qualified) (List.tl qualified)
+      in
+      Ok { host = fst best; candidates = List.length qualified; considered = List.length records }

@@ -1,0 +1,26 @@
+(** Policy Validation + Deployment scheduling (paper section 6.1).
+
+    Selects a qualified host for a VM: the OpenStack-style filter chain —
+    alive, not excluded, enough free memory — extended with the paper's new
+    [property_filter]: the server must be CloudMonatt-secure and support
+    monitoring every requested property.  Qualified servers are then
+    weighed by free memory (most-free wins, the stock nova weigher). *)
+
+type decision = {
+  host : string;
+  candidates : int;  (** servers that survived every filter *)
+  considered : int;  (** servers examined *)
+}
+
+val select :
+  db:Database.t ->
+  free_mem:(string -> int option) ->
+  properties:Property.t list ->
+  flavor:Hypervisor.Flavor.t ->
+  ?exclude:string list ->
+  unit ->
+  (decision, [ `No_qualified_server ]) result
+
+val property_filter : Database.server_record -> Property.t list -> bool
+(** Does this server support monitoring all the requested properties?
+    (Trivially true for an empty request on any server.) *)

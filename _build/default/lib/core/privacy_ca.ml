@@ -1,0 +1,27 @@
+type t = { ca : Net.Ca.t; servers : (string, Crypto.Rsa.public) Hashtbl.t }
+
+let anonymous_subject = "cloudmonatt-attestation-key"
+
+let create ~seed ?(bits = 1024) () =
+  { ca = Net.Ca.create ~seed ~bits ~name:"privacy-ca" (); servers = Hashtbl.create 8 }
+
+let public t = Net.Ca.public t.ca
+
+let enroll_server t ~name key = Hashtbl.replace t.servers name key
+
+let enrolled t = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.servers [])
+
+let certify_attestation_key t ~key ~endorsement =
+  let payload = Tpm.Trust_module.endorsement_payload key in
+  let endorsed =
+    Hashtbl.fold
+      (fun _ vks acc -> acc || Crypto.Rsa.verify vks ~signature:endorsement payload)
+      t.servers false
+  in
+  if endorsed then Ok (Net.Ca.issue t.ca ~subject:anonymous_subject key)
+  else Error `Unknown_server
+
+let check_certificate ~pca cert ~key =
+  Net.Ca.verify ~ca:pca cert
+  && String.equal cert.Net.Ca.subject anonymous_subject
+  && String.equal (Crypto.Rsa.public_to_string cert.Net.Ca.pubkey) (Crypto.Rsa.public_to_string key)

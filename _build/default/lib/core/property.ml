@@ -1,0 +1,33 @@
+type t = Startup_integrity | Runtime_integrity | Covert_channel_free | Cpu_availability
+
+let all = [ Startup_integrity; Runtime_integrity; Covert_channel_free; Cpu_availability ]
+
+let to_string = function
+  | Startup_integrity -> "startup-integrity"
+  | Runtime_integrity -> "runtime-integrity"
+  | Covert_channel_free -> "covert-channel-free"
+  | Cpu_availability -> "cpu-availability"
+
+let of_string s = List.find_opt (fun p -> String.equal (to_string p) s) all
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+let equal = Stdlib.( = )
+
+let tag = function
+  | Startup_integrity -> 1
+  | Runtime_integrity -> 2
+  | Covert_channel_free -> 3
+  | Cpu_availability -> 4
+
+let encode e p = Wire.Codec.Enc.u8 e (tag p)
+
+let decode d =
+  match Wire.Codec.Dec.u8 d with
+  | 1 -> Startup_integrity
+  | 2 -> Runtime_integrity
+  | 3 -> Covert_channel_free
+  | 4 -> Cpu_availability
+  | _ -> raise (Wire.Codec.Error "bad property tag")
+
+let encode_list e ps = Wire.Codec.Enc.list e (encode e) ps
+let decode_list d = Wire.Codec.Dec.list d decode

@@ -1,0 +1,23 @@
+(** Security properties a customer can request for a VM.
+
+    These are the four concrete case studies of paper section 4; the
+    registry is open in spirit — adding a property means adding its
+    measurement mapping and interpreter in {!Interpret}. *)
+
+type t =
+  | Startup_integrity  (** platform + VM image integrity at launch (4.2) *)
+  | Runtime_integrity  (** no hidden malware inside the VM (4.3) *)
+  | Covert_channel_free  (** no CPU covert-channel exfiltration (4.4) *)
+  | Cpu_availability  (** SLA CPU share actually delivered (4.5) *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t
+
+val encode_list : Wire.Codec.Enc.t -> t list -> unit
+val decode_list : Wire.Codec.Dec.t -> t list

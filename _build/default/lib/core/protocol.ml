@@ -1,0 +1,268 @@
+module Codec = Wire.Codec
+
+type attest_request = { vid : string; property : Property.t; nonce : string }
+
+type as_request = { vid : string; server : string; property : Property.t; nonce : string }
+
+type measure_request = { vid : string; requests_raw : string; nonce : string }
+
+type measure_response = {
+  vid : string;
+  requests_raw : string;
+  values_raw : string;
+  nonce : string;
+  quote : string;
+  signature : string;
+  avk : string;
+  endorsement : string;
+}
+
+type as_report = {
+  vid : string;
+  server : string;
+  property : Property.t;
+  report : Report.t;
+  nonce : string;
+  quote : string;
+  signature : string;
+}
+
+type controller_report = {
+  vid : string;
+  property : Property.t;
+  report : Report.t;
+  nonce : string;
+  quote : string;
+  signature : string;
+}
+
+(* --- Quotes ------------------------------------------------------------- *)
+
+let q3 ~vid ~requests_raw ~values_raw ~nonce =
+  Crypto.Sha256.digest_list [ "Q3|"; vid; "|"; requests_raw; "|"; values_raw; "|"; nonce ]
+
+let q2 ~vid ~server ~property ~report ~nonce =
+  Crypto.Sha256.digest_list
+    [
+      "Q2|";
+      vid;
+      "|";
+      server;
+      "|";
+      Property.to_string property;
+      "|";
+      Codec.encode (fun e -> Report.encode e report);
+      "|";
+      nonce;
+    ]
+
+let q1 ~vid ~property ~report ~nonce =
+  Crypto.Sha256.digest_list
+    [
+      "Q1|";
+      vid;
+      "|";
+      Property.to_string property;
+      "|";
+      Codec.encode (fun e -> Report.encode e report);
+      "|";
+      nonce;
+    ]
+
+(* --- Signature payloads -------------------------------------------------- *)
+
+let measure_response_payload (r : measure_response) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e "measure-response";
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.requests_raw;
+      Codec.Enc.str e r.values_raw;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote)
+
+let as_report_payload (r : as_report) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e "as-report";
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.server;
+      Property.encode e r.property;
+      Report.encode e r.report;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote)
+
+let controller_report_payload (r : controller_report) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e "controller-report";
+      Codec.Enc.str e r.vid;
+      Property.encode e r.property;
+      Report.encode e r.report;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote)
+
+(* --- Wire codecs ---------------------------------------------------------- *)
+
+let encode_attest_request (r : attest_request) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Property.encode e r.property;
+      Codec.Enc.str e r.nonce)
+
+let decode_attest_request s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let property = Property.decode d in
+      let nonce = Codec.Dec.str d in
+      { vid; property; nonce })
+
+let encode_as_request (r : as_request) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.server;
+      Property.encode e r.property;
+      Codec.Enc.str e r.nonce)
+
+let decode_as_request s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let server = Codec.Dec.str d in
+      let property = Property.decode d in
+      let nonce = Codec.Dec.str d in
+      { vid; server; property; nonce })
+
+let encode_measure_request (r : measure_request) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.requests_raw;
+      Codec.Enc.str e r.nonce)
+
+let decode_measure_request s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let requests_raw = Codec.Dec.str d in
+      let nonce = Codec.Dec.str d in
+      { vid; requests_raw; nonce })
+
+let encode_measure_response (r : measure_response) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.requests_raw;
+      Codec.Enc.str e r.values_raw;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote;
+      Codec.Enc.str e r.signature;
+      Codec.Enc.str e r.avk;
+      Codec.Enc.str e r.endorsement)
+
+let decode_measure_response s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let requests_raw = Codec.Dec.str d in
+      let values_raw = Codec.Dec.str d in
+      let nonce = Codec.Dec.str d in
+      let quote = Codec.Dec.str d in
+      let signature = Codec.Dec.str d in
+      let avk = Codec.Dec.str d in
+      let endorsement = Codec.Dec.str d in
+      { vid; requests_raw; values_raw; nonce; quote; signature; avk; endorsement })
+
+let encode_as_report (r : as_report) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Codec.Enc.str e r.server;
+      Property.encode e r.property;
+      Report.encode e r.report;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote;
+      Codec.Enc.str e r.signature)
+
+let decode_as_report s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let server = Codec.Dec.str d in
+      let property = Property.decode d in
+      let report = Report.decode d in
+      let nonce = Codec.Dec.str d in
+      let quote = Codec.Dec.str d in
+      let signature = Codec.Dec.str d in
+      { vid; server; property; report; nonce; quote; signature })
+
+let encode_controller_report (r : controller_report) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e r.vid;
+      Property.encode e r.property;
+      Report.encode e r.report;
+      Codec.Enc.str e r.nonce;
+      Codec.Enc.str e r.quote;
+      Codec.Enc.str e r.signature)
+
+let decode_controller_report s =
+  Codec.decode_opt s (fun d ->
+      let vid = Codec.Dec.str d in
+      let property = Property.decode d in
+      let report = Report.decode d in
+      let nonce = Codec.Dec.str d in
+      let quote = Codec.Dec.str d in
+      let signature = Codec.Dec.str d in
+      { vid; property; report; nonce; quote; signature })
+
+(* --- Verification --------------------------------------------------------- *)
+
+type verify_error =
+  [ `Bad_signature | `Bad_quote | `Nonce_mismatch | `Vid_mismatch | `Bad_certificate ]
+
+let pp_verify_error ppf = function
+  | `Bad_signature -> Format.pp_print_string ppf "bad signature"
+  | `Bad_quote -> Format.pp_print_string ppf "quote mismatch"
+  | `Nonce_mismatch -> Format.pp_print_string ppf "nonce mismatch (replay?)"
+  | `Vid_mismatch -> Format.pp_print_string ppf "VM id mismatch"
+  | `Bad_certificate -> Format.pp_print_string ppf "bad attestation-key certificate"
+
+let check cond err = if cond then Ok () else Error err
+
+let ( let* ) = Result.bind
+
+let verify_measure_response ~pca ~cert ~expected_vid ~expected_requests ~expected_nonce
+    (r : measure_response) =
+  match Crypto.Rsa.public_of_string r.avk with
+  | None -> Error `Bad_certificate
+  | Some avk ->
+      let* () = check (Privacy_ca.check_certificate ~pca cert ~key:avk) `Bad_certificate in
+      let* () =
+        check (Crypto.Rsa.verify avk ~signature:r.signature (measure_response_payload r))
+          `Bad_signature
+      in
+      let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
+      let* () = check (String.equal r.requests_raw expected_requests) `Vid_mismatch in
+      let* () = check (String.equal r.nonce expected_nonce) `Nonce_mismatch in
+      check
+        (String.equal r.quote
+           (q3 ~vid:r.vid ~requests_raw:r.requests_raw ~values_raw:r.values_raw ~nonce:r.nonce))
+        `Bad_quote
+
+let verify_as_report ~key ~expected_vid ~expected_server ~expected_property ~expected_nonce
+    (r : as_report) =
+  let* () =
+    check (Crypto.Rsa.verify key ~signature:r.signature (as_report_payload r)) `Bad_signature
+  in
+  let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
+  let* () = check (String.equal r.server expected_server) `Vid_mismatch in
+  let* () = check (Property.equal r.property expected_property) `Vid_mismatch in
+  let* () = check (String.equal r.nonce expected_nonce) `Nonce_mismatch in
+  check
+    (String.equal r.quote
+       (q2 ~vid:r.vid ~server:r.server ~property:r.property ~report:r.report ~nonce:r.nonce))
+    `Bad_quote
+
+let verify_controller_report ~key ~expected_vid ~expected_property ~expected_nonce
+    (r : controller_report) =
+  let* () =
+    check
+      (Crypto.Rsa.verify key ~signature:r.signature (controller_report_payload r))
+      `Bad_signature
+  in
+  let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
+  let* () = check (Property.equal r.property expected_property) `Vid_mismatch in
+  let* () = check (String.equal r.nonce expected_nonce) `Nonce_mismatch in
+  check
+    (String.equal r.quote (q1 ~vid:r.vid ~property:r.property ~report:r.report ~nonce:r.nonce))
+    `Bad_quote

@@ -1,0 +1,116 @@
+(** The attestation protocol messages of paper Figure 3, with their exact
+    byte encodings, quote computations and signature payloads.
+
+    Three nonces guard the three hops: the customer's [N1], the
+    controller's [N2] and the Attestation Server's [N3].  Three quotes
+    chain the content: [Q3 = H(Vid||rM||M||N3)] over the measurements,
+    [Q2 = H(Vid||I||P||R||N2)] over the AS report and
+    [Q1 = H(Vid||P||R||N1)] over the report the customer receives. *)
+
+(** Customer -> Controller (inside channel Kx). *)
+type attest_request = { vid : string; property : Property.t; nonce : string }
+
+(** Controller -> Attestation Server (inside channel Ky); [server] is the
+    host identifier I the controller resolved. *)
+type as_request = { vid : string; server : string; property : Property.t; nonce : string }
+
+(** Attestation Server -> Cloud Server (inside channel Kz); [requests_raw]
+    is the encoded measurement list rM. *)
+type measure_request = { vid : string; requests_raw : string; nonce : string }
+
+(** Cloud Server -> Attestation Server: measurements, quote and the
+    session-key signature, plus the key material the pCA certifies. *)
+type measure_response = {
+  vid : string;
+  requests_raw : string;
+  values_raw : string;  (** encoded measurement values M *)
+  nonce : string;  (** echo of N3 *)
+  quote : string;  (** Q3 *)
+  signature : string;  (** [[...]]ASKs *)
+  avk : string;  (** AVKs, encoded public key *)
+  endorsement : string;  (** [[AVKs]]SKs for the privacy CA *)
+}
+
+(** Attestation Server -> Controller. *)
+type as_report = {
+  vid : string;
+  server : string;
+  property : Property.t;
+  report : Report.t;
+  nonce : string;  (** echo of N2 *)
+  quote : string;  (** Q2 *)
+  signature : string;  (** [[...]]SKa *)
+}
+
+(** Controller -> Customer. *)
+type controller_report = {
+  vid : string;
+  property : Property.t;
+  report : Report.t;
+  nonce : string;  (** echo of N1 *)
+  quote : string;  (** Q1 *)
+  signature : string;  (** [[...]]SKc *)
+}
+
+(** {2 Quotes} *)
+
+val q3 : vid:string -> requests_raw:string -> values_raw:string -> nonce:string -> string
+val q2 : vid:string -> server:string -> property:Property.t -> report:Report.t -> nonce:string -> string
+val q1 : vid:string -> property:Property.t -> report:Report.t -> nonce:string -> string
+
+(** {2 Signature payloads (everything but the signature field)} *)
+
+val measure_response_payload : measure_response -> string
+val as_report_payload : as_report -> string
+val controller_report_payload : controller_report -> string
+
+(** {2 Wire codecs} *)
+
+val encode_attest_request : attest_request -> string
+val decode_attest_request : string -> attest_request option
+val encode_as_request : as_request -> string
+val decode_as_request : string -> as_request option
+val encode_measure_request : measure_request -> string
+val decode_measure_request : string -> measure_request option
+val encode_measure_response : measure_response -> string
+val decode_measure_response : string -> measure_response option
+val encode_as_report : as_report -> string
+val decode_as_report : string -> as_report option
+val encode_controller_report : controller_report -> string
+val decode_controller_report : string -> controller_report option
+
+(** {2 Verification} *)
+
+type verify_error =
+  [ `Bad_signature | `Bad_quote | `Nonce_mismatch | `Vid_mismatch | `Bad_certificate ]
+
+val pp_verify_error : Format.formatter -> verify_error -> unit
+
+val verify_measure_response :
+  pca:Crypto.Rsa.public ->
+  cert:Net.Ca.cert ->
+  expected_vid:string ->
+  expected_requests:string ->
+  expected_nonce:string ->
+  measure_response ->
+  (unit, verify_error) result
+(** The full Attestation Server check: pCA certificate binds [avk], the
+    signature verifies under [avk], the quote recomputes, and vid, rM and
+    N3 all match the outstanding request. *)
+
+val verify_as_report :
+  key:Crypto.Rsa.public ->
+  expected_vid:string ->
+  expected_server:string ->
+  expected_property:Property.t ->
+  expected_nonce:string ->
+  as_report ->
+  (unit, verify_error) result
+
+val verify_controller_report :
+  key:Crypto.Rsa.public ->
+  expected_vid:string ->
+  expected_property:Property.t ->
+  expected_nonce:string ->
+  controller_report ->
+  (unit, verify_error) result

@@ -1,0 +1,38 @@
+type t = Fixed of Sim.Time.t | Random_interval of { min : Sim.Time.t; max : Sim.Time.t }
+
+let fixed period = Fixed period
+
+let random ~min ~max =
+  if min <= 0 || max < min then invalid_arg "Schedule.random: need 0 < min <= max";
+  Random_interval { min; max }
+
+let next_delay t drbg =
+  match t with
+  | Fixed period -> period
+  | Random_interval { min; max } ->
+      if max = min then min else min + Crypto.Drbg.random_int drbg (max - min + 1)
+
+let min_period = function Fixed period -> period | Random_interval { min; _ } -> min
+
+let pp ppf = function
+  | Fixed period -> Format.fprintf ppf "every %a" Sim.Time.pp period
+  | Random_interval { min; max } ->
+      Format.fprintf ppf "randomly every %a-%a" Sim.Time.pp min Sim.Time.pp max
+
+let encode e = function
+  | Fixed period ->
+      Wire.Codec.Enc.u8 e 1;
+      Wire.Codec.Enc.int e period
+  | Random_interval { min; max } ->
+      Wire.Codec.Enc.u8 e 2;
+      Wire.Codec.Enc.int e min;
+      Wire.Codec.Enc.int e max
+
+let decode d =
+  match Wire.Codec.Dec.u8 d with
+  | 1 -> Fixed (Wire.Codec.Dec.int d)
+  | 2 ->
+      let min = Wire.Codec.Dec.int d in
+      let max = Wire.Codec.Dec.int d in
+      Random_interval { min; max }
+  | _ -> raise (Wire.Codec.Error "bad schedule tag")

@@ -1,0 +1,22 @@
+(** Periodic-attestation schedules (paper Table 1): a constant frequency,
+    or random intervals so an attacker cannot predict — and dodge — the
+    next measurement window. *)
+
+type t =
+  | Fixed of Sim.Time.t  (** one attestation every period *)
+  | Random_interval of { min : Sim.Time.t; max : Sim.Time.t }
+      (** next attestation after a uniform random delay in [min, max] *)
+
+val fixed : Sim.Time.t -> t
+val random : min:Sim.Time.t -> max:Sim.Time.t -> t
+
+val next_delay : t -> Crypto.Drbg.t -> Sim.Time.t
+(** Delay until the next attestation round. *)
+
+val min_period : t -> Sim.Time.t
+(** Smallest possible inter-attestation gap (for rate limiting). *)
+
+val pp : Format.formatter -> t -> unit
+
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t

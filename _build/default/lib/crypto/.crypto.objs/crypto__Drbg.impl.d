@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Buffer Bytes Chacha20 Char Int64 Sha256 Sim String

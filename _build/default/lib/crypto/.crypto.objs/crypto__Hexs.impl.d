@@ -1,0 +1,1 @@
+lib/crypto/hexs.ml: Bytes Char Format String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Buffer Bytes Drbg Printf Sha256 String

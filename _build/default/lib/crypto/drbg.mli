@@ -1,0 +1,25 @@
+(** Deterministic random bit generator, ChaCha20 in counter mode.
+
+    Plays the role of the hardware RNG inside the Trust Module and of every
+    other cryptographic randomness source in the simulation.  Seeded
+    explicitly so runs are reproducible. *)
+
+type t
+
+val create : seed:string -> t
+(** Seed material of any length (hashed into the cipher key). *)
+
+val of_prng : Sim.Prng.t -> t
+(** Seed a DRBG from the simulation PRNG, for convenience in tests. *)
+
+val random_bytes : t -> int -> string
+val random_u64 : t -> int64
+
+val random_int : t -> int -> int
+(** Uniform in [\[0, bound)]. *)
+
+val nonce : t -> string
+(** A fresh 16-byte nonce (the [N1], [N2], [N3] of the protocol). *)
+
+val reseed : t -> string -> unit
+(** Mix extra entropy into the state. *)

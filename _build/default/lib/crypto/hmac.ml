@@ -1,0 +1,36 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_with s c =
+  String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+let mac ~key msg =
+  let k0 = normalize_key key in
+  let inner = Sha256.digest_list [ xor_with k0 0x36; msg ] in
+  Sha256.digest_list [ xor_with k0 0x5c; inner ]
+
+let constant_time_equal a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let verify ~key ~tag msg = constant_time_equal tag (mac ~key msg)
+
+let derive ~secret ~label n =
+  let buf = Buffer.create n in
+  let block = ref "" in
+  let counter = ref 1 in
+  while Buffer.length buf < n do
+    let data = Printf.sprintf "%s|%s|%d" !block label !counter in
+    block := mac ~key:secret data;
+    Buffer.add_string buf !block;
+    incr counter
+  done;
+  Buffer.sub buf 0 n

@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104), the MAC for secure-channel records, and a small
+    HKDF-style key-derivation helper. *)
+
+val mac : key:string -> string -> string
+(** 32-byte authentication tag. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison of [tag] against the recomputed MAC. *)
+
+val derive : secret:string -> label:string -> int -> string
+(** [derive ~secret ~label n] expands [secret] into [n] bytes bound to
+    [label] (HKDF-expand style, counter-mode HMAC). *)

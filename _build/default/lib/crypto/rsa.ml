@@ -1,0 +1,117 @@
+type public = { n : Bignum.t; e : Bignum.t; bits : int }
+type secret = { pub : public; d : Bignum.t }
+type keypair = { public : public; secret : secret }
+
+let e65537 = Bignum.of_int 65537
+
+let generate drbg ~bits =
+  if bits < 128 then invalid_arg "Rsa.generate: modulus must be at least 128 bits";
+  let half = bits / 2 in
+  let rec gen_suitable_prime () =
+    let p = Bignum.generate_prime drbg ~bits:half in
+    let p1 = Bignum.sub p Bignum.one in
+    if Bignum.equal (Bignum.gcd p1 e65537) Bignum.one then p else gen_suitable_prime ()
+  in
+  let rec go () =
+    let p = gen_suitable_prime () in
+    let q = gen_suitable_prime () in
+    if Bignum.equal p q then go ()
+    else begin
+      let n = Bignum.mul p q in
+      if Bignum.bit_length n <> bits then go ()
+      else begin
+        let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+        match Bignum.mod_inverse e65537 phi with
+        | None -> go ()
+        | Some d ->
+            let pub = { n; e = e65537; bits } in
+            { public = pub; secret = { pub; d } }
+      end
+    end
+  in
+  go ()
+
+let modulus_bytes pub = (pub.bits + 7) / 8
+
+(* EMSA-PKCS1-v1.5 style: 00 01 FF..FF 00 <label> <sha256(msg)> *)
+let digest_label = "sha256:"
+
+let emsa_encode pub msg =
+  let k = modulus_bytes pub in
+  let h = Sha256.digest msg in
+  let payload = digest_label ^ h in
+  let pad_len = k - 3 - String.length payload in
+  if pad_len < 8 then invalid_arg "Rsa: modulus too small for signature padding";
+  let b = Buffer.create k in
+  Buffer.add_char b '\x00';
+  Buffer.add_char b '\x01';
+  Buffer.add_string b (String.make pad_len '\xff');
+  Buffer.add_char b '\x00';
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let sign secret msg =
+  let em = Bignum.of_bytes_be (emsa_encode secret.pub msg) in
+  let s = Bignum.mod_pow ~base:em ~exp:secret.d ~modulus:secret.pub.n in
+  Bignum.to_bytes_be ~width:(modulus_bytes secret.pub) s
+
+let verify pub ~signature msg =
+  String.length signature = modulus_bytes pub
+  &&
+  let s = Bignum.of_bytes_be signature in
+  Bignum.compare s pub.n < 0
+  &&
+  let em = Bignum.mod_pow ~base:s ~exp:pub.e ~modulus:pub.n in
+  String.equal (Bignum.to_bytes_be ~width:(modulus_bytes pub) em) (emsa_encode pub msg)
+
+let max_plaintext pub = modulus_bytes pub - 11
+
+let encrypt drbg pub msg =
+  let k = modulus_bytes pub in
+  if String.length msg > max_plaintext pub then
+    invalid_arg "Rsa.encrypt: message too long for modulus";
+  let pad_len = k - 3 - String.length msg in
+  let pad = Bytes.of_string (Drbg.random_bytes drbg pad_len) in
+  for i = 0 to pad_len - 1 do
+    (* Padding bytes must be non-zero so the 00 separator is unambiguous. *)
+    if Bytes.get pad i = '\x00' then Bytes.set pad i '\x01'
+  done;
+  let b = Buffer.create k in
+  Buffer.add_char b '\x00';
+  Buffer.add_char b '\x02';
+  Buffer.add_bytes b pad;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b msg;
+  let m = Bignum.of_bytes_be (Buffer.contents b) in
+  Bignum.to_bytes_be ~width:k (Bignum.mod_pow ~base:m ~exp:pub.e ~modulus:pub.n)
+
+let decrypt secret cipher =
+  let k = modulus_bytes secret.pub in
+  if String.length cipher <> k then None
+  else begin
+    let c = Bignum.of_bytes_be cipher in
+    if Bignum.compare c secret.pub.n >= 0 then None
+    else begin
+      let em = Bignum.to_bytes_be ~width:k (Bignum.mod_pow ~base:c ~exp:secret.d ~modulus:secret.pub.n) in
+      if String.length em < 11 || em.[0] <> '\x00' || em.[1] <> '\x02' then None
+      else begin
+        match String.index_from_opt em 2 '\x00' with
+        | None -> None
+        | Some sep when sep < 10 -> None
+        | Some sep -> Some (String.sub em (sep + 1) (String.length em - sep - 1))
+      end
+    end
+  end
+
+let public_to_string pub =
+  Printf.sprintf "rsa-pub:%d:%s:%s" pub.bits (Bignum.to_hex pub.n) (Bignum.to_hex pub.e)
+
+let public_of_string s =
+  match String.split_on_char ':' s with
+  | [ "rsa-pub"; bits; n; e ] -> (
+      match int_of_string_opt bits with
+      | Some bits -> ( try Some { bits; n = Bignum.of_hex n; e = Bignum.of_hex e } with Invalid_argument _ -> None)
+      | None -> None)
+  | _ -> None
+
+let fingerprint pub = Sha256.digest (public_to_string pub)

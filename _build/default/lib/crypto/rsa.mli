@@ -1,0 +1,37 @@
+(** RSA signatures and encryption over {!Bignum}.
+
+    This is the public-key layer used for all identity keys ({i SKc}, {i SKa},
+    {i SKs}, {i SKcust}), the per-attestation session keys ({i ASKs}/{i AVKs})
+    and the privacy-CA certificates.  Signatures are SHA-256 with
+    PKCS#1-v1.5-style padding; encryption uses randomized type-2 padding.
+    Key sizes are configurable so tests can run with small, fast keys. *)
+
+type public = { n : Bignum.t; e : Bignum.t; bits : int }
+type secret = { pub : public; d : Bignum.t }
+
+type keypair = { public : public; secret : secret }
+
+val generate : Drbg.t -> bits:int -> keypair
+(** [generate drbg ~bits] creates a keypair with a [bits]-bit modulus and
+    public exponent 65537. *)
+
+val sign : secret -> string -> string
+(** Detached signature over the SHA-256 digest of the message. *)
+
+val verify : public -> signature:string -> string -> bool
+
+val encrypt : Drbg.t -> public -> string -> string
+(** @raise Invalid_argument when the plaintext exceeds the modulus capacity
+    (modulus bytes - 11). *)
+
+val decrypt : secret -> string -> string option
+(** [None] when the padding does not parse (tampered or wrong key). *)
+
+val max_plaintext : public -> int
+
+val fingerprint : public -> string
+(** SHA-256 of the encoded public key: a stable identity for key tables. *)
+
+val public_to_string : public -> string
+val public_of_string : string -> public option
+(** Round-trippable wire encoding of a public key. *)

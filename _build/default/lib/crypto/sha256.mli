@@ -1,0 +1,20 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on native ints.
+
+    Used for all integrity measurements (PCR extends, quotes Q1..Q3 in the
+    attestation protocol) and as the digest inside HMAC and RSA signatures. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash of a full string. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation, without building it. *)
+
+val hex : string -> string
+(** [hex s] is the digest of [s] in lower-case hex. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Attacks Cloud Commands Common Controller Core Fun Hypervisor Interpret List Option Printf Property Report Schedule Sim

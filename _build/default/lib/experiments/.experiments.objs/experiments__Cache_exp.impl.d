@@ -1,0 +1,1 @@
+lib/experiments/cache_exp.ml: Array Attacks Common Core Format Hypervisor List Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/cache_exp.mli: Core

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Core Float Hypervisor Printf Sim String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Cloud Commands Common Controller Core Format Hypervisor List Option Printf Property Sim Workloads

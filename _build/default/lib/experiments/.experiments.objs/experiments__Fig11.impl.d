@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Cloud Commands Common Controller Core Format Ledger List Printf Property Protocol Sim String

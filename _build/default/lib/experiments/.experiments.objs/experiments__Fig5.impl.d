@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Attacks Cloud Commands Common Controller Core Format Hypervisor Option Printf Property Report Sim

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Attacks Common Hypervisor List Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Attacks Common Core Fig6 Format Hypervisor List Monitors Printf Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Cloud Commands Common Core Format List Printf Property Sim

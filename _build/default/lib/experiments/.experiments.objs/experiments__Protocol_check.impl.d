@@ -1,0 +1,1 @@
+lib/experiments/protocol_check.ml: Common Format List Printf Verifier

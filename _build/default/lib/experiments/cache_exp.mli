@@ -1,0 +1,23 @@
+(** Extension experiment: the prime-probe cache covert channel and its
+    detection from the [Cache_misses] monitoring source (paper section
+    4.4.3 sketches monitoring multiple covert-channel media; this
+    experiment realises a second medium end to end). *)
+
+type party = {
+  label : string;
+  windows : int array;  (** per-10 ms cache-miss counts *)
+  status : Core.Report.status;
+  evidence : string;
+}
+
+type result = {
+  bits : int;
+  bit_error_rate : float;
+  bandwidth_bps : float;
+  sender : party;
+  receiver : party;
+  benign : party;
+}
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,15 @@
+(** Figure 10: performance effect of runtime attestation.
+
+    Each cloud benchmark runs in a VM while the customer requests periodic
+    [Cpu_availability] attestation at different frequencies (none, 1 min,
+    10 s, 5 s).  Performance is the work the VM completes (virtual CPU
+    time) relative to the no-attestation baseline.  Paper shape: no
+    degradation, because the VMM Profile Tool measures at VM-switch time
+    without intercepting the VM. *)
+
+type row = { benchmark : string; relative : (string * float) list (** per frequency *) }
+
+type result = { frequencies : string list; rows : row list }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,18 @@
+(** Figure 11: attestation and response reaction times.
+
+    For each VM flavor and each remediation strategy (termination,
+    suspension, migration), measures the attestation time (detecting the
+    problem) and the response time (fixing it).  Paper shape: termination
+    fastest, migration slowest and growing with VM memory. *)
+
+type row = {
+  strategy : string;
+  flavor : string;
+  attestation_ms : float;
+  response_ms : float;
+}
+
+type result = row list
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

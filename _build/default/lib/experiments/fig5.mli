@@ -1,0 +1,21 @@
+(** Figure 5: measurements of covert-channel vulnerabilities.
+
+    The full monitoring pipeline: a covert-channel sender VM and a benign
+    CPU-bound VM run in a CloudMonatt cloud; the customer attests the
+    [Covert_channel_free] property of both.  The Trust Evidence Register
+    histograms show the paper's two shapes — bimodal peaks at the two
+    signalling durations for the covert VM, a single ~30 ms peak for the
+    benign VM — and the Property Interpretation Module flags only the
+    covert one. *)
+
+type vm_result = {
+  label : string;
+  distribution : float array;  (** 30 bins of 1 ms, normalised *)
+  status : Core.Report.status;
+  evidence : string;
+}
+
+type result = { covert : vm_result; benign : vm_result }
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

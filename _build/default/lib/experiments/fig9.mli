@@ -1,0 +1,20 @@
+(** Figure 9: performance of VM launching.
+
+    Launches each image (cirros, fedora, ubuntu) in each flavor (small,
+    medium, large) with security properties requested, and reports the
+    five stage times — OpenStack's scheduling / networking / block-device
+    mapping / spawning plus CloudMonatt's attestation stage.  Paper shape:
+    attestation adds roughly 20% to the launch time. *)
+
+type row = {
+  image : string;
+  flavor : string;
+  stages : (string * float) list;  (** stage -> milliseconds *)
+  total_ms : float;
+  attestation_pct : float;
+}
+
+type result = row list
+
+val run : ?seed:int -> unit -> result
+val print : result -> unit

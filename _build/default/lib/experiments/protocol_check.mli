@@ -1,0 +1,20 @@
+(** Section 7.2.2: formal verification of the attestation protocol.
+
+    Runs the symbolic checker on the protocol as specified and on each
+    deliberately weakened variant, and compares the outcomes with
+    expectations: the secure protocol satisfies all properties; each
+    removed protection breaks exactly the properties it guards. *)
+
+type variant_result = {
+  variant : string;
+  checks : Verifier.Properties.check list;
+  expected_violations : string list;  (** check ids *)
+  as_expected : bool;
+}
+
+type result = variant_result list
+
+val run : unit -> result
+val print : result -> unit
+
+val all_as_expected : result -> bool

@@ -1,0 +1,1 @@
+lib/hypervisor/cache.ml: Array Hashtbl List Option Sim String

@@ -1,0 +1,1 @@
+lib/hypervisor/cache.mli: Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/credit_scheduler.ml: Array List Program Queue Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/guest_os.mli:

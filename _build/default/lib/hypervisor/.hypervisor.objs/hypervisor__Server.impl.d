@@ -1,0 +1,1 @@
+lib/hypervisor/server.ml: Cache Credit_scheduler Flavor Hashtbl Image List Sim Tpm Vm

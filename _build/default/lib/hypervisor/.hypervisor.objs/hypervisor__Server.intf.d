@@ -1,0 +1,1 @@
+lib/hypervisor/server.mli: Cache Credit_scheduler Sim Tpm Vm

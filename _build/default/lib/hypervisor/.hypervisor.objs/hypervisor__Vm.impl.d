@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Flavor Guest_os Image List Program

@@ -1,0 +1,12 @@
+type t = { name : string; vcpus : int; mem_mb : int; disk_gb : int }
+
+let small = { name = "small"; vcpus = 1; mem_mb = 2048; disk_gb = 20 }
+let medium = { name = "medium"; vcpus = 2; mem_mb = 4096; disk_gb = 40 }
+let large = { name = "large"; vcpus = 4; mem_mb = 8192; disk_gb = 80 }
+
+let all = [ small; medium; large ]
+
+let of_name n = List.find_opt (fun f -> String.equal f.name n) all
+
+let pp ppf f =
+  Format.fprintf ppf "%s(%d vcpu, %d MB, %d GB)" f.name f.vcpus f.mem_mb f.disk_gb

@@ -1,0 +1,16 @@
+(** VM flavors (resource shapes), mirroring OpenStack's m1 family used in
+    the paper's evaluation. *)
+
+type t = { name : string; vcpus : int; mem_mb : int; disk_gb : int }
+
+val small : t (** 1 vCPU, 2 GB *)
+
+val medium : t (** 2 vCPU, 4 GB *)
+
+val large : t (** 4 vCPU, 8 GB *)
+
+val all : t list
+
+val of_name : string -> t option
+
+val pp : Format.formatter -> t -> unit

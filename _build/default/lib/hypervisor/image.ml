@@ -1,0 +1,28 @@
+type t = { name : string; size_mb : int; content : string }
+
+let pristine_content name = "image-content|" ^ name
+
+let make ~name ~size_mb = { name; size_mb; content = pristine_content name }
+
+let name t = t.name
+let size_mb t = t.size_mb
+let hash t = Crypto.Sha256.digest (Printf.sprintf "%s|%d|%s" t.name t.size_mb t.content)
+
+let tamper t ~payload = { t with content = t.content ^ "|malware:" ^ payload }
+let is_pristine t = String.equal t.content (pristine_content t.name)
+
+(* The paper's three test images; sizes reflect their real relative bulk
+   (cirros is a ~13 MB test image, fedora and ubuntu are full distros). *)
+let cirros = make ~name:"cirros" ~size_mb:13
+let fedora = make ~name:"fedora" ~size_mb:230
+let ubuntu = make ~name:"ubuntu" ~size_mb:250
+
+let golden_hash ~name =
+  let size_mb =
+    match name with
+    | "cirros" -> 13
+    | "fedora" -> 230
+    | "ubuntu" -> 250
+    | _ -> 0
+  in
+  if size_mb = 0 then hash (make ~name ~size_mb:100) else hash (make ~name ~size_mb)

@@ -1,0 +1,30 @@
+(** VM disk images.
+
+    An image carries simulated content whose SHA-256 is its integrity
+    measurement.  The evaluation uses the paper's three images with sizes
+    chosen to reproduce the relative spawning costs of Figure 9. *)
+
+type t
+
+val make : name:string -> size_mb:int -> t
+(** Pristine image with deterministic content derived from its name. *)
+
+val name : t -> string
+val size_mb : t -> int
+
+val hash : t -> string
+(** SHA-256 of the current content. *)
+
+val tamper : t -> payload:string -> t
+(** A copy with malware inserted: same name and size, different hash. *)
+
+val is_pristine : t -> bool
+(** Whether the content still matches the pristine content for this name. *)
+
+val cirros : t
+val fedora : t
+val ubuntu : t
+
+val golden_hash : name:string -> string
+(** The hash of the pristine image with this name — what an appraiser's
+    reference database stores. *)

@@ -1,0 +1,46 @@
+type action = Compute of Sim.Time.t | Sleep of Sim.Time.t | Ipi of int | Halt
+
+type t = { next : now:Sim.Time.t -> action }
+
+let make next = { next }
+let next t ~now = t.next ~now
+
+let of_actions ?(repeat = false) actions =
+  match actions with
+  | [] -> make (fun ~now:_ -> Halt)
+  | _ ->
+      let remaining = ref actions in
+      make (fun ~now:_ ->
+          match !remaining with
+          | a :: rest ->
+              remaining := (if rest = [] && repeat then actions else rest);
+              a
+          | [] -> Halt)
+
+let idle = make (fun ~now:_ -> Halt)
+
+let busy_loop () = make (fun ~now:_ -> Compute (Sim.Time.ms 10))
+
+let compute_total ?(chunk = Sim.Time.ms 1) ~total ~on_done () =
+  let left = ref total in
+  make (fun ~now ->
+      if !left <= 0 then begin
+        on_done now;
+        Halt
+      end
+      else begin
+        let step = min chunk !left in
+        left := !left - step;
+        Compute step
+      end)
+
+let duty_cycle ~run ~idle =
+  let phase = ref `Run in
+  make (fun ~now:_ ->
+      match !phase with
+      | `Run ->
+          phase := `Idle;
+          Compute run
+      | `Idle ->
+          phase := `Run;
+          Sleep idle)

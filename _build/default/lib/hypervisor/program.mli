@@ -1,0 +1,37 @@
+(** Virtual-CPU behaviour programs.
+
+    A program is a generator of actions: each time a vCPU finishes its
+    current action the scheduler asks the program for the next one, passing
+    the current simulated time so programs can self-instrument (measure
+    their own progress, as the covert-channel receiver does). *)
+
+type action =
+  | Compute of Sim.Time.t  (** burn CPU for the duration (may be preempted) *)
+  | Sleep of Sim.Time.t  (** block voluntarily; wake after the duration *)
+  | Ipi of int  (** send an inter-processor interrupt to the sibling vCPU
+                    with this index in the same domain; takes no time *)
+  | Halt  (** terminate the vCPU *)
+
+type t
+
+val make : (now:Sim.Time.t -> action) -> t
+
+val next : t -> now:Sim.Time.t -> action
+(** Called by the scheduler; not idempotent. *)
+
+val of_actions : ?repeat:bool -> action list -> t
+(** Play a fixed script, optionally looping.  An empty list halts. *)
+
+val idle : t
+(** Halt immediately. *)
+
+val busy_loop : unit -> t
+(** Compute forever (in 10 ms requests, so preemption statistics look like
+    a real CPU-bound task). *)
+
+val compute_total : ?chunk:Sim.Time.t -> total:Sim.Time.t -> on_done:(Sim.Time.t -> unit) -> unit -> t
+(** Run [total] of pure compute split into [chunk]s, call [on_done] with the
+    completion time, then halt.  Models a batch job such as a SPEC run. *)
+
+val duty_cycle : run:Sim.Time.t -> idle:Sim.Time.t -> t
+(** Loop: compute [run], sleep [idle].  Models IO-bound services. *)

@@ -1,0 +1,14 @@
+type t = {
+  vid : string;
+  owner : string;
+  image : Image.t;
+  flavor : Flavor.t;
+  programs : unit -> Program.t list;
+  guest : Guest_os.t;
+}
+
+let idle_programs flavor () = List.init flavor.Flavor.vcpus (fun _ -> Program.idle)
+
+let make ~vid ~owner ~image ~flavor ?programs () =
+  let programs = match programs with Some p -> p | None -> idle_programs flavor in
+  { vid; owner; image; flavor; programs; guest = Guest_os.create () }

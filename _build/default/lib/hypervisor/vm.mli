@@ -1,0 +1,27 @@
+(** Virtual-machine descriptors.
+
+    A VM is defined by its image, flavor, owner and a workload factory that
+    builds one behaviour program per vCPU.  The factory (rather than fixed
+    programs) lets the same VM be re-instantiated after suspension or on a
+    migration target. *)
+
+type t = {
+  vid : string;  (** unique VM identifier ({i Vid} in the protocol) *)
+  owner : string;  (** customer name *)
+  image : Image.t;
+  flavor : Flavor.t;
+  programs : unit -> Program.t list;  (** one program per vCPU *)
+  guest : Guest_os.t;
+}
+
+val make :
+  vid:string ->
+  owner:string ->
+  image:Image.t ->
+  flavor:Flavor.t ->
+  ?programs:(unit -> Program.t list) ->
+  unit ->
+  t
+(** Default workload: every vCPU idles. *)
+
+val idle_programs : Flavor.t -> unit -> Program.t list

@@ -1,0 +1,1 @@
+lib/monitors/integrity_unit.ml: Hypervisor Tpm

@@ -1,0 +1,1 @@
+lib/monitors/measurement.ml: Array Crypto Format List Printf Sim Wire

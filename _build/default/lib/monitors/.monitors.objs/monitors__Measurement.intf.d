@@ -1,0 +1,1 @@
+lib/monitors/measurement.mli: Format Sim

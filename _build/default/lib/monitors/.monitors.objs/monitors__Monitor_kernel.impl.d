@@ -1,0 +1,1 @@
+lib/monitors/monitor_kernel.ml: Array Hashtbl Hypervisor Integrity_unit List Measurement Option Sim Tpm Vmi_tool Vmm_profile

@@ -1,0 +1,1 @@
+lib/monitors/monitor_kernel.mli: Hypervisor Measurement Sim Vmm_profile

@@ -1,0 +1,1 @@
+lib/monitors/vmi_tool.ml: Hypervisor Sim

@@ -1,0 +1,1 @@
+lib/monitors/vmi_tool.mli: Hypervisor Sim

@@ -1,0 +1,1 @@
+lib/monitors/vmm_profile.ml: Hashtbl Hypervisor List Option Sim

@@ -1,0 +1,1 @@
+lib/monitors/vmm_profile.mli: Hypervisor Sim

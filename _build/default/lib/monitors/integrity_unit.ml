@@ -1,0 +1,11 @@
+let platform_measurement server =
+  match Hypervisor.Server.trust_module server with
+  | None -> None
+  | Some tm -> Some (Tpm.Pcr.composite (Tpm.Trust_module.pcrs tm) [ 0; 1 ])
+
+let image_measurement server ~vid =
+  match Hypervisor.Server.find server vid with
+  | None -> None
+  | Some inst -> Some inst.image_hash_at_launch
+
+let measure_image_for_launch image = Hypervisor.Image.hash image

@@ -1,0 +1,12 @@
+let with_instance server ~vid f =
+  match Hypervisor.Server.find server vid with
+  | None -> None
+  | Some inst -> Some (f inst)
+
+let kernel_task_list server ~vid =
+  with_instance server ~vid (fun inst -> Hypervisor.Guest_os.kernel_tasks inst.vm.guest)
+
+let guest_reported_task_list server ~vid =
+  with_instance server ~vid (fun inst -> Hypervisor.Guest_os.visible_tasks inst.vm.guest)
+
+let probe_cost = Sim.Time.us 200

@@ -1,0 +1,17 @@
+(** VM Introspection tool (hypervisor-level monitor).
+
+    Reads the target VM's kernel memory from outside the guest, so a
+    rootkit that filters the in-guest task listing cannot hide from it
+    (paper section 4.3). *)
+
+val kernel_task_list : Hypervisor.Server.t -> vid:string -> string list option
+(** Raw kernel task list, hidden processes included.  [None] if the VM is
+    not hosted here. *)
+
+val guest_reported_task_list : Hypervisor.Server.t -> vid:string -> string list option
+(** What a query through the (possibly compromised) guest OS returns —
+    collected for comparison against the kernel list. *)
+
+val probe_cost : Sim.Time.t
+(** Simulated time the memory probe pauses the target vCPU (intrusive
+    monitors perturb the guest; cf. paper section 7.1.2). *)

@@ -1,0 +1,1 @@
+lib/net/ca.ml: Crypto Printf Wire

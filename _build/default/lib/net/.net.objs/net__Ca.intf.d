@@ -1,0 +1,1 @@
+lib/net/ca.mli: Crypto Wire

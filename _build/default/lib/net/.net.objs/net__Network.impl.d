@@ -1,0 +1,1 @@
+lib/net/network.ml: Hashtbl List Sim String

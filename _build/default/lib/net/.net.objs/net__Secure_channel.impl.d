@@ -1,0 +1,1 @@
+lib/net/secure_channel.ml: Ca Crypto Format Hashtbl Printf String Wire

@@ -1,0 +1,1 @@
+lib/net/secure_channel.mli: Ca Crypto Format

@@ -1,0 +1,32 @@
+type cert = { subject : string; pubkey : Crypto.Rsa.public; signature : string }
+
+type t = { name : string; keypair : Crypto.Rsa.keypair }
+
+let create ~seed ?(bits = 1024) ~name () =
+  let drbg = Crypto.Drbg.create ~seed:("ca|" ^ name ^ "|" ^ seed) in
+  { name; keypair = Crypto.Rsa.generate drbg ~bits }
+
+let name t = t.name
+let public t = t.keypair.public
+
+let payload ~subject pubkey =
+  Printf.sprintf "certificate|%s|%s" subject (Crypto.Rsa.public_to_string pubkey)
+
+let issue t ~subject pubkey =
+  { subject; pubkey; signature = Crypto.Rsa.sign t.keypair.secret (payload ~subject pubkey) }
+
+let verify ~ca cert =
+  Crypto.Rsa.verify ca ~signature:cert.signature (payload ~subject:cert.subject cert.pubkey)
+
+let encode e cert =
+  Wire.Codec.Enc.str e cert.subject;
+  Wire.Codec.Enc.str e (Crypto.Rsa.public_to_string cert.pubkey);
+  Wire.Codec.Enc.str e cert.signature
+
+let decode d =
+  let subject = Wire.Codec.Dec.str d in
+  let pub_s = Wire.Codec.Dec.str d in
+  let signature = Wire.Codec.Dec.str d in
+  match Crypto.Rsa.public_of_string pub_s with
+  | None -> raise (Wire.Codec.Error "bad public key in certificate")
+  | Some pubkey -> { subject; pubkey; signature }

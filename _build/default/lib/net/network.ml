@@ -1,0 +1,87 @@
+type address = string
+
+type direction = Request | Reply
+
+type message = { seq : int; src : address; dst : address; dir : direction; payload : string }
+
+type action = Pass | Replace of string | Drop
+
+type adversary = message -> action
+
+type error = [ `Dropped | `No_such_host of address ]
+
+type t = {
+  prng : Sim.Prng.t;
+  base_latency_us : int;
+  jitter_us : int;
+  bandwidth_bytes_per_us : float;
+  handlers : (address, string -> string) Hashtbl.t;
+  mutable adversary : adversary option;
+  mutable log : message list; (* newest first *)
+  mutable seq : int;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create ?(base_latency_us = 200) ?(jitter_us = 50) ?(bandwidth_mbps = 1000.0) ~seed () =
+  {
+    prng = Sim.Prng.create seed;
+    base_latency_us;
+    jitter_us;
+    bandwidth_bytes_per_us = bandwidth_mbps *. 1.0e6 /. 8.0 /. 1.0e6;
+    handlers = Hashtbl.create 16;
+    adversary = None;
+    log = [];
+    seq = 0;
+    messages = 0;
+    bytes = 0;
+  }
+
+let register t addr handler = Hashtbl.replace t.handlers addr handler
+let unregister t addr = Hashtbl.remove t.handlers addr
+
+let leg_latency t nbytes =
+  let jitter =
+    if t.jitter_us = 0 then 0
+    else int_of_float (abs_float (Sim.Prng.gaussian t.prng ~mu:0.0 ~sigma:(float_of_int t.jitter_us)))
+  in
+  let wire = int_of_float (float_of_int nbytes /. t.bandwidth_bytes_per_us) in
+  t.base_latency_us + jitter + wire
+
+let observe t ~src ~dst ~dir payload =
+  t.seq <- t.seq + 1;
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + String.length payload;
+  let msg = { seq = t.seq; src; dst; dir; payload } in
+  t.log <- msg :: t.log;
+  match t.adversary with
+  | None -> Some payload
+  | Some adv -> (
+      match adv msg with
+      | Pass -> Some payload
+      | Replace p -> Some p
+      | Drop -> None)
+
+let call t ~src ~dst payload =
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> (Error (`No_such_host dst), Sim.Time.zero)
+  | Some handler -> (
+      let t1 = leg_latency t (String.length payload) in
+      match observe t ~src ~dst ~dir:Request payload with
+      | None -> (Error `Dropped, Sim.Time.us t1)
+      | Some delivered -> (
+          let reply = handler delivered in
+          let t2 = leg_latency t (String.length reply) in
+          match observe t ~src:dst ~dst:src ~dir:Reply reply with
+          | None -> (Error `Dropped, Sim.Time.us (t1 + t2))
+          | Some reply -> (Ok reply, Sim.Time.us (t1 + t2))))
+
+let transfer_time t ~bytes =
+  Sim.Time.us (t.base_latency_us + int_of_float (float_of_int bytes /. t.bandwidth_bytes_per_us))
+
+let set_adversary t adv = t.adversary <- Some adv
+let clear_adversary t = t.adversary <- None
+
+let recorded t = List.rev t.log
+let message_count t = t.messages
+let bytes_sent t = t.bytes

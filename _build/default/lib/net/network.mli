@@ -1,0 +1,62 @@
+(** Simulated network with a Dolev-Yao adversary position.
+
+    Nodes register request handlers under string addresses; [call] performs
+    a synchronous request/response exchange and returns both the reply and
+    the simulated wire latency of the exchange (two legs of base latency +
+    jitter + payload/bandwidth).
+
+    The adversary sits on the wire: it sees every message (eavesdrop log)
+    and may pass, rewrite or drop each one.  Because payloads are the real
+    serialized bytes of the protocol, tampering is only detected if the
+    protocol's cryptography detects it. *)
+
+type t
+
+type address = string
+
+type direction = Request | Reply
+
+type message = {
+  seq : int;  (** global message counter *)
+  src : address;
+  dst : address;
+  dir : direction;
+  payload : string;
+}
+
+type action = Pass | Replace of string | Drop
+
+type adversary = message -> action
+
+type error = [ `Dropped | `No_such_host of address ]
+
+val create :
+  ?base_latency_us:int ->
+  ?jitter_us:int ->
+  ?bandwidth_mbps:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults model the paper's testbed LAN: 200 us base latency, 50 us
+    jitter, 1000 Mbps. *)
+
+val register : t -> address -> (string -> string) -> unit
+(** Install the request handler for an address (replacing any previous). *)
+
+val unregister : t -> address -> unit
+
+val call : t -> src:address -> dst:address -> string -> (string, error) result * Sim.Time.t
+(** Send a request and wait for the reply.  The returned duration covers
+    both wire legs (not handler compute time, which the caller accounts). *)
+
+val transfer_time : t -> bytes:int -> Sim.Time.t
+(** Wire time for a bulk transfer of [bytes] (used for VM migration). *)
+
+val set_adversary : t -> adversary -> unit
+val clear_adversary : t -> unit
+
+val recorded : t -> message list
+(** Every message the adversary position has observed, oldest first. *)
+
+val message_count : t -> int
+val bytes_sent : t -> int

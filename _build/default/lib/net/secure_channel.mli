@@ -1,0 +1,76 @@
+(** SSL-style authenticated, encrypted channels.
+
+    The paper assumes the customer, Cloud Controller, Attestation Server and
+    secure Cloud Servers speak SSL; this module is that layer.  A handshake
+    mutually authenticates both ends with CA-certified RSA identity keys and
+    fresh randoms, derives symmetric session keys ([Kx], [Ky], [Kz] in
+    Figure 3), and then protects each request/response with
+    ChaCha20 + HMAC-SHA256 records carrying strict sequence numbers, so a
+    network adversary's tampering, replay or reflection is detected.
+
+    The server side is a network request handler that multiplexes any number
+    of sessions; the client side wraps a transport function (normally
+    {!Network.call} partially applied). *)
+
+type error =
+  [ `Auth_failure  (** bad certificate, signature or MAC *)
+  | `Replay  (** sequence number mismatch *)
+  | `Malformed
+  | `Transport of string
+  | `Rejected of string  (** server-side handshake refusal *) ]
+
+val pp_error : Format.formatter -> error -> unit
+
+(** A named principal: keypair plus CA-issued certificate. *)
+module Identity : sig
+  type t = { name : string; keypair : Crypto.Rsa.keypair; cert : Ca.cert }
+
+  val make : Ca.t -> seed:string -> ?bits:int -> name:string -> unit -> t
+end
+
+module Server : sig
+  type t
+
+  val create :
+    identity:Identity.t ->
+    ca:Crypto.Rsa.public ->
+    seed:string ->
+    on_request:(peer:string -> string -> string) ->
+    t
+  (** [on_request ~peer payload] handles one decrypted application request
+      from the authenticated principal [peer] and returns the reply
+      plaintext. *)
+
+  val handle : t -> string -> string
+  (** The raw network handler: feeds handshake messages and data records to
+      the state machine.  Register it with {!Network.register}. *)
+
+  val accept_only : t -> (string -> bool) -> unit
+  (** Restrict which authenticated peer names may complete a handshake. *)
+
+  val sessions : t -> int
+end
+
+module Client : sig
+  type t
+
+  val connect :
+    identity:Identity.t ->
+    ca:Crypto.Rsa.public ->
+    seed:string ->
+    peer:string ->
+    transport:(string -> (string, string) result) ->
+    (t, error) result
+  (** Run the handshake.  [peer] is the expected certificate subject of the
+      far end; a different (even validly certified) subject fails. *)
+
+  val call : t -> string -> (string, error) result
+  (** One encrypted, authenticated request/response exchange. *)
+
+  val peer : t -> string
+
+  val peer_key : t -> Crypto.Rsa.public
+  (** The peer's CA-certified public key, as authenticated during the
+      handshake (callers use it to verify application-level signatures,
+      e.g. attestation reports). *)
+end

@@ -1,0 +1,96 @@
+type handle = int
+
+type event = { time : Time.t; seq : int; id : handle; run : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable next_id : int;
+  queue : event Heap.t;
+  cancelled : (handle, unit) Hashtbl.t;
+  mutable live : int;
+}
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    next_id = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    cancelled = Hashtbl.create 64;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at run =
+  if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time = at; seq; id; run };
+  t.live <- t.live + 1;
+  id
+
+let schedule_after t ~delay run = schedule t ~at:(t.clock + delay) run
+
+let cancel t h =
+  if not (Hashtbl.mem t.cancelled h) then begin
+    Hashtbl.replace t.cancelled h ();
+    t.live <- t.live - 1
+  end
+
+let every t ~period ?until f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  (* All ticks share one externally visible handle; cancelling it stops the
+     recurrence because each tick re-checks the cancel table. *)
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let rec tick at () =
+    if not (Hashtbl.mem t.cancelled id) then begin
+      f ();
+      let next = at + period in
+      let expired = match until with Some u -> next > u | None -> false in
+      if not expired then
+        ignore (schedule t ~at:next (tick next) : handle)
+    end
+  in
+  ignore (schedule t ~at:(t.clock + period) (tick (t.clock + period)) : handle);
+  id
+
+let fire t ev =
+  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  else begin
+    t.live <- t.live - 1;
+    t.clock <- ev.time;
+    ev.run ()
+  end
+
+let run_until t horizon =
+  let rec go () =
+    match Heap.peek t.queue with
+    | Some ev when ev.time <= horizon ->
+        (match Heap.pop t.queue with Some e -> fire t e | None -> ());
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if horizon > t.clock then t.clock <- horizon
+
+let run_all t ~limit =
+  let rec go n =
+    if n < limit then
+      match Heap.pop t.queue with
+      | Some ev ->
+          fire t ev;
+          go (n + 1)
+      | None -> ()
+  in
+  go 0
+
+let pending t = t.live

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock.  Events are thunks scheduled at
+    absolute times; [run_until] executes them in time order (FIFO among
+    equal times).  Handlers may schedule further events, including at the
+    current time. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at].  [at] must not
+    be in the past. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t + delay) f]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling a fired event is a no-op. *)
+
+val every : t -> period:Time.t -> ?until:Time.t -> (unit -> unit) -> handle
+(** [every t ~period f] runs [f] each [period] starting one period from now,
+    optionally stopping after [until].  Cancel with the returned handle. *)
+
+val run_until : t -> Time.t -> unit
+(** Execute all events up to and including time [horizon], then set the
+    clock to [horizon]. *)
+
+val run_all : t -> limit:int -> unit
+(** Execute events until the queue drains or [limit] events have run. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)

@@ -1,0 +1,18 @@
+(** Imperative binary min-heap, used by the event queue and schedulers. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val peek : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order; the heap is unchanged. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator.
+
+    An xoshiro256** generator seeded through splitmix64.  Every source of
+    randomness in the simulation derives from one of these, so a run is
+    reproducible from its seed.  Not cryptographic: the crypto library has
+    its own DRBG (which is seeded from one of these when simulating). *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal sample. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

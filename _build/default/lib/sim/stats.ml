@@ -1,0 +1,164 @@
+module Histogram = struct
+  type t = { width : float; counts : int array; mutable total : int }
+
+  let create ~bins ~width =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if width <= 0.0 then invalid_arg "Histogram.create: width must be positive";
+    { width; counts = Array.make bins 0; total = 0 }
+
+  let bin_of t x =
+    (* Bin i covers (i*width, (i+1)*width]: a burst of exactly 4.0ms with
+       1ms bins lands in bin 3, matching the paper's (4,5] example for 4.6. *)
+    let i = int_of_float (ceil (x /. t.width)) - 1 in
+    let i = if i < 0 then 0 else i in
+    if i >= Array.length t.counts then Array.length t.counts - 1 else i
+
+  let add t x =
+    t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+    t.total <- t.total + 1
+
+  let count t i = t.counts.(i)
+  let counts t = Array.copy t.counts
+  let total t = t.total
+  let bins t = Array.length t.counts
+  let width t = t.width
+
+  let distribution t =
+    let n = Array.length t.counts in
+    if t.total = 0 then Array.make n 0.0
+    else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+  let of_counts ~width counts =
+    let t = create ~bins:(Array.length counts) ~width in
+    Array.iteri (fun i c -> t.counts.(i) <- c) counts;
+    t.total <- Array.fold_left ( + ) 0 counts;
+    t
+
+  let merge a b =
+    if a.width <> b.width || Array.length a.counts <> Array.length b.counts then
+      invalid_arg "Histogram.merge: incompatible shapes";
+    of_counts ~width:a.width (Array.mapi (fun i c -> c + b.counts.(i)) a.counts)
+
+  let clear t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.total <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  (* Welford's online algorithm. *)
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let n t = t.n
+  let mean t = t.mean
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = t.min
+  let max t = t.max
+end
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let rank = if rank < 1 then 1 else if rank > n then n else rank in
+      a.(rank - 1)
+
+module Two_means = struct
+  type result = {
+    centers : float * float;
+    weights : float * float;
+    separation : float;
+  }
+
+  let cluster ~values ~mass =
+    let n = Array.length values in
+    if n = 0 || n <> Array.length mass then None
+    else begin
+      let total = Array.fold_left ( +. ) 0.0 mass in
+      if total <= 0.0 then None
+      else begin
+        let lo = values.(0) and hi = values.(n - 1) in
+        (* Initialise the centers at the extreme values that actually carry
+           mass; seeding from empty bins strands one cluster on an outlier
+           and merges genuinely separate peaks. *)
+        let first_mass = ref lo and last_mass = ref hi in
+        (try
+           for i = 0 to n - 1 do
+             if mass.(i) > 0.0 then begin
+               first_mass := values.(i);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        (try
+           for i = n - 1 downto 0 do
+             if mass.(i) > 0.0 then begin
+               last_mass := values.(i);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let c1 = ref !first_mass and c2 = ref !last_mass in
+        for _iter = 1 to 32 do
+          let s1 = ref 0.0 and w1 = ref 0.0 and s2 = ref 0.0 and w2 = ref 0.0 in
+          for i = 0 to n - 1 do
+            if mass.(i) > 0.0 then begin
+              let v = values.(i) in
+              if abs_float (v -. !c1) <= abs_float (v -. !c2) then begin
+                s1 := !s1 +. (v *. mass.(i));
+                w1 := !w1 +. mass.(i)
+              end
+              else begin
+                s2 := !s2 +. (v *. mass.(i));
+                w2 := !w2 +. mass.(i)
+              end
+            end
+          done;
+          if !w1 > 0.0 then c1 := !s1 /. !w1;
+          if !w2 > 0.0 then c2 := !s2 /. !w2
+        done;
+        let w1 = ref 0.0 and w2 = ref 0.0 in
+        for i = 0 to n - 1 do
+          if abs_float (values.(i) -. !c1) <= abs_float (values.(i) -. !c2) then
+            w1 := !w1 +. mass.(i)
+          else w2 := !w2 +. mass.(i)
+        done;
+        let range = if hi > lo then hi -. lo else 1.0 in
+        let lo_c = Float.min !c1 !c2 and hi_c = Float.max !c1 !c2 in
+        let lo_w, hi_w = if !c1 <= !c2 then (!w1, !w2) else (!w2, !w1) in
+        Some
+          {
+            centers = (lo_c, hi_c);
+            weights = (lo_w /. total, hi_w /. total);
+            separation = (hi_c -. lo_c) /. range;
+          }
+      end
+    end
+
+  let bimodal ?(min_separation = 0.25) ?(min_weight = 0.10) r =
+    let w1, w2 = r.weights in
+    r.separation >= min_separation && w1 >= min_weight && w2 >= min_weight
+end

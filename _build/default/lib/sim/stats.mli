@@ -1,0 +1,61 @@
+(** Statistics used by monitors and the property-interpretation module. *)
+
+(** Fixed-width histograms, e.g. the 30 x 1 ms CPU-burst-interval bins held
+    in Trust Evidence Registers (paper section 4.4.2). *)
+module Histogram : sig
+  type t
+
+  val create : bins:int -> width:float -> t
+  (** [create ~bins ~width] covers [(0, bins*width]]; bin [i] counts samples
+      in [(i*width, (i+1)*width]].  Samples beyond the range clamp to the
+      outermost bin, as the paper's registers do for long bursts. *)
+
+  val add : t -> float -> unit
+  val count : t -> int -> int
+  val counts : t -> int array
+  val total : t -> int
+  val bins : t -> int
+  val width : t -> float
+
+  val distribution : t -> float array
+  (** Normalised to sum to 1 (all zeros when empty). *)
+
+  val of_counts : width:float -> int array -> t
+  val merge : t -> t -> t
+  val clear : t -> unit
+end
+
+(** Running summary statistics. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+val mean : float list -> float
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy. *)
+
+(** One-dimensional 2-means clustering, used to decide whether an interval
+    distribution is bimodal (covert channel) or unimodal (benign). *)
+module Two_means : sig
+  type result = {
+    centers : float * float;  (** low and high cluster centers *)
+    weights : float * float;  (** probability mass of each cluster *)
+    separation : float;  (** |c2 - c1| / bin range, in [0,1] *)
+  }
+
+  val cluster : values:float array -> mass:float array -> result option
+  (** [cluster ~values ~mass] runs weighted 2-means on points [values] with
+      weights [mass].  [None] when total mass is zero. *)
+
+  val bimodal : ?min_separation:float -> ?min_weight:float -> result -> bool
+  (** A distribution counts as bimodal when the clusters are far apart and
+      both carry non-trivial mass. *)
+end

@@ -1,0 +1,15 @@
+type t = int
+
+let zero = 0
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+let minutes n = n * 60_000_000
+let of_ms_float x = int_of_float (Float.round (x *. 1_000.))
+let to_ms t = float_of_int t /. 1_000.
+let to_sec t = float_of_int t /. 1_000_000.
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dus" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_sec t)

@@ -1,0 +1,33 @@
+(** Simulated time.
+
+    All simulated clocks in CloudMonatt count integer {e microseconds} from
+    the start of the simulation.  Integer time keeps event ordering exact and
+    the simulation deterministic across platforms. *)
+
+type t = int
+(** A point in time, or a duration, in microseconds. *)
+
+val zero : t
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val minutes : int -> t
+
+val of_ms_float : float -> t
+(** [of_ms_float x] rounds [x] milliseconds to the nearest microsecond. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print with an adaptive unit (us, ms or s). *)

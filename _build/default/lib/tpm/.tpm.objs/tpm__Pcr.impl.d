@@ -1,0 +1,1 @@
+lib/tpm/pcr.ml: Array Crypto List Printf Stdlib String

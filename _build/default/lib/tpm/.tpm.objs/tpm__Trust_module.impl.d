@@ -1,0 +1,1 @@
+lib/tpm/trust_module.ml: Array Crypto Hashtbl Pcr

@@ -1,0 +1,1 @@
+lib/tpm/trust_module.mli: Crypto Pcr

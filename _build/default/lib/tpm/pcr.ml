@@ -1,0 +1,34 @@
+type t = string array
+
+let digest_size = 32
+let zero = String.make digest_size '\x00'
+
+let create ~count =
+  if count <= 0 then invalid_arg "Pcr.create: count must be positive";
+  Array.make count zero
+
+let count = Array.length
+
+let check t i = if i < 0 || i >= Array.length t then invalid_arg "Pcr: index out of range"
+
+let read t i =
+  check t i;
+  t.(i)
+
+let extend t i m =
+  check t i;
+  let v = Crypto.Sha256.digest_list [ t.(i); Crypto.Sha256.digest m ] in
+  t.(i) <- v;
+  v
+
+let reset t i =
+  check t i;
+  t.(i) <- zero
+
+let composite t idxs =
+  let sorted = List.sort_uniq Stdlib.compare idxs in
+  List.iter (check t) sorted;
+  Crypto.Sha256.digest_list
+    (List.concat_map (fun i -> [ Printf.sprintf "pcr%02d:" i; t.(i) ]) sorted)
+
+let snapshot t = Array.copy t

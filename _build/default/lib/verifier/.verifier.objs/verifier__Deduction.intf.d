@@ -1,0 +1,1 @@
+lib/verifier/deduction.mli: Term

@@ -1,0 +1,1 @@
+lib/verifier/model.ml: Deduction List Printf Term

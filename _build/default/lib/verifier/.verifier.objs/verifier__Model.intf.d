@@ -1,0 +1,1 @@
+lib/verifier/model.mli: Deduction Term

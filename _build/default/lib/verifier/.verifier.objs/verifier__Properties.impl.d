@@ -1,0 +1,1 @@
+lib/verifier/properties.ml: Deduction Format List Model Printf String Term

@@ -1,0 +1,1 @@
+lib/verifier/properties.mli: Format Model

@@ -1,0 +1,1 @@
+lib/verifier/term.ml: Format Set Stdlib

@@ -1,0 +1,1 @@
+lib/verifier/term.mli: Format Set

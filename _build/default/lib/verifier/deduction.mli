@@ -1,0 +1,23 @@
+(** Attacker deduction.
+
+    Saturates a knowledge set under the Dolev-Yao decomposition rules
+    (projection, decryption with known keys, signature payload extraction)
+    and decides derivability of arbitrary terms under composition
+    (pairing, encryption, signing and hashing with derivable parts). *)
+
+type t
+
+val of_list : Term.t list -> t
+(** Build and saturate attacker knowledge. *)
+
+val add : t -> Term.t -> t
+(** Extend the knowledge (re-saturates incrementally). *)
+
+val knows : t -> Term.t -> bool
+(** Is the exact term in the saturated knowledge set? *)
+
+val derives : t -> Term.t -> bool
+(** Can the attacker construct the term? *)
+
+val atoms : t -> Term.t list
+(** The saturated knowledge set (for debugging/reporting). *)

@@ -1,0 +1,167 @@
+type variant = {
+  encrypt : bool;
+  sign_measurements : bool;
+  sign_report : bool;
+  bind_nonces : bool;
+  leak_channel_keys : bool;
+}
+
+let secure =
+  {
+    encrypt = true;
+    sign_measurements = true;
+    sign_report = true;
+    bind_nonces = true;
+    leak_channel_keys = false;
+  }
+
+let no_encryption = { secure with encrypt = false }
+let no_measurement_signature = { secure with sign_measurements = false; leak_channel_keys = true }
+let no_report_signature = { secure with sign_report = false; leak_channel_keys = true }
+let no_nonces = { secure with bind_nonces = false }
+let compromised_channels = { secure with leak_channel_keys = true }
+
+type session = {
+  idx : int;
+  n1 : Term.t;
+  n2 : Term.t;
+  n3 : Term.t;
+  property : Term.t;
+  requests : Term.t;
+  measurements : Term.t;
+  report : Term.t;
+  asks : Term.t;
+}
+
+type t = {
+  variant : variant;
+  skcust : Term.t;
+  skc : Term.t;
+  ska : Term.t;
+  sks : Term.t;
+  kx : Term.t;
+  ky : Term.t;
+  kz : Term.t;
+  vid : Term.t;
+  server_id : Term.t;
+  sessions : session list;
+  knowledge : Deduction.t;
+}
+
+open Term
+
+let fresh name idx = Fresh (Printf.sprintf "%s_%d" name idx)
+
+(* The customer re-attests the same property over time (periodic
+   attestation), so P and rM are shared across sessions while nonces,
+   measurements, reports and session keys are per-session fresh.  Sharing
+   P/rM is what makes cross-session replay a real threat the nonces must
+   defeat. *)
+let shared_property = Fresh "P"
+let shared_requests = Fresh "rM"
+
+let make_session idx =
+  {
+    idx;
+    n1 = fresh "N1" idx;
+    n2 = fresh "N2" idx;
+    n3 = fresh "N3" idx;
+    property = shared_property;
+    requests = shared_requests;
+    measurements = fresh "M" idx;
+    report = fresh "R" idx;
+    asks = fresh "ASKs" idx;
+  }
+
+let enc t key body = if t.variant.encrypt then Senc (key, body) else body
+
+let with_nonce t nonce fields = if t.variant.bind_nonces then fields @ [ nonce ] else fields
+
+(* Message 1: customer -> controller, (Vid, P, N1) under Kx. *)
+let msg_customer_request t s =
+  enc t t.kx (pair_list (with_nonce t s.n1 [ t.vid; s.property ]))
+
+(* Message 2: controller -> AS, (Vid, I, P, N2) under Ky. *)
+let msg_controller_to_as t s =
+  enc t t.ky (pair_list (with_nonce t s.n2 [ t.vid; t.server_id; s.property ]))
+
+(* Message 3: AS -> cloud server, (Vid, rM, N3) under Kz. *)
+let msg_as_to_server t s = enc t t.kz (pair_list (with_nonce t s.n3 [ t.vid; s.requests ]))
+
+(* Message 4: server -> AS, ([Vid,rM,M,N3,Q3]ASKs) under Kz,
+   Q3 = H(Vid || rM || M || N3). *)
+let msg_server_response t s ~measurements ~key =
+  let fields = with_nonce t s.n3 [ t.vid; s.requests; measurements ] in
+  let quoted = pair_list (fields @ [ Hash (pair_list fields) ]) in
+  let body = if t.variant.sign_measurements then Sign (key, quoted) else quoted in
+  enc t t.kz body
+
+(* Message 5: AS -> controller, ([Vid,I,P,R,N2,Q2]SKa) under Ky. *)
+let msg_as_report t s ~report ~key =
+  let fields = with_nonce t s.n2 [ t.vid; t.server_id; s.property; report ] in
+  let quoted = pair_list (fields @ [ Hash (pair_list fields) ]) in
+  let body = if t.variant.sign_report then Sign (key, quoted) else quoted in
+  enc t t.ky body
+
+(* Message 6: controller -> customer, ([Vid,P,R,N1,Q1]SKc) under Kx. *)
+let msg_controller_report t s ~report ~key =
+  let fields = with_nonce t s.n1 [ t.vid; s.property; report ] in
+  let quoted = pair_list (fields @ [ Hash (pair_list fields) ]) in
+  let body = if t.variant.sign_report then Sign (key, quoted) else quoted in
+  enc t t.kx body
+
+let endorsement t ~key = Sign (t.sks, Pub key)
+
+let build variant =
+  let skcust = Fresh "SKcust" in
+  let skc = Fresh "SKc" in
+  let ska = Fresh "SKa" in
+  let sks = Fresh "SKs" in
+  let kx = Fresh "Kx" in
+  let ky = Fresh "Ky" in
+  let kz = Fresh "Kz" in
+  let t =
+    {
+      variant;
+      skcust;
+      skc;
+      ska;
+      sks;
+      kx;
+      ky;
+      kz;
+      vid = Const "vid-42";
+      server_id = Const "server-I";
+      sessions = [ make_session 1; make_session 2 ];
+      knowledge = Deduction.of_list [];
+    }
+  in
+  let traffic s =
+    [
+      msg_customer_request t s;
+      msg_controller_to_as t s;
+      msg_as_to_server t s;
+      msg_server_response t s ~measurements:s.measurements ~key:s.asks;
+      endorsement t ~key:s.asks;
+      (* the AVKs certificate request is public *)
+      msg_as_report t s ~report:s.report ~key:ska;
+      msg_controller_report t s ~report:s.report ~key:skc;
+    ]
+  in
+  let attacker_sk = Fresh "SKi" in
+  let initial =
+    [
+      Const "vid-42";
+      Const "server-I";
+      Pub skcust;
+      Pub skc;
+      Pub ska;
+      Pub sks;
+      attacker_sk;
+      Pub attacker_sk;
+    ]
+    @ List.map (fun s -> Pub s.asks) t.sessions
+    @ (if variant.leak_channel_keys then [ kx; ky; kz ] else [])
+    @ List.concat_map traffic t.sessions
+  in
+  { t with knowledge = Deduction.of_list initial }

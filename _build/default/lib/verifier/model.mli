@@ -1,0 +1,80 @@
+(** Symbolic model of the CloudMonatt attestation protocol (Figure 3).
+
+    Four principals: customer, Cloud Controller, Attestation Server, Cloud
+    Server.  Two complete sessions are traced (so replay across sessions
+    can be analysed), and the full network traffic becomes attacker
+    knowledge, together with all public keys and the attacker's own keys.
+
+    [variant] switches protections off one at a time, producing the
+    deliberately broken protocols the property checks must catch. *)
+
+type variant = {
+  encrypt : bool;  (** wrap messages in the SSL session keys Kx/Ky/Kz *)
+  sign_measurements : bool;  (** Cloud Server signs [Vid,rM,M,N3,Q3] with ASKs *)
+  sign_report : bool;  (** AS/Controller sign the report with SKa/SKc *)
+  bind_nonces : bool;  (** include N1/N2/N3 inside the signed payloads *)
+  leak_channel_keys : bool;  (** threat variation: SSL termination points are
+                                 compromised, so Kx/Ky/Kz leak; the signature
+                                 chain must stand alone *)
+}
+
+val secure : variant
+(** The protocol as the paper defines it. *)
+
+val no_encryption : variant
+val no_measurement_signature : variant
+val no_report_signature : variant
+val no_nonces : variant
+val compromised_channels : variant
+(** [secure] with [leak_channel_keys]: stresses the attestation signatures
+    without the SSL layer. *)
+
+(** Per-session fresh values. *)
+type session = {
+  idx : int;
+  n1 : Term.t;
+  n2 : Term.t;
+  n3 : Term.t;
+  property : Term.t;  (** P *)
+  requests : Term.t;  (** rM *)
+  measurements : Term.t;  (** M *)
+  report : Term.t;  (** R *)
+  asks : Term.t;  (** session attestation secret key *)
+}
+
+type t = {
+  variant : variant;
+  (* long-term keys *)
+  skcust : Term.t;
+  skc : Term.t;
+  ska : Term.t;
+  sks : Term.t;
+  kx : Term.t;
+  ky : Term.t;
+  kz : Term.t;
+  vid : Term.t;
+  server_id : Term.t;
+  sessions : session list;  (** two sessions *)
+  knowledge : Deduction.t;  (** saturated attacker knowledge *)
+}
+
+val build : variant -> t
+
+(** {2 Message constructors}
+
+    Exposed so the property checks can express "the exact term a verifier
+    accepts" and test whether the attacker can derive a variant of it. *)
+
+val msg_customer_request : t -> session -> Term.t
+val msg_controller_to_as : t -> session -> Term.t
+val msg_as_to_server : t -> session -> Term.t
+
+val msg_server_response : t -> session -> measurements:Term.t -> key:Term.t -> Term.t
+(** The response the AS's acceptance check matches in the given session,
+    with arbitrary measurement payload and signing key. *)
+
+val msg_as_report : t -> session -> report:Term.t -> key:Term.t -> Term.t
+val msg_controller_report : t -> session -> report:Term.t -> key:Term.t -> Term.t
+
+val endorsement : t -> key:Term.t -> Term.t
+(** [[pub key]SKs] — what the privacy CA checks before certifying. *)

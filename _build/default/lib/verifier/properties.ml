@@ -1,0 +1,227 @@
+type outcome = Holds | Violated of string
+
+type check = { id : string; name : string; outcome : outcome }
+
+let evil_measurements = Term.Const "evil-measurements"
+let evil_report = Term.Const "report-says-healthy"
+let evil_property = Term.Const "evil-property"
+
+let session t i = List.nth t.Model.sessions (i - 1)
+
+let secret t name term =
+  if Deduction.derives t.Model.knowledge term then
+    Violated (Printf.sprintf "attacker derives %s" name)
+  else Holds
+
+let all_hold = function
+  | [] -> Holds
+  | outcomes -> (
+      match List.find_opt (function Violated _ -> true | Holds -> false) outcomes with
+      | Some v -> v
+      | None -> Holds)
+
+(* (1) Secrecy of the symmetric session keys and the private identity keys. *)
+let check_channel_key_secrecy t =
+  all_hold
+    [ secret t "Kx" t.Model.kx; secret t "Ky" t.Model.ky; secret t "Kz" t.Model.kz ]
+
+let check_identity_key_secrecy t =
+  all_hold
+    ([
+       secret t "SKcust" t.Model.skcust;
+       secret t "SKc" t.Model.skc;
+       secret t "SKa" t.Model.ska;
+       secret t "SKs" t.Model.sks;
+     ]
+    @ List.map (fun s -> secret t "ASKs" s.Model.asks) t.Model.sessions)
+
+(* (2) Secrecy of P, M, R. *)
+let check_payload_secrecy t =
+  all_hold
+    (List.concat_map
+       (fun (s : Model.session) ->
+         [
+           secret t "property P" s.property;
+           secret t "measurements M" s.measurements;
+           secret t "report R" s.report;
+         ])
+       t.Model.sessions)
+
+(* (3) Integrity: no verifier accepts attacker-chosen measurements or
+   reports.  Candidate forgeries: an accepting message built with each key
+   the attacker could possibly wield; the signing key must additionally be
+   endorsed by the cloud server's SKs (the privacy-CA check). *)
+let check_integrity t =
+  let s2 = session t 2 in
+  let know = t.Model.knowledge in
+  let attacker_key = Term.Fresh "SKi" in
+  let candidate_keys = attacker_key :: List.map (fun s -> s.Model.asks) t.Model.sessions in
+  let measurement_forgery =
+    List.exists
+      (fun key ->
+        Deduction.derives know (Model.endorsement t ~key)
+        && Deduction.derives know
+             (Model.msg_server_response t s2 ~measurements:evil_measurements ~key))
+      candidate_keys
+  in
+  (* Report verifiers pin the expected key (VKa for the controller, VKc for
+     the customer), so the only keys worth trying are those two. *)
+  let report_forgery =
+    Deduction.derives know (Model.msg_as_report t s2 ~report:evil_report ~key:t.Model.ska)
+    || Deduction.derives know
+         (Model.msg_controller_report t s2 ~report:evil_report ~key:t.Model.skc)
+  in
+  if measurement_forgery then Violated "attacker forges an accepted measurement payload"
+  else if report_forgery then Violated "attacker forges an accepted attestation report"
+  else Holds
+
+(* Freshness: a stale session-1 response/report must not be accepted in
+   session 2 (replay).  The nonces inside the quoted payloads are what
+   rejects it. *)
+let check_freshness t =
+  let s1 = session t 1 and s2 = session t 2 in
+  let know = t.Model.knowledge in
+  let replayed_measurements =
+    Deduction.derives know
+      (Model.msg_server_response t s2 ~measurements:s1.Model.measurements ~key:s1.Model.asks)
+  in
+  let replayed_report =
+    Deduction.derives know
+      (Model.msg_controller_report t s2 ~report:s1.Model.report ~key:t.Model.skc)
+  in
+  if replayed_measurements then
+    Violated "stale measurements from session 1 accepted in session 2"
+  else if replayed_report then Violated "stale report from session 1 accepted in session 2"
+  else Holds
+
+(* (4)-(6) Authentication per hop: the attacker, without the honest peer,
+   cannot produce any message the responder/initiator accepts for the
+   current session. *)
+let check_auth_customer_controller t =
+  let s2 = session t 2 in
+  let know = t.Model.knowledge in
+  let fake_request =
+    Deduction.derives know
+      (let fields =
+         if t.Model.variant.Model.bind_nonces then
+           [ t.Model.vid; evil_property; Term.Const "evil-nonce" ]
+         else [ t.Model.vid; evil_property ]
+       in
+       if t.Model.variant.Model.encrypt then Term.Senc (t.Model.kx, Term.pair_list fields)
+       else Term.pair_list fields)
+  in
+  let fake_report =
+    Deduction.derives know (Model.msg_controller_report t s2 ~report:evil_report ~key:t.Model.skc)
+  in
+  if fake_request then Violated "attacker impersonates the customer to the controller"
+  else if fake_report then Violated "attacker impersonates the controller to the customer"
+  else Holds
+
+let check_auth_controller_as t =
+  let s2 = session t 2 in
+  let know = t.Model.knowledge in
+  let fields =
+    if t.Model.variant.Model.bind_nonces then
+      [ t.Model.vid; t.Model.server_id; evil_property; Term.Const "evil-nonce" ]
+    else [ t.Model.vid; t.Model.server_id; evil_property ]
+  in
+  let fake_request =
+    Deduction.derives know
+      (if t.Model.variant.Model.encrypt then Term.Senc (t.Model.ky, Term.pair_list fields)
+       else Term.pair_list fields)
+  in
+  let fake_report =
+    Deduction.derives know (Model.msg_as_report t s2 ~report:evil_report ~key:t.Model.ska)
+  in
+  if fake_request then Violated "attacker impersonates the controller to the AS"
+  else if fake_report then Violated "attacker impersonates the AS to the controller"
+  else Holds
+
+let check_auth_as_server t =
+  let s2 = session t 2 in
+  let know = t.Model.knowledge in
+  let fields =
+    if t.Model.variant.Model.bind_nonces then
+      [ t.Model.vid; Term.Const "evil-requests"; Term.Const "evil-nonce" ]
+    else [ t.Model.vid; Term.Const "evil-requests" ]
+  in
+  let fake_request =
+    Deduction.derives know
+      (if t.Model.variant.Model.encrypt then Term.Senc (t.Model.kz, Term.pair_list fields)
+       else Term.pair_list fields)
+  in
+  let attacker_key = Term.Fresh "SKi" in
+  let fake_attester =
+    Deduction.derives know (Model.endorsement t ~key:attacker_key)
+    && Deduction.derives know
+         (Model.msg_server_response t s2 ~measurements:evil_measurements ~key:attacker_key)
+  in
+  if fake_request then Violated "attacker impersonates the AS to the cloud server"
+  else if fake_attester then Violated "attacker impersonates a certified cloud server"
+  else Holds
+
+let check_ids =
+  [
+    "secrecy-channel-keys";
+    "secrecy-identity-keys";
+    "secrecy-payloads";
+    "integrity";
+    "freshness";
+    "auth-customer-controller";
+    "auth-controller-as";
+    "auth-as-server";
+  ]
+
+let run variant =
+  let t = Model.build variant in
+  [
+    {
+      id = "secrecy-channel-keys";
+      name = "(1a) session keys Kx/Ky/Kz stay secret";
+      outcome = check_channel_key_secrecy t;
+    };
+    {
+      id = "secrecy-identity-keys";
+      name = "(1b) private keys SKcust/SKc/SKa/SKs/ASKs stay secret";
+      outcome = check_identity_key_secrecy t;
+    };
+    {
+      id = "secrecy-payloads";
+      name = "(2) P, M and R stay secret";
+      outcome = check_payload_secrecy t;
+    };
+    {
+      id = "integrity";
+      name = "(3) P, M and R cannot be modified";
+      outcome = check_integrity t;
+    };
+    {
+      id = "freshness";
+      name = "(3b) nonces reject cross-session replay";
+      outcome = check_freshness t;
+    };
+    {
+      id = "auth-customer-controller";
+      name = "(4) customer <-> controller authenticated";
+      outcome = check_auth_customer_controller t;
+    };
+    {
+      id = "auth-controller-as";
+      name = "(5) controller <-> attestation server authenticated";
+      outcome = check_auth_controller_as t;
+    };
+    {
+      id = "auth-as-server";
+      name = "(6) attestation server <-> cloud server authenticated";
+      outcome = check_auth_as_server t;
+    };
+  ]
+
+let holds checks = List.for_all (fun c -> c.outcome = Holds) checks
+
+let find checks id = List.find_opt (fun c -> String.equal c.id id) checks
+
+let pp_check ppf c =
+  match c.outcome with
+  | Holds -> Format.fprintf ppf "%-28s %s: HOLDS" c.id c.name
+  | Violated why -> Format.fprintf ppf "%-28s %s: VIOLATED (%s)" c.id c.name why

@@ -1,0 +1,27 @@
+(** The security properties of paper section 7.2.2, checked against the
+    symbolic model.
+
+    Secrecy (1)-(2), integrity (3) and authentication (4)-(6) as the paper
+    numbers them, plus an explicit freshness check for the replay
+    protection the three nonces provide.  Integrity and freshness are
+    bounded checks: the attacker's candidate forgeries are the structurally
+    accepting terms (wrong measurement, wrong report, foreign signing key,
+    cross-session replay), each tested for derivability from the saturated
+    knowledge. *)
+
+type outcome = Holds | Violated of string
+
+type check = { id : string; name : string; outcome : outcome }
+
+val run : Model.variant -> check list
+(** Evaluate every check against a protocol variant. *)
+
+val holds : check list -> bool
+(** All checks hold. *)
+
+val find : check list -> string -> check option
+
+val pp_check : Format.formatter -> check -> unit
+
+val check_ids : string list
+(** All check ids, in report order. *)

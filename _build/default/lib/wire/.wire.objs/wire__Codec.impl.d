@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Array Buffer Char List String

@@ -1,0 +1,135 @@
+exception Error of string
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 128
+  let to_string = Buffer.contents
+
+  let u8 b v =
+    if v < 0 || v > 0xff then raise (Error "u8 out of range");
+    Buffer.add_char b (Char.chr v)
+
+  let u16 b v =
+    if v < 0 || v > 0xffff then raise (Error "u16 out of range");
+    Buffer.add_char b (Char.chr (v lsr 8));
+    Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u32 b v =
+    if v < 0 || v > 0xffffffff then raise (Error "u32 out of range");
+    for i = 3 downto 0 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let int b v =
+    if v < 0 then raise (Error "int must be non-negative");
+    for i = 7 downto 0 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+
+  let list b f xs =
+    u32 b (List.length xs);
+    List.iter f xs
+
+  let option b f = function
+    | None -> u8 b 0
+    | Some x ->
+        u8 b 1;
+        f x
+
+  let int_array b a =
+    u32 b (Array.length a);
+    Array.iter (int b) a
+end
+
+module Dec = struct
+  type t = { s : string; mutable pos : int }
+
+  let of_string s = { s; pos = 0 }
+
+  let need d n =
+    if d.pos + n > String.length d.s then raise (Error "unexpected end of input")
+
+  let u8 d =
+    need d 1;
+    let v = Char.code d.s.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u16 d =
+    let hi = u8 d in
+    let lo = u8 d in
+    (hi lsl 8) lor lo
+
+  let u32 d =
+    let acc = ref 0 in
+    for _ = 1 to 4 do
+      acc := (!acc lsl 8) lor u8 d
+    done;
+    !acc
+
+  let int d =
+    let acc = ref 0 in
+    for _ = 1 to 8 do
+      acc := (!acc lsl 8) lor u8 d
+    done;
+    if !acc < 0 then raise (Error "int overflow");
+    !acc
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise (Error "bad bool")
+
+  let raw d n =
+    need d n;
+    let v = String.sub d.s d.pos n in
+    d.pos <- d.pos + n;
+    v
+
+  let str d =
+    let n = u32 d in
+    raw d n
+
+  let list d f =
+    let n = u32 d in
+    if n > 10_000_000 then raise (Error "list too long");
+    List.init n (fun _ -> f d)
+
+  let option d f =
+    match u8 d with
+    | 0 -> None
+    | 1 -> Some (f d)
+    | _ -> raise (Error "bad option tag")
+
+  let int_array d =
+    let n = u32 d in
+    if n > 10_000_000 then raise (Error "array too long");
+    Array.init n (fun _ -> int d)
+
+  let remaining d = String.length d.s - d.pos
+
+  let expect_end d = if remaining d <> 0 then raise (Error "trailing bytes")
+end
+
+let encode f =
+  let e = Enc.create () in
+  f e;
+  Enc.to_string e
+
+let decode s f =
+  let d = Dec.of_string s in
+  let v = f d in
+  Dec.expect_end d;
+  v
+
+let decode_opt s f = try Some (decode s f) with Error _ -> None

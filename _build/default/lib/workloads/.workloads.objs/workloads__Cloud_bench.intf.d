@@ -1,0 +1,1 @@
+lib/workloads/cloud_bench.mli: Hypervisor Sim

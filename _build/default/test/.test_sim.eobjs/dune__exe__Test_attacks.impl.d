@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Attacks Fun Gen Hypervisor List Net Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto Lazy List Printf QCheck QCheck_alcotest String

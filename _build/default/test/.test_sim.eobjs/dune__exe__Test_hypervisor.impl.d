@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Array Cache Credit_scheduler Flavor Guest_os Hypervisor Image List Option Printf Program QCheck QCheck_alcotest Result Server Sim String Tpm Vm

@@ -1,0 +1,1 @@
+test/test_monitors.ml: Alcotest Array Hypervisor Integrity_unit List Measurement Monitor_kernel Monitors Option Printf QCheck QCheck_alcotest Result Sim Tpm Vmi_tool Vmm_profile

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Attacks Lazy List Net QCheck QCheck_alcotest String Wire

@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest Array Crypto Lazy QCheck QCheck_alcotest String Tpm

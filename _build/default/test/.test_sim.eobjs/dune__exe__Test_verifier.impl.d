@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Deduction List Model Printf Properties QCheck QCheck_alcotest Term Verifier

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest QCheck QCheck_alcotest String Wire

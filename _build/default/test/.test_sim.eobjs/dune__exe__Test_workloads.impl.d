@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cloud_bench Hypervisor List Printf Sim Spec Workloads

@@ -1,0 +1,430 @@
+(* Tests for the from-scratch cryptography: standard vectors plus algebraic
+   property tests. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let hex = Crypto.Hexs.encode
+
+(* --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) ----------------------------- *)
+
+let sha_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, want) -> Alcotest.(check string) ("sha256 " ^ msg) want (Crypto.Sha256.hex msg))
+    sha_vectors
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Crypto.Sha256.hex (String.make 1_000_000 'a'))
+
+let sha256_incremental_matches =
+  QCheck.Test.make ~name:"incremental = one-shot for any chunking" ~count:200
+    QCheck.(pair string (list small_nat))
+    (fun (s, cuts) ->
+      let ctx = Crypto.Sha256.init () in
+      let n = String.length s in
+      let pos = ref 0 in
+      List.iter
+        (fun cut ->
+          let take = min cut (n - !pos) in
+          if take > 0 then begin
+            Crypto.Sha256.update ctx (String.sub s !pos take);
+            pos := !pos + take
+          end)
+        cuts;
+      if !pos < n then Crypto.Sha256.update ctx (String.sub s !pos (n - !pos));
+      String.equal (Crypto.Sha256.finalize ctx) (Crypto.Sha256.digest s))
+
+let test_sha256_digest_list () =
+  Alcotest.(check string) "digest_list = digest of concat"
+    (hex (Crypto.Sha256.digest "foobarbaz"))
+    (hex (Crypto.Sha256.digest_list [ "foo"; "bar"; "baz" ]))
+
+(* --- HMAC (RFC 4231) ------------------------------------------------------ *)
+
+let test_hmac_rfc4231 () =
+  let check name key data want =
+    Alcotest.(check string) name want (hex (Crypto.Hmac.mac ~key data))
+  in
+  check "case 1"
+    (String.make 20 '\x0b')
+    "Hi There" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  check "case 2" "Jefe" "what do ya want for nothing?"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  check "case 3"
+    (String.make 20 '\xaa')
+    (String.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  (* case 6: key longer than the block size *)
+  check "case 6"
+    (String.make 131 '\xaa')
+    "Test Using Larger Than Block-Size Key - Hash Key First"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+
+let test_hmac_verify () =
+  let tag = Crypto.Hmac.mac ~key:"k" "message" in
+  Alcotest.(check bool) "accepts" true (Crypto.Hmac.verify ~key:"k" ~tag "message");
+  Alcotest.(check bool) "rejects other message" false
+    (Crypto.Hmac.verify ~key:"k" ~tag "messagX");
+  Alcotest.(check bool) "rejects other key" false (Crypto.Hmac.verify ~key:"K" ~tag "message")
+
+let test_hmac_derive () =
+  let a = Crypto.Hmac.derive ~secret:"s" ~label:"a" 48 in
+  let b = Crypto.Hmac.derive ~secret:"s" ~label:"b" 48 in
+  Alcotest.(check int) "length" 48 (String.length a);
+  Alcotest.(check bool) "label separation" false (String.equal a b);
+  Alcotest.(check string) "deterministic" a (Crypto.Hmac.derive ~secret:"s" ~label:"a" 48);
+  (* prefix property: derive is a stream *)
+  Alcotest.(check string) "prefix consistent"
+    (String.sub a 0 16)
+    (Crypto.Hmac.derive ~secret:"s" ~label:"a" 16)
+
+(* --- ChaCha20 (RFC 8439) --------------------------------------------------- *)
+
+let test_chacha20_rfc_block () =
+  let key =
+    Crypto.Hexs.decode "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+  in
+  let nonce = Crypto.Hexs.decode "000000090000004a00000000" in
+  let block = Crypto.Chacha20.block ~key ~nonce ~counter:1 in
+  Alcotest.(check string) "RFC 8439 2.3.2 keystream"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (hex block)
+
+let test_chacha20_rfc_encrypt () =
+  let key =
+    Crypto.Hexs.decode "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+  in
+  let nonce = Crypto.Hexs.decode "000000000000004a00000000" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let cipher = Crypto.Chacha20.xor ~key ~nonce ~counter:1 plaintext in
+  Alcotest.(check string) "RFC 8439 2.4.2 ciphertext prefix"
+    "6e2e359a2568f98041ba0728dd0d6981" (String.sub (hex cipher) 0 32)
+
+let chacha20_involution =
+  QCheck.Test.make ~name:"xor is its own inverse" ~count:200 QCheck.string (fun s ->
+      let key = Crypto.Sha256.digest "key" in
+      let nonce = String.sub (Crypto.Sha256.digest "nonce") 0 12 in
+      String.equal s (Crypto.Chacha20.xor ~key ~nonce (Crypto.Chacha20.xor ~key ~nonce s)))
+
+let test_chacha20_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Crypto.Chacha20.block ~key:"short" ~nonce:(String.make 12 '0') ~counter:0));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Chacha20: nonce must be 12 bytes")
+    (fun () ->
+      ignore (Crypto.Chacha20.block ~key:(String.make 32 'k') ~nonce:"short" ~counter:0))
+
+(* --- DRBG ------------------------------------------------------------------ *)
+
+let test_drbg_deterministic () =
+  let a = Crypto.Drbg.create ~seed:"s" and b = Crypto.Drbg.create ~seed:"s" in
+  Alcotest.(check string) "same stream"
+    (hex (Crypto.Drbg.random_bytes a 64))
+    (hex (Crypto.Drbg.random_bytes b 64))
+
+let test_drbg_streams_differ () =
+  let a = Crypto.Drbg.create ~seed:"s1" and b = Crypto.Drbg.create ~seed:"s2" in
+  Alcotest.(check bool) "different seeds differ" false
+    (String.equal (Crypto.Drbg.random_bytes a 32) (Crypto.Drbg.random_bytes b 32))
+
+let test_drbg_reseed_changes_stream () =
+  let a = Crypto.Drbg.create ~seed:"s" and b = Crypto.Drbg.create ~seed:"s" in
+  Crypto.Drbg.reseed b "extra entropy";
+  Alcotest.(check bool) "reseed diverges" false
+    (String.equal (Crypto.Drbg.random_bytes a 32) (Crypto.Drbg.random_bytes b 32))
+
+let drbg_int_bounds =
+  QCheck.Test.make ~name:"Drbg.random_int in bounds" ~count:300 QCheck.small_int (fun bound ->
+      QCheck.assume (bound > 0);
+      let d = Crypto.Drbg.create ~seed:"b" in
+      let v = Crypto.Drbg.random_int d bound in
+      v >= 0 && v < bound)
+
+(* --- Bignum ----------------------------------------------------------------- *)
+
+module B = Crypto.Bignum
+
+let nat = QCheck.map abs QCheck.int
+
+let test_bignum_roundtrip_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "roundtrip" (Some n) (B.to_int (B.of_int n)))
+    [ 0; 1; 255; 1 lsl 26; (1 lsl 26) - 1; max_int ]
+
+let bignum_addsub =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:300 (QCheck.pair nat nat) (fun (a, b) ->
+      B.equal (B.of_int a) (B.sub (B.add (B.of_int a) (B.of_int b)) (B.of_int b)))
+
+let bignum_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches native for small ints" ~count:300
+    QCheck.(pair (int_range 0 (1 lsl 30)) (int_range 0 (1 lsl 30)))
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let big_of_seed seed bits =
+  let d = Crypto.Drbg.create ~seed in
+  B.random_bits d bits
+
+let bignum_divmod_invariant =
+  QCheck.Test.make ~name:"divmod: a = q*b + r, r < b (512-bit)" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let a = big_of_seed (string_of_int s1) 512 in
+      let b = big_of_seed (string_of_int s2 ^ "x") 256 in
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r) && B.compare r b < 0)
+
+let bignum_divmod_small_consistent =
+  QCheck.Test.make ~name:"divmod_small agrees with divmod" ~count:100
+    QCheck.(pair small_int (int_range 1 1000000))
+    (fun (s, d) ->
+      let a = big_of_seed (string_of_int s) 300 in
+      let q1, r1 = B.divmod_small a d in
+      let q2, r2 = B.divmod a (B.of_int d) in
+      B.equal q1 q2 && B.to_int r2 = Some r1)
+
+let test_bignum_div_by_zero () =
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let bignum_shift_roundtrip =
+  QCheck.Test.make ~name:"shift left then right" ~count:100
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (s, k) ->
+      let a = big_of_seed (string_of_int s) 200 in
+      B.equal a (B.shift_right (B.shift_left a k) k))
+
+let bignum_modpow_matches_naive =
+  QCheck.Test.make ~name:"mod_pow matches naive small case" ~count:100
+    QCheck.(triple (int_range 0 1000) (int_range 0 40) (int_range 2 10000))
+    (fun (base, e, m) ->
+      let naive = ref 1 in
+      for _ = 1 to e do
+        naive := !naive * base mod m
+      done;
+      B.to_int (B.mod_pow ~base:(B.of_int base) ~exp:(B.of_int e) ~modulus:(B.of_int m))
+      = Some !naive)
+
+let test_bignum_modpow_fermat () =
+  (* Fermat's little theorem on a large prime. *)
+  let d = Crypto.Drbg.create ~seed:"fermat" in
+  let p = B.generate_prime d ~bits:192 in
+  let a = B.random_below d p in
+  let a = if B.is_zero a then B.one else a in
+  let r = B.mod_pow ~base:a ~exp:(B.sub p B.one) ~modulus:p in
+  Alcotest.(check bool) "a^(p-1) = 1 mod p" true (B.equal r B.one)
+
+let bignum_mod_inverse =
+  QCheck.Test.make ~name:"mod_inverse: a * a^-1 = 1 (mod m)" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let d = Crypto.Drbg.create ~seed:(Printf.sprintf "inv%d-%d" s1 s2) in
+      let m = B.generate_prime d ~bits:96 in
+      let a = B.random_below d m in
+      QCheck.assume (not (B.is_zero a));
+      match B.mod_inverse a m with
+      | None -> false
+      | Some inv -> B.equal (B.rem (B.mul a inv) m) B.one)
+
+let test_bignum_mod_inverse_none () =
+  Alcotest.(check bool) "no inverse when gcd > 1" true
+    (B.mod_inverse (B.of_int 6) (B.of_int 9) = None)
+
+let bignum_bytes_roundtrip =
+  QCheck.Test.make ~name:"of_bytes_be/to_bytes_be roundtrip" ~count:100 QCheck.small_int
+    (fun s ->
+      let a = big_of_seed (string_of_int s) 300 in
+      B.equal a (B.of_bytes_be (B.to_bytes_be a)))
+
+let test_bignum_to_bytes_width () =
+  let a = B.of_int 0xABCD in
+  Alcotest.(check string) "padded" "00000000abcd" (Crypto.Hexs.encode (B.to_bytes_be ~width:6 a));
+  Alcotest.check_raises "width too small"
+    (Invalid_argument "Bignum.to_bytes_be: width too small") (fun () ->
+      ignore (B.to_bytes_be ~width:1 a))
+
+let test_bignum_primality_known () =
+  let d = Crypto.Drbg.create ~seed:"primes" in
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check bool)
+        (string_of_int n) expect
+        (B.is_probable_prime d (B.of_int n)))
+    [
+      (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *);
+      (7919, true); (7917, false); (104729, true); (1000003, true); (1000001, false);
+    ]
+
+let test_bignum_generate_prime_bits () =
+  let d = Crypto.Drbg.create ~seed:"gen" in
+  let p = B.generate_prime d ~bits:128 in
+  Alcotest.(check int) "bit length" 128 (B.bit_length p);
+  Alcotest.(check bool) "odd" true (B.is_odd p);
+  Alcotest.(check bool) "probably prime" true (B.is_probable_prime d p)
+
+let test_bignum_gcd () =
+  Alcotest.(check (option int)) "gcd" (Some 6)
+    (B.to_int (B.gcd (B.of_int 54) (B.of_int 24)));
+  Alcotest.(check (option int)) "gcd with zero" (Some 7)
+    (B.to_int (B.gcd (B.of_int 7) B.zero))
+
+let test_bignum_hex_roundtrip () =
+  let a = big_of_seed "hexrt" 260 in
+  Alcotest.(check bool) "hex roundtrip" true (B.equal a (B.of_hex (B.to_hex a)))
+
+(* --- RSA --------------------------------------------------------------------- *)
+
+let shared_rsa =
+  lazy
+    (let d = Crypto.Drbg.create ~seed:"rsa-test" in
+     Crypto.Rsa.generate d ~bits:512)
+
+let test_rsa_sign_verify () =
+  let kp = Lazy.force shared_rsa in
+  let s = Crypto.Rsa.sign kp.secret "hello world" in
+  Alcotest.(check bool) "verifies" true (Crypto.Rsa.verify kp.public ~signature:s "hello world");
+  Alcotest.(check bool) "rejects other message" false
+    (Crypto.Rsa.verify kp.public ~signature:s "hello worlx")
+
+let test_rsa_signature_tamper () =
+  let kp = Lazy.force shared_rsa in
+  let s = Bytes.of_string (Crypto.Rsa.sign kp.secret "msg") in
+  Bytes.set s 10 (Char.chr (Char.code (Bytes.get s 10) lxor 1));
+  Alcotest.(check bool) "tampered signature rejected" false
+    (Crypto.Rsa.verify kp.public ~signature:(Bytes.to_string s) "msg")
+
+let test_rsa_wrong_key () =
+  let kp = Lazy.force shared_rsa in
+  let d = Crypto.Drbg.create ~seed:"rsa-other" in
+  let other = Crypto.Rsa.generate d ~bits:512 in
+  let s = Crypto.Rsa.sign kp.secret "msg" in
+  Alcotest.(check bool) "other key rejects" false
+    (Crypto.Rsa.verify other.public ~signature:s "msg")
+
+let rsa_encrypt_roundtrip =
+  QCheck.Test.make ~name:"encrypt/decrypt roundtrip" ~count:50
+    (QCheck.string_of_size (QCheck.Gen.int_range 0 50))
+    (fun msg ->
+      let kp = Lazy.force shared_rsa in
+      let d = Crypto.Drbg.create ~seed:("enc" ^ msg) in
+      Crypto.Rsa.decrypt kp.secret (Crypto.Rsa.encrypt d kp.public msg) = Some msg)
+
+let test_rsa_decrypt_tampered () =
+  let kp = Lazy.force shared_rsa in
+  let d = Crypto.Drbg.create ~seed:"enc-t" in
+  let c = Bytes.of_string (Crypto.Rsa.encrypt d kp.public "secret") in
+  Bytes.set c 5 (Char.chr (Char.code (Bytes.get c 5) lxor 1));
+  (* Tampered ciphertext decrypts to garbage: either padding fails or the
+     plaintext differs. *)
+  match Crypto.Rsa.decrypt kp.secret (Bytes.to_string c) with
+  | None -> ()
+  | Some m -> Alcotest.(check bool) "differs" false (String.equal m "secret")
+
+let test_rsa_encrypt_too_long () =
+  let kp = Lazy.force shared_rsa in
+  let d = Crypto.Drbg.create ~seed:"long" in
+  let too_long = String.make (Crypto.Rsa.max_plaintext kp.public + 1) 'x' in
+  Alcotest.check_raises "too long" (Invalid_argument "Rsa.encrypt: message too long for modulus")
+    (fun () -> ignore (Crypto.Rsa.encrypt d kp.public too_long))
+
+let test_rsa_public_roundtrip () =
+  let kp = Lazy.force shared_rsa in
+  match Crypto.Rsa.public_of_string (Crypto.Rsa.public_to_string kp.public) with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some p ->
+      Alcotest.(check string) "fingerprints match"
+        (hex (Crypto.Rsa.fingerprint kp.public))
+        (hex (Crypto.Rsa.fingerprint p))
+
+let test_rsa_public_of_string_garbage () =
+  Alcotest.(check bool) "garbage rejected" true (Crypto.Rsa.public_of_string "nonsense" = None);
+  Alcotest.(check bool) "wrong tag rejected" true
+    (Crypto.Rsa.public_of_string "rsa-priv:512:aa:bb" = None)
+
+(* --- Hex ---------------------------------------------------------------------- *)
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string (fun s ->
+      String.equal s (Crypto.Hexs.decode (Crypto.Hexs.encode s)))
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hexs.decode: odd length") (fun () ->
+      ignore (Crypto.Hexs.decode "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hexs.decode: not a hex digit")
+    (fun () -> ignore (Crypto.Hexs.decode "zz"))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a's" `Slow test_sha256_million_a;
+          qtest sha256_incremental_matches;
+          Alcotest.test_case "digest_list" `Quick test_sha256_digest_list;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "derive" `Quick test_hmac_derive;
+        ] );
+      ( "chacha20",
+        [
+          Alcotest.test_case "RFC 8439 block" `Quick test_chacha20_rfc_block;
+          Alcotest.test_case "RFC 8439 encryption" `Quick test_chacha20_rfc_encrypt;
+          qtest chacha20_involution;
+          Alcotest.test_case "bad sizes" `Quick test_chacha20_bad_sizes;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "streams differ" `Quick test_drbg_streams_differ;
+          Alcotest.test_case "reseed diverges" `Quick test_drbg_reseed_changes_stream;
+          qtest drbg_int_bounds;
+        ] );
+      ( "bignum",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_bignum_roundtrip_int;
+          qtest bignum_addsub;
+          qtest bignum_mul_matches_int;
+          qtest bignum_divmod_invariant;
+          qtest bignum_divmod_small_consistent;
+          Alcotest.test_case "division by zero" `Quick test_bignum_div_by_zero;
+          qtest bignum_shift_roundtrip;
+          qtest bignum_modpow_matches_naive;
+          Alcotest.test_case "Fermat" `Quick test_bignum_modpow_fermat;
+          qtest bignum_mod_inverse;
+          Alcotest.test_case "no inverse" `Quick test_bignum_mod_inverse_none;
+          qtest bignum_bytes_roundtrip;
+          Alcotest.test_case "to_bytes width" `Quick test_bignum_to_bytes_width;
+          Alcotest.test_case "known primes" `Quick test_bignum_primality_known;
+          Alcotest.test_case "generate_prime" `Quick test_bignum_generate_prime_bits;
+          Alcotest.test_case "gcd" `Quick test_bignum_gcd;
+          Alcotest.test_case "hex roundtrip" `Quick test_bignum_hex_roundtrip;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "tampered signature" `Quick test_rsa_signature_tamper;
+          Alcotest.test_case "wrong key" `Quick test_rsa_wrong_key;
+          qtest rsa_encrypt_roundtrip;
+          Alcotest.test_case "tampered ciphertext" `Quick test_rsa_decrypt_tampered;
+          Alcotest.test_case "plaintext too long" `Quick test_rsa_encrypt_too_long;
+          Alcotest.test_case "public key roundtrip" `Quick test_rsa_public_roundtrip;
+          Alcotest.test_case "public_of_string garbage" `Quick test_rsa_public_of_string_garbage;
+        ] );
+      ("hex", [ qtest hex_roundtrip; Alcotest.test_case "errors" `Quick test_hex_errors ]);
+    ]

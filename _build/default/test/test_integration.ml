@@ -1,0 +1,793 @@
+(* Integration tests: the full CloudMonatt cloud, end-to-end.
+
+   These exercise the complete Figure 1 architecture over the simulated
+   network with real cryptography: customer -> Cloud Controller ->
+   Attestation Server -> Cloud Server and back, with detection and
+   remediation scenarios from sections 4 and 5 and the unforgeability
+   claims of section 7.2. *)
+
+open Core
+
+let fast_config = { Cloud.default_config with key_bits = 512 }
+
+let make_cloud ?(config = fast_config) () = Cloud.build ~config ()
+
+let launch_ok customer ~image ~flavor ~properties ?workload () =
+  match Cloud.Customer.launch customer ~image ~flavor ~properties ?workload () with
+  | Ok info -> info
+  | Error e -> Alcotest.failf "launch failed: %a" Cloud.Customer.pp_error e
+
+let attest_ok customer ~vid ~property =
+  match Cloud.Customer.attest customer ~vid ~property with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+
+(* --- Launch ------------------------------------------------------------------ *)
+
+let test_launch_unmonitored () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[] () in
+  (* Four OpenStack stages, no attestation stage. *)
+  Alcotest.(check (list string)) "stages"
+    [ "scheduling"; "networking"; "mapping"; "spawning" ]
+    (List.map fst info.Commands.stages)
+
+let test_launch_monitored_five_stages () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"ubuntu" ~flavor:"large" ~properties:[ Property.Startup_integrity ] ()
+  in
+  Alcotest.(check (list string)) "five stages"
+    [ "scheduling"; "networking"; "mapping"; "spawning"; "attestation" ]
+    (List.map fst info.Commands.stages);
+  let att = List.assoc "attestation" info.Commands.stages in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 info.Commands.stages in
+  let pct = 100.0 *. float_of_int att /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "attestation ~20%% of launch (got %.1f%%)" pct)
+    true
+    (pct > 10.0 && pct < 30.0)
+
+let test_launch_unknown_image () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  match Cloud.Customer.launch c ~image:"win95" ~flavor:"small" () with
+  | Error (`Cloud _) -> ()
+  | _ -> Alcotest.fail "unknown image must fail"
+
+let test_launch_tampered_image_rejected () =
+  let cloud = make_cloud () in
+  ignore (Controller.corrupt_image (Cloud.controller cloud) "fedora" : bool);
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  (match
+     Cloud.Customer.launch c ~image:"fedora" ~flavor:"small"
+       ~properties:[ Property.Startup_integrity ] ()
+   with
+  | Error (`Cloud _) -> ()
+  | Ok _ -> Alcotest.fail "tampered image must be rejected"
+  | Error e -> Alcotest.failf "unexpected error: %a" Cloud.Customer.pp_error e);
+  (* But an unmonitored launch of the same image sails through: without the
+     property request there is no startup attestation (and no protection). *)
+  match Cloud.Customer.launch c ~image:"fedora" ~flavor:"small" ~properties:[] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unmonitored launch failed: %a" Cloud.Customer.pp_error e
+
+let test_corrupt_platform_avoided () =
+  (* Server 1 boots a trojaned hypervisor.  The launch retry loop must land
+     monitored VMs on a pristine server. *)
+  let config = { fast_config with corrupt_platforms = [ 0 ] } in
+  let cloud = make_cloud ~config () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  for _ = 1 to 3 do
+    let info =
+      launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Startup_integrity ] ()
+    in
+    let host = Option.get (Controller.vm_host (Cloud.controller cloud) ~vid:info.Commands.vid) in
+    Alcotest.(check bool) ("avoids corrupt server, got " ^ host) true (host <> "server-1")
+  done
+
+let test_no_qualified_server () =
+  (* All servers insecure: monitored VMs cannot be placed at all. *)
+  let config = { fast_config with insecure_servers = 3 } in
+  let cloud = make_cloud ~config () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  (match
+     Cloud.Customer.launch c ~image:"cirros" ~flavor:"small"
+       ~properties:[ Property.Runtime_integrity ] ()
+   with
+  | Error (`Cloud "no qualified server") -> ()
+  | Ok _ -> Alcotest.fail "insecure fleet must refuse monitored VMs"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e);
+  (* Unmonitored VMs still work on insecure servers. *)
+  match Cloud.Customer.launch c ~image:"cirros" ~flavor:"small" ~properties:[] () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unmonitored should work: %a" Cloud.Customer.pp_error e
+
+(* --- Attestation happy paths ---------------------------------------------------- *)
+
+let test_attest_all_properties_healthy () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"ubuntu" ~flavor:"small" ~properties:Property.all ~workload:"busy" ()
+  in
+  Cloud.run_for cloud (Sim.Time.sec 5);
+  List.iter
+    (fun property ->
+      let r = attest_ok c ~vid:info.Commands.vid ~property in
+      match r.Report.status with
+      | Report.Healthy -> ()
+      | s ->
+          Alcotest.failf "%s should be healthy, got %a" (Property.to_string property)
+            Report.pp_status s)
+    [ Property.Startup_integrity; Property.Runtime_integrity; Property.Cpu_availability ]
+
+let test_attest_other_customers_vm_refused () =
+  let cloud = make_cloud () in
+  let alice = Cloud.Customer.create cloud ~name:"alice" in
+  let eve = Cloud.Customer.create cloud ~name:"eve" in
+  let info = launch_ok alice ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  match Cloud.Customer.attest eve ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Error (`Cloud "no such VM") -> ()
+  | Ok _ -> Alcotest.fail "cross-customer attestation must be refused"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e
+
+let test_attest_unknown_vm () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  match Cloud.Customer.attest c ~vid:"vm-9999" ~property:Property.Runtime_integrity with
+  | Error (`Cloud _) -> ()
+  | _ -> Alcotest.fail "unknown VM must fail"
+
+let test_as_history_recorded () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  ignore (attest_ok c ~vid:info.Commands.vid ~property:Property.Runtime_integrity);
+  let history = Attestation_server.history (Cloud.attestation_server cloud) in
+  (* startup attestation + our runtime one *)
+  Alcotest.(check bool) "history grows" true (List.length history >= 2);
+  Alcotest.(check bool) "count matches" true
+    (Attestation_server.attestations_done (Cloud.attestation_server cloud)
+    = List.length history)
+
+(* --- Detection + response scenarios ----------------------------------------------- *)
+
+let test_malware_detected_and_terminated () =
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ] ()
+  in
+  let vid = info.Commands.vid in
+  let host = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host) in
+  let inst = Option.get (Hypervisor.Server.find server vid) in
+  ignore (Attacks.Malware.infect_hidden inst.Hypervisor.Server.vm () : Hypervisor.Guest_os.process);
+  (match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+  | Ok { Report.status = Report.Compromised _; _ } -> ()
+  | Ok r -> Alcotest.failf "expected compromise, got %a" Report.pp_status r.Report.status
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e);
+  (* Periodic attestation triggers the termination response. *)
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Runtime_integrity
+       ~freq:(Sim.Time.sec 2) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 5);
+  Alcotest.(check bool) "terminated" true
+    (Controller.vm_state controller ~vid = Some Database.Terminated);
+  Alcotest.(check bool) "gone from the hypervisor" true (Hypervisor.Server.find server vid = None);
+  match Controller.responses controller with
+  | [ r ] ->
+      Alcotest.(check string) "termination response" "termination"
+        (Controller.strategy_label r.Controller.strategy)
+  | rs -> Alcotest.failf "expected one response, got %d" (List.length rs)
+
+let test_availability_attack_migrates_victim () =
+  let config = { fast_config with pcpus = 2 } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"ubuntu" ~flavor:"small" ~properties:[ Property.Cpu_availability ]
+      ~workload:"busy" ()
+  in
+  let vid = info.Commands.vid in
+  let host0 = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host0) in
+  let attacker = Attacks.Availability.attacker_vm ~vid:"att" ~owner:"mallory" () in
+  (match
+     Hypervisor.Server.launch server
+       ~pins:(Attacks.Availability.pins ~victim_pcpu:0 ~helper_pcpu:1)
+       attacker
+   with
+  | Ok _ -> ()
+  | Error `Insufficient_memory -> Alcotest.fail "attacker launch failed");
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Cpu_availability
+       ~freq:(Sim.Time.sec 5) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 11);
+  let host1 = Option.get (Controller.vm_host controller ~vid) in
+  Alcotest.(check bool) "victim migrated away" true (host1 <> host0);
+  (* After migration the victim runs unobstructed again. *)
+  Cloud.run_for cloud (Sim.Time.sec 2);
+  let server1 = Option.get (Cloud.find_server cloud host1) in
+  let inst = Option.get (Hypervisor.Server.find server1 vid) in
+  let sched = Hypervisor.Server.scheduler server1 in
+  let r0 = Hypervisor.Credit_scheduler.domain_runtime sched inst.Hypervisor.Server.domain in
+  Cloud.run_for cloud (Sim.Time.sec 2);
+  let r1 = Hypervisor.Credit_scheduler.domain_runtime sched inst.Hypervisor.Server.domain in
+  Alcotest.(check bool) "full share restored" true (r1 - r0 > Sim.Time.of_ms_float 1900.
+
+  )
+
+let test_covert_channel_detected () =
+  let config = { fast_config with pcpus = 2 } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  let prng = Sim.Prng.create 11 in
+  let bits = Attacks.Covert_channel.random_bits prng 200 in
+  Controller.register_workload controller "covert" (fun _flavor () ->
+      [ Attacks.Covert_channel.sender_program ~bits () ]);
+  let c = Cloud.Customer.create cloud ~name:"bob" in
+  let info =
+    launch_ok c ~image:"ubuntu" ~flavor:"small" ~properties:[ Property.Covert_channel_free ]
+      ~workload:"covert" ()
+  in
+  let vid = info.Commands.vid in
+  let host = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host) in
+  let receiver, _ = Attacks.Covert_channel.receiver_vm ~vid:"recv" ~owner:"mallory" () in
+  (match Hypervisor.Server.launch server ~pin:0 receiver with
+  | Ok _ -> ()
+  | Error `Insufficient_memory -> Alcotest.fail "receiver launch failed");
+  Cloud.run_for cloud (Sim.Time.sec 10);
+  match Cloud.Customer.attest c ~vid ~property:Property.Covert_channel_free with
+  | Ok { Report.status = Report.Compromised _; _ } -> ()
+  | Ok r -> Alcotest.failf "expected detection, got %a" Report.pp_status r.Report.status
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+
+let test_cache_channel_detected_full_pipeline () =
+  (* The Covert_channel_free property monitored from BOTH sources: CPU
+     bursts and cache-miss patterns (paper 4.4.3's extension point).  The
+     cache-channel pair does not share a pCPU, so the CPU-burst source is
+     blind to it — only the cache source catches it. *)
+  let refs =
+    { Interpret.default_refs with
+      Interpret.covert_sources = [ Interpret.Cpu_bursts; Interpret.Cache_misses ];
+    }
+  in
+  let config = { fast_config with refs } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"bob" in
+  let info =
+    launch_ok c ~image:"ubuntu" ~flavor:"small" ~properties:[ Property.Covert_channel_free ] ()
+  in
+  let vid = info.Commands.vid in
+  let host = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host) in
+  let cache = Hypervisor.Server.cache server in
+  (* Trojan inside the monitored VM: a cache-channel sender keyed to the
+     VM's own id, so the Monitor Module attributes the misses to it. *)
+  let prng = Sim.Prng.create 17 in
+  let bits = Attacks.Covert_channel.random_bits prng 150 in
+  let inst = Option.get (Hypervisor.Server.find server vid) in
+  ignore
+    (Hypervisor.Credit_scheduler.add_vcpu
+       (Hypervisor.Server.scheduler server)
+       inst.Hypervisor.Server.domain ~pin:1
+       (Attacks.Cache_channel.sender_program cache ~owner:vid ~bits ())
+      : Hypervisor.Credit_scheduler.vcpu);
+  let recv_prog, stream = Attacks.Cache_channel.receiver_program cache ~owner:"recv" () in
+  let recv_vm =
+    Hypervisor.Vm.make ~vid:"recv" ~owner:"mallory" ~image:Hypervisor.Image.ubuntu
+      ~flavor:Hypervisor.Flavor.small
+      ~programs:(fun () -> [ recv_prog ])
+      ()
+  in
+  (match Hypervisor.Server.launch server ~pin:0 recv_vm with
+  | Ok _ -> ()
+  | Error `Insufficient_memory -> Alcotest.fail "receiver launch failed");
+  Cloud.run_for cloud (Sim.Time.sec 3);
+  (* The channel really works... *)
+  let got = Attacks.Cache_channel.received_bits ~count:(List.length bits) (stream ()) in
+  Alcotest.(check (list bool)) "bits leaked through the cache" bits got;
+  (* ...and the attestation catches it. *)
+  match Cloud.Customer.attest c ~vid ~property:Property.Covert_channel_free with
+  | Ok { Report.status = Report.Compromised why; _ } ->
+      Alcotest.(check bool) "cache pattern named" true
+        (String.length why > 0
+        && String.split_on_char ' ' why <> [])
+  | Ok r -> Alcotest.failf "expected detection, got %a" Report.pp_status r.Report.status
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+
+let test_ima_catches_what_task_diff_misses () =
+  (* A visible cryptominer and a trojaned sshd hide from the task-list diff
+     (nothing is hidden); the IMA whitelist source catches both. *)
+  let refs =
+    { Interpret.default_refs with
+      Interpret.integrity_sources = [ Interpret.Task_diff; Interpret.Ima_whitelist ];
+    }
+  in
+  let plain_cloud = make_cloud () in
+  let ima_cloud = make_cloud ~config:{ fast_config with refs } () in
+  let run cloud =
+    let controller = Cloud.controller cloud in
+    let c = Cloud.Customer.create cloud ~name:"alice" in
+    let info =
+      launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ] ()
+    in
+    let vid = info.Commands.vid in
+    let host = Option.get (Controller.vm_host controller ~vid) in
+    let server = Option.get (Cloud.find_server cloud host) in
+    let inst = Option.get (Hypervisor.Server.find server vid) in
+    ignore (Attacks.Malware.infect_visible inst.Hypervisor.Server.vm ()
+             : Hypervisor.Guest_os.process);
+    ignore (Attacks.Malware.trojan_binary inst.Hypervisor.Server.vm ()
+             : Hypervisor.Guest_os.process);
+    match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+    | Ok r -> r.Report.status
+    | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+  in
+  (match run plain_cloud with
+  | Report.Healthy -> () (* the paper's task-diff detector alone is blind here *)
+  | s -> Alcotest.failf "task diff unexpectedly flagged: %a" Report.pp_status s);
+  match run ima_cloud with
+  | Report.Compromised _ -> ()
+  | s -> Alcotest.failf "IMA should flag it, got %a" Report.pp_status s
+
+let test_suspend_resume_response () =
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ]
+      ~workload:"busy" ()
+  in
+  let vid = info.Commands.vid in
+  (match Controller.respond controller Controller.Suspend_vm ~vid with
+  | Ok reaction -> Alcotest.(check bool) "suspension takes time" true (reaction > 0)
+  | Error e -> Alcotest.failf "suspend failed: %s" e);
+  Alcotest.(check bool) "suspended" true
+    (Controller.vm_state controller ~vid = Some Database.Suspended);
+  (* After re-attestation the controller resumes the VM (section 5.2 #2). *)
+  (match Controller.resume controller ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "resume failed: %s" e);
+  Alcotest.(check bool) "active again" true
+    (Controller.vm_state controller ~vid = Some Database.Active);
+  match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+  | Ok r -> Alcotest.(check bool) "healthy after resume" true (Report.is_healthy r)
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+
+let test_periodic_reports_verified () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ]
+      ~workload:"busy" ()
+  in
+  let seen = ref 0 in
+  (match
+     Cloud.Customer.attest_periodic c ~vid:info.Commands.vid
+       ~property:Property.Runtime_integrity ~freq:(Sim.Time.sec 2)
+       ~on_report:(fun _ -> incr seen)
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 9);
+  Alcotest.(check int) "four rounds delivered" 4 !seen;
+  Alcotest.(check int) "all chain-verified" 4 (List.length (Cloud.Customer.periodic_reports c));
+  Alcotest.(check int) "none forged" 0 (Cloud.Customer.forged_count c);
+  (* Stop, and confirm no more arrive. *)
+  (match Cloud.Customer.stop_periodic c ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stop failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 6);
+  Alcotest.(check int) "stopped" 4 !seen
+
+let test_random_interval_periodic () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ]
+      ~workload:"busy" ()
+  in
+  let stamps = ref [] in
+  (match
+     Cloud.Customer.attest_periodic_random c ~vid:info.Commands.vid
+       ~property:Property.Runtime_integrity ~min:(Sim.Time.sec 1) ~max:(Sim.Time.sec 4)
+       ~on_report:(fun _ -> stamps := Cloud.now cloud :: !stamps)
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 30);
+  let n = List.length !stamps in
+  (* Mean gap 2.5 s over 30 s -> roughly 8-20 rounds. *)
+  Alcotest.(check bool) (Printf.sprintf "rounds in plausible band (got %d)" n) true
+    (n >= 8 && n <= 25);
+  (* Gaps actually vary (it is not a fixed frequency). *)
+  let gaps =
+    let rec go = function a :: (b :: _ as rest) -> (a - b) :: go rest | _ -> [] in
+    go !stamps
+  in
+  let distinct = List.sort_uniq compare gaps in
+  Alcotest.(check bool) "gaps vary" true (List.length distinct > 2);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "gap within bounds" true (g >= Sim.Time.sec 1 && g <= Sim.Time.sec 4))
+    gaps;
+  Alcotest.(check int) "all verified" n (List.length (Cloud.Customer.periodic_reports c))
+
+let test_suspend_recheck_resumes_after_cleanup () =
+  (* Section 5.2 response #2: suspension with re-attestation and automatic
+     resume once health returns. *)
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  (* Policy: suspend (rather than terminate) on runtime-integrity loss. *)
+  Controller.set_response_policy controller (fun r ->
+      match r.Report.status with
+      | Report.Compromised _ -> Some Controller.Suspend_vm
+      | Report.Healthy | Report.Unknown _ -> None);
+  Controller.set_auto_resume controller ~recheck_period:(Sim.Time.sec 3) ~max_rechecks:5 true;
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ] ()
+  in
+  let vid = info.Commands.vid in
+  let host = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host) in
+  let inst = Option.get (Hypervisor.Server.find server vid) in
+  let proc = Attacks.Malware.infect_hidden inst.Hypervisor.Server.vm () in
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Runtime_integrity
+       ~freq:(Sim.Time.sec 2) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 4);
+  Alcotest.(check bool) "suspended on detection" true
+    (Controller.vm_state controller ~vid = Some Database.Suspended);
+  (* The operator cleans the malware; the next re-check resumes the VM. *)
+  Alcotest.(check bool) "cleanup" true
+    (Hypervisor.Guest_os.kill inst.Hypervisor.Server.vm.guest proc.Hypervisor.Guest_os.pid);
+  Cloud.run_for cloud (Sim.Time.sec 8);
+  Alcotest.(check bool) "auto-resumed" true
+    (Controller.vm_state controller ~vid = Some Database.Active)
+
+let test_suspend_recheck_terminates_if_never_clean () =
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  Controller.set_response_policy controller (fun r ->
+      match r.Report.status with
+      | Report.Compromised _ -> Some Controller.Suspend_vm
+      | Report.Healthy | Report.Unknown _ -> None);
+  Controller.set_auto_resume controller ~recheck_period:(Sim.Time.sec 2) ~max_rechecks:3 true;
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ] ()
+  in
+  let vid = info.Commands.vid in
+  let host = Option.get (Controller.vm_host controller ~vid) in
+  let server = Option.get (Cloud.find_server cloud host) in
+  let inst = Option.get (Hypervisor.Server.find server vid) in
+  ignore (Attacks.Malware.infect_hidden inst.Hypervisor.Server.vm () : Hypervisor.Guest_os.process);
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Runtime_integrity
+       ~freq:(Sim.Time.sec 2) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "periodic failed: %a" Cloud.Customer.pp_error e);
+  Cloud.run_for cloud (Sim.Time.sec 15);
+  Alcotest.(check bool) "terminated after failed rechecks" true
+    (Controller.vm_state controller ~vid = Some Database.Terminated)
+
+let test_migration_avoids_corrupt_destination () =
+  (* Post-migration attestation (section 5.3): server-2 has a trojaned
+     hypervisor; a migration away from server-1 must skip it and land on
+     server-3. *)
+  let config = { fast_config with corrupt_platforms = [ 1 ] } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info =
+    launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[ Property.Runtime_integrity ] ()
+  in
+  let vid = info.Commands.vid in
+  Alcotest.(check (option string)) "starts on a pristine server" (Some "server-1")
+    (Controller.vm_host controller ~vid);
+  (match Controller.respond controller Controller.Migrate_vm ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "migration failed: %s" e);
+  Alcotest.(check (option string)) "lands on the other pristine server" (Some "server-3")
+    (Controller.vm_host controller ~vid);
+  Alcotest.(check bool) "active" true (Controller.vm_state controller ~vid = Some Database.Active)
+
+let test_terminate_via_api () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[] () in
+  (match Cloud.Customer.terminate c ~vid:info.Commands.vid with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "terminate failed: %a" Cloud.Customer.pp_error e);
+  match Cloud.Customer.describe c ~vid:info.Commands.vid with
+  | Ok (state, _) -> Alcotest.(check string) "terminated" "terminated" state
+  | Error e -> Alcotest.failf "describe failed: %a" Cloud.Customer.pp_error e
+
+(* --- Adversarial scenarios (section 7.2) ---------------------------------------------- *)
+
+let test_network_tampering_detected_not_forged () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  Cloud.run_for cloud (Sim.Time.sec 1);
+  (* From now on the Dolev-Yao attacker corrupts every reply on the wire. *)
+  Net.Network.set_adversary (Cloud.net cloud)
+    (Attacks.Network_attacker.tamper_replies ~offset:60 ~min_len:80 ());
+  (match Cloud.Customer.attest c ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Ok _ -> Alcotest.fail "tampered exchange must not produce a report"
+  | Error (`Channel _) | Error (`Cloud _) | Error (`Forged _) -> ());
+  Net.Network.clear_adversary (Cloud.net cloud);
+  (* The system recovers on a fresh channel. *)
+  match Cloud.Customer.attest c ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Ok r -> Alcotest.(check bool) "healthy after attack stops" true (Report.is_healthy r)
+  | Error e -> Alcotest.failf "recovery failed: %a" Cloud.Customer.pp_error e
+
+let test_report_unforgeable_field_by_field () =
+  (* Flip every field of a signed controller report and check the customer-
+     side verifier rejects each mutant. *)
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  let vid = info.Commands.vid in
+  let nonce = String.make 16 'n' in
+  let report, _ =
+    Controller.attest controller { Protocol.vid; property = Property.Runtime_integrity; nonce }
+  in
+  let report = Result.get_ok report in
+  let key = Controller.public_key controller in
+  let verify r =
+    Protocol.verify_controller_report ~key ~expected_vid:vid
+      ~expected_property:Property.Runtime_integrity ~expected_nonce:nonce r
+  in
+  Alcotest.(check bool) "genuine verifies" true (verify report = Ok ());
+  let mutants =
+    [
+      ("vid", { report with Protocol.vid = "vm-0666" });
+      ("property", { report with Protocol.property = Property.Startup_integrity });
+      ( "status",
+        { report with
+          Protocol.report = { report.Protocol.report with Report.status = Report.Compromised "x" }
+        } );
+      ("nonce", { report with Protocol.nonce = String.make 16 'm' });
+      ("quote", { report with Protocol.quote = Crypto.Sha256.digest "other" });
+      ( "signature",
+        { report with
+          Protocol.signature =
+            (let b = Bytes.of_string report.Protocol.signature in
+             Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) lxor 1));
+             Bytes.to_string b);
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, mutant) ->
+      Alcotest.(check bool) (name ^ " mutant rejected") true (verify mutant <> Ok ()))
+    mutants
+
+let test_multiple_attestation_servers () =
+  (* Paper 3.2.3: several Attestation Servers, one per cluster.  With two
+     AS instances and three servers, attestations route by host cluster
+     and every report still verifies end to end. *)
+  let config = { fast_config with num_attestation_servers = 2 } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  Alcotest.(check int) "two AS instances" 2 (List.length (Cloud.attestation_servers cloud));
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  (* Fill the fleet so VMs land on different clusters. *)
+  let vms =
+    List.init 3 (fun _ ->
+        (launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all ()).Commands.vid)
+  in
+  let hosts = List.filter_map (fun vid -> Controller.vm_host controller ~vid) vms in
+  Alcotest.(check bool) "VMs spread over hosts" true (List.length (List.sort_uniq compare hosts) >= 2);
+  List.iter
+    (fun vid ->
+      match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+      | Ok r -> Alcotest.(check bool) "verified healthy" true (Report.is_healthy r)
+      | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e)
+    vms;
+  (* Both AS instances actually served appraisals (startup + runtime). *)
+  let counts =
+    List.map Attestation_server.attestations_done (Cloud.attestation_servers cloud)
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) "AS did work" true (n > 0))
+    counts
+
+let test_insecure_server_cannot_attest () =
+  (* A VM forced onto a non-secure server has no attestation client; the
+     attestation must fail rather than fabricate data. *)
+  let config = { fast_config with insecure_servers = 1 } in
+  let cloud = make_cloud ~config () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:[] () in
+  let vid = info.Commands.vid in
+  (* Move the record onto the insecure server behind the policy's back. *)
+  Database.set_host (Controller.db controller) ~vid (Some "server-3");
+  match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+  | Ok _ -> Alcotest.fail "attestation of an insecure server must fail"
+  | Error _ -> ()
+
+let test_rogue_attestation_endpoint () =
+  (* A compromised host VM replaces the attestation client with garbage:
+     attestations against that server must fail, never fabricate. *)
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  let host = Option.get (Controller.vm_host (Cloud.controller cloud) ~vid:info.Commands.vid) in
+  Net.Network.register (Cloud.net cloud)
+    (Attestation_client.address_of host)
+    (fun _ -> "not-a-real-reply");
+  match Cloud.Customer.attest c ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Ok _ -> Alcotest.fail "rogue endpoint must not yield a report"
+  | Error _ -> ()
+
+let test_periodic_double_start_rejected () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  let vid = info.Commands.vid in
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Runtime_integrity
+       ~freq:(Sim.Time.sec 5) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first start failed: %a" Cloud.Customer.pp_error e);
+  (match
+     Cloud.Customer.attest_periodic c ~vid ~property:Property.Runtime_integrity
+       ~freq:(Sim.Time.sec 2) ()
+   with
+  | Error (`Cloud _) -> ()
+  | Ok () -> Alcotest.fail "double start must be rejected"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e);
+  (* Stop without an active subscription on another property. *)
+  match Cloud.Customer.stop_periodic c ~vid ~property:Property.Cpu_availability with
+  | Error (`Cloud _) -> ()
+  | Ok () -> Alcotest.fail "stop without start must be rejected"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e
+
+let test_periodic_rate_limit () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~image:"cirros" ~flavor:"small" ~properties:Property.all () in
+  match
+    Cloud.Customer.attest_periodic c ~vid:info.Commands.vid
+      ~property:Property.Runtime_integrity ~freq:(Sim.Time.ms 10) ()
+  with
+  | Error (`Cloud "frequency too high") -> ()
+  | Ok () -> Alcotest.fail "abusive frequency must be rejected"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e
+
+let test_capacity_exhaustion () =
+  (* Tiny servers: the first large VM per server fits, the next run out. *)
+  let config = { fast_config with mem_mb = 9000 } in
+  let cloud = make_cloud ~config () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  for _ = 1 to 3 do
+    ignore (launch_ok c ~image:"cirros" ~flavor:"large" ~properties:[] ())
+  done;
+  match Cloud.Customer.launch c ~image:"cirros" ~flavor:"large" () with
+  | Error (`Cloud "no qualified server") -> ()
+  | Ok _ -> Alcotest.fail "fleet is full; launch must fail"
+  | Error e -> Alcotest.failf "unexpected: %a" Cloud.Customer.pp_error e
+
+let interpret_never_crashes =
+  (* The interpreter is a total function over arbitrary measurement lists. *)
+  let value_gen =
+    let open QCheck.Gen in
+    oneof
+      [
+        map (fun s -> Monitors.Measurement.Measured_platform s) string;
+        map (fun s -> Monitors.Measurement.Measured_image s) string;
+        map
+          (fun a -> Monitors.Measurement.Measured_histogram (Array.map abs a))
+          (array_size (int_range 0 30) nat);
+        map
+          (fun a -> Monitors.Measurement.Measured_miss_windows (Array.map abs a))
+          (array_size (int_range 0 60) nat);
+        map2
+          (fun (vtime, steal) window ->
+            Monitors.Measurement.Measured_cpu { vtime; steal; window; vcpus = 1 })
+          (pair nat nat) nat;
+        map2
+          (fun kernel visible -> Monitors.Measurement.Measured_tasks { kernel; visible })
+          (list_size (int_range 0 4) string)
+          (list_size (int_range 0 4) string);
+      ]
+  in
+  QCheck.Test.make ~name:"interpret is total" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair (oneofl Property.all) (list_size (int_range 0 4) value_gen)))
+    (fun (property, values) ->
+      let _status, _evidence =
+        Interpret.interpret Interpret.default_refs ~image_name:(Some "ubuntu") property values
+      in
+      true)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "launch",
+        [
+          Alcotest.test_case "unmonitored: 4 stages" `Quick test_launch_unmonitored;
+          Alcotest.test_case "monitored: 5 stages" `Quick test_launch_monitored_five_stages;
+          Alcotest.test_case "unknown image" `Quick test_launch_unknown_image;
+          Alcotest.test_case "tampered image rejected" `Quick test_launch_tampered_image_rejected;
+          Alcotest.test_case "corrupt platform avoided" `Quick test_corrupt_platform_avoided;
+          Alcotest.test_case "no qualified server" `Quick test_no_qualified_server;
+        ] );
+      ( "attestation",
+        [
+          Alcotest.test_case "all properties healthy" `Quick test_attest_all_properties_healthy;
+          Alcotest.test_case "cross-customer refused" `Quick
+            test_attest_other_customers_vm_refused;
+          Alcotest.test_case "unknown vm" `Quick test_attest_unknown_vm;
+          Alcotest.test_case "AS history" `Quick test_as_history_recorded;
+        ] );
+      ( "detection-response",
+        [
+          Alcotest.test_case "malware -> terminate" `Quick test_malware_detected_and_terminated;
+          Alcotest.test_case "availability attack -> migrate" `Quick
+            test_availability_attack_migrates_victim;
+          Alcotest.test_case "covert channel detected" `Quick test_covert_channel_detected;
+          Alcotest.test_case "cache channel detected (full pipeline)" `Quick
+            test_cache_channel_detected_full_pipeline;
+          Alcotest.test_case "IMA catches what task-diff misses" `Quick
+            test_ima_catches_what_task_diff_misses;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume_response;
+          Alcotest.test_case "periodic verified" `Quick test_periodic_reports_verified;
+          Alcotest.test_case "random-interval periodic" `Quick test_random_interval_periodic;
+          Alcotest.test_case "suspend-recheck resumes" `Quick
+            test_suspend_recheck_resumes_after_cleanup;
+          Alcotest.test_case "suspend-recheck terminates" `Quick
+            test_suspend_recheck_terminates_if_never_clean;
+          Alcotest.test_case "migration avoids corrupt destination" `Quick
+            test_migration_avoids_corrupt_destination;
+          Alcotest.test_case "terminate via API" `Quick test_terminate_via_api;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "tampering detected, never forged" `Quick
+            test_network_tampering_detected_not_forged;
+          Alcotest.test_case "report unforgeable field-by-field" `Quick
+            test_report_unforgeable_field_by_field;
+          Alcotest.test_case "insecure server cannot attest" `Quick
+            test_insecure_server_cannot_attest;
+          Alcotest.test_case "multiple attestation servers" `Quick
+            test_multiple_attestation_servers;
+          Alcotest.test_case "rogue attestation endpoint" `Quick
+            test_rogue_attestation_endpoint;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "periodic double start" `Quick test_periodic_double_start_rejected;
+          Alcotest.test_case "periodic rate limit" `Quick test_periodic_rate_limit;
+          Alcotest.test_case "capacity exhaustion" `Quick test_capacity_exhaustion;
+          QCheck_alcotest.to_alcotest interpret_never_crashes;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for the network substrate: CA, simulated network with adversary,
+   and the secure channel (including active attacks). *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let ca = lazy (Net.Ca.create ~seed:"test" ~bits:512 ~name:"testca" ())
+
+let identity name = Net.Secure_channel.Identity.make (Lazy.force ca) ~seed:name ~bits:512 ~name ()
+
+(* --- CA ------------------------------------------------------------------- *)
+
+let test_ca_issue_verify () =
+  let ca = Lazy.force ca in
+  let id = identity "alice-ca-test" in
+  Alcotest.(check bool) "issued cert verifies" true (Net.Ca.verify ~ca:(Net.Ca.public ca) id.cert);
+  Alcotest.(check string) "subject" "alice-ca-test" id.cert.subject
+
+let test_ca_wrong_ca_rejects () =
+  let other = Net.Ca.create ~seed:"other" ~bits:512 ~name:"otherca" () in
+  let id = identity "bob-ca-test" in
+  Alcotest.(check bool) "foreign CA rejects" false
+    (Net.Ca.verify ~ca:(Net.Ca.public other) id.cert)
+
+let test_ca_tampered_subject_rejects () =
+  let ca = Lazy.force ca in
+  let id = identity "carol-ca-test" in
+  let forged = { id.cert with Net.Ca.subject = "mallory" } in
+  Alcotest.(check bool) "renamed cert rejects" false (Net.Ca.verify ~ca:(Net.Ca.public ca) forged)
+
+let test_ca_cert_codec_roundtrip () =
+  let id = identity "dave-ca-test" in
+  let encoded = Wire.Codec.encode (fun e -> Net.Ca.encode e id.cert) in
+  let decoded = Wire.Codec.decode encoded Net.Ca.decode in
+  Alcotest.(check string) "subject" id.cert.subject decoded.Net.Ca.subject;
+  Alcotest.(check bool) "still verifies" true
+    (Net.Ca.verify ~ca:(Net.Ca.public (Lazy.force ca)) decoded)
+
+(* --- Network ---------------------------------------------------------------- *)
+
+let make_net () = Net.Network.create ~seed:1 ()
+
+let test_network_echo () =
+  let net = make_net () in
+  Net.Network.register net "echo" (fun s -> "echo:" ^ s);
+  let reply, elapsed = Net.Network.call net ~src:"c" ~dst:"echo" "hi" in
+  Alcotest.(check bool) "reply" true (reply = Ok "echo:hi");
+  Alcotest.(check bool) "positive latency" true (elapsed > 0)
+
+let test_network_no_host () =
+  let net = make_net () in
+  let reply, _ = Net.Network.call net ~src:"c" ~dst:"ghost" "hi" in
+  Alcotest.(check bool) "no such host" true (reply = Error (`No_such_host "ghost"))
+
+let test_network_unregister () =
+  let net = make_net () in
+  Net.Network.register net "x" (fun s -> s);
+  Net.Network.unregister net "x";
+  let reply, _ = Net.Network.call net ~src:"c" ~dst:"x" "hi" in
+  Alcotest.(check bool) "gone" true (reply = Error (`No_such_host "x"))
+
+let test_network_adversary_drop () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> s);
+  Net.Network.set_adversary net (fun _ -> Net.Network.Drop);
+  let reply, _ = Net.Network.call net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "dropped" true (reply = Error `Dropped);
+  Net.Network.clear_adversary net;
+  let reply, _ = Net.Network.call net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "restored" true (reply = Ok "hi")
+
+let test_network_adversary_replace () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> s);
+  Net.Network.set_adversary net (fun m ->
+      match m.Net.Network.dir with
+      | Net.Network.Request -> Net.Network.Replace "evil"
+      | Net.Network.Reply -> Net.Network.Pass);
+  let reply, _ = Net.Network.call net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "replaced" true (reply = Ok "evil")
+
+let test_network_eavesdrop_log () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> s);
+  ignore (Net.Network.call net ~src:"c" ~dst:"s" "one");
+  ignore (Net.Network.call net ~src:"c" ~dst:"s" "two");
+  let log = Net.Network.recorded net in
+  Alcotest.(check int) "4 messages (2 req + 2 rep)" 4 (List.length log);
+  Alcotest.(check int) "message_count" 4 (Net.Network.message_count net);
+  let first = List.hd log in
+  Alcotest.(check string) "oldest first" "one" first.Net.Network.payload
+
+let test_network_transfer_time_scales () =
+  let net = make_net () in
+  let t1 = Net.Network.transfer_time net ~bytes:1_000_000 in
+  let t2 = Net.Network.transfer_time net ~bytes:10_000_000 in
+  Alcotest.(check bool) "larger is slower" true (t2 > t1)
+
+(* --- Secure channel ----------------------------------------------------------- *)
+
+let setup_channel ?(server_name = "server") ?(client_name = "client") () =
+  let ca_t = Lazy.force ca in
+  let net = make_net () in
+  let server_id = identity server_name in
+  let client_id = identity client_name in
+  let received = ref [] in
+  let server =
+    Net.Secure_channel.Server.create ~identity:server_id ~ca:(Net.Ca.public ca_t) ~seed:"srv"
+      ~on_request:(fun ~peer msg ->
+        received := (peer, msg) :: !received;
+        "ok:" ^ msg)
+  in
+  Net.Network.register net server_name (Net.Secure_channel.Server.handle server);
+  let transport msg =
+    match Net.Network.call net ~src:client_name ~dst:server_name msg with
+    | Ok r, _ -> Ok r
+    | Error `Dropped, _ -> Error "dropped"
+    | Error (`No_such_host h), _ -> Error ("no host " ^ h)
+  in
+  (net, server, client_id, transport, received)
+
+let connect_ok ?(peer = "server") client_id transport =
+  match
+    Net.Secure_channel.Client.connect ~identity:client_id ~ca:(Net.Ca.public (Lazy.force ca))
+      ~seed:"cl" ~peer ~transport
+  with
+  | Ok ch -> ch
+  | Error e -> Alcotest.failf "connect failed: %a" Net.Secure_channel.pp_error e
+
+let test_channel_roundtrip () =
+  let _net, _server, client_id, transport, received = setup_channel () in
+  let ch = connect_ok client_id transport in
+  (match Net.Secure_channel.Client.call ch "hello" with
+  | Ok r -> Alcotest.(check string) "reply" "ok:hello" r
+  | Error e -> Alcotest.failf "call failed: %a" Net.Secure_channel.pp_error e);
+  Alcotest.(check (list (pair string string))) "server saw authenticated peer"
+    [ ("client", "hello") ] !received;
+  Alcotest.(check string) "peer name" "server" (Net.Secure_channel.Client.peer ch)
+
+let test_channel_many_calls () =
+  let _net, _server, client_id, transport, _ = setup_channel () in
+  let ch = connect_ok client_id transport in
+  for i = 1 to 20 do
+    match Net.Secure_channel.Client.call ch (string_of_int i) with
+    | Ok r -> Alcotest.(check string) "sequenced" ("ok:" ^ string_of_int i) r
+    | Error e -> Alcotest.failf "call %d failed: %a" i Net.Secure_channel.pp_error e
+  done
+
+let test_channel_wrong_peer_name () =
+  let _net, _server, client_id, transport, _ = setup_channel () in
+  match
+    Net.Secure_channel.Client.connect ~identity:client_id ~ca:(Net.Ca.public (Lazy.force ca))
+      ~seed:"cl" ~peer:"somebody-else" ~transport
+  with
+  | Ok _ -> Alcotest.fail "should refuse a mis-named peer"
+  | Error `Auth_failure -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Net.Secure_channel.pp_error e
+
+let test_channel_foreign_ca_client_rejected () =
+  let _net, _server, _client_id, transport, _ = setup_channel () in
+  let evil_ca = Net.Ca.create ~seed:"evil" ~bits:512 ~name:"evilca" () in
+  let evil_id = Net.Secure_channel.Identity.make evil_ca ~seed:"evil" ~bits:512 ~name:"client" () in
+  match
+    Net.Secure_channel.Client.connect ~identity:evil_id ~ca:(Net.Ca.public (Lazy.force ca))
+      ~seed:"cl" ~peer:"server" ~transport
+  with
+  | Ok _ -> Alcotest.fail "foreign-CA client must be rejected"
+  | Error (`Rejected _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Net.Secure_channel.pp_error e
+
+let test_channel_accept_only () =
+  let _net, server, client_id, transport, _ = setup_channel () in
+  Net.Secure_channel.Server.accept_only server (String.equal "vip");
+  (match
+     Net.Secure_channel.Client.connect ~identity:client_id ~ca:(Net.Ca.public (Lazy.force ca))
+       ~seed:"cl" ~peer:"server" ~transport
+   with
+  | Ok _ -> Alcotest.fail "non-vip must be rejected"
+  | Error (`Rejected _) -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Net.Secure_channel.pp_error e)
+
+let test_channel_tamper_detected () =
+  let net, _server, client_id, transport, _ = setup_channel () in
+  let ch = connect_ok client_id transport in
+  (* Flip one ciphertext byte of each sufficiently long request. *)
+  Net.Network.set_adversary net (Attacks.Network_attacker.flip_byte ~offset:50 ~min_len:60 ());
+  (match Net.Secure_channel.Client.call ch "payload" with
+  | Ok _ -> Alcotest.fail "tampering must be detected"
+  | Error (`Rejected _) | Error `Auth_failure -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Net.Secure_channel.pp_error e);
+  (* Channel recovers once the adversary leaves (no state was consumed). *)
+  Net.Network.clear_adversary net;
+  match Net.Secure_channel.Client.call ch "again" with
+  | Ok r -> Alcotest.(check string) "recovered" "ok:again" r
+  | Error e -> Alcotest.failf "recovery failed: %a" Net.Secure_channel.pp_error e
+
+let test_channel_replay_rejected () =
+  let net, _server, client_id, transport, received = setup_channel () in
+  let ch = connect_ok client_id transport in
+  (match Net.Secure_channel.Client.call ch "first" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first call failed: %a" Net.Secure_channel.pp_error e);
+  (* Replay each later request as a copy of the first data record. *)
+  Net.Network.set_adversary net (Attacks.Network_attacker.replay_requests ());
+  ignore (Net.Secure_channel.Client.call ch "probe");
+  (match Net.Secure_channel.Client.call ch "second" with
+  | Ok _ -> Alcotest.fail "replayed record must be rejected"
+  | Error (`Rejected _) | Error `Auth_failure | Error `Replay -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Net.Secure_channel.pp_error e);
+  (* The server must have processed "first" exactly once. *)
+  let firsts = List.filter (fun (_, m) -> String.equal m "first") !received in
+  Alcotest.(check int) "no duplicate delivery" 1 (List.length firsts)
+
+let test_channel_sessions_counted () =
+  let _net, server, client_id, transport, _ = setup_channel () in
+  ignore (connect_ok client_id transport);
+  Alcotest.(check int) "one session" 1 (Net.Secure_channel.Server.sessions server)
+
+let channel_payload_roundtrip =
+  QCheck.Test.make ~name:"arbitrary payloads roundtrip" ~count:30 QCheck.string (fun s ->
+      let _net, _server, client_id, transport, _ = setup_channel () in
+      let ch = connect_ok client_id transport in
+      Net.Secure_channel.Client.call ch s = Ok ("ok:" ^ s))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "ca",
+        [
+          Alcotest.test_case "issue/verify" `Quick test_ca_issue_verify;
+          Alcotest.test_case "wrong CA rejects" `Quick test_ca_wrong_ca_rejects;
+          Alcotest.test_case "tampered subject rejects" `Quick test_ca_tampered_subject_rejects;
+          Alcotest.test_case "codec roundtrip" `Quick test_ca_cert_codec_roundtrip;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "echo" `Quick test_network_echo;
+          Alcotest.test_case "no host" `Quick test_network_no_host;
+          Alcotest.test_case "unregister" `Quick test_network_unregister;
+          Alcotest.test_case "adversary drop" `Quick test_network_adversary_drop;
+          Alcotest.test_case "adversary replace" `Quick test_network_adversary_replace;
+          Alcotest.test_case "eavesdrop log" `Quick test_network_eavesdrop_log;
+          Alcotest.test_case "transfer time scales" `Quick test_network_transfer_time_scales;
+        ] );
+      ( "secure-channel",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_channel_roundtrip;
+          Alcotest.test_case "many calls" `Quick test_channel_many_calls;
+          Alcotest.test_case "wrong peer name" `Quick test_channel_wrong_peer_name;
+          Alcotest.test_case "foreign CA client" `Quick test_channel_foreign_ca_client_rejected;
+          Alcotest.test_case "accept_only" `Quick test_channel_accept_only;
+          Alcotest.test_case "tamper detected" `Quick test_channel_tamper_detected;
+          Alcotest.test_case "replay rejected" `Quick test_channel_replay_rejected;
+          Alcotest.test_case "sessions counted" `Quick test_channel_sessions_counted;
+          qtest channel_payload_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Tests for the simulation kernel: PRNG, heap, engine, statistics. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Prng ---------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.bits64 a) (Sim.Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Sim.Prng.create 1 and b = Sim.Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if not (Int64.equal (Sim.Prng.bits64 a) (Sim.Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_split_independent () =
+  let a = Sim.Prng.create 7 in
+  let b = Sim.Prng.split a in
+  let xs = List.init 32 (fun _ -> Sim.Prng.bits64 a) in
+  let ys = List.init 32 (fun _ -> Sim.Prng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let prng_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
+    QCheck.(pair int small_int)
+    (fun (seed, bound) ->
+      QCheck.assume (bound > 0);
+      let p = Sim.Prng.create seed in
+      let v = Sim.Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prng_int_in_range =
+  QCheck.Test.make ~name:"Prng.int_in inclusive range" ~count:500
+    QCheck.(triple int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let p = Sim.Prng.create seed in
+      let v = Sim.Prng.int_in p lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_prng_uniformity () =
+  (* Coarse chi-square-ish check: each of 10 buckets within 30% of mean. *)
+  let p = Sim.Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Sim.Prng.int p 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true (abs (c - (n / 10)) < n * 3 / 100))
+    buckets
+
+let test_prng_gaussian_moments () =
+  let p = Sim.Prng.create 5 in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Sim.Stats.Summary.add s (Sim.Prng.gaussian p ~mu:3.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean ~3" true (abs_float (Sim.Stats.Summary.mean s -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev ~2" true (abs_float (Sim.Stats.Summary.stddev s -. 2.0) < 0.1)
+
+let test_prng_shuffle_permutation () =
+  let p = Sim.Prng.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  Sim.Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_bytes_length () =
+  let p = Sim.Prng.create 1 in
+  Alcotest.(check int) "length" 33 (Bytes.length (Sim.Prng.bytes p 33))
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"Heap drains in sorted order" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_peek () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Sim.Heap.peek h);
+  Sim.Heap.push h 5;
+  Sim.Heap.push h 2;
+  Sim.Heap.push h 9;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Sim.Heap.peek h);
+  Alcotest.(check int) "length" 3 (Sim.Heap.length h);
+  Alcotest.(check int) "to_list size" 3 (List.length (Sim.Heap.to_list h))
+
+(* --- Engine -------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~at:30 (fun () -> log := 30 :: !log));
+  ignore (Sim.Engine.schedule e ~at:10 (fun () -> log := 10 :: !log));
+  ignore (Sim.Engine.schedule e ~at:20 (fun () -> log := 20 :: !log));
+  Sim.Engine.run_until e 100;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at horizon" 100 (Sim.Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~at:5 (fun () -> log := "a" :: !log));
+  ignore (Sim.Engine.schedule e ~at:5 (fun () -> log := "b" :: !log));
+  Sim.Engine.run_until e 5;
+  Alcotest.(check (list string)) "FIFO among equals" [ "a"; "b" ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~at:10 (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run_until e 100;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_schedule_from_handler () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~at:10 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.Engine.schedule e ~at:10 (fun () -> log := "inner" :: !log))));
+  Sim.Engine.run_until e 10;
+  Alcotest.(check (list string)) "zero-delay runs after" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.run_until e 50;
+  Alcotest.check_raises "past schedule rejected"
+    (Invalid_argument "Engine.schedule: time is in the past") (fun () ->
+      ignore (Sim.Engine.schedule e ~at:10 (fun () -> ())))
+
+let test_engine_every () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let h = Sim.Engine.every e ~period:10 (fun () -> incr count) in
+  Sim.Engine.run_until e 55;
+  Alcotest.(check int) "5 ticks in 55" 5 !count;
+  Sim.Engine.cancel e h;
+  Sim.Engine.run_until e 200;
+  Alcotest.(check int) "stopped after cancel" 5 !count
+
+let test_engine_every_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.every e ~period:10 ~until:30 (fun () -> incr count));
+  Sim.Engine.run_until e 500;
+  Alcotest.(check int) "bounded recurrence" 3 !count
+
+let test_engine_run_all_limit () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec reschedule () =
+    incr count;
+    ignore (Sim.Engine.schedule_after e ~delay:1 reschedule)
+  in
+  ignore (Sim.Engine.schedule_after e ~delay:1 reschedule);
+  Sim.Engine.run_all e ~limit:10;
+  Alcotest.(check int) "limit respected" 10 !count
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_histogram_binning () =
+  let h = Sim.Stats.Histogram.create ~bins:30 ~width:1.0 in
+  (* The paper's example: a 4.6 ms burst lands in bin (4,5]. *)
+  Sim.Stats.Histogram.add h 4.6;
+  Alcotest.(check int) "bin (4,5]" 1 (Sim.Stats.Histogram.count h 4);
+  (* Exact boundary 4.0 belongs to (3,4]. *)
+  Sim.Stats.Histogram.add h 4.0;
+  Alcotest.(check int) "bin (3,4]" 1 (Sim.Stats.Histogram.count h 3);
+  (* Out of range clamps to the last bin. *)
+  Sim.Stats.Histogram.add h 1000.0;
+  Alcotest.(check int) "clamped" 1 (Sim.Stats.Histogram.count h 29);
+  Alcotest.(check int) "total" 3 (Sim.Stats.Histogram.total h)
+
+let test_histogram_distribution () =
+  let h = Sim.Stats.Histogram.of_counts ~width:1.0 [| 1; 3; 0; 0 |] in
+  let d = Sim.Stats.Histogram.distribution h in
+  Alcotest.(check (float 1e-9)) "normalised" 0.25 d.(0);
+  Alcotest.(check (float 1e-9)) "normalised" 0.75 d.(1);
+  let empty = Sim.Stats.Histogram.create ~bins:4 ~width:1.0 in
+  Alcotest.(check (float 1e-9)) "empty gives zeros" 0.0
+    (Sim.Stats.Histogram.distribution empty).(0)
+
+let test_histogram_merge () =
+  let a = Sim.Stats.Histogram.of_counts ~width:1.0 [| 1; 2 |] in
+  let b = Sim.Stats.Histogram.of_counts ~width:1.0 [| 3; 4 |] in
+  let m = Sim.Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 4 (Sim.Stats.Histogram.count m 0);
+  Alcotest.(check int) "merged total" 10 (Sim.Stats.Histogram.total m);
+  Alcotest.check_raises "incompatible shapes"
+    (Invalid_argument "Histogram.merge: incompatible shapes") (fun () ->
+      ignore (Sim.Stats.Histogram.merge a (Sim.Stats.Histogram.create ~bins:3 ~width:1.0)))
+
+let summary_matches_naive =
+  QCheck.Test.make ~name:"Summary matches direct computation" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Sim.Stats.Summary.create () in
+      List.iter (Sim.Stats.Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0) in
+      abs_float (Sim.Stats.Summary.mean s -. mean) < 1e-6 *. (1.0 +. abs_float mean)
+      && abs_float (Sim.Stats.Summary.stddev s -. sqrt var) < 1e-6 *. (1.0 +. sqrt var))
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "p50" 5.0 (Sim.Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 10.0 (Sim.Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p10" 1.0 (Sim.Stats.percentile xs 10.0)
+
+let test_two_means_bimodal () =
+  let values = Array.init 30 (fun i -> float_of_int i +. 0.5) in
+  let mass = Array.make 30 0.0 in
+  mass.(4) <- 0.5;
+  mass.(19) <- 0.5;
+  match Sim.Stats.Two_means.cluster ~values ~mass with
+  | None -> Alcotest.fail "expected clusters"
+  | Some r ->
+      Alcotest.(check bool) "bimodal" true (Sim.Stats.Two_means.bimodal r);
+      let c1, c2 = r.centers in
+      Alcotest.(check (float 0.01)) "low center" 4.5 c1;
+      Alcotest.(check (float 0.01)) "high center" 19.5 c2
+
+let test_two_means_unimodal () =
+  let values = Array.init 30 (fun i -> float_of_int i +. 0.5) in
+  let mass = Array.make 30 0.0 in
+  mass.(29) <- 1.0;
+  match Sim.Stats.Two_means.cluster ~values ~mass with
+  | None -> Alcotest.fail "expected clusters"
+  | Some r -> Alcotest.(check bool) "not bimodal" false (Sim.Stats.Two_means.bimodal r)
+
+let test_two_means_empty () =
+  let values = [| 1.0; 2.0 |] in
+  Alcotest.(check bool) "zero mass" true
+    (Sim.Stats.Two_means.cluster ~values ~mass:[| 0.0; 0.0 |] = None)
+
+(* --- Time ---------------------------------------------------------------- *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms" 5000 (Sim.Time.ms 5);
+  Alcotest.(check int) "sec" 2_000_000 (Sim.Time.sec 2);
+  Alcotest.(check int) "minutes" 60_000_000 (Sim.Time.minutes 1);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Sim.Time.to_ms 1500);
+  Alcotest.(check int) "of_ms_float rounds" 1500 (Sim.Time.of_ms_float 1.4999);
+  Alcotest.(check string) "pp us" "12us" (Format.asprintf "%a" Sim.Time.pp 12);
+  Alcotest.(check string) "pp s" "2.000s" (Format.asprintf "%a" Sim.Time.pp 2_000_000)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "bytes length" `Quick test_prng_bytes_length;
+          qtest prng_int_in_bounds;
+          qtest prng_int_in_range;
+        ] );
+      ("heap", [ qtest heap_sorts; Alcotest.test_case "peek/length" `Quick test_heap_peek ]);
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO at same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "schedule from handler" `Quick test_engine_schedule_from_handler;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every until" `Quick test_engine_every_until;
+          Alcotest.test_case "run_all limit" `Quick test_engine_run_all_limit;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+          Alcotest.test_case "histogram distribution" `Quick test_histogram_distribution;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          qtest summary_matches_naive;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "two-means bimodal" `Quick test_two_means_bimodal;
+          Alcotest.test_case "two-means unimodal" `Quick test_two_means_unimodal;
+          Alcotest.test_case "two-means empty" `Quick test_two_means_empty;
+        ] );
+      ("time", [ Alcotest.test_case "conversions" `Quick test_time_conversions ]);
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the TPM substrate: PCRs and the Trust Module. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- PCR ------------------------------------------------------------------ *)
+
+let test_pcr_initial_zero () =
+  let p = Tpm.Pcr.create ~count:4 in
+  Alcotest.(check string) "starts zeroed" (String.make 32 '\x00') (Tpm.Pcr.read p 0);
+  Alcotest.(check int) "count" 4 (Tpm.Pcr.count p)
+
+let test_pcr_extend_changes () =
+  let p = Tpm.Pcr.create ~count:2 in
+  let v1 = Tpm.Pcr.extend p 0 "m1" in
+  Alcotest.(check bool) "changed" false (String.equal v1 (String.make 32 '\x00'));
+  Alcotest.(check string) "read matches" v1 (Tpm.Pcr.read p 0);
+  Alcotest.(check string) "other register untouched" (String.make 32 '\x00') (Tpm.Pcr.read p 1)
+
+let test_pcr_order_sensitive () =
+  let p1 = Tpm.Pcr.create ~count:1 and p2 = Tpm.Pcr.create ~count:1 in
+  ignore (Tpm.Pcr.extend p1 0 "a" : string);
+  ignore (Tpm.Pcr.extend p1 0 "b" : string);
+  ignore (Tpm.Pcr.extend p2 0 "b" : string);
+  ignore (Tpm.Pcr.extend p2 0 "a" : string);
+  Alcotest.(check bool) "order matters" false (String.equal (Tpm.Pcr.read p1 0) (Tpm.Pcr.read p2 0))
+
+let test_pcr_deterministic () =
+  let run () =
+    let p = Tpm.Pcr.create ~count:2 in
+    ignore (Tpm.Pcr.extend p 0 "hypervisor" : string);
+    ignore (Tpm.Pcr.extend p 1 "host-os" : string);
+    Tpm.Pcr.composite p [ 0; 1 ]
+  in
+  Alcotest.(check string) "same chain, same composite" (run ()) (run ())
+
+let test_pcr_composite_selection () =
+  let p = Tpm.Pcr.create ~count:3 in
+  ignore (Tpm.Pcr.extend p 0 "x" : string);
+  let c01 = Tpm.Pcr.composite p [ 0; 1 ] in
+  let c0 = Tpm.Pcr.composite p [ 0 ] in
+  Alcotest.(check bool) "selection matters" false (String.equal c01 c0);
+  (* duplicates and order are normalised *)
+  Alcotest.(check string) "sorted/dedup" c01 (Tpm.Pcr.composite p [ 1; 0; 1 ])
+
+let test_pcr_reset () =
+  let p = Tpm.Pcr.create ~count:1 in
+  ignore (Tpm.Pcr.extend p 0 "x" : string);
+  Tpm.Pcr.reset p 0;
+  Alcotest.(check string) "reset to zero" (String.make 32 '\x00') (Tpm.Pcr.read p 0)
+
+let test_pcr_bounds () =
+  let p = Tpm.Pcr.create ~count:2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Pcr: index out of range") (fun () ->
+      ignore (Tpm.Pcr.read p 2))
+
+(* --- Trust Module ----------------------------------------------------------- *)
+
+let tm = lazy (Tpm.Trust_module.create ~key_bits:512 ~num_registers:32 ~seed:"test" ())
+
+let test_registers () =
+  let t = Lazy.force tm in
+  Tpm.Trust_module.clear_registers t;
+  Alcotest.(check int) "count" 32 (Tpm.Trust_module.num_registers t);
+  Tpm.Trust_module.write_register t 3 42;
+  Tpm.Trust_module.add_register t 3 8;
+  Alcotest.(check int) "write+add" 50 (Tpm.Trust_module.read_registers t).(3);
+  Tpm.Trust_module.clear_registers t;
+  Alcotest.(check int) "cleared" 0 (Tpm.Trust_module.read_registers t).(3)
+
+let test_register_bounds () =
+  let t = Lazy.force tm in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Trust_module: register index out of range") (fun () ->
+      Tpm.Trust_module.write_register t 32 1)
+
+let test_registers_copy () =
+  let t = Lazy.force tm in
+  Tpm.Trust_module.clear_registers t;
+  let snapshot = Tpm.Trust_module.read_registers t in
+  snapshot.(0) <- 999;
+  Alcotest.(check int) "read_registers returns a copy" 0 (Tpm.Trust_module.read_registers t).(0)
+
+let test_session_sign_verify () =
+  let t = Lazy.force tm in
+  let session = Tpm.Trust_module.begin_session t in
+  (match Tpm.Trust_module.sign_with_session t session "measurements" with
+  | None -> Alcotest.fail "session should sign"
+  | Some s ->
+      Alcotest.(check bool) "verifies under AVKs" true
+        (Crypto.Rsa.verify session.public ~signature:s "measurements"));
+  Tpm.Trust_module.end_session t session;
+  Alcotest.(check bool) "ended session refuses" true
+    (Tpm.Trust_module.sign_with_session t session "more" = None)
+
+let test_sessions_are_fresh () =
+  let t = Lazy.force tm in
+  let s1 = Tpm.Trust_module.begin_session t in
+  let s2 = Tpm.Trust_module.begin_session t in
+  Alcotest.(check bool) "fresh keys per attestation" false
+    (String.equal
+       (Crypto.Rsa.public_to_string s1.public)
+       (Crypto.Rsa.public_to_string s2.public))
+
+let test_endorsement_verifies () =
+  let t = Lazy.force tm in
+  let session = Tpm.Trust_module.begin_session t in
+  let payload = Tpm.Trust_module.endorsement_payload session.public in
+  Alcotest.(check bool) "endorsement binds AVKs to VKs" true
+    (Crypto.Rsa.verify (Tpm.Trust_module.identity_public t) ~signature:session.endorsement
+       payload)
+
+let test_endorsement_not_transferable () =
+  let t = Lazy.force tm in
+  let other = Tpm.Trust_module.create ~key_bits:512 ~seed:"other" () in
+  let session = Tpm.Trust_module.begin_session t in
+  Alcotest.(check bool) "other module's VKs rejects" false
+    (Crypto.Rsa.verify
+       (Tpm.Trust_module.identity_public other)
+       ~signature:session.endorsement
+       (Tpm.Trust_module.endorsement_payload session.public))
+
+let test_identity_ops () =
+  let t = Lazy.force tm in
+  let s = Tpm.Trust_module.sign_identity t "channel-auth" in
+  Alcotest.(check bool) "identity signature verifies" true
+    (Crypto.Rsa.verify (Tpm.Trust_module.identity_public t) ~signature:s "channel-auth");
+  let d = Crypto.Drbg.create ~seed:"enc" in
+  let c = Crypto.Rsa.encrypt d (Tpm.Trust_module.identity_public t) "premaster" in
+  Alcotest.(check (option string)) "identity decrypts" (Some "premaster")
+    (Tpm.Trust_module.decrypt_identity t c)
+
+let test_nonces_fresh () =
+  let t = Lazy.force tm in
+  let n1 = Tpm.Trust_module.random_nonce t in
+  let n2 = Tpm.Trust_module.random_nonce t in
+  Alcotest.(check int) "16 bytes" 16 (String.length n1);
+  Alcotest.(check bool) "fresh" false (String.equal n1 n2)
+
+let trust_module_deterministic =
+  QCheck.Test.make ~name:"same seed, same identity" ~count:3 QCheck.small_int (fun s ->
+      let a = Tpm.Trust_module.create ~key_bits:256 ~seed:(string_of_int s) () in
+      let b = Tpm.Trust_module.create ~key_bits:256 ~seed:(string_of_int s) () in
+      String.equal
+        (Crypto.Rsa.public_to_string (Tpm.Trust_module.identity_public a))
+        (Crypto.Rsa.public_to_string (Tpm.Trust_module.identity_public b)))
+
+let () =
+  Alcotest.run "tpm"
+    [
+      ( "pcr",
+        [
+          Alcotest.test_case "initial zero" `Quick test_pcr_initial_zero;
+          Alcotest.test_case "extend changes" `Quick test_pcr_extend_changes;
+          Alcotest.test_case "order sensitive" `Quick test_pcr_order_sensitive;
+          Alcotest.test_case "deterministic" `Quick test_pcr_deterministic;
+          Alcotest.test_case "composite selection" `Quick test_pcr_composite_selection;
+          Alcotest.test_case "reset" `Quick test_pcr_reset;
+          Alcotest.test_case "bounds" `Quick test_pcr_bounds;
+        ] );
+      ( "trust-module",
+        [
+          Alcotest.test_case "registers" `Quick test_registers;
+          Alcotest.test_case "register bounds" `Quick test_register_bounds;
+          Alcotest.test_case "registers copy" `Quick test_registers_copy;
+          Alcotest.test_case "session sign/verify" `Quick test_session_sign_verify;
+          Alcotest.test_case "sessions fresh" `Quick test_sessions_are_fresh;
+          Alcotest.test_case "endorsement verifies" `Quick test_endorsement_verifies;
+          Alcotest.test_case "endorsement not transferable" `Quick
+            test_endorsement_not_transferable;
+          Alcotest.test_case "identity ops" `Quick test_identity_ops;
+          Alcotest.test_case "nonces fresh" `Quick test_nonces_fresh;
+          qtest trust_module_deterministic;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the symbolic protocol verifier. *)
+
+open Verifier
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let k = Term.Fresh "k"
+let sk = Term.Fresh "sk"
+let secret = Term.Fresh "secret"
+
+(* --- Deduction rules ------------------------------------------------------- *)
+
+let test_pair_projection () =
+  let know = Deduction.of_list [ Term.Pair (secret, Term.Const "public") ] in
+  Alcotest.(check bool) "left component leaks" true (Deduction.derives know secret)
+
+let test_senc_without_key () =
+  let know = Deduction.of_list [ Term.Senc (k, secret) ] in
+  Alcotest.(check bool) "ciphertext alone keeps secret" false (Deduction.derives know secret)
+
+let test_senc_with_key () =
+  let know = Deduction.of_list [ Term.Senc (k, secret); k ] in
+  Alcotest.(check bool) "key opens ciphertext" true (Deduction.derives know secret)
+
+let test_senc_key_learned_later () =
+  (* Saturation must re-examine old ciphertexts when the key becomes
+     derivable through another ciphertext. *)
+  let k2 = Term.Fresh "k2" in
+  let know = Deduction.of_list [ Term.Senc (k, secret); Term.Senc (k2, k); k2 ] in
+  Alcotest.(check bool) "chained decryption" true (Deduction.derives know secret)
+
+let test_aenc () =
+  let know = Deduction.of_list [ Term.Aenc (Term.Pub sk, secret) ] in
+  Alcotest.(check bool) "without sk" false (Deduction.derives know secret);
+  let know = Deduction.add know sk in
+  Alcotest.(check bool) "with sk" true (Deduction.derives know secret)
+
+let test_sign_reveals_payload () =
+  let know = Deduction.of_list [ Term.Sign (sk, secret) ] in
+  Alcotest.(check bool) "signatures are not confidential" true (Deduction.derives know secret);
+  Alcotest.(check bool) "but the key stays secret" false (Deduction.derives know sk)
+
+let test_sign_unforgeable () =
+  let know = Deduction.of_list [ Term.Sign (sk, Term.Const "m1"); Term.Pub sk ] in
+  Alcotest.(check bool) "cannot sign a different message" false
+    (Deduction.derives know (Term.Sign (sk, Term.Const "m2")));
+  Alcotest.(check bool) "can replay the exact signature" true
+    (Deduction.derives know (Term.Sign (sk, Term.Const "m1")))
+
+let test_hash_one_way () =
+  let know = Deduction.of_list [ Term.Hash secret ] in
+  Alcotest.(check bool) "hash does not invert" false (Deduction.derives know secret);
+  Alcotest.(check bool) "hash of known value computable" true
+    (Deduction.derives know (Term.Hash (Term.Const "x")))
+
+let test_consts_always_derivable () =
+  let know = Deduction.of_list [] in
+  Alcotest.(check bool) "constants are public" true (Deduction.derives know (Term.Const "anything"));
+  Alcotest.(check bool) "fresh values are not" false (Deduction.derives know (Term.Fresh "n"))
+
+let test_pub_derivable_from_sk () =
+  let know = Deduction.of_list [ sk ] in
+  Alcotest.(check bool) "pub from sk" true (Deduction.derives know (Term.Pub sk));
+  let know2 = Deduction.of_list [ Term.Pub sk ] in
+  Alcotest.(check bool) "sk not from pub" false (Deduction.derives know2 sk)
+
+let test_composition () =
+  let know = Deduction.of_list [ k; Term.Fresh "m" ] in
+  Alcotest.(check bool) "can encrypt known things" true
+    (Deduction.derives know (Term.Senc (k, Term.Pair (Term.Fresh "m", Term.Const "tag"))))
+
+let derivability_monotone =
+  QCheck.Test.make ~name:"adding knowledge never loses derivability" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let t1 = Term.Fresh (Printf.sprintf "x%d" (a mod 5)) in
+      let t2 = Term.Fresh (Printf.sprintf "y%d" (b mod 5)) in
+      let know = Deduction.of_list [ Term.Pair (t1, Term.Const "c") ] in
+      let know' = Deduction.add know t2 in
+      (not (Deduction.derives know t1)) || Deduction.derives know' t1)
+
+(* --- Term utilities ----------------------------------------------------------- *)
+
+let test_pair_list () =
+  Alcotest.(check bool) "empty" true (Term.pair_list [] = Term.Const "nil");
+  Alcotest.(check bool) "singleton" true (Term.pair_list [ k ] = k);
+  Alcotest.(check bool) "nested right" true
+    (Term.pair_list [ k; sk; secret ] = Term.Pair (k, Term.Pair (sk, secret)))
+
+let test_subterms () =
+  let t = Term.Senc (k, Term.Pair (secret, Term.Hash sk)) in
+  let subs = Term.subterms t in
+  Alcotest.(check bool) "contains itself" true (List.mem t subs);
+  Alcotest.(check bool) "contains leaf" true (List.mem sk subs);
+  Alcotest.(check int) "count" 6 (List.length subs)
+
+let test_term_printing () =
+  Alcotest.(check string) "render" "senc(~k; (a, ~s))"
+    (Term.to_string (Term.Senc (k, Term.Pair (Term.Const "a", Term.Fresh "s"))))
+
+(* --- CloudMonatt model ----------------------------------------------------------- *)
+
+let expected_violations variant =
+  List.filter_map
+    (fun (c : Properties.check) ->
+      match c.outcome with Properties.Holds -> None | Properties.Violated _ -> Some c.id)
+    (Properties.run variant)
+
+let test_secure_protocol_all_hold () =
+  Alcotest.(check (list string)) "no violations" [] (expected_violations Model.secure);
+  Alcotest.(check bool) "holds" true (Properties.holds (Properties.run Model.secure))
+
+let test_no_nonces_breaks_freshness_only () =
+  Alcotest.(check (list string)) "only freshness" [ "freshness" ]
+    (expected_violations Model.no_nonces)
+
+let test_no_encryption_breaks_secrecy_and_auth () =
+  let got = List.sort compare (expected_violations Model.no_encryption) in
+  Alcotest.(check (list string)) "secrecy + auth"
+    [ "auth-as-server"; "auth-controller-as"; "auth-customer-controller"; "secrecy-payloads" ]
+    got
+
+let test_compromised_channels_integrity_survives () =
+  let checks = Properties.run Model.compromised_channels in
+  (match Properties.find checks "integrity" with
+  | Some { outcome = Properties.Holds; _ } -> ()
+  | _ -> Alcotest.fail "signature chain must survive channel compromise");
+  match Properties.find checks "freshness" with
+  | Some { outcome = Properties.Holds; _ } -> ()
+  | _ -> Alcotest.fail "nonces must survive channel compromise"
+
+let test_unsigned_measurements_forgeable () =
+  let checks = Properties.run Model.no_measurement_signature in
+  match Properties.find checks "integrity" with
+  | Some { outcome = Properties.Violated _; _ } -> ()
+  | _ -> Alcotest.fail "unsigned measurements must be forgeable"
+
+let test_unsigned_reports_forgeable () =
+  let checks = Properties.run Model.no_report_signature in
+  match Properties.find checks "integrity" with
+  | Some { outcome = Properties.Violated _; _ } -> ()
+  | _ -> Alcotest.fail "unsigned reports must be forgeable"
+
+let test_identity_keys_never_leak () =
+  (* In every variant, long-term private keys stay secret: the protocol
+     never transmits them in any form. *)
+  List.iter
+    (fun variant ->
+      let checks = Properties.run variant in
+      match Properties.find checks "secrecy-identity-keys" with
+      | Some { outcome = Properties.Holds; _ } -> ()
+      | _ -> Alcotest.fail "identity keys leaked")
+    [
+      Model.secure; Model.no_nonces; Model.no_encryption; Model.compromised_channels;
+      Model.no_measurement_signature; Model.no_report_signature;
+    ]
+
+let test_check_ids_stable () =
+  let checks = Properties.run Model.secure in
+  Alcotest.(check (list string)) "ids in order" Properties.check_ids
+    (List.map (fun (c : Properties.check) -> c.id) checks)
+
+let test_model_sessions () =
+  let t = Model.build Model.secure in
+  Alcotest.(check int) "two sessions" 2 (List.length t.Model.sessions);
+  (* P and rM are shared across sessions; nonces are not. *)
+  let s1 = List.nth t.Model.sessions 0 and s2 = List.nth t.Model.sessions 1 in
+  Alcotest.(check bool) "P shared" true (Term.equal s1.Model.property s2.Model.property);
+  Alcotest.(check bool) "nonces fresh" false (Term.equal s1.Model.n3 s2.Model.n3)
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ( "deduction",
+        [
+          Alcotest.test_case "pair projection" `Quick test_pair_projection;
+          Alcotest.test_case "senc without key" `Quick test_senc_without_key;
+          Alcotest.test_case "senc with key" `Quick test_senc_with_key;
+          Alcotest.test_case "chained decryption" `Quick test_senc_key_learned_later;
+          Alcotest.test_case "aenc" `Quick test_aenc;
+          Alcotest.test_case "sign reveals payload" `Quick test_sign_reveals_payload;
+          Alcotest.test_case "sign unforgeable" `Quick test_sign_unforgeable;
+          Alcotest.test_case "hash one-way" `Quick test_hash_one_way;
+          Alcotest.test_case "constants public" `Quick test_consts_always_derivable;
+          Alcotest.test_case "pub from sk" `Quick test_pub_derivable_from_sk;
+          Alcotest.test_case "composition" `Quick test_composition;
+          qtest derivability_monotone;
+        ] );
+      ( "terms",
+        [
+          Alcotest.test_case "pair_list" `Quick test_pair_list;
+          Alcotest.test_case "subterms" `Quick test_subterms;
+          Alcotest.test_case "printing" `Quick test_term_printing;
+        ] );
+      ( "cloudmonatt-model",
+        [
+          Alcotest.test_case "secure: all hold" `Quick test_secure_protocol_all_hold;
+          Alcotest.test_case "no nonces: freshness only" `Quick
+            test_no_nonces_breaks_freshness_only;
+          Alcotest.test_case "no encryption: secrecy+auth" `Quick
+            test_no_encryption_breaks_secrecy_and_auth;
+          Alcotest.test_case "channel compromise: integrity survives" `Quick
+            test_compromised_channels_integrity_survives;
+          Alcotest.test_case "unsigned measurements forgeable" `Quick
+            test_unsigned_measurements_forgeable;
+          Alcotest.test_case "unsigned reports forgeable" `Quick test_unsigned_reports_forgeable;
+          Alcotest.test_case "identity keys never leak" `Quick test_identity_keys_never_leak;
+          Alcotest.test_case "check ids stable" `Quick test_check_ids_stable;
+          Alcotest.test_case "model sessions" `Quick test_model_sessions;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the binary codec. *)
+
+module Codec = Wire.Codec
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let roundtrip enc dec v = Codec.decode (Codec.encode (fun e -> enc e v)) dec
+
+let u8_roundtrip =
+  QCheck.Test.make ~name:"u8 roundtrip" ~count:256 (QCheck.int_range 0 255) (fun v ->
+      roundtrip Codec.Enc.u8 Codec.Dec.u8 v = v)
+
+let u16_roundtrip =
+  QCheck.Test.make ~name:"u16 roundtrip" ~count:200 (QCheck.int_range 0 0xffff) (fun v ->
+      roundtrip Codec.Enc.u16 Codec.Dec.u16 v = v)
+
+let u32_roundtrip =
+  QCheck.Test.make ~name:"u32 roundtrip" ~count:200 (QCheck.int_range 0 0xffffffff) (fun v ->
+      roundtrip Codec.Enc.u32 Codec.Dec.u32 v = v)
+
+let int_roundtrip =
+  QCheck.Test.make ~name:"int roundtrip" ~count:200 (QCheck.map abs QCheck.int) (fun v ->
+      roundtrip Codec.Enc.int Codec.Dec.int v = v)
+
+let str_roundtrip =
+  QCheck.Test.make ~name:"str roundtrip" ~count:200 QCheck.string (fun v ->
+      String.equal (roundtrip Codec.Enc.str Codec.Dec.str v) v)
+
+let list_roundtrip =
+  QCheck.Test.make ~name:"list of strings roundtrip" ~count:100 QCheck.(list string)
+    (fun v ->
+      roundtrip
+        (fun e xs -> Codec.Enc.list e (Codec.Enc.str e) xs)
+        (fun d -> Codec.Dec.list d Codec.Dec.str)
+        v
+      = v)
+
+let option_roundtrip =
+  QCheck.Test.make ~name:"option roundtrip" ~count:100 QCheck.(option small_int) (fun v ->
+      roundtrip
+        (fun e o -> Codec.Enc.option e (Codec.Enc.int e) o)
+        (fun d -> Codec.Dec.option d Codec.Dec.int)
+        v
+      = v)
+
+let int_array_roundtrip =
+  QCheck.Test.make ~name:"int_array roundtrip" ~count:100
+    QCheck.(array (map abs int))
+    (fun v -> roundtrip Codec.Enc.int_array Codec.Dec.int_array v = v)
+
+let bool_roundtrip =
+  QCheck.Test.make ~name:"bool roundtrip" ~count:10 QCheck.bool (fun v ->
+      roundtrip Codec.Enc.bool Codec.Dec.bool v = v)
+
+let composite_roundtrip =
+  QCheck.Test.make ~name:"composite message roundtrip" ~count:100
+    QCheck.(triple string (list small_int) bool)
+    (fun (s, xs, b) ->
+      let encoded =
+        Codec.encode (fun e ->
+            Codec.Enc.str e s;
+            Codec.Enc.list e (Codec.Enc.int e) xs;
+            Codec.Enc.bool e b)
+      in
+      Codec.decode encoded (fun d ->
+          let s' = Codec.Dec.str d in
+          let xs' = Codec.Dec.list d Codec.Dec.int in
+          let b' = Codec.Dec.bool d in
+          (s', xs', b'))
+      = (s, xs, b))
+
+(* --- Error handling ----------------------------------------------------- *)
+
+let test_trailing_bytes () =
+  let encoded = Codec.encode (fun e -> Codec.Enc.u16 e 7) in
+  Alcotest.(check bool) "trailing bytes rejected" true
+    (Codec.decode_opt encoded Codec.Dec.u8 = None)
+
+let test_truncated () =
+  Alcotest.(check bool) "truncated u32" true (Codec.decode_opt "\x01\x02" Codec.Dec.u32 = None);
+  Alcotest.(check bool) "truncated str" true
+    (Codec.decode_opt "\x00\x00\x00\x10abc" Codec.Dec.str = None)
+
+let test_bad_bool () =
+  let encoded = Codec.encode (fun e -> Codec.Enc.u8 e 7) in
+  Alcotest.(check bool) "bad bool tag" true (Codec.decode_opt encoded Codec.Dec.bool = None)
+
+let test_bad_option_tag () =
+  let encoded = Codec.encode (fun e -> Codec.Enc.u8 e 9) in
+  Alcotest.(check bool) "bad option tag" true
+    (Codec.decode_opt encoded (fun d -> Codec.Dec.option d Codec.Dec.u8) = None)
+
+let test_negative_int_rejected () =
+  Alcotest.check_raises "negative int" (Codec.Error "int must be non-negative") (fun () ->
+      ignore (Codec.encode (fun e -> Codec.Enc.int e (-1))))
+
+let test_out_of_range () =
+  Alcotest.check_raises "u8 range" (Codec.Error "u8 out of range") (fun () ->
+      ignore (Codec.encode (fun e -> Codec.Enc.u8 e 256)));
+  Alcotest.check_raises "u16 range" (Codec.Error "u16 out of range") (fun () ->
+      ignore (Codec.encode (fun e -> Codec.Enc.u16 e (-1))))
+
+let test_huge_list_rejected () =
+  (* A length prefix claiming 2^31 entries must not allocate. *)
+  let bogus = Codec.encode (fun e -> Codec.Enc.u32 e 0x7fffffff) in
+  Alcotest.(check bool) "huge list rejected" true
+    (Codec.decode_opt bogus (fun d -> Codec.Dec.list d Codec.Dec.u8) = None)
+
+let test_remaining () =
+  let d = Codec.Dec.of_string "abcd" in
+  Alcotest.(check int) "remaining" 4 (Codec.Dec.remaining d);
+  ignore (Codec.Dec.u16 d);
+  Alcotest.(check int) "after u16" 2 (Codec.Dec.remaining d)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "roundtrips",
+        [
+          qtest u8_roundtrip;
+          qtest u16_roundtrip;
+          qtest u32_roundtrip;
+          qtest int_roundtrip;
+          qtest str_roundtrip;
+          qtest list_roundtrip;
+          qtest option_roundtrip;
+          qtest int_array_roundtrip;
+          qtest bool_roundtrip;
+          qtest composite_roundtrip;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes;
+          Alcotest.test_case "truncation" `Quick test_truncated;
+          Alcotest.test_case "bad bool" `Quick test_bad_bool;
+          Alcotest.test_case "bad option tag" `Quick test_bad_option_tag;
+          Alcotest.test_case "negative int" `Quick test_negative_int_rejected;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "huge list" `Quick test_huge_list_rejected;
+          Alcotest.test_case "remaining" `Quick test_remaining;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for the workload models. *)
+
+open Workloads
+
+let test_bench_catalog () =
+  Alcotest.(check int) "six benchmarks" 6 (List.length Cloud_bench.all);
+  Alcotest.(check bool) "lookup" true (Cloud_bench.of_name "database" = Some Cloud_bench.database);
+  Alcotest.(check bool) "unknown" true (Cloud_bench.of_name "nosql" = None)
+
+let test_bench_cpu_bound_split () =
+  let cpu = List.filter (fun b -> b.Cloud_bench.cpu_bound) Cloud_bench.all in
+  let io = List.filter (fun b -> not b.Cloud_bench.cpu_bound) Cloud_bench.all in
+  Alcotest.(check (list string)) "cpu-bound: database/web/app"
+    [ "database"; "web"; "app" ]
+    (List.map (fun b -> b.Cloud_bench.name) cpu);
+  Alcotest.(check (list string)) "io-bound: file/stream/mail"
+    [ "file"; "stream"; "mail" ]
+    (List.map (fun b -> b.Cloud_bench.name) io)
+
+let test_bench_duty () =
+  List.iter
+    (fun b ->
+      let d = Cloud_bench.duty b in
+      Alcotest.(check bool) (b.Cloud_bench.name ^ " duty in (0,1)") true (d > 0.0 && d < 1.0);
+      if b.Cloud_bench.cpu_bound then
+        Alcotest.(check bool) (b.Cloud_bench.name ^ " demands most of the CPU") true (d > 0.9)
+      else Alcotest.(check bool) (b.Cloud_bench.name ^ " mostly idle") true (d < 0.3))
+    Cloud_bench.all
+
+let test_bench_duty_realised () =
+  (* Run each benchmark alone: the realised CPU share matches its duty. *)
+  List.iter
+    (fun b ->
+      let engine = Sim.Engine.create () in
+      let sched = Hypervisor.Credit_scheduler.create ~engine ~pcpus:1 () in
+      let d = Hypervisor.Credit_scheduler.add_domain sched ~name:b.Cloud_bench.name ~weight:256 in
+      List.iter
+        (fun p -> ignore (Hypervisor.Credit_scheduler.add_vcpu sched d ~pin:0 p))
+        (Cloud_bench.programs b ~vcpus:1 ());
+      Sim.Engine.run_until engine (Sim.Time.sec 10);
+      let share =
+        Sim.Time.to_sec (Hypervisor.Credit_scheduler.domain_runtime sched d) /. 10.0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s realises duty %.2f (got %.2f)" b.Cloud_bench.name
+           (Cloud_bench.duty b) share)
+        true
+        (abs_float (share -. Cloud_bench.duty b) < 0.05))
+    Cloud_bench.all
+
+let test_bench_vm () =
+  let vm = Cloud_bench.vm ~vid:"v" ~owner:"o" Cloud_bench.web in
+  Alcotest.(check int) "programs per vcpu" vm.Hypervisor.Vm.flavor.Hypervisor.Flavor.vcpus
+    (List.length (vm.Hypervisor.Vm.programs ()))
+
+let test_spec_catalog () =
+  Alcotest.(check (list string)) "three victims" [ "bzip2"; "hmmer"; "astar" ]
+    (List.map (fun s -> s.Spec.name) Spec.all)
+
+let test_spec_completes_solo () =
+  List.iter
+    (fun spec ->
+      let engine = Sim.Engine.create () in
+      let sched = Hypervisor.Credit_scheduler.create ~engine ~pcpus:1 () in
+      let d = Hypervisor.Credit_scheduler.add_domain sched ~name:spec.Spec.name ~weight:256 in
+      let finish = ref 0 in
+      ignore
+        (Hypervisor.Credit_scheduler.add_vcpu sched d ~pin:0
+           (Spec.program spec ~on_done:(fun t -> finish := t) ()));
+      Sim.Engine.run_until engine (Sim.Time.sec 30);
+      Alcotest.(check int)
+        (spec.Spec.name ^ " completes in exactly its work time")
+        spec.Spec.work !finish)
+    Spec.all
+
+let test_spec_vm () =
+  let finish = ref 0 in
+  let vm = Spec.vm ~vid:"v" ~owner:"o" Spec.bzip2 ~on_done:(fun t -> finish := t) in
+  Alcotest.(check int) "single vcpu" 1 (List.length (vm.Hypervisor.Vm.programs ()))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "cloud-bench",
+        [
+          Alcotest.test_case "catalog" `Quick test_bench_catalog;
+          Alcotest.test_case "cpu/io split" `Quick test_bench_cpu_bound_split;
+          Alcotest.test_case "duty bounds" `Quick test_bench_duty;
+          Alcotest.test_case "duty realised" `Quick test_bench_duty_realised;
+          Alcotest.test_case "vm construction" `Quick test_bench_vm;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "catalog" `Quick test_spec_catalog;
+          Alcotest.test_case "completes solo" `Quick test_spec_completes_solo;
+          Alcotest.test_case "vm construction" `Quick test_spec_vm;
+        ] );
+    ]
