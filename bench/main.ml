@@ -1,7 +1,7 @@
 (* Benchmark harness: one experiment per paper table/figure, plus bechamel
    micro-benchmarks of the building blocks.
 
-   Usage: main.exe [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|micro|all]
+   Usage: main.exe [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|ablations|micro|all]
    With no argument, everything runs. *)
 
 let seed = 2015
@@ -15,6 +15,7 @@ let run_fig10 () = Experiments.Fig10.print (Experiments.Fig10.run ~seed ())
 let run_fig11 () = Experiments.Fig11.print (Experiments.Fig11.run ~seed ())
 let run_verify () = Experiments.Protocol_check.print (Experiments.Protocol_check.run ())
 let run_cache () = Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
+let run_faults () = Experiments.Faults.print (Experiments.Faults.run ~seed ())
 
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
@@ -84,6 +85,7 @@ let experiments =
     ("fig11", run_fig11);
     ("verify", run_verify);
     ("cache", run_cache);
+    ("faults", run_faults);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]

@@ -29,8 +29,14 @@ type t = {
   mutable refs : Interpret.refs;
   mutable vm_image_lookup : string -> string option;
   channels : (string, Net.Secure_channel.Client.t) Hashtbl.t;
+  (* Where cached channels charge wire time: rebound to the live ledger at
+     the start of every [attest], so retries in later rounds are not
+     accounted to the round that happened to open the channel. *)
+  net_ledger : Ledger.t ref;
   mutable history : history_entry list; (* newest first *)
   mutable count : int;
+  mutable degraded : int;
+  mutable attest_attempts : int;
   mutable engine_now : unit -> Sim.Time.t;
 }
 
@@ -45,8 +51,11 @@ let create ~net ~ca ~pca ~refs ~seed ?(name = "attestation-server") () =
     refs;
     vm_image_lookup = (fun _ -> None);
     channels = Hashtbl.create 8;
+    net_ledger = ref (Ledger.create ());
     history = [];
     count = 0;
+    degraded = 0;
+    attest_attempts = 2;
     engine_now = (fun () -> 0);
   }
 
@@ -57,14 +66,33 @@ let refs t = t.refs
 let set_refs t refs = t.refs <- refs
 let set_vm_image_lookup t f = t.vm_image_lookup <- f
 let set_clock t f = t.engine_now <- f
+let set_attest_attempts t n = t.attest_attempts <- max 1 n
 
-let transport t ~dst ledger msg =
-  let result, elapsed = Net.Network.call t.net ~src:t.name ~dst msg in
-  Ledger.add ledger "network" elapsed;
+let no_such_host_prefix = "no such host"
+
+let is_no_such_host m =
+  String.length m >= String.length no_such_host_prefix
+  && String.equal (String.sub m 0 (String.length no_such_host_prefix)) no_such_host_prefix
+
+(* Availability failures — lost messages after all transport retries, or a
+   sequence desync that even a channel reset could not cure — degrade to an
+   [Unknown] verdict.  Anything pointing at an active forgery (bad MACs,
+   bad signatures, garbage replies) or a misconfigured fleet (no such
+   host) stays a hard error: the paper's adversary must never be able to
+   convert a detected attack into a mere "unknown". *)
+let availability_failure = function
+  | `Server_unreachable _ -> true
+  | `Channel (`Transport m) -> not (is_no_such_host m)
+  | `Channel e -> Net.Secure_channel.desync e
+  | `Server_refused _ | `Verification _ | `Uncertified_key -> false
+
+let transport t ~dst msg =
+  let result, elapsed = Net.Network.call_with_retry t.net ~src:t.name ~dst msg in
+  Ledger.add !(t.net_ledger) "network" elapsed;
   match result with
   | Ok r -> Ok r
   | Error `Dropped -> Error "message dropped"
-  | Error (`No_such_host h) -> Error ("no such host: " ^ h)
+  | Error (`No_such_host h) -> Error (no_such_host_prefix ^ ": " ^ h)
 
 let channel_to t ~server ledger =
   let dst = Attestation_client.address_of server in
@@ -76,7 +104,7 @@ let channel_to t ~server ledger =
         Net.Secure_channel.Client.connect ~identity:t.identity ~ca:t.ca_public
           ~seed:(t.name ^ "->" ^ server)
           ~peer:server
-          ~transport:(transport t ~dst ledger)
+          ~transport:(transport t ~dst)
       with
       | Ok ch ->
           Hashtbl.replace t.channels server ch;
@@ -100,77 +128,111 @@ let record t vid property status =
   t.count <- t.count + 1;
   t.history <- { at = t.engine_now (); vid; property; status } :: t.history
 
+(* Produce the signed AS report for [report], recording it in the history. *)
+let sign_report t ~vid ~server ~property ~nonce ~ledger report =
+  record t vid property report.Report.status;
+  Ledger.add ledger "report-sign" Costs.report_sign;
+  let quote = Protocol.q2 ~vid ~server ~property ~report ~nonce in
+  let unsigned = { Protocol.vid; server; property; report; nonce; quote; signature = "" } in
+  let signature =
+    Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
+      (Protocol.as_report_payload unsigned)
+  in
+  { unsigned with Protocol.signature }
+
+(* One measurement-collection round against the cloud server. *)
+let attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger =
+  let* channel = channel_to t ~server ledger in
+  let n3 = Crypto.Drbg.nonce t.drbg in
+  let req = { Protocol.vid; requests_raw; nonce = n3 } in
+  (* Server-side simulated cost: key generation, collection, signing. *)
+  Ledger.add ledger "server-measure" (Attestation_client.measurement_cost req);
+  let* raw =
+    match
+      Net.Secure_channel.Client.call_robust channel (Protocol.encode_measure_request req)
+    with
+    | Ok raw -> Ok raw
+    | Error e ->
+        (* A channel that retries and resets could not fix is unusable. *)
+        Hashtbl.remove t.channels server;
+        Error (`Channel e)
+  in
+  let* body = parse_client_reply raw in
+  let* response =
+    match Protocol.decode_measure_response body with
+    | Some r -> Ok r
+    | None -> Error (`Server_refused "malformed measurement response")
+  in
+  (* Certify the session key through the privacy CA, then verify. *)
+  Ledger.add ledger "pca-certify" Costs.pca_certify;
+  let* cert =
+    match Crypto.Rsa.public_of_string response.avk with
+    | None -> Error `Uncertified_key
+    | Some avk -> (
+        match
+          Privacy_ca.certify_attestation_key t.pca ~key:avk
+            ~endorsement:response.endorsement
+        with
+        | Ok cert -> Ok cert
+        | Error `Unknown_server -> Error `Uncertified_key)
+  in
+  Ledger.add ledger "verify" Costs.signature_verify;
+  let* () =
+    Result.map_error
+      (fun e -> `Verification e)
+      (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
+         ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3 response)
+  in
+  (* Interpret. *)
+  Ledger.add ledger "interpret" Costs.interpret;
+  let values =
+    Option.value ~default:[] (Monitors.Measurement.decode_values response.values_raw)
+  in
+  let status, evidence =
+    Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values
+  in
+  Ok { Report.vid; property; status; evidence; produced_at = t.engine_now () }
+
 let attest t ~vid ~server ~property ~nonce =
   let ledger = Ledger.create () in
-  let result =
-    Ledger.add ledger "db-lookup" Costs.db_lookup;
-    let requests = Interpret.requests_for t.refs property in
-    let requests_raw = Monitors.Measurement.encode_requests requests in
-    let* channel = channel_to t ~server ledger in
-    let n3 = Crypto.Drbg.nonce t.drbg in
-    let req = { Protocol.vid; requests_raw; nonce = n3 } in
-    (* Server-side simulated cost: key generation, collection, signing. *)
-    Ledger.add ledger "server-measure" (Attestation_client.measurement_cost req);
-    let* raw =
-      match Net.Secure_channel.Client.call channel (Protocol.encode_measure_request req) with
-      | Ok raw -> Ok raw
-      | Error e ->
-          (* A failed record leaves the cached channel unusable. *)
-          Hashtbl.remove t.channels server;
-          Error (`Channel e)
-    in
-    let* body = parse_client_reply raw in
-    let* response =
-      match Protocol.decode_measure_response body with
-      | Some r -> Ok r
-      | None -> Error (`Server_refused "malformed measurement response")
-    in
-    (* Certify the session key through the privacy CA, then verify. *)
-    Ledger.add ledger "pca-certify" Costs.pca_certify;
-    let* cert =
-      match Crypto.Rsa.public_of_string response.avk with
-      | None -> Error `Uncertified_key
-      | Some avk -> (
-          match
-            Privacy_ca.certify_attestation_key t.pca ~key:avk
-              ~endorsement:response.endorsement
-          with
-          | Ok cert -> Ok cert
-          | Error `Unknown_server -> Error `Uncertified_key)
-    in
-    Ledger.add ledger "verify" Costs.signature_verify;
-    let* () =
-      Result.map_error
-        (fun e -> `Verification e)
-        (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
-           ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3 response)
-    in
-    (* Interpret. *)
-    Ledger.add ledger "interpret" Costs.interpret;
-    let values =
-      Option.value ~default:[] (Monitors.Measurement.decode_values response.values_raw)
-    in
-    let status, evidence = Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values in
-    let report =
-      { Report.vid; property; status; evidence; produced_at = t.engine_now () }
-    in
-    record t vid property status;
-    (* Sign the AS report. *)
-    Ledger.add ledger "report-sign" Costs.report_sign;
-    let quote = Protocol.q2 ~vid ~server ~property ~report ~nonce in
-    let unsigned =
-      { Protocol.vid; server; property; report; nonce; quote; signature = "" }
-    in
-    let signature =
-      Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
-        (Protocol.as_report_payload unsigned)
-    in
-    Ok { unsigned with Protocol.signature }
+  t.net_ledger := ledger;
+  Ledger.add ledger "db-lookup" Costs.db_lookup;
+  let requests = Interpret.requests_for t.refs property in
+  let requests_raw = Monitors.Measurement.encode_requests requests in
+  (* Bounded re-attestation: a round lost to the network is retried from
+     scratch (fresh channel, fresh N3); when every attempt is exhausted the
+     verdict degrades to [Unknown] instead of wedging the pipeline — the
+     availability loss itself is the finding the customer must see. *)
+  let rec go attempt =
+    match attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger with
+    | Ok report -> Ok (sign_report t ~vid ~server ~property ~nonce ~ledger report)
+    | Error e when availability_failure e ->
+        Hashtbl.remove t.channels server;
+        if attempt < t.attest_attempts then go (attempt + 1)
+        else begin
+          t.degraded <- t.degraded + 1;
+          let reason =
+            Format.asprintf "attestation path unavailable after %d attempts: %a" attempt
+              pp_error e
+          in
+          let report =
+            {
+              Report.vid;
+              property;
+              status = Report.Unknown reason;
+              evidence = "no measurements collected";
+              produced_at = t.engine_now ();
+            }
+          in
+          Ok (sign_report t ~vid ~server ~property ~nonce ~ledger report)
+        end
+    | Error e -> Error e
   in
-  (result, ledger)
+  (go 1, ledger)
 
 let history t = List.rev t.history
 let attestations_done t = t.count
+let degraded_count t = t.degraded
 
 (* --- Network service ------------------------------------------------------ *)
 

@@ -49,6 +49,10 @@ val set_clock : t -> (unit -> Sim.Time.t) -> unit
 (** Wire the simulation clock in (done by {!Cloud}); reports carry the
     production time. *)
 
+val set_attest_attempts : t -> int -> unit
+(** How many from-scratch attestation rounds {!attest} may run before it
+    degrades the verdict to [Unknown] (clamped to at least 1; default 2). *)
+
 val attest :
   t ->
   vid:string ->
@@ -57,7 +61,17 @@ val attest :
   nonce:string ->
   (Protocol.as_report, error) result * Ledger.t
 (** One full measurement-collection + interpretation round.  The nonce is
-    the controller's N2, echoed in the signed report. *)
+    the controller's N2, echoed in the signed report.
+
+    Rides the fault-tolerance stack: messages go through
+    {!Net.Network.call_with_retry}, records through
+    {!Net.Secure_channel.Client.call_robust}, and if the attestation path
+    is still unavailable after the configured rounds (all transport retries
+    exhausted, or an uncurable sequence desync) the call returns [Ok] of a
+    signed report with status [Report.Unknown reason] rather than raising or
+    hanging.  Failures that look like an active attack — authentication or
+    verification failures, malformed replies, unknown hosts — never degrade
+    and stay hard errors. *)
 
 (** {2 Introspection for tests and benches} *)
 
@@ -72,6 +86,10 @@ val history : t -> history_entry list
 (** All appraisals, oldest first (the "oat database"). *)
 
 val attestations_done : t -> int
+
+val degraded_count : t -> int
+(** How many attestations ended in a degraded [Unknown] verdict because the
+    network stayed unavailable through every retry. *)
 
 (** {2 Network service} *)
 

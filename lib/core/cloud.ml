@@ -173,7 +173,8 @@ module Customer = struct
 
   let transport t msg =
     let result, _elapsed =
-      Net.Network.call t.cloud.net ~src:t.name ~dst:(Controller.name t.cloud.controller) msg
+      Net.Network.call_with_retry t.cloud.net ~src:t.name
+        ~dst:(Controller.name t.cloud.controller) msg
     in
     match result with
     | Ok r -> Ok r
@@ -203,7 +204,7 @@ module Customer = struct
   let call t command =
     let ( let* ) = Result.bind in
     let* ch = channel t in
-    match Net.Secure_channel.Client.call ch (Commands.encode_command command) with
+    match Net.Secure_channel.Client.call_robust ch (Commands.encode_command command) with
     | Error e ->
         t.channel <- None;
         Error (`Channel e)

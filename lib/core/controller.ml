@@ -43,6 +43,8 @@ type t = {
      routed to their cluster's AS. *)
   attestation_servers : (string * Crypto.Rsa.public) array;
   as_channels : (int, Net.Secure_channel.Client.t) Hashtbl.t;
+  (* Live ledger for cached-channel wire time (rebound per [attest]). *)
+  as_ledger : Ledger.t ref;
   mutable cluster_of : string -> int;  (* host -> AS index *)
   hypervisors : (string, Hypervisor.Server.t) Hashtbl.t;
   images : (string, Hypervisor.Image.t) Hashtbl.t;
@@ -50,6 +52,7 @@ type t = {
   subscribers : (string, Protocol.controller_report -> unit) Hashtbl.t;
   periodic : (string * string, bool ref) Hashtbl.t; (* (vid, property) -> stop flag *)
   mutable response_policy : Report.t -> response_strategy option;
+  mutable attest_attempts : int;
   mutable auto_resume : bool;  (* re-check suspended VMs and resume on healthy *)
   mutable recheck_period : Sim.Time.t;
   mutable max_rechecks : int;
@@ -120,9 +123,9 @@ let as_index t ~host =
   let i = t.cluster_of host in
   if i < 0 || i >= Array.length t.attestation_servers then 0 else i
 
-let as_transport t ~dst ledger msg =
-  let result, elapsed = Net.Network.call t.net ~src:t.name ~dst msg in
-  Ledger.add ledger "network" elapsed;
+let as_transport t ~dst msg =
+  let result, elapsed = Net.Network.call_with_retry t.net ~src:t.name ~dst msg in
+  Ledger.add !(t.as_ledger) "network" elapsed;
   match result with
   | Ok r -> Ok r
   | Error `Dropped -> Error "message dropped"
@@ -137,74 +140,127 @@ let as_channel t ~idx ledger =
       match
         Net.Secure_channel.Client.connect ~identity:t.identity ~ca:t.ca_public
           ~seed:(t.name ^ "->" ^ as_name) ~peer:as_name
-          ~transport:(as_transport t ~dst:as_name ledger)
+          ~transport:(as_transport t ~dst:as_name)
       with
       | Ok ch ->
           Hashtbl.replace t.as_channels idx ch;
           Ok ch
-      | Error e -> Error (Format.asprintf "AS channel: %a" Net.Secure_channel.pp_error e))
+      | Error e -> Error e)
 
 let ( let* ) = Result.bind
 
-(* The attest_service path: controller -> AS -> cloud server and back. *)
+let is_no_such_host m =
+  String.length m >= 12 && String.equal (String.sub m 0 12) "no such host"
+
+(* Same split as in [Attestation_server]: only failures the lossy network
+   can cause degrade to [Unknown]; anything forgery- or config-shaped stays
+   a hard error. *)
+let channel_availability (e : Net.Secure_channel.error) =
+  match e with
+  | `Transport m -> not (is_no_such_host m)
+  | e -> Net.Secure_channel.desync e
+
+let classify_channel what e =
+  let msg = Format.asprintf "%s: %a" what Net.Secure_channel.pp_error e in
+  if channel_availability e then `Avail msg else `Hard msg
+
+let sign_controller_report t (req : Protocol.attest_request) ledger report =
+  Ledger.add ledger "report-sign" Costs.report_sign;
+  let quote = Protocol.q1 ~vid:req.vid ~property:req.property ~report ~nonce:req.nonce in
+  let unsigned =
+    {
+      Protocol.vid = req.vid;
+      property = req.property;
+      report;
+      nonce = req.nonce;
+      quote;
+      signature = "";
+    }
+  in
+  let signature =
+    Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
+      (Protocol.controller_report_payload unsigned)
+  in
+  { unsigned with Protocol.signature }
+
+(* One controller -> AS -> cloud server round.  Errors carry whether they
+   are availability-shaped ([`Avail]) and thus eligible for degradation. *)
+let attest_once t (req : Protocol.attest_request) ledger =
+  Ledger.add ledger "db-lookup" Costs.db_lookup;
+  let* record =
+    match Database.vm t.db req.vid with
+    | Some r -> Ok r
+    | None -> Error (`Hard ("unknown VM " ^ req.vid))
+  in
+  let* host =
+    match record.Database.host with
+    | Some h -> Ok h
+    | None -> Error (`Hard ("VM " ^ req.vid ^ " is not running on any host"))
+  in
+  let idx = as_index t ~host in
+  let* channel =
+    Result.map_error (classify_channel "AS channel") (as_channel t ~idx ledger)
+  in
+  let n2 = Crypto.Drbg.nonce t.drbg in
+  let as_req =
+    { Protocol.vid = req.vid; server = host; property = req.property; nonce = n2 }
+  in
+  let* raw =
+    match
+      Net.Secure_channel.Client.call_robust channel (Protocol.encode_as_request as_req)
+    with
+    | Ok raw -> Ok raw
+    | Error e ->
+        Hashtbl.remove t.as_channels idx;
+        Error (classify_channel "AS call" e)
+  in
+  let* as_report, as_costs =
+    Result.map_error (fun e -> `Hard e) (Attestation_server.decode_service_reply raw)
+  in
+  List.iter (fun (label, cost) -> Ledger.add ledger ("as:" ^ label) cost) as_costs;
+  Ledger.add ledger "verify" Costs.signature_verify;
+  let* () =
+    Result.map_error
+      (fun e -> `Hard (Format.asprintf "AS report rejected: %a" Protocol.pp_verify_error e))
+      (Protocol.verify_as_report
+         ~key:(snd t.attestation_servers.(idx))
+         ~expected_vid:req.vid ~expected_server:host ~expected_property:req.property
+         ~expected_nonce:n2 as_report)
+  in
+  Ok (sign_controller_report t req ledger as_report.Protocol.report)
+
+(* The attest_service path: controller -> AS -> cloud server and back.
+   Bounded re-attestation with degradation to a signed [Unknown] verdict
+   when the path to the AS stays unavailable — the caller always gets an
+   answer within the retry budget instead of an opaque transport error. *)
 let attest t (req : Protocol.attest_request) =
   let ledger = Ledger.create () in
-  let result =
-    Ledger.add ledger "db-lookup" Costs.db_lookup;
-    let* record =
-      match Database.vm t.db req.vid with
-      | Some r -> Ok r
-      | None -> Error ("unknown VM " ^ req.vid)
-    in
-    let* host =
-      match record.Database.host with
-      | Some h -> Ok h
-      | None -> Error ("VM " ^ req.vid ^ " is not running on any host")
-    in
-    let idx = as_index t ~host in
-    let* channel = as_channel t ~idx ledger in
-    let n2 = Crypto.Drbg.nonce t.drbg in
-    let as_req =
-      { Protocol.vid = req.vid; server = host; property = req.property; nonce = n2 }
-    in
-    let* raw =
-      match Net.Secure_channel.Client.call channel (Protocol.encode_as_request as_req) with
-      | Ok raw -> Ok raw
-      | Error e ->
-          Hashtbl.remove t.as_channels idx;
-          Error (Format.asprintf "AS call: %a" Net.Secure_channel.pp_error e)
-    in
-    let* as_report, as_costs = Attestation_server.decode_service_reply raw in
-    List.iter (fun (label, cost) -> Ledger.add ledger ("as:" ^ label) cost) as_costs;
-    Ledger.add ledger "verify" Costs.signature_verify;
-    let* () =
-      Result.map_error
-        (fun e -> Format.asprintf "AS report rejected: %a" Protocol.pp_verify_error e)
-        (Protocol.verify_as_report
-           ~key:(snd t.attestation_servers.(idx))
-           ~expected_vid:req.vid ~expected_server:host ~expected_property:req.property
-           ~expected_nonce:n2 as_report)
-    in
-    Ledger.add ledger "report-sign" Costs.report_sign;
-    let report = as_report.Protocol.report in
-    let quote = Protocol.q1 ~vid:req.vid ~property:req.property ~report ~nonce:req.nonce in
-    let unsigned =
-      {
-        Protocol.vid = req.vid;
-        property = req.property;
-        report;
-        nonce = req.nonce;
-        quote;
-        signature = "";
-      }
-    in
-    let signature =
-      Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
-        (Protocol.controller_report_payload unsigned)
-    in
-    Ok { unsigned with Protocol.signature }
+  t.as_ledger := ledger;
+  let rec go attempt =
+    match attest_once t req ledger with
+    | Ok creport -> Ok creport
+    | Error (`Avail msg) ->
+        if attempt < t.attest_attempts then go (attempt + 1)
+        else begin
+          log t "attestation of %s degraded to unknown: %s" req.vid msg;
+          let reason =
+            Printf.sprintf "attestation server unreachable after %d attempts: %s" attempt
+              msg
+          in
+          let report =
+            {
+              Report.vid = req.vid;
+              property = req.property;
+              status = Report.Unknown reason;
+              evidence = "no attestation-server report";
+              produced_at = Sim.Engine.now t.engine;
+            }
+          in
+          Ok (sign_controller_report t req ledger report)
+        end
+    | Error (`Hard msg) -> Error msg
   in
-  (result, ledger)
+  (go 1, ledger)
 
 (* --- Responses (nova response module) ------------------------------------ *)
 
@@ -643,6 +699,7 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
       db = Database.create ();
       attestation_servers = Array.of_list attestation_servers;
       as_channels = Hashtbl.create 4;
+      as_ledger = ref (Ledger.create ());
       cluster_of;
       hypervisors = Hashtbl.create 8;
       images = Hashtbl.create 8;
@@ -650,6 +707,7 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
       subscribers = Hashtbl.create 8;
       periodic = Hashtbl.create 8;
       response_policy = default_policy;
+      attest_attempts = 2;
       auto_resume = true;
       recheck_period = Sim.Time.sec 5;
       max_rechecks = 10;
@@ -666,6 +724,7 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
   t
 
 let set_cluster_map t f = t.cluster_of <- f
+let set_attest_attempts t n = t.attest_attempts <- max 1 n
 
 let set_auto_resume t ?recheck_period ?max_rechecks enabled =
   t.auto_resume <- enabled;

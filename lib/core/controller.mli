@@ -92,7 +92,19 @@ val attest :
   t -> Protocol.attest_request -> (Protocol.controller_report, string) result * Ledger.t
 (** One-time attestation: forwards to the AS with a fresh N2, verifies the
     AS signature and quote Q2, then signs the controller report (quote Q1
-    over the customer's nonce N1). *)
+    over the customer's nonce N1).
+
+    The AS leg rides the retry/resync stack ({!Net.Network.call_with_retry},
+    {!Net.Secure_channel.Client.call_robust}); if the AS stays unreachable
+    through the configured number of rounds the call still returns [Ok] of a
+    signed controller report whose status is [Report.Unknown reason], so a
+    lossy network degrades the verdict instead of wedging the caller.
+    Forgery-shaped failures (bad signatures, malformed replies, unknown
+    hosts) remain hard [Error]s. *)
+
+val set_attest_attempts : t -> int -> unit
+(** Bound on from-scratch {!attest} rounds before degrading to [Unknown]
+    (clamped to at least 1; default 2). *)
 
 val subscribe : t -> owner:string -> (Protocol.controller_report -> unit) -> unit
 (** Where periodic attestation results for this customer's VMs are

@@ -1,0 +1,46 @@
+(* Deterministic fault injection on the simulated wire.  Unlike the active
+   attackers in lib/attacks (which try to subvert the protocol), these model
+   the paper's availability threat: a lossy or garbling network leg that the
+   attestation path must survive through retries and channel resets. *)
+
+let garble ?(offset = 0) payload =
+  if String.length payload = 0 then payload
+  else begin
+    let b = Bytes.of_string payload in
+    let i = offset mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  end
+
+let drop_nth ?(phase = 0) n =
+  if n <= 0 then invalid_arg "Fault.drop_nth: n must be positive";
+  let count = ref phase in
+  fun (_ : Network.message) ->
+    incr count;
+    if !count mod n = 0 then Network.Drop else Network.Pass
+
+let garble_nth ?(phase = 0) ?offset n =
+  if n <= 0 then invalid_arg "Fault.garble_nth: n must be positive";
+  let count = ref phase in
+  fun (msg : Network.message) ->
+    incr count;
+    if !count mod n = 0 then Network.Replace (garble ?offset msg.Network.payload)
+    else Network.Pass
+
+let drop_first n =
+  let count = ref 0 in
+  fun (_ : Network.message) ->
+    incr count;
+    if !count <= n then Network.Drop else Network.Pass
+
+let lossy ?(garble_p = 0.0) ~drop_p ~seed () =
+  if drop_p < 0.0 || drop_p > 1.0 || garble_p < 0.0 || garble_p > 1.0 then
+    invalid_arg "Fault.lossy: probabilities must be in [0, 1]";
+  let prng = Sim.Prng.create seed in
+  fun (msg : Network.message) ->
+    let x = Sim.Prng.float prng 1.0 in
+    if x < drop_p then Network.Drop
+    else if x < drop_p +. garble_p then Network.Replace (garble msg.Network.payload)
+    else Network.Pass
+
+let blackout () (_ : Network.message) = Network.Drop

@@ -10,6 +10,23 @@ type adversary = message -> action
 
 type error = [ `Dropped | `No_such_host of address ]
 
+type retry_policy = {
+  max_attempts : int;
+  base_delay : Sim.Time.t;
+  backoff : float;
+  max_delay : Sim.Time.t;
+  deadline : Sim.Time.t option;
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 4;
+    base_delay = Sim.Time.ms 2;
+    backoff = 2.0;
+    max_delay = Sim.Time.ms 50;
+    deadline = Some (Sim.Time.sec 2);
+  }
+
 type t = {
   prng : Sim.Prng.t;
   base_latency_us : int;
@@ -17,10 +34,13 @@ type t = {
   bandwidth_bytes_per_us : float;
   handlers : (address, string -> string) Hashtbl.t;
   mutable adversary : adversary option;
+  mutable retry : retry_policy;
   mutable log : message list; (* newest first *)
   mutable seq : int;
   mutable messages : int;
   mutable bytes : int;
+  mutable drops : int;
+  mutable retries : int;
 }
 
 let create ?(base_latency_us = 200) ?(jitter_us = 50) ?(bandwidth_mbps = 1000.0) ~seed () =
@@ -31,10 +51,13 @@ let create ?(base_latency_us = 200) ?(jitter_us = 50) ?(bandwidth_mbps = 1000.0)
     bandwidth_bytes_per_us = bandwidth_mbps *. 1.0e6 /. 8.0 /. 1.0e6;
     handlers = Hashtbl.create 16;
     adversary = None;
+    retry = default_retry_policy;
     log = [];
     seq = 0;
     messages = 0;
     bytes = 0;
+    drops = 0;
+    retries = 0;
   }
 
 let register t addr handler = Hashtbl.replace t.handlers addr handler
@@ -51,16 +74,27 @@ let leg_latency t nbytes =
 let observe t ~src ~dst ~dir payload =
   t.seq <- t.seq + 1;
   t.messages <- t.messages + 1;
-  t.bytes <- t.bytes + String.length payload;
   let msg = { seq = t.seq; src; dst; dir; payload } in
   t.log <- msg :: t.log;
+  (* Byte accounting follows what actually crosses the far end of the wire:
+     a rewritten payload is counted at its delivered length, a dropped one
+     still occupied the sender's leg. *)
   match t.adversary with
-  | None -> Some payload
+  | None ->
+      t.bytes <- t.bytes + String.length payload;
+      Some payload
   | Some adv -> (
       match adv msg with
-      | Pass -> Some payload
-      | Replace p -> Some p
-      | Drop -> None)
+      | Pass ->
+          t.bytes <- t.bytes + String.length payload;
+          Some payload
+      | Replace p ->
+          t.bytes <- t.bytes + String.length p;
+          Some p
+      | Drop ->
+          t.bytes <- t.bytes + String.length payload;
+          t.drops <- t.drops + 1;
+          None)
 
 let call t ~src ~dst payload =
   match Hashtbl.find_opt t.handlers dst with
@@ -76,6 +110,39 @@ let call t ~src ~dst payload =
           | None -> (Error `Dropped, Sim.Time.us (t1 + t2))
           | Some reply -> (Ok reply, Sim.Time.us (t1 + t2))))
 
+let set_retry_policy t p = t.retry <- p
+let retry_policy t = t.retry
+
+let call_with_retry ?policy t ~src ~dst payload =
+  let p = match policy with Some p -> p | None -> t.retry in
+  let max_attempts = max 1 p.max_attempts in
+  let delay_for attempt =
+    (* attempt is 1-based; the wait before attempt k+1 is
+       base * backoff^(k-1), capped at max_delay. *)
+    let d =
+      int_of_float (float_of_int p.base_delay *. (p.backoff ** float_of_int (attempt - 1)))
+    in
+    min d p.max_delay
+  in
+  let rec go attempt elapsed =
+    let result, leg = call t ~src ~dst payload in
+    let elapsed = elapsed + leg in
+    match result with
+    | Ok reply -> (Ok reply, elapsed)
+    | Error (`No_such_host _ as e) -> (Error e, elapsed)
+    | Error `Dropped ->
+        let wait = delay_for attempt in
+        let over_deadline =
+          match p.deadline with Some d -> elapsed + wait > d | None -> false
+        in
+        if attempt >= max_attempts || over_deadline then (Error `Dropped, elapsed)
+        else begin
+          t.retries <- t.retries + 1;
+          go (attempt + 1) (elapsed + wait)
+        end
+  in
+  go 1 Sim.Time.zero
+
 let transfer_time t ~bytes =
   Sim.Time.us (t.base_latency_us + int_of_float (float_of_int bytes /. t.bandwidth_bytes_per_us))
 
@@ -85,3 +152,5 @@ let clear_adversary t = t.adversary <- None
 let recorded t = List.rev t.log
 let message_count t = t.messages
 let bytes_sent t = t.bytes
+let drop_count t = t.drops
+let retry_count t = t.retries

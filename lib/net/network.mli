@@ -30,6 +30,19 @@ type adversary = message -> action
 
 type error = [ `Dropped | `No_such_host of address ]
 
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : Sim.Time.t;  (** wait before the second attempt *)
+  backoff : float;  (** multiplier applied to the wait after each failure *)
+  max_delay : Sim.Time.t;  (** cap on any single wait *)
+  deadline : Sim.Time.t option;
+      (** total simulated-time budget for one exchange, waits included; a
+          retry that would overrun it is not attempted *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 2 ms initial backoff doubling to a 50 ms cap, 2 s deadline. *)
+
 val create :
   ?base_latency_us:int ->
   ?jitter_us:int ->
@@ -49,6 +62,27 @@ val call : t -> src:address -> dst:address -> string -> (string, error) result *
 (** Send a request and wait for the reply.  The returned duration covers
     both wire legs (not handler compute time, which the caller accounts). *)
 
+val call_with_retry :
+  ?policy:retry_policy ->
+  t ->
+  src:address ->
+  dst:address ->
+  string ->
+  (string, error) result * Sim.Time.t
+(** [call] hardened against message loss: a [`Dropped] exchange is retried
+    with exponential backoff until it succeeds, [policy.max_attempts] is
+    reached or the next wait would overrun [policy.deadline].  The returned
+    duration is the whole exchange — every wire leg attempted plus every
+    backoff wait — so callers charge the true cost of an adversarial
+    network to their ledgers.  [`No_such_host] is permanent and never
+    retried.  [policy] defaults to the network's own (see
+    {!set_retry_policy}). *)
+
+val set_retry_policy : t -> retry_policy -> unit
+(** Replace the network-wide default policy used by {!call_with_retry}. *)
+
+val retry_policy : t -> retry_policy
+
 val transfer_time : t -> bytes:int -> Sim.Time.t
 (** Wire time for a bulk transfer of [bytes] (used for VM migration). *)
 
@@ -59,4 +93,13 @@ val recorded : t -> message list
 (** Every message the adversary position has observed, oldest first. *)
 
 val message_count : t -> int
+
 val bytes_sent : t -> int
+(** Bytes that crossed the wire: delivered length for passed or rewritten
+    messages, original length for dropped ones (the sender's leg was paid). *)
+
+val drop_count : t -> int
+(** Messages the adversary dropped. *)
+
+val retry_count : t -> int
+(** Re-send attempts performed by {!call_with_retry} so far. *)

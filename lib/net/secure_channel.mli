@@ -21,6 +21,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+val transient : error -> bool
+(** Errors a retry or channel reset may cure — dropped or garbled messages,
+    sequence desync, forgotten sessions — as opposed to policy refusals
+    (bad certificate, peer not allowed) that will repeat identically. *)
+
+val desync : error -> bool
+(** Errors meaning the two ends disagree on sequence state, curable only by
+    a fresh handshake ({!Client.reset}). Implies {!transient}. *)
+
 (** A named principal: keypair plus CA-issued certificate. *)
 module Identity : sig
   type t = { name : string; keypair : Crypto.Rsa.keypair; cert : Ca.cert }
@@ -49,6 +58,10 @@ module Server : sig
   (** Restrict which authenticated peer names may complete a handshake. *)
 
   val sessions : t -> int
+
+  val evict : t -> peer:string -> int
+  (** Drop every established session with [peer] (e.g. after it announced a
+      reconnect); returns how many were evicted. *)
 end
 
 module Client : sig
@@ -65,7 +78,30 @@ module Client : sig
       far end; a different (even validly certified) subject fails. *)
 
   val call : t -> string -> (string, error) result
-  (** One encrypted, authenticated request/response exchange. *)
+  (** One encrypted, authenticated request/response exchange.  Sequence
+      counters only advance on success, so a failed call leaves the channel
+      in a well-defined state: re-sending the same plaintext re-sends the
+      identical record, which an up-to-date server answers from its reply
+      cache instead of re-executing. *)
+
+  val call_robust : ?attempts:int -> t -> string -> (string, error) result
+  (** [call] hardened against the adversarial network: on a {!transient}
+      failure the same record is re-sent (served from the server's reply
+      cache if it was already consumed); on a {!desync} failure the channel
+      is {!reset} (fresh handshake) and the request re-sent under the new
+      session.  At most [attempts] (default 3) calls in total.  Non-
+      transient refusals fail immediately.  Note the resulting semantics
+      are at-least-once across a reset: only idempotent requests (e.g.
+      measurement collection) should ride this path. *)
+
+  val reset : t -> (unit, error) result
+  (** Drop the session and run a fresh handshake over the same transport,
+      with fresh randoms.  Cures a sequence-counter desync after losses;
+      pending server-side state for the old session is simply abandoned. *)
+
+  val handshakes : t -> int
+  (** Completed handshakes on this channel (1 after [connect]; more after
+      resets). *)
 
   val peer : t -> string
 

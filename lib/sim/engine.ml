@@ -8,6 +8,8 @@ type t = {
   mutable next_id : int;
   queue : event Heap.t;
   cancelled : (handle, unit) Hashtbl.t;
+  queued : (handle, unit) Hashtbl.t;
+      (** handles with an event currently in the heap and not cancelled *)
   mutable live : int;
 }
 
@@ -22,50 +24,68 @@ let create () =
     next_id = 0;
     queue = Heap.create ~cmp:cmp_event;
     cancelled = Hashtbl.create 64;
+    queued = Hashtbl.create 64;
     live = 0;
   }
 
 let now t = t.clock
 
-let schedule t ~at run =
+(* Every queued occurrence goes through here, so [live] and [queued] stay in
+   lock-step: an id is counted exactly once while its event sits in the heap
+   uncancelled.  Recurrences re-enter with their shared id. *)
+let push t ~at ~id run =
   if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
-  let id = t.next_id in
-  t.next_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Heap.push t.queue { time = at; seq; id; run };
-  t.live <- t.live + 1;
+  Hashtbl.replace t.queued id ();
+  t.live <- t.live + 1
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let schedule t ~at run =
+  let id = fresh_id t in
+  push t ~at ~id run;
   id
 
 let schedule_after t ~delay run = schedule t ~at:(t.clock + delay) run
 
 let cancel t h =
-  if not (Hashtbl.mem t.cancelled h) then begin
+  (* Only a handle with an event still in the heap has anything to cancel;
+     cancelling a fired, expired or already-cancelled handle is a no-op, so
+     [pending] can never go negative. *)
+  if Hashtbl.mem t.queued h then begin
+    Hashtbl.remove t.queued h;
     Hashtbl.replace t.cancelled h ();
     t.live <- t.live - 1
   end
 
 let every t ~period ?until f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
-  (* All ticks share one externally visible handle; cancelling it stops the
-     recurrence because each tick re-checks the cancel table. *)
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  (* All ticks share one externally visible handle, so the recurrence is
+     cancelled exactly like a one-shot event.  Each tick (including the
+     first) is guarded by the [until] expiry check. *)
+  let id = fresh_id t in
+  let expired at = match until with Some u -> at > u | None -> false in
   let rec tick at () =
-    if not (Hashtbl.mem t.cancelled id) then begin
-      f ();
-      let next = at + period in
-      let expired = match until with Some u -> next > u | None -> false in
-      if not expired then
-        ignore (schedule t ~at:next (tick next) : handle)
-    end
+    f ();
+    let next = at + period in
+    if not (expired next) then push t ~at:next ~id (tick next)
   in
-  ignore (schedule t ~at:(t.clock + period) (tick (t.clock + period)) : handle);
+  let first = t.clock + period in
+  if not (expired first) then push t ~at:first ~id (tick first);
   id
 
 let fire t ev =
-  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  if Hashtbl.mem t.cancelled ev.id then
+    (* The tombstone has served its purpose: this was the handle's only
+       queued event, so drop it rather than leak one entry per cancel. *)
+    Hashtbl.remove t.cancelled ev.id
   else begin
+    Hashtbl.remove t.queued ev.id;
     t.live <- t.live - 1;
     t.clock <- ev.time;
     ev.run ()

@@ -215,6 +215,160 @@ let test_channel_sessions_counted () =
   ignore (connect_ok client_id transport);
   Alcotest.(check int) "one session" 1 (Net.Secure_channel.Server.sessions server)
 
+(* --- Fault tolerance: retry, resync, degradation ----------------------------- *)
+
+(* Drop exactly the next reply-direction message, then pass everything. *)
+let drop_next_reply () =
+  let armed = ref true in
+  fun (m : Net.Network.message) ->
+    if !armed && m.Net.Network.dir = Net.Network.Reply then begin
+      armed := false;
+      Net.Network.Drop
+    end
+    else Net.Network.Pass
+
+let test_network_retry_survives_outage () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> "ok:" ^ s);
+  Net.Network.set_adversary net (Net.Fault.drop_first 3);
+  let plain, _ = Net.Network.call net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "plain call lost" true (plain = Error `Dropped);
+  (* Two more drops remain; attempt 3 of the retrying call gets through. *)
+  let retried, elapsed = Net.Network.call_with_retry net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "retry succeeds" true (retried = Ok "ok:hi");
+  Alcotest.(check bool) "backoff waits charged" true
+    (elapsed >= Net.Network.default_retry_policy.Net.Network.base_delay);
+  Alcotest.(check int) "drops counted" 3 (Net.Network.drop_count net);
+  Alcotest.(check int) "re-sends counted" 2 (Net.Network.retry_count net)
+
+let test_network_retry_blackout_terminates () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> s);
+  Net.Network.set_adversary net (Net.Fault.blackout ());
+  let r, elapsed = Net.Network.call_with_retry net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "gives up with Dropped" true (r = Error `Dropped);
+  (match (Net.Network.retry_policy net).Net.Network.deadline with
+  | Some d -> Alcotest.(check bool) "bounded by deadline" true (elapsed <= d)
+  | None -> ());
+  Alcotest.(check int) "bounded attempts" 4 (Net.Network.drop_count net)
+
+let test_network_replace_bytes_accounting () =
+  let net = make_net () in
+  Net.Network.register net "s" (fun _ -> "r");
+  Net.Network.set_adversary net (fun m ->
+      match m.Net.Network.dir with
+      | Net.Network.Request -> Net.Network.Replace "XXXXXXXXXX"
+      | Net.Network.Reply -> Net.Network.Pass);
+  ignore (Net.Network.call net ~src:"c" ~dst:"s" "hi");
+  (* 2-byte request rewritten to 10 delivered bytes, 1-byte reply passed:
+     the wire carried 11 bytes, not 3. *)
+  Alcotest.(check int) "delivered lengths counted" 11 (Net.Network.bytes_sent net)
+
+let test_channel_reset_recovers_desync () =
+  let net, _server, client_id, transport, received = setup_channel () in
+  let ch = connect_ok client_id transport in
+  (* Lose a data-record reply: the server consumed the sequence number, the
+     client did not advance — the two ends are now desynced. *)
+  Net.Network.set_adversary net (drop_next_reply ());
+  (match Net.Secure_channel.Client.call ch "lost" with
+  | Ok _ -> Alcotest.fail "reply was dropped, call must fail"
+  | Error e -> Alcotest.(check bool) "loss is transient" true (Net.Secure_channel.transient e));
+  Net.Network.clear_adversary net;
+  (* A *different* request hits the already-consumed sequence number. *)
+  (match Net.Secure_channel.Client.call ch "fresh" with
+  | Ok _ -> Alcotest.fail "desynced channel must refuse"
+  | Error e -> Alcotest.(check bool) "desync detected" true (Net.Secure_channel.desync e));
+  (match Net.Secure_channel.Client.reset ch with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reset failed: %a" Net.Secure_channel.pp_error e);
+  Alcotest.(check int) "re-handshaked" 2 (Net.Secure_channel.Client.handshakes ch);
+  (match Net.Secure_channel.Client.call ch "after-reset" with
+  | Ok r -> Alcotest.(check string) "channel works again" "ok:after-reset" r
+  | Error e -> Alcotest.failf "call after reset failed: %a" Net.Secure_channel.pp_error e);
+  let losts = List.filter (fun (_, m) -> String.equal m "lost") !received in
+  Alcotest.(check int) "lost request executed exactly once" 1 (List.length losts)
+
+let test_channel_call_robust_auto_recovers () =
+  let net, _server, client_id, transport, _ = setup_channel () in
+  let ch = connect_ok client_id transport in
+  Net.Network.set_adversary net (drop_next_reply ());
+  ignore (Net.Secure_channel.Client.call ch "lost");
+  Net.Network.clear_adversary net;
+  match Net.Secure_channel.Client.call_robust ch "fresh" with
+  | Ok r ->
+      Alcotest.(check string) "recovered transparently" "ok:fresh" r;
+      Alcotest.(check bool) "recovery used a reset" true
+        (Net.Secure_channel.Client.handshakes ch >= 2)
+  | Error e -> Alcotest.failf "call_robust failed: %a" Net.Secure_channel.pp_error e
+
+let test_channel_retried_record_idempotent () =
+  let ca_t = Lazy.force ca in
+  let net = make_net () in
+  let server_id = identity "idem-server" in
+  let client_id = identity "idem-client" in
+  let hits = ref 0 in
+  let server =
+    Net.Secure_channel.Server.create ~identity:server_id ~ca:(Net.Ca.public ca_t) ~seed:"srv"
+      ~on_request:(fun ~peer:_ msg ->
+        incr hits;
+        "ok:" ^ msg)
+  in
+  Net.Network.register net "idem-server" (Net.Secure_channel.Server.handle server);
+  (* The transport itself retries, re-sending the identical record bytes. *)
+  let transport msg =
+    match Net.Network.call_with_retry net ~src:"idem-client" ~dst:"idem-server" msg with
+    | Ok r, _ -> Ok r
+    | Error `Dropped, _ -> Error "dropped"
+    | Error (`No_such_host h), _ -> Error ("no host " ^ h)
+  in
+  let ch = connect_ok ~peer:"idem-server" client_id transport in
+  (* The server executes the request but its reply is lost; the retried
+     record must be answered from the reply cache, not re-executed. *)
+  Net.Network.set_adversary net (drop_next_reply ());
+  (match Net.Secure_channel.Client.call ch "once" with
+  | Ok r -> Alcotest.(check string) "reply recovered from cache" "ok:once" r
+  | Error e -> Alcotest.failf "retried call failed: %a" Net.Secure_channel.pp_error e);
+  Alcotest.(check int) "handler executed exactly once" 1 !hits
+
+let fault_cloud () =
+  let cloud =
+    Core.Cloud.build ~config:{ Core.Cloud.default_config with key_bits = 512 } ()
+  in
+  let customer = Core.Cloud.Customer.create cloud ~name:"alice" in
+  match
+    Core.Cloud.Customer.launch customer ~image:"cirros" ~flavor:"small"
+      ~properties:[ Core.Property.Startup_integrity ] ()
+  with
+  | Error e -> Alcotest.failf "launch failed: %a" Core.Cloud.Customer.pp_error e
+  | Ok info -> (cloud, customer, info.Core.Commands.vid)
+
+let test_attestation_survives_drop_every_3rd () =
+  let cloud, customer, vid = fault_cloud () in
+  let net = Core.Cloud.net cloud in
+  Net.Network.set_adversary net (Net.Fault.drop_nth 3);
+  (match Core.Cloud.Customer.attest customer ~vid ~property:Core.Property.Startup_integrity with
+  | Ok report ->
+      Alcotest.(check bool) "healthy verdict through lossy net" true
+        (Core.Report.is_healthy report)
+  | Error e -> Alcotest.failf "attest under loss failed: %a" Core.Cloud.Customer.pp_error e);
+  Alcotest.(check bool) "retries actually happened" true (Net.Network.retry_count net > 0)
+
+let test_attestation_blackout_degrades_to_unknown () =
+  let cloud, _customer, vid = fault_cloud () in
+  let net = Core.Cloud.net cloud in
+  Net.Network.set_adversary net (Net.Fault.blackout ());
+  let controller = Core.Cloud.controller cloud in
+  let result, _ledger =
+    Core.Controller.attest controller
+      { Core.Protocol.vid; property = Core.Property.Startup_integrity; nonce = "n1" }
+  in
+  match result with
+  | Ok creport -> (
+      match creport.Core.Protocol.report.Core.Report.status with
+      | Core.Report.Unknown _ -> ()
+      | s -> Alcotest.failf "expected Unknown, got %a" Core.Report.pp_status s)
+  | Error e -> Alcotest.failf "expected a degraded report, got hard error: %s" e
+
 let channel_payload_roundtrip =
   QCheck.Test.make ~name:"arbitrary payloads roundtrip" ~count:30 QCheck.string (fun s ->
       let _net, _server, client_id, transport, _ = setup_channel () in
@@ -252,5 +406,22 @@ let () =
           Alcotest.test_case "replay rejected" `Quick test_channel_replay_rejected;
           Alcotest.test_case "sessions counted" `Quick test_channel_sessions_counted;
           qtest channel_payload_roundtrip;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "retry survives outage" `Quick test_network_retry_survives_outage;
+          Alcotest.test_case "retry blackout terminates" `Quick
+            test_network_retry_blackout_terminates;
+          Alcotest.test_case "replace bytes accounting" `Quick
+            test_network_replace_bytes_accounting;
+          Alcotest.test_case "reset recovers desync" `Quick test_channel_reset_recovers_desync;
+          Alcotest.test_case "call_robust auto-recovers" `Quick
+            test_channel_call_robust_auto_recovers;
+          Alcotest.test_case "retried record idempotent" `Quick
+            test_channel_retried_record_idempotent;
+          Alcotest.test_case "attestation under drop-every-3rd" `Quick
+            test_attestation_survives_drop_every_3rd;
+          Alcotest.test_case "blackout degrades to unknown" `Quick
+            test_attestation_blackout_degrades_to_unknown;
         ] );
     ]

@@ -163,6 +163,40 @@ let test_engine_every_until () =
   Sim.Engine.run_until e 500;
   Alcotest.(check int) "bounded recurrence" 3 !count
 
+(* Regression: cancelling an [every] (one live event, many future ticks)
+   used to decrement the live count on every cancel call, driving [pending]
+   negative and leaking a tombstone per cancelled handle. *)
+let test_engine_cancel_accounting () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let h = Sim.Engine.every e ~period:10 (fun () -> incr count) in
+  Alcotest.(check int) "one live event" 1 (Sim.Engine.pending e);
+  Sim.Engine.run_until e 35;
+  Alcotest.(check int) "still one pending tick" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h;
+  Alcotest.(check int) "cancel removes it" 0 (Sim.Engine.pending e);
+  Sim.Engine.cancel e h;
+  Sim.Engine.cancel e h;
+  Alcotest.(check int) "double cancel is a no-op" 0 (Sim.Engine.pending e);
+  Sim.Engine.run_until e 500;
+  Alcotest.(check int) "no ticks after cancel" 3 !count;
+  let fired = ref false in
+  let h2 = Sim.Engine.schedule e ~at:510 (fun () -> fired := true) in
+  Sim.Engine.run_until e 520;
+  Sim.Engine.cancel e h2;
+  Alcotest.(check bool) "event fired" true !fired;
+  Alcotest.(check int) "cancel after fire is a no-op" 0 (Sim.Engine.pending e)
+
+(* Regression: the first tick of [every ~until] was scheduled without the
+   expiry check applied to all subsequent ticks. *)
+let test_engine_every_until_first_tick () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.every e ~period:10 ~until:5 (fun () -> incr count));
+  Alcotest.(check int) "nothing scheduled" 0 (Sim.Engine.pending e);
+  Sim.Engine.run_until e 500;
+  Alcotest.(check int) "no tick past until" 0 !count
+
 let test_engine_run_all_limit () =
   let e = Sim.Engine.create () in
   let count = ref 0 in
@@ -288,6 +322,8 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "every" `Quick test_engine_every;
           Alcotest.test_case "every until" `Quick test_engine_every_until;
+          Alcotest.test_case "cancel accounting" `Quick test_engine_cancel_accounting;
+          Alcotest.test_case "every until first tick" `Quick test_engine_every_until_first_tick;
           Alcotest.test_case "run_all limit" `Quick test_engine_run_all_limit;
         ] );
       ( "stats",
