@@ -1,21 +1,41 @@
-(* Benchmark harness: one experiment per paper table/figure, plus bechamel
-   micro-benchmarks of the building blocks.
+(* Benchmark harness: one experiment per paper table/figure, the fleet-scale
+   load experiment, plus bechamel micro-benchmarks of the building blocks.
 
-   Usage: main.exe [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|ablations|micro|all]
-   With no argument, everything runs. *)
+   Usage: main.exe [--json FILE]
+            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|ablations|micro|all]
+   With no experiment, everything runs.  Unknown names abort with a listing.
+
+   JSON-capable experiments (fleet, fig9) collect machine-readable results;
+   they are written to FILE (or $CLOUDMONATT_BENCH_JSON) as one object keyed
+   by experiment name.  `fleet` alone defaults to writing BENCH_fleet.json,
+   the perf-trajectory artifact. *)
 
 let seed = 2015
+
+(* JSON results collected by the experiments that emit them. *)
+let json_results : (string * Experiments.Json.t) list ref = ref []
+let collect name json = json_results := (name, json) :: !json_results
 
 let run_fig4 () = Experiments.Fig4.print (Experiments.Fig4.run ~seed ())
 let run_fig5 () = Experiments.Fig5.print (Experiments.Fig5.run ~seed ())
 let run_fig6 () = Experiments.Fig6.print (Experiments.Fig6.run ~seed ())
 let run_fig7 () = Experiments.Fig7.print (Experiments.Fig7.run ~seed ())
-let run_fig9 () = Experiments.Fig9.print (Experiments.Fig9.run ~seed ())
+
+let run_fig9 () =
+  let rows = Experiments.Fig9.run ~seed () in
+  Experiments.Fig9.print rows;
+  collect "fig9" (Experiments.Fig9.to_json ~seed rows)
+
 let run_fig10 () = Experiments.Fig10.print (Experiments.Fig10.run ~seed ())
 let run_fig11 () = Experiments.Fig11.print (Experiments.Fig11.run ~seed ())
 let run_verify () = Experiments.Protocol_check.print (Experiments.Protocol_check.run ())
 let run_cache () = Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
 let run_faults () = Experiments.Faults.print (Experiments.Faults.run ~seed ())
+
+let run_fleet () =
+  let result = Experiments.Fleet_exp.run ~seed () in
+  Experiments.Fleet_exp.print result;
+  collect "fleet" (Experiments.Fleet_exp.to_json result)
 
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
@@ -86,19 +106,69 @@ let experiments =
     ("verify", run_verify);
     ("cache", run_cache);
     ("faults", run_faults);
+    ("fleet", run_fleet);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]
 
+let valid_names = "all" :: List.map fst experiments
+
+let usage () =
+  Printf.eprintf "usage: main.exe [--json FILE] [EXPERIMENT...]\nvalid experiments: %s\n"
+    (String.concat ", " valid_names)
+
+let parse_args argv =
+  let rec go names json = function
+    | [] -> (List.rev names, json)
+    | "--json" :: path :: rest -> go names (Some path) rest
+    | [ "--json" ] ->
+        Printf.eprintf "error: --json needs a FILE argument\n";
+        usage ();
+        exit 2
+    | name :: rest -> go (name :: names) json rest
+  in
+  let names, json = go [] None argv in
+  let names = if names = [] then [ "all" ] else names in
+  (* An unknown or misspelled experiment must fail loudly, not silently
+     run nothing and exit 0. *)
+  let unknown = List.filter (fun n -> not (List.mem n valid_names)) names in
+  if unknown <> [] then begin
+    Printf.eprintf "error: unknown experiment%s: %s\n"
+      (if List.length unknown > 1 then "s" else "")
+      (String.concat ", " unknown);
+    usage ();
+    exit 2
+  end;
+  (names, json)
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) else [ "all" ] in
+  let which, json_arg =
+    parse_args (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)))
+  in
   let run_all = List.mem "all" which in
   print_endline "CloudMonatt evaluation harness (ISCA'15 figures)";
   List.iter
     (fun (name, f) ->
-      if (run_all || List.mem name which) && name <> "skip" then begin
+      if run_all || List.mem name which then begin
         let t0 = Sys.time () in
         f ();
         Printf.printf "[%s done in %.1fs host time]\n%!" name (Sys.time () -. t0)
       end)
-    experiments
+    experiments;
+  let json_path =
+    match (json_arg, Sys.getenv_opt "CLOUDMONATT_BENCH_JSON") with
+    | Some p, _ -> Some p
+    | None, Some p -> Some p
+    | None, None ->
+        (* `fleet` writes its trajectory artifact even without --json. *)
+        if List.mem_assoc "fleet" !json_results then Some "BENCH_fleet.json" else None
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      if !json_results = [] then
+        Printf.eprintf "warning: --json given but no selected experiment emits JSON\n"
+      else begin
+        Experiments.Json.write_file path (Experiments.Json.Obj (List.rev !json_results));
+        Printf.printf "wrote %s\n%!" path
+      end

@@ -14,8 +14,10 @@ let seed_arg =
 
 (* --- experiment --------------------------------------------------------- *)
 
-let experiment_names =
-  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "ablations"; "all" ]
+let all_experiments =
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "ablations" ]
+
+let experiment_names = all_experiments @ [ "all" ]
 
 let run_experiment seed name =
   match name with
@@ -28,24 +30,32 @@ let run_experiment seed name =
   | "fig11" -> Experiments.Fig11.print (Experiments.Fig11.run ~seed ())
   | "verify" -> Experiments.Protocol_check.print (Experiments.Protocol_check.run ())
   | "cache" -> Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
+  | "faults" -> Experiments.Faults.print (Experiments.Faults.run ~seed ())
+  | "fleet" -> Experiments.Fleet_exp.print (Experiments.Fleet_exp.run ~seed ())
   | "ablations" ->
       Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
       Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
       Experiments.Ablations.print_ticks (Experiments.Ablations.tick_sweep ());
       Experiments.Ablations.print_latency (Experiments.Ablations.detection_latency ~seed ())
-  | other -> Printf.printf "unknown experiment %s (try: %s)\n" other (String.concat ", " experiment_names)
+  | other ->
+      (* unreachable: names are validated before running *)
+      Printf.eprintf "unknown experiment %s (try: %s)\n" other (String.concat ", " experiment_names)
 
 let experiment_cmd =
   let names =
-    let doc = "Experiments to run (fig4..fig11, verify, all)." in
+    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, ablations, all)." in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed names =
-    let names =
-      if List.mem "all" names then
-        [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "ablations" ]
-      else names
-    in
+    let unknown = List.filter (fun n -> not (List.mem n experiment_names)) names in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown experiment%s: %s (valid: %s)\n"
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat ", " experiment_names);
+      Stdlib.exit 2
+    end;
+    let names = if List.mem "all" names then all_experiments else names in
     List.iter (run_experiment seed) names
   in
   Cmd.v

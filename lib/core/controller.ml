@@ -46,6 +46,7 @@ type t = {
   (* Live ledger for cached-channel wire time (rebound per [attest]). *)
   as_ledger : Ledger.t ref;
   mutable cluster_of : string -> int;  (* host -> AS index *)
+  cache : Verdict_cache.t;  (* healthy verdicts, TTL-bounded; 0 = off *)
   hypervisors : (string, Hypervisor.Server.t) Hashtbl.t;
   images : (string, Hypervisor.Image.t) Hashtbl.t;
   workloads : (string, Hypervisor.Flavor.t -> unit -> Hypervisor.Program.t list) Hashtbl.t;
@@ -103,6 +104,12 @@ let corrupt_image t name =
   | None -> false
   | Some img ->
       Hashtbl.replace t.images name (Hypervisor.Image.tamper img ~payload:"storage-corruption");
+      (* Image change: verdicts for every VM built from it are stale. *)
+      List.iter
+        (fun (r : Database.vm_record) ->
+          if String.equal r.Database.image_name name then
+            ignore (Verdict_cache.invalidate_vm t.cache ~vid:r.Database.vid : int))
+        (Database.vms t.db);
       true
 
 let register_workload t name factory = Hashtbl.replace t.workloads name factory
@@ -236,9 +243,27 @@ let attest_once t (req : Protocol.attest_request) ledger =
 let attest t (req : Protocol.attest_request) =
   let ledger = Ledger.create () in
   t.as_ledger := ledger;
+  match Verdict_cache.find t.cache ~vid:req.vid ~property:req.property with
+  | Some cached ->
+      (* Verdict-cache hit: re-sign the cached report under the customer's
+         fresh nonce without a measurement round.  Only the controller-local
+         costs are charged, so a cached re-attestation is visibly cheaper
+         than a cold one on the ledger. *)
+      Ledger.add ledger "db-lookup" Costs.db_lookup;
+      (Ok (sign_controller_report t req ledger cached), ledger)
+  | None ->
+  let bookkeep (creport : Protocol.controller_report) =
+    (match creport.Protocol.report.Report.status with
+    | Report.Healthy -> ignore (Verdict_cache.store t.cache creport.Protocol.report : bool)
+    | Report.Compromised _ | Report.Unknown _ ->
+        (* Never serve a stale healthy verdict after an unhealthy or
+           undecidable observation. *)
+        ignore (Verdict_cache.invalidate t.cache ~vid:req.vid ~property:req.property : bool));
+    creport
+  in
   let rec go attempt =
     match attest_once t req ledger with
-    | Ok creport -> Ok creport
+    | Ok creport -> Ok (bookkeep creport)
     | Error (`Avail msg) ->
         if attempt < t.attest_attempts then go (attempt + 1)
         else begin
@@ -256,7 +281,7 @@ let attest t (req : Protocol.attest_request) =
               produced_at = Sim.Engine.now t.engine;
             }
           in
-          Ok (sign_controller_report t req ledger report)
+          Ok (bookkeep (sign_controller_report t req ledger report))
         end
     | Error (`Hard msg) -> Error msg
   in
@@ -286,6 +311,7 @@ let do_terminate t ~vid =
   | None -> Error ("unknown VM " ^ vid)
   | Some record ->
       stop_all_periodic t ~vid;
+      ignore (Verdict_cache.invalidate_vm t.cache ~vid : int);
       (match record.Database.host with
       | Some host -> (
           match hypervisor t host with
@@ -308,6 +334,7 @@ let do_suspend t ~vid =
           | Some hv ->
               if Hypervisor.Server.suspend hv vid then begin
                 Database.set_state t.db ~vid Database.Suspended;
+                ignore (Verdict_cache.invalidate_vm t.cache ~vid : int);
                 Ok (Lifecycle.suspension_time record.Database.flavor)
               end
               else Error ("could not suspend " ^ vid)))
@@ -324,6 +351,7 @@ let resume t ~vid =
           | Some hv ->
               if Hypervisor.Server.resume hv vid then begin
                 Database.set_state t.db ~vid Database.Active;
+                ignore (Verdict_cache.invalidate_vm t.cache ~vid : int);
                 log t "resumed %s on %s" vid host;
                 Ok (Lifecycle.resume_time record.Database.flavor)
               end
@@ -380,9 +408,13 @@ let do_migrate t ~vid =
                           | Error `Insufficient_memory ->
                               Database.set_state t.db ~vid Database.Terminated;
                               Database.set_host t.db ~vid None;
+                              ignore (Verdict_cache.invalidate_vm t.cache ~vid : int);
                               Error ("target " ^ dst_name ^ " ran out of memory mid-migration")
                           | Ok _ -> (
                               Database.set_host t.db ~vid (Some dst_name);
+                              (* The placement changed: any cached verdict
+                                 describes measurements of the old host. *)
+                              ignore (Verdict_cache.invalidate_vm t.cache ~vid : int);
                               let cost = cost + hop_cost in
                               if not monitored then begin
                                 Database.set_state t.db ~vid Database.Active;
@@ -622,7 +654,8 @@ let launch t (req : launch_request) =
       let result = try_launch [] 4 in
       (match result with
       | Error _ when Database.vm t.db vid <> None ->
-          Database.set_state t.db ~vid Database.Terminated
+          Database.set_state t.db ~vid Database.Terminated;
+          ignore (Verdict_cache.invalidate_vm t.cache ~vid : int)
       | _ -> ());
       result
 
@@ -701,6 +734,7 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
       as_channels = Hashtbl.create 4;
       as_ledger = ref (Ledger.create ());
       cluster_of;
+      cache = Verdict_cache.create ~clock:(fun () -> Sim.Engine.now engine) ();
       hypervisors = Hashtbl.create 8;
       images = Hashtbl.create 8;
       workloads = Hashtbl.create 8;
@@ -725,6 +759,8 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
 
 let set_cluster_map t f = t.cluster_of <- f
 let set_attest_attempts t n = t.attest_attempts <- max 1 n
+let verdict_cache t = t.cache
+let set_verdict_cache_ttl t ttl = Verdict_cache.set_ttl t.cache ttl
 
 let set_auto_resume t ?recheck_period ?max_rechecks enabled =
   t.auto_resume <- enabled;

@@ -106,6 +106,17 @@ val set_attest_attempts : t -> int -> unit
 (** Bound on from-scratch {!attest} rounds before degrading to [Unknown]
     (clamped to at least 1; default 2). *)
 
+val verdict_cache : t -> Verdict_cache.t
+(** The controller's verdict cache (disabled by default). *)
+
+val set_verdict_cache_ttl : t -> Sim.Time.t -> unit
+(** Enable verdict caching with the given TTL (0 disables).  While enabled,
+    {!attest} answers from a fresh cached healthy verdict — re-signed under
+    the caller's nonce — charging only controller-local ledger costs; cold
+    results populate the cache ([Healthy] only), and lifecycle transitions
+    (terminate, suspend, resume, migrate, image corruption) as well as
+    unhealthy or [Unknown] observations invalidate it. *)
+
 val subscribe : t -> owner:string -> (Protocol.controller_report -> unit) -> unit
 (** Where periodic attestation results for this customer's VMs are
     delivered (the push channel back to the customer). *)

@@ -44,6 +44,27 @@ let run ?(seed = 42) () =
         flavors)
     images
 
+let to_json ~seed rows =
+  Json.Obj
+    [
+      ("experiment", Json.Str "fig9");
+      ("seed", Json.Int seed);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("image", Json.Str r.image);
+                   ("flavor", Json.Str r.flavor);
+                   ( "stages_ms",
+                     Json.Obj (List.map (fun (l, c) -> (l, Json.Float c)) r.stages) );
+                   ("total_ms", Json.Float r.total_ms);
+                   ("attestation_pct", Json.Float r.attestation_pct);
+                 ])
+             rows) );
+    ]
+
 let print rows =
   Common.section "Figure 9: VM launch stage times (ms)";
   Printf.printf "%-8s %-8s %11s %11s %9s %9s %12s %9s %7s\n" "image" "flavor" "scheduling"

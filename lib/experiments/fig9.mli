@@ -18,3 +18,6 @@ type result = row list
 
 val run : ?seed:int -> unit -> result
 val print : result -> unit
+
+val to_json : seed:int -> result -> Json.t
+(** Machine-readable form for the [--json] bench output. *)

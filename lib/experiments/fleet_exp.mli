@@ -1,0 +1,23 @@
+(** Fleet-scale attestation throughput experiment.
+
+    Sweeps offered arrival rate x AS shard count x verdict-cache TTL over a
+    deterministic fleet (see {!Fleet.Driver}) and reports offered vs served
+    throughput, latency percentiles, cache hit rate and shed counts — the
+    baseline every scaling PR is measured against. *)
+
+type row = {
+  rate : float;
+  as_count : int;
+  ttl : Sim.Time.t;
+  r : Fleet.Driver.result;
+}
+
+type result = { seed : int; scale : string; rows : row list }
+
+val run : ?seed:int -> ?scale:[ `Default | `Smoke ] -> unit -> result
+(** [scale] defaults to [`Smoke] when the environment variable
+    [CLOUDMONATT_FLEET_SCALE] is ["smoke"] (the CI setting), else
+    [`Default]. *)
+
+val print : result -> unit
+val to_json : result -> Json.t

@@ -1,0 +1,91 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr x =
+  if Float.is_nan x || not (Float.is_finite x) then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" x in
+    (* "3" is a valid JSON number but loses the floatness; keep a ".0". *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+  end
+
+let to_string ?(indent = 2) t =
+  let b = Buffer.create 1024 in
+  let pad depth = if indent > 0 then Buffer.add_string b (String.make (depth * indent) ' ') in
+  let nl () = if indent > 0 then Buffer.add_char b '\n' in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char b ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b (if indent > 0 then "\": " else "\":");
+            go (depth + 1) v)
+          fields;
+        nl ();
+        pad depth;
+        Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')

@@ -1,0 +1,18 @@
+(** Minimal JSON emitter (no external dependencies) for machine-readable
+    benchmark results. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent] > 0 pretty-prints (default 2).  Non-finite floats
+    serialize as [null], keeping the output strictly standard JSON. *)
+
+val write_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline. *)

@@ -1,0 +1,98 @@
+type verdict = Done of Core.Report.status | Shed
+
+type job = {
+  vid : string;
+  property : Core.Property.t;
+  key : string * string;
+  mutable waiters : (verdict -> unit) list;  (* newest first *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  capacity : int;
+  queue : job Pqueue.t;
+  inflight : (string * string, job) Hashtbl.t;  (* queued or in service *)
+  service_time : unit -> Sim.Time.t;
+  measure : vid:string -> property:Core.Property.t -> Core.Report.status;
+  metrics : Metrics.t;
+  gauge : Sim.Stats.Gauge.t;
+  mutable busy : int;
+}
+
+let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~metrics () =
+  if capacity <= 0 then invalid_arg "Cluster.create: capacity must be positive";
+  {
+    engine;
+    name;
+    capacity;
+    queue = Pqueue.create ~depth:queue_depth;
+    inflight = Hashtbl.create 64;
+    service_time;
+    measure;
+    metrics;
+    gauge = Sim.Stats.Gauge.create ();
+    busy = 0;
+  }
+
+let name t = t.name
+let queue_length t = Pqueue.length t.queue
+let inflight t = Hashtbl.length t.inflight
+let queue_gauge t = t.gauge
+
+let track_depth t =
+  Sim.Stats.Gauge.set t.gauge
+    ~now:(Sim.Time.to_sec (Sim.Engine.now t.engine))
+    (Pqueue.length t.queue)
+
+let finish job verdict = List.iter (fun w -> w verdict) (List.rev job.waiters)
+
+let rec maybe_start t =
+  if t.busy < t.capacity then begin
+    match Pqueue.pop t.queue with
+    | None -> ()
+    | Some (_, job) ->
+        track_depth t;
+        t.busy <- t.busy + 1;
+        Metrics.record_measurement t.metrics;
+        ignore
+          (Sim.Engine.schedule_after t.engine ~delay:(t.service_time ()) (fun () ->
+               t.busy <- t.busy - 1;
+               (* Remove before delivering: a requester reacting to the
+                  verdict (e.g. an immediate re-check) starts a fresh
+                  measurement rather than joining this finished one. *)
+               Hashtbl.remove t.inflight job.key;
+               let status = t.measure ~vid:job.vid ~property:job.property in
+               finish job (Done status);
+               maybe_start t)
+            : Sim.Engine.handle);
+        maybe_start t
+  end
+
+let submit t ~vid ~property ~priority ~on_done =
+  let key = (vid, Core.Property.to_string property) in
+  match Hashtbl.find_opt t.inflight key with
+  | Some job ->
+      (* Coalesce: share the pending measurement's verdict. *)
+      job.waiters <- on_done :: job.waiters;
+      Metrics.record_coalesced t.metrics
+  | None -> (
+      let job = { vid; property; key; waiters = [ on_done ] } in
+      match Pqueue.push t.queue priority job with
+      | Pqueue.Rejected ->
+          Metrics.record_shed t.metrics priority;
+          on_done Shed
+      | Pqueue.Enqueued ->
+          Hashtbl.replace t.inflight key job;
+          track_depth t;
+          maybe_start t
+      | Pqueue.Evicted (victim_priority, victim) ->
+          Hashtbl.remove t.inflight victim.key;
+          List.iter
+            (fun w ->
+              Metrics.record_shed t.metrics victim_priority;
+              w Shed)
+            (List.rev victim.waiters);
+          Hashtbl.replace t.inflight key job;
+          track_depth t;
+          maybe_start t)

@@ -1,0 +1,52 @@
+(** One Attestation-Server shard: a bounded priority request queue feeding
+    [capacity] concurrent measurement slots, with in-flight coalescing.
+
+    Coalescing: concurrent requests for the same (VM, property) — queued or
+    already being measured — attach to the pending measurement instead of
+    consuming queue space or another service slot; when the measurement
+    completes, every attached requester receives the same verdict.
+
+    Backpressure: admission follows {!Pqueue} semantics — a full queue sheds
+    the lowest-priority queued work first, and rejects the arrival itself
+    only when everything queued is at least as important.  Shed requests
+    complete immediately with {!verdict} [Shed]. *)
+
+type verdict =
+  | Done of Core.Report.status  (** measurement completed with this status *)
+  | Shed  (** dropped by admission control before being measured *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  name:string ->
+  ?capacity:int ->
+  queue_depth:int ->
+  service_time:(unit -> Sim.Time.t) ->
+  measure:(vid:string -> property:Core.Property.t -> Core.Report.status) ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** [capacity] (default 1) is the number of concurrent measurement rounds
+    the AS sustains; [service_time] samples the simulated duration of one
+    round; [measure] produces the verdict when a round completes.
+    Coalescing, measurement and shed counts are recorded into [metrics]. *)
+
+val name : t -> string
+
+val submit :
+  t ->
+  vid:string ->
+  property:Core.Property.t ->
+  priority:Pqueue.priority ->
+  on_done:(verdict -> unit) ->
+  unit
+(** [on_done] fires exactly once: immediately (same engine step) for shed
+    requests, at measurement completion otherwise. *)
+
+val queue_length : t -> int
+val inflight : t -> int
+(** Pending distinct (VM, property) measurements: queued + in service. *)
+
+val queue_gauge : t -> Sim.Stats.Gauge.t
+(** Time-weighted queue-depth tracking (timestamps in simulated seconds). *)

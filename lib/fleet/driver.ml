@@ -1,0 +1,230 @@
+type config = {
+  seed : int;
+  servers : int;
+  vms : int;
+  as_count : int;
+  as_capacity : int;
+  queue_depth : int;
+  ttl : Sim.Time.t;
+  rate_per_s : float;
+  duration : Sim.Time.t;
+  drain : Sim.Time.t;
+  unhealthy_p : float;
+  churn_period : Sim.Time.t;
+  hot_vms : int;
+  hot_p : float;
+  customer_p : float;
+  periodic_p : float;
+}
+
+let default_config =
+  {
+    seed = 2015;
+    servers = 200;
+    vms = 2000;
+    as_count = 1;
+    as_capacity = 1;
+    queue_depth = 16;
+    ttl = 0;
+    rate_per_s = 8.0;
+    duration = Sim.Time.sec 30;
+    drain = Sim.Time.sec 30;
+    unhealthy_p = 0.05;
+    churn_period = Sim.Time.sec 5;
+    hot_vms = 64;
+    hot_p = 0.8;
+    customer_p = 0.2;
+    periodic_p = 0.7;
+  }
+
+type result = {
+  config : config;
+  offered : int;
+  served : int;
+  shed_customer : int;
+  shed_periodic : int;
+  shed_recheck : int;
+  coalesced : int;
+  measurements : int;
+  unhealthy : int;
+  cache_hits : int;
+  cache_hit_rate : float;
+  invalidations : int;
+  migrations : int;
+  offered_rps : float;
+  served_rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_queue_depth : int;
+  mean_queue_depth : float;
+}
+
+(* --- Cost model, anchored to lib/core's calibrated ledger constants ------ *)
+
+(* Fleet clusters span racks, so a wire leg costs more than the single-rack
+   LAN model in lib/net; the crypto and measurement terms are exactly the
+   ones the real attestation path charges to its ledger. *)
+let wire_leg = Sim.Time.ms 12
+
+(* AS-side occupancy of one measurement round: collect from the cloud
+   server (two legs), interpret, sign the quoted report. *)
+let cold_service_base =
+  (2 * wire_leg) + Core.Costs.measurement_collect + Core.Costs.interpret
+  + Core.Costs.quote_sign + Core.Costs.signature_verify
+
+(* Controller-side work around a cold round: route lookup, two legs to the
+   AS, verify the AS signature, re-sign for the customer.  Adds latency but
+   does not occupy an AS slot. *)
+let controller_overhead =
+  (2 * wire_leg) + Core.Costs.db_lookup + Core.Costs.signature_verify
+  + Core.Costs.report_sign
+
+(* A verdict-cache hit never leaves the controller: database lookup plus
+   re-signing the cached report under the fresh nonce — the same charges
+   Controller.attest puts on its ledger for a hit. *)
+let cache_hit_cost = Core.Costs.db_lookup + Core.Costs.report_sign
+
+let cold_attest_ms = Sim.Time.to_ms (cold_service_base + controller_overhead)
+let cache_hit_ms = Sim.Time.to_ms cache_hit_cost
+
+let properties = Array.of_list Core.Property.all
+
+let run config =
+  let engine = Sim.Engine.create () in
+  let root = Sim.Prng.create (config.seed lxor 0x464c45) in
+  let arrival_prng = Sim.Prng.split root in
+  let pick_prng = Sim.Prng.split root in
+  let service_prng = Sim.Prng.split root in
+  let verdict_prng = Sim.Prng.split root in
+  let churn_prng = Sim.Prng.split root in
+  let topology =
+    Topology.make ~seed:config.seed ~servers:config.servers ~vms:config.vms
+      ~as_count:config.as_count
+  in
+  let metrics = Metrics.create () in
+  let cache =
+    Core.Verdict_cache.create ~ttl:config.ttl
+      ~clock:(fun () -> Sim.Engine.now engine)
+      ()
+  in
+  let measure ~vid:_ ~property:_ =
+    if Sim.Prng.float verdict_prng 1.0 < config.unhealthy_p then
+      Core.Report.Compromised "fleet-sim anomaly"
+    else Core.Report.Healthy
+  in
+  let service_time () =
+    (* +/-10% jitter around the ledger-derived base. *)
+    let base = float_of_int cold_service_base in
+    let f = 0.9 +. Sim.Prng.float service_prng 0.2 in
+    max 1 (int_of_float (base *. f))
+  in
+  let clusters =
+    Array.init (Topology.as_count topology) (fun i ->
+        Cluster.create ~engine
+          ~name:(Printf.sprintf "as-%d" (i + 1))
+          ~capacity:config.as_capacity ~queue_depth:config.queue_depth ~service_time
+          ~measure ~metrics ())
+  in
+  let priority () =
+    let x = Sim.Prng.float pick_prng 1.0 in
+    if x < config.customer_p then Pqueue.Customer
+    else if x < config.customer_p +. config.periodic_p then Pqueue.Periodic
+    else Pqueue.Recheck
+  in
+  let arrival () =
+    Metrics.record_offered metrics;
+    let vm = Topology.pick_vm topology pick_prng ~hot:config.hot_vms ~hot_p:config.hot_p () in
+    let property = properties.(Sim.Prng.int pick_prng (Array.length properties)) in
+    match Core.Verdict_cache.find cache ~vid:vm.Topology.vid ~property with
+    | Some _ ->
+        Metrics.record_cache_hit metrics;
+        Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms cache_hit_cost)
+    | None ->
+        let arrived = Sim.Engine.now engine in
+        let cluster = clusters.(Topology.cluster_of_vm topology vm) in
+        Cluster.submit cluster ~vid:vm.Topology.vid ~property ~priority:(priority ())
+          ~on_done:(function
+          | Cluster.Shed -> ()  (* the cluster recorded the shed *)
+          | Cluster.Done status ->
+              let latency = Sim.Engine.now engine - arrived + controller_overhead in
+              Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms latency);
+              (match status with
+              | Core.Report.Healthy ->
+                  ignore
+                    (Core.Verdict_cache.store cache
+                       {
+                         Core.Report.vid = vm.Topology.vid;
+                         property;
+                         status;
+                         evidence = "fleet measurement";
+                         produced_at = Sim.Engine.now engine;
+                       }
+                      : bool)
+              | Core.Report.Compromised _ | Core.Report.Unknown _ ->
+                  Metrics.record_unhealthy metrics;
+                  ignore
+                    (Core.Verdict_cache.invalidate cache ~vid:vm.Topology.vid ~property
+                      : bool)))
+  in
+  let migrations = ref 0 in
+  if config.churn_period > 0 then
+    ignore
+      (Sim.Engine.every engine ~period:config.churn_period ~until:config.duration (fun () ->
+           (* Lifecycle churn concentrates where the load is: hot VMs. *)
+           let vm =
+             Topology.pick_vm topology churn_prng ~hot:config.hot_vms ~hot_p:0.9 ()
+           in
+           ignore (Topology.migrate topology churn_prng vm : string);
+           ignore (Core.Verdict_cache.invalidate_vm cache ~vid:vm.Topology.vid : int);
+           incr migrations)
+        : Sim.Engine.handle);
+  Load.poisson ~engine ~prng:arrival_prng ~rate_per_s:config.rate_per_s
+    ~until:config.duration arrival;
+  Sim.Engine.run_until engine (config.duration + config.drain);
+  let duration_s = Sim.Time.to_sec config.duration in
+  let latency = Metrics.latency metrics in
+  let pct p =
+    let v = Sim.Stats.Series.percentile latency p in
+    if Float.is_nan v then 0.0 else v
+  in
+  let stats = Core.Verdict_cache.stats cache in
+  let max_depth =
+    Array.fold_left
+      (fun acc c -> max acc (Sim.Stats.Gauge.peak (Cluster.queue_gauge c)))
+      0 clusters
+  in
+  let mean_depth =
+    let now_s = Sim.Time.to_sec (Sim.Engine.now engine) in
+    let total =
+      Array.fold_left
+        (fun acc c ->
+          acc +. Sim.Stats.Gauge.time_weighted_mean (Cluster.queue_gauge c) ~now:now_s)
+        0.0 clusters
+    in
+    total /. float_of_int (Array.length clusters)
+  in
+  {
+    config;
+    offered = Metrics.offered metrics;
+    served = Metrics.served metrics;
+    shed_customer = Metrics.shed metrics Pqueue.Customer;
+    shed_periodic = Metrics.shed metrics Pqueue.Periodic;
+    shed_recheck = Metrics.shed metrics Pqueue.Recheck;
+    coalesced = Metrics.coalesced metrics;
+    measurements = Metrics.measurements metrics;
+    unhealthy = Metrics.unhealthy metrics;
+    cache_hits = Metrics.cache_hits metrics;
+    cache_hit_rate = Metrics.cache_hit_rate metrics;
+    invalidations = stats.Core.Verdict_cache.invalidations;
+    migrations = !migrations;
+    offered_rps = float_of_int (Metrics.offered metrics) /. duration_s;
+    served_rps = float_of_int (Metrics.served metrics) /. duration_s;
+    mean_ms = Sim.Stats.Series.mean latency;
+    p50_ms = pct 50.0;
+    p95_ms = pct 95.0;
+    p99_ms = pct 99.0;
+    max_queue_depth = max_depth;
+    mean_queue_depth = mean_depth;
+  }

@@ -1,0 +1,68 @@
+(** Fleet-scale attestation scenario runner.
+
+    Builds a deterministic {!Topology}, one {!Cluster} per AS shard, a
+    controller-side {!Core.Verdict_cache}, and an open-loop Poisson
+    arrival stream, then runs the discrete-event engine and reports
+    throughput, latency percentiles, cache effectiveness and shed counts.
+
+    The per-request cost model is derived from [lib/core]'s calibrated
+    ledger constants ({!Core.Costs}), so fleet numbers stay commensurable
+    with the single-VM attestation path's ledgers. *)
+
+type config = {
+  seed : int;
+  servers : int;  (** cloud servers in the fleet *)
+  vms : int;  (** VMs placed across them *)
+  as_count : int;  (** AS shards (clusters) *)
+  as_capacity : int;  (** concurrent measurement slots per AS *)
+  queue_depth : int;  (** bounded request-queue depth per AS *)
+  ttl : Sim.Time.t;  (** verdict-cache TTL; 0 disables caching *)
+  rate_per_s : float;  (** offered attestation requests per simulated second *)
+  duration : Sim.Time.t;  (** arrival window *)
+  drain : Sim.Time.t;  (** extra engine time to let queues empty *)
+  unhealthy_p : float;  (** fraction of measurements observing a compromise *)
+  churn_period : Sim.Time.t;  (** VM migration interval (0 = no churn) *)
+  hot_vms : int;  (** size of the frequently-attested VM subset *)
+  hot_p : float;  (** probability an arrival targets the hot subset *)
+  customer_p : float;  (** arrival mix: customer-triggered ... *)
+  periodic_p : float;  (** ... periodic (remainder: re-checks) *)
+}
+
+val default_config : config
+(** 200 servers, 2000 VMs, 1 AS, capacity 1, queue depth 16, cache off,
+    8 req/s for 30 s, 5% unhealthy, 5 s churn, 64 hot VMs at p=0.8,
+    mix 20/70/10. *)
+
+type result = {
+  config : config;
+  offered : int;
+  served : int;
+  shed_customer : int;
+  shed_periodic : int;
+  shed_recheck : int;
+  coalesced : int;
+  measurements : int;  (** actual AS measurement rounds *)
+  unhealthy : int;
+  cache_hits : int;
+  cache_hit_rate : float;
+  invalidations : int;
+  migrations : int;
+  offered_rps : float;
+  served_rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_queue_depth : int;
+  mean_queue_depth : float;  (** time-weighted, averaged over shards *)
+}
+
+val run : config -> result
+(** Deterministic: equal configs give equal results. *)
+
+val cold_attest_ms : float
+(** Modelled end-to-end latency of an uncontended cold attestation (mean
+    service + controller overhead), for calibration display. *)
+
+val cache_hit_ms : float
+(** Modelled latency of a verdict-cache hit. *)

@@ -1,0 +1,18 @@
+let poisson ~engine ~prng ~rate_per_s ~until fire =
+  if rate_per_s <= 0.0 then invalid_arg "Load.poisson: rate must be positive";
+  let interarrival () =
+    (* U in (0, 1]: never take log 0. *)
+    let u = 1.0 -. Sim.Prng.float prng 1.0 in
+    let dt_us = -.log u /. rate_per_s *. 1_000_000.0 in
+    max 1 (int_of_float (Float.round dt_us))
+  in
+  let rec arm () =
+    ignore
+      (Sim.Engine.schedule_after engine ~delay:(interarrival ()) (fun () ->
+           if Sim.Engine.now engine <= until then begin
+             fire ();
+             arm ()
+           end)
+        : Sim.Engine.handle)
+  in
+  arm ()

@@ -1,0 +1,14 @@
+(** Open-loop load generation: arrivals keep coming at the configured rate
+    regardless of how the system keeps up, which is what exposes queueing
+    and shedding behaviour. *)
+
+val poisson :
+  engine:Sim.Engine.t ->
+  prng:Sim.Prng.t ->
+  rate_per_s:float ->
+  until:Sim.Time.t ->
+  (unit -> unit) ->
+  unit
+(** [poisson ~engine ~prng ~rate_per_s ~until fire] schedules [fire] at
+    Poisson arrival times (exponential inter-arrivals, mean [1/rate_per_s]
+    seconds) from now until the simulated clock passes [until]. *)

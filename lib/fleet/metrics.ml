@@ -1,0 +1,48 @@
+type t = {
+  mutable offered : int;
+  mutable served : int;
+  mutable cache_hits : int;
+  mutable coalesced : int;
+  mutable measurements : int;
+  mutable unhealthy : int;
+  sheds : int array;  (* by Pqueue.rank *)
+  latency : Sim.Stats.Series.t;
+}
+
+let create () =
+  {
+    offered = 0;
+    served = 0;
+    cache_hits = 0;
+    coalesced = 0;
+    measurements = 0;
+    unhealthy = 0;
+    sheds = Array.make 3 0;
+    latency = Sim.Stats.Series.create ();
+  }
+
+let record_offered t = t.offered <- t.offered + 1
+
+let record_served t ~latency_ms =
+  t.served <- t.served + 1;
+  Sim.Stats.Series.add t.latency latency_ms
+
+let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+let record_coalesced t = t.coalesced <- t.coalesced + 1
+let record_measurement t = t.measurements <- t.measurements + 1
+let record_shed t p = t.sheds.(Pqueue.rank p) <- t.sheds.(Pqueue.rank p) + 1
+let record_unhealthy t = t.unhealthy <- t.unhealthy + 1
+
+let offered t = t.offered
+let served t = t.served
+let cache_hits t = t.cache_hits
+let coalesced t = t.coalesced
+let measurements t = t.measurements
+let unhealthy t = t.unhealthy
+let shed t p = t.sheds.(Pqueue.rank p)
+let shed_total t = Array.fold_left ( + ) 0 t.sheds
+
+let cache_hit_rate t =
+  if t.served = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int t.served
+
+let latency t = t.latency

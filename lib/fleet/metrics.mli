@@ -1,0 +1,36 @@
+(** Per-run fleet metrics: offered vs. served load, end-to-end latency
+    percentiles, cache effectiveness, coalescing, and shed counts by
+    priority class. *)
+
+type t
+
+val create : unit -> t
+
+val record_offered : t -> unit
+val record_served : t -> latency_ms:float -> unit
+val record_cache_hit : t -> unit
+(** Counts the hit only; the request is additionally [record_served]. *)
+
+val record_coalesced : t -> unit
+(** A request that joined an already-pending measurement. *)
+
+val record_measurement : t -> unit
+(** One actual measurement round executed by an AS. *)
+
+val record_shed : t -> Pqueue.priority -> unit
+val record_unhealthy : t -> unit
+
+val offered : t -> int
+val served : t -> int
+val cache_hits : t -> int
+val coalesced : t -> int
+val measurements : t -> int
+val unhealthy : t -> int
+val shed : t -> Pqueue.priority -> int
+val shed_total : t -> int
+
+val cache_hit_rate : t -> float
+(** Hits over served requests (0 when nothing served). *)
+
+val latency : t -> Sim.Stats.Series.t
+(** End-to-end latencies of served requests, in milliseconds. *)

@@ -1,0 +1,58 @@
+type server = { name : string; cluster : int }
+
+type vm = { vid : string; owner : string; mutable host : string }
+
+type t = {
+  seed : int;
+  as_count : int;
+  servers : server array;
+  vms : vm array;
+  routing : (string, int) Hashtbl.t;  (* host -> AS cluster index *)
+}
+
+let make ~seed ~servers:n_servers ~vms:n_vms ~as_count =
+  if n_servers <= 0 then invalid_arg "Topology.make: need at least one server";
+  if as_count <= 0 then invalid_arg "Topology.make: need at least one AS cluster";
+  let as_count = min as_count n_servers in
+  let prng = Sim.Prng.create (seed lxor 0x666c6565) in
+  let servers =
+    Array.init n_servers (fun i ->
+        { name = Printf.sprintf "srv-%04d" (i + 1); cluster = i mod as_count })
+  in
+  let routing = Hashtbl.create (2 * n_servers) in
+  Array.iter (fun s -> Hashtbl.replace routing s.name s.cluster) servers;
+  let vms =
+    Array.init n_vms (fun i ->
+        {
+          vid = Printf.sprintf "vm-%05d" (i + 1);
+          owner = Printf.sprintf "cust-%03d" (i mod 97);
+          host = servers.(Sim.Prng.int prng n_servers).name;
+        })
+  in
+  { seed; as_count; servers; vms; routing }
+
+let seed t = t.seed
+let as_count t = t.as_count
+let servers t = t.servers
+let vms t = t.vms
+
+let cluster_of t host = Option.value ~default:0 (Hashtbl.find_opt t.routing host)
+let cluster_of_vm t vm = cluster_of t vm.host
+
+let pick_vm t prng ?(hot = 0) ?(hot_p = 0.0) () =
+  let n = Array.length t.vms in
+  if n = 0 then invalid_arg "Topology.pick_vm: empty fleet";
+  let hot = min hot n in
+  if hot > 0 && Sim.Prng.float prng 1.0 < hot_p then t.vms.(Sim.Prng.int prng hot)
+  else t.vms.(Sim.Prng.int prng n)
+
+let migrate t prng vm =
+  let n = Array.length t.servers in
+  if n > 1 then begin
+    let rec fresh () =
+      let candidate = t.servers.(Sim.Prng.int prng n).name in
+      if String.equal candidate vm.host then fresh () else candidate
+    in
+    vm.host <- fresh ()
+  end;
+  vm.host

@@ -1,0 +1,43 @@
+(** Fleet topology: hundreds of cloud servers running thousands of VMs,
+    partitioned into Attestation-Server clusters (paper section 3.2.3: "There
+    can be different Attestation Servers for different clusters, enabling
+    scalability").
+
+    The whole layout is generated deterministically from a seed, so a fleet
+    run is reproducible bit-for-bit.  The [routing] table is the controller's
+    host -> AS-cluster map; VM placement can change at runtime ({!migrate}),
+    modelling the lifecycle churn that invalidates cached verdicts. *)
+
+type server = { name : string; cluster : int }
+
+type vm = {
+  vid : string;
+  owner : string;
+  mutable host : string;  (** current placement; changes on {!migrate} *)
+}
+
+type t
+
+val make : seed:int -> servers:int -> vms:int -> as_count:int -> t
+(** Servers are named [srv-0001].. and assigned to the [as_count] clusters
+    round-robin; VMs are placed uniformly at random (from [seed]). *)
+
+val seed : t -> int
+val as_count : t -> int
+val servers : t -> server array
+val vms : t -> vm array
+
+val cluster_of : t -> string -> int
+(** Routing-table lookup: which AS cluster serves this host.  Unknown hosts
+    route to cluster 0, like {!Core.Controller}'s fallback. *)
+
+val cluster_of_vm : t -> vm -> int
+
+val pick_vm : t -> Sim.Prng.t -> ?hot:int -> ?hot_p:float -> unit -> vm
+(** Sample a VM for an arriving attestation request.  With probability
+    [hot_p] (default 0) the VM comes from the first [hot] VMs (default 0 =
+    whole fleet), modelling the skewed access pattern of monitored tenants;
+    otherwise uniform over the whole fleet. *)
+
+val migrate : t -> Sim.Prng.t -> vm -> string
+(** Re-place [vm] on a different random server; returns the new host. *)

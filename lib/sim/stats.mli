@@ -38,6 +38,45 @@ module Summary : sig
   val max : t -> float
 end
 
+(** Growable sample series with percentile queries, e.g. per-request
+    attestation latencies in the fleet load generator.  Sorting is lazy and
+    cached, so interleaved [add]/[percentile] calls stay cheap. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** Nearest-rank percentile, [nan] when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  val clear : t -> unit
+end
+
+(** Time-weighted level tracking (queue depths, in-service counts).  The
+    caller reports every level change with its timestamp; the gauge keeps
+    the peak and the time-weighted mean. *)
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> now:float -> int -> unit
+  (** [set t ~now v] records that the level became [v] at time [now].
+      Timestamps must be non-decreasing. *)
+
+  val level : t -> int
+  val peak : t -> int
+
+  val time_weighted_mean : t -> now:float -> float
+  (** Mean level over [\[0, now\]], treating the level as held constant
+      between [set] calls (0 before the first). *)
+end
+
 val mean : float list -> float
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy. *)

@@ -1,0 +1,374 @@
+(* Tests for the fleet-scale attestation subsystem: the bounded priority
+   queue, verdict cache (unit + controller integration), coalescing,
+   deterministic replay, and shard scaling. *)
+
+open Core
+
+(* --- Pqueue: priority classes, backpressure ------------------------------- *)
+
+let test_pqueue_priority_order () =
+  let q = Fleet.Pqueue.create ~depth:8 in
+  let push p v = ignore (Fleet.Pqueue.push q p v : string Fleet.Pqueue.admission) in
+  push Fleet.Pqueue.Recheck "r1";
+  push Fleet.Pqueue.Periodic "p1";
+  push Fleet.Pqueue.Customer "c1";
+  push Fleet.Pqueue.Periodic "p2";
+  let order = List.init 4 (fun _ -> snd (Option.get (Fleet.Pqueue.pop q))) in
+  Alcotest.(check (list string)) "customer first, FIFO within class"
+    [ "c1"; "p1"; "p2"; "r1" ] order
+
+let test_pqueue_sheds_lowest_first () =
+  let q = Fleet.Pqueue.create ~depth:3 in
+  ignore (Fleet.Pqueue.push q Fleet.Pqueue.Periodic "p1" : string Fleet.Pqueue.admission);
+  ignore (Fleet.Pqueue.push q Fleet.Pqueue.Recheck "r1" : string Fleet.Pqueue.admission);
+  ignore (Fleet.Pqueue.push q Fleet.Pqueue.Recheck "r2" : string Fleet.Pqueue.admission);
+  (* Full.  A customer arrival evicts the oldest of the lowest class. *)
+  (match Fleet.Pqueue.push q Fleet.Pqueue.Customer "c1" with
+  | Fleet.Pqueue.Evicted (Fleet.Pqueue.Recheck, "r1") -> ()
+  | _ -> Alcotest.fail "expected eviction of recheck r1");
+  (* Another customer arrival evicts the remaining recheck... *)
+  (match Fleet.Pqueue.push q Fleet.Pqueue.Customer "c2" with
+  | Fleet.Pqueue.Evicted (Fleet.Pqueue.Recheck, "r2") -> ()
+  | _ -> Alcotest.fail "expected eviction of recheck r2");
+  (* ...then the periodic class starts paying. *)
+  (match Fleet.Pqueue.push q Fleet.Pqueue.Customer "c3" with
+  | Fleet.Pqueue.Evicted (Fleet.Pqueue.Periodic, "p1") -> ()
+  | _ -> Alcotest.fail "expected eviction of periodic p1");
+  (* Full of customers: an equal-priority arrival is rejected, never an
+     eviction among equals. *)
+  (match Fleet.Pqueue.push q Fleet.Pqueue.Customer "c4" with
+  | Fleet.Pqueue.Rejected -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* And a lower-priority arrival is rejected outright. *)
+  match Fleet.Pqueue.push q Fleet.Pqueue.Recheck "r3" with
+  | Fleet.Pqueue.Rejected -> ()
+  | _ -> Alcotest.fail "expected rejection of recheck into full customer queue"
+
+(* --- Verdict cache (unit) -------------------------------------------------- *)
+
+let report ?(status = Report.Healthy) ~vid ~property () =
+  { Report.vid; property; status; evidence = "test"; produced_at = 0 }
+
+let test_cache_ttl_and_expiry () =
+  let now = ref 0 in
+  let cache = Verdict_cache.create ~ttl:(Sim.Time.sec 10) ~clock:(fun () -> !now) () in
+  let r = report ~vid:"vm-1" ~property:Property.Startup_integrity () in
+  Alcotest.(check bool) "healthy stored" true (Verdict_cache.store cache r);
+  Alcotest.(check bool) "fresh hit" true
+    (Verdict_cache.find cache ~vid:"vm-1" ~property:Property.Startup_integrity <> None);
+  now := Sim.Time.sec 11;
+  Alcotest.(check bool) "expired" true
+    (Verdict_cache.find cache ~vid:"vm-1" ~property:Property.Startup_integrity = None);
+  Alcotest.(check int) "expired entry dropped" 0 (Verdict_cache.size cache)
+
+let test_cache_never_stores_unhealthy () =
+  let cache = Verdict_cache.create ~ttl:(Sim.Time.sec 10) ~clock:(fun () -> 0) () in
+  Alcotest.(check bool) "compromised not stored" false
+    (Verdict_cache.store cache
+       (report ~status:(Report.Compromised "rootkit") ~vid:"vm-1"
+          ~property:Property.Runtime_integrity ()));
+  Alcotest.(check bool) "unknown not stored" false
+    (Verdict_cache.store cache
+       (report ~status:(Report.Unknown "unreachable") ~vid:"vm-1"
+          ~property:Property.Runtime_integrity ()));
+  Alcotest.(check int) "empty" 0 (Verdict_cache.size cache)
+
+let test_cache_disabled_by_default () =
+  let cache = Verdict_cache.create ~clock:(fun () -> 0) () in
+  Alcotest.(check bool) "disabled" false (Verdict_cache.enabled cache);
+  Alcotest.(check bool) "store no-op" false
+    (Verdict_cache.store cache (report ~vid:"vm-1" ~property:Property.Startup_integrity ()));
+  Alcotest.(check bool) "find misses" true
+    (Verdict_cache.find cache ~vid:"vm-1" ~property:Property.Startup_integrity = None)
+
+let test_cache_invalidate_vm () =
+  let cache = Verdict_cache.create ~ttl:(Sim.Time.sec 60) ~clock:(fun () -> 0) () in
+  ignore (Verdict_cache.store cache (report ~vid:"vm-1" ~property:Property.Startup_integrity ()) : bool);
+  ignore (Verdict_cache.store cache (report ~vid:"vm-1" ~property:Property.Runtime_integrity ()) : bool);
+  ignore (Verdict_cache.store cache (report ~vid:"vm-2" ~property:Property.Startup_integrity ()) : bool);
+  Alcotest.(check int) "both vm-1 entries dropped" 2 (Verdict_cache.invalidate_vm cache ~vid:"vm-1");
+  Alcotest.(check int) "vm-2 untouched" 1 (Verdict_cache.size cache)
+
+(* --- Controller integration ------------------------------------------------ *)
+
+let fast_config = { Cloud.default_config with key_bits = 512 }
+
+let launch_ok customer ~properties =
+  match Cloud.Customer.launch customer ~image:"cirros" ~flavor:"small" ~properties () with
+  | Ok info -> info.Commands.vid
+  | Error e -> Alcotest.failf "launch failed: %a" Cloud.Customer.pp_error e
+
+let attest_cost controller ~vid ~property =
+  let drbg = Crypto.Drbg.create ~seed:"fleet-test" in
+  let nonce = Crypto.Drbg.nonce drbg in
+  let result, ledger = Controller.attest controller { Protocol.vid; property; nonce } in
+  match result with
+  | Ok creport -> (creport.Protocol.report, Ledger.total ledger)
+  | Error e -> Alcotest.failf "attest failed: %s" e
+
+let test_controller_cached_reattestation_cheaper () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let customer = Cloud.Customer.create cloud ~name:"alice" in
+  let vid = launch_ok customer ~properties:[ Property.Startup_integrity ] in
+  let controller = Cloud.controller cloud in
+  Controller.set_verdict_cache_ttl controller (Sim.Time.minutes 5);
+  let r1, cold = attest_cost controller ~vid ~property:Property.Startup_integrity in
+  let r2, cached = attest_cost controller ~vid ~property:Property.Startup_integrity in
+  Alcotest.(check bool) "cold healthy" true (Report.is_healthy r1);
+  Alcotest.(check bool) "cached healthy" true (Report.is_healthy r2);
+  Alcotest.(check bool)
+    (Printf.sprintf "cached (%d us) < cold (%d us)" cached cold)
+    true (cached < cold);
+  let stats = Verdict_cache.stats (Controller.verdict_cache controller) in
+  Alcotest.(check int) "one hit" 1 stats.Verdict_cache.hits
+
+let test_controller_lifecycle_invalidates () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let customer = Cloud.Customer.create cloud ~name:"alice" in
+  let vid = launch_ok customer ~properties:[ Property.Startup_integrity ] in
+  let controller = Cloud.controller cloud in
+  Controller.set_verdict_cache_ttl controller (Sim.Time.minutes 5);
+  let cache = Controller.verdict_cache controller in
+  ignore (attest_cost controller ~vid ~property:Property.Startup_integrity);
+  Alcotest.(check int) "verdict cached" 1 (Verdict_cache.size cache);
+  (* Suspension invalidates... *)
+  (match Controller.respond controller Controller.Suspend_vm ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "suspend failed: %s" e);
+  Alcotest.(check int) "suspend invalidated" 0 (Verdict_cache.size cache);
+  (* ...and so does resuming. *)
+  (match Controller.resume controller ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "resume failed: %s" e);
+  ignore (attest_cost controller ~vid ~property:Property.Startup_integrity);
+  Alcotest.(check int) "re-cached after resume" 1 (Verdict_cache.size cache);
+  (* Migration lands on a new host: the old verdict must not survive it.
+     Post-migration attestation may legitimately repopulate the cache, but
+     the controller must have invalidated in between; observe via stats. *)
+  let before = (Verdict_cache.stats cache).Verdict_cache.invalidations in
+  (match Controller.respond controller Controller.Migrate_vm ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "migrate failed: %s" e);
+  let after = (Verdict_cache.stats cache).Verdict_cache.invalidations in
+  Alcotest.(check bool) "migration invalidated" true (after > before);
+  (* Termination clears whatever the post-migration attestation cached. *)
+  Alcotest.(check bool) "terminate ok" true (Controller.terminate controller ~vid);
+  Alcotest.(check int) "terminate invalidated" 0 (Verdict_cache.size cache)
+
+(* --- Cluster: coalescing --------------------------------------------------- *)
+
+let test_cluster_coalesces_concurrent_requests () =
+  let engine = Sim.Engine.create () in
+  let metrics = Fleet.Metrics.create () in
+  let measured = ref 0 in
+  let cluster =
+    Fleet.Cluster.create ~engine ~name:"as-test" ~queue_depth:8
+      ~service_time:(fun () -> Sim.Time.ms 100)
+      ~measure:(fun ~vid:_ ~property:_ ->
+        incr measured;
+        Report.Healthy)
+      ~metrics ()
+  in
+  let verdicts = ref [] in
+  let submit () =
+    Fleet.Cluster.submit cluster ~vid:"vm-1" ~property:Property.Startup_integrity
+      ~priority:Fleet.Pqueue.Periodic
+      ~on_done:(fun v -> verdicts := v :: !verdicts)
+  in
+  submit ();
+  (* Joins while queued/in service. *)
+  ignore (Sim.Engine.schedule_after engine ~delay:(Sim.Time.ms 10) submit : Sim.Engine.handle);
+  ignore (Sim.Engine.schedule_after engine ~delay:(Sim.Time.ms 50) submit : Sim.Engine.handle);
+  Sim.Engine.run_until engine (Sim.Time.sec 1);
+  Alcotest.(check int) "one measurement round" 1 !measured;
+  Alcotest.(check int) "all three answered" 3 (List.length !verdicts);
+  Alcotest.(check bool) "all healthy" true
+    (List.for_all (function Fleet.Cluster.Done Report.Healthy -> true | _ -> false) !verdicts);
+  Alcotest.(check int) "two coalesced" 2 (Fleet.Metrics.coalesced metrics);
+  (* A request after completion starts a fresh measurement. *)
+  submit ();
+  Sim.Engine.run_until engine (Sim.Time.sec 2);
+  Alcotest.(check int) "fresh round after completion" 2 !measured
+
+let test_cluster_shed_verdict () =
+  let engine = Sim.Engine.create () in
+  let metrics = Fleet.Metrics.create () in
+  let cluster =
+    Fleet.Cluster.create ~engine ~name:"as-test" ~queue_depth:1
+      ~service_time:(fun () -> Sim.Time.ms 100)
+      ~measure:(fun ~vid:_ ~property:_ -> Report.Healthy)
+      ~metrics ()
+  in
+  let shed = ref 0 in
+  let submit vid priority =
+    Fleet.Cluster.submit cluster ~vid ~property:Property.Startup_integrity ~priority
+      ~on_done:(function Fleet.Cluster.Shed -> incr shed | Fleet.Cluster.Done _ -> ())
+  in
+  (* First occupies the single service slot, second fills the queue, third
+     (recheck) is rejected, and a customer arrival evicts the queued
+     recheck. *)
+  submit "vm-1" Fleet.Pqueue.Periodic;
+  submit "vm-2" Fleet.Pqueue.Recheck;
+  submit "vm-3" Fleet.Pqueue.Recheck;
+  Alcotest.(check int) "recheck rejected" 1 !shed;
+  submit "vm-4" Fleet.Pqueue.Customer;
+  Alcotest.(check int) "queued recheck evicted" 2 !shed;
+  Alcotest.(check int) "sheds recorded by class" 2
+    (Fleet.Metrics.shed metrics Fleet.Pqueue.Recheck);
+  Sim.Engine.run_until engine (Sim.Time.sec 1);
+  Alcotest.(check int) "survivors measured" 2 (Fleet.Metrics.measurements metrics)
+
+(* --- Driver: determinism, sharding, caching -------------------------------- *)
+
+let smoke_config =
+  {
+    Fleet.Driver.default_config with
+    servers = 40;
+    vms = 200;
+    duration = Sim.Time.sec 10;
+    drain = Sim.Time.sec 10;
+    hot_vms = 32;
+    rate_per_s = 10.0;
+  }
+
+let test_driver_deterministic_replay () =
+  let a = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
+  let b = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
+  Alcotest.(check string) "same seed, identical JSON"
+    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json a))
+    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json b));
+  let c = Experiments.Fleet_exp.run ~seed:8 ~scale:`Smoke () in
+  Alcotest.(check bool) "different seed differs" false
+    (String.equal
+       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json a))
+       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json c)))
+
+let test_driver_sharding_raises_throughput () =
+  (* Offered load well beyond one shard's ~4.5 req/s service capacity. *)
+  let run as_count =
+    Fleet.Driver.run { smoke_config with Fleet.Driver.as_count; rate_per_s = 16.0 }
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 shards (%.1f/s) > 1 shard (%.1f/s)" r2.Fleet.Driver.served_rps
+       r1.Fleet.Driver.served_rps)
+    true
+    (r2.Fleet.Driver.served_rps > r1.Fleet.Driver.served_rps);
+  Alcotest.(check bool)
+    (Printf.sprintf "4 shards (%.1f/s) > 2 shards (%.1f/s)" r4.Fleet.Driver.served_rps
+       r2.Fleet.Driver.served_rps)
+    true
+    (r4.Fleet.Driver.served_rps > r2.Fleet.Driver.served_rps);
+  Alcotest.(check bool) "1 shard sheds under overload" true
+    (r1.Fleet.Driver.shed_customer + r1.Fleet.Driver.shed_periodic
+     + r1.Fleet.Driver.shed_recheck
+    > 0)
+
+let test_driver_cache_ttl_improves_latency () =
+  (* Below one shard's service capacity, with a small hot set so repeats are
+     frequent; overload would distort both latency distributions. *)
+  let config =
+    {
+      smoke_config with
+      Fleet.Driver.rate_per_s = 3.0;
+      duration = Sim.Time.sec 20;
+      hot_vms = 8;
+      hot_p = 0.9;
+    }
+  in
+  let cold = Fleet.Driver.run { config with Fleet.Driver.ttl = 0 } in
+  let warm = Fleet.Driver.run { config with Fleet.Driver.ttl = Sim.Time.sec 30 } in
+  Alcotest.(check int) "no hits with cache off" 0 cold.Fleet.Driver.cache_hits;
+  Alcotest.(check bool) "hits with cache on" true (warm.Fleet.Driver.cache_hits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm p50 (%.0f ms) < cold p50 (%.0f ms)" warm.Fleet.Driver.p50_ms
+       cold.Fleet.Driver.p50_ms)
+    true
+    (warm.Fleet.Driver.p50_ms < cold.Fleet.Driver.p50_ms);
+  Alcotest.(check bool) "churn invalidates" true (warm.Fleet.Driver.invalidations > 0)
+
+(* --- Sim.Stats additions ---------------------------------------------------- *)
+
+let test_series_percentiles () =
+  let s = Sim.Stats.Series.create () in
+  List.iter (Sim.Stats.Series.add s) (List.init 100 (fun i -> float_of_int (i + 1)));
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Sim.Stats.Series.percentile s 50.0);
+  Alcotest.(check (float 0.001)) "p95" 95.0 (Sim.Stats.Series.percentile s 95.0);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Sim.Stats.Series.percentile s 99.0);
+  Alcotest.(check (float 0.001)) "max" 100.0 (Sim.Stats.Series.max s);
+  (* Interleaved adds keep the lazy sort honest. *)
+  Sim.Stats.Series.add s 1000.0;
+  Alcotest.(check (float 0.001)) "new max" 1000.0 (Sim.Stats.Series.max s);
+  Alcotest.(check bool) "matches list percentile" true
+    (Sim.Stats.Series.percentile s 75.0
+    = Sim.Stats.percentile (List.init 100 (fun i -> float_of_int (i + 1)) @ [ 1000.0 ]) 75.0)
+
+let test_gauge_time_weighted () =
+  let g = Sim.Stats.Gauge.create () in
+  Sim.Stats.Gauge.set g ~now:0.0 2;
+  Sim.Stats.Gauge.set g ~now:10.0 6;
+  (* 2 for 10 s, then 6 for 10 s -> mean 4. *)
+  Alcotest.(check (float 0.001)) "time-weighted mean" 4.0
+    (Sim.Stats.Gauge.time_weighted_mean g ~now:20.0);
+  Alcotest.(check int) "peak" 6 (Sim.Stats.Gauge.peak g)
+
+(* --- Json emitter ----------------------------------------------------------- *)
+
+let test_json_emitter () =
+  let j =
+    Experiments.Json.(
+      Obj
+        [
+          ("s", Str "a\"b\n");
+          ("i", Int 42);
+          ("f", Float 1.5);
+          ("nan", Float nan);
+          ("l", List [ Bool true; Null ]);
+        ])
+  in
+  Alcotest.(check string) "compact form"
+    "{\"s\":\"a\\\"b\\n\",\"i\":42,\"f\":1.5,\"nan\":null,\"l\":[true,null]}"
+    (Experiments.Json.to_string ~indent:0 j)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "priority order" `Quick test_pqueue_priority_order;
+          Alcotest.test_case "sheds lowest first" `Quick test_pqueue_sheds_lowest_first;
+        ] );
+      ( "verdict-cache",
+        [
+          Alcotest.test_case "ttl and expiry" `Quick test_cache_ttl_and_expiry;
+          Alcotest.test_case "never stores unhealthy" `Quick test_cache_never_stores_unhealthy;
+          Alcotest.test_case "disabled by default" `Quick test_cache_disabled_by_default;
+          Alcotest.test_case "invalidate vm" `Quick test_cache_invalidate_vm;
+        ] );
+      ( "controller-cache",
+        [
+          Alcotest.test_case "cached reattestation cheaper" `Quick
+            test_controller_cached_reattestation_cheaper;
+          Alcotest.test_case "lifecycle invalidates" `Quick test_controller_lifecycle_invalidates;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "coalesces concurrent requests" `Quick
+            test_cluster_coalesces_concurrent_requests;
+          Alcotest.test_case "shed verdicts" `Quick test_cluster_shed_verdict;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "deterministic replay" `Quick test_driver_deterministic_replay;
+          Alcotest.test_case "sharding raises throughput" `Quick
+            test_driver_sharding_raises_throughput;
+          Alcotest.test_case "cache ttl improves latency" `Quick
+            test_driver_cache_ttl_improves_latency;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "series percentiles" `Quick test_series_percentiles;
+          Alcotest.test_case "gauge time-weighted" `Quick test_gauge_time_weighted;
+        ] );
+      ("json", [ Alcotest.test_case "emitter" `Quick test_json_emitter ]);
+    ]
