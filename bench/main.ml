@@ -2,19 +2,57 @@
    load experiment, plus bechamel micro-benchmarks of the building blocks.
 
    Usage: main.exe [--json FILE]
-            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|ablations|micro|all]
+            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|ablations|micro|all]
    With no experiment, everything runs.  Unknown names abort with a listing.
 
-   JSON-capable experiments (fleet, fig9) collect machine-readable results;
-   they are written to FILE (or $CLOUDMONATT_BENCH_JSON) as one object keyed
-   by experiment name.  `fleet` alone defaults to writing BENCH_fleet.json,
-   the perf-trajectory artifact. *)
+   JSON-capable experiments (fleet, fig9, batch) collect machine-readable
+   results; they are written to FILE (or $CLOUDMONATT_BENCH_JSON) as one
+   object keyed by experiment name, plus a "host" object pairing each run
+   with its real wall-clock time and GC counters.  `fleet` alone defaults
+   to writing BENCH_fleet.json and `batch` to BENCH_batch.json, the
+   perf-trajectory artifacts. *)
 
 let seed = 2015
 
 (* JSON results collected by the experiments that emit them. *)
 let json_results : (string * Experiments.Json.t) list ref = ref []
 let collect name json = json_results := (name, json) :: !json_results
+
+(* Host-side observability: real elapsed time and GC pressure of each
+   experiment, so the simulated-latency trajectory in the artifacts is
+   paired with a real-CPU trajectory.  Kept in a separate top-level "host"
+   object — the experiment results themselves stay purely simulated (and
+   byte-stable across hosts). *)
+let host_stats : (string * Experiments.Json.t) list ref = ref []
+
+let observed name f =
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let gc0 = Gc.quick_stat () in
+  f ();
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  let gc1 = Gc.quick_stat () in
+  host_stats :=
+    ( name,
+      Experiments.Json.Obj
+        [
+          ("wall_s", Experiments.Json.Float wall);
+          ("cpu_s", Experiments.Json.Float cpu);
+          ( "gc",
+            Experiments.Json.Obj
+              [
+                ( "minor_collections",
+                  Experiments.Json.Int (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+                );
+                ( "major_collections",
+                  Experiments.Json.Int (gc1.Gc.major_collections - gc0.Gc.major_collections)
+                );
+                ( "promoted_words",
+                  Experiments.Json.Float (gc1.Gc.promoted_words -. gc0.Gc.promoted_words) );
+              ] );
+        ] )
+    :: !host_stats
 
 let run_fig4 () = Experiments.Fig4.print (Experiments.Fig4.run ~seed ())
 let run_fig5 () = Experiments.Fig5.print (Experiments.Fig5.run ~seed ())
@@ -36,6 +74,11 @@ let run_fleet () =
   let result = Experiments.Fleet_exp.run ~seed () in
   Experiments.Fleet_exp.print result;
   collect "fleet" (Experiments.Fleet_exp.to_json result)
+
+let run_batch () =
+  let result = Experiments.Batch_exp.run ~seed () in
+  Experiments.Batch_exp.print result;
+  collect "batch" (Experiments.Batch_exp.to_json result)
 
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
@@ -107,6 +150,7 @@ let experiments =
     ("cache", run_cache);
     ("faults", run_faults);
     ("fleet", run_fleet);
+    ("batch", run_batch);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]
@@ -145,30 +189,73 @@ let () =
   let which, json_arg =
     parse_args (Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)))
   in
+  (* Fail before running anything if the --json destination can never be
+     written: an hour-long sweep that dies at write time helps nobody. *)
+  (match json_arg with
+  | Some path ->
+      let dir = Filename.dirname path in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "error: --json %s: parent directory %s does not exist\n" path dir;
+        exit 2
+      end
+  | None -> ());
   let run_all = List.mem "all" which in
   print_endline "CloudMonatt evaluation harness (ISCA'15 figures)";
   List.iter
     (fun (name, f) ->
       if run_all || List.mem name which then begin
         let t0 = Sys.time () in
-        f ();
+        observed name f;
         Printf.printf "[%s done in %.1fs host time]\n%!" name (Sys.time () -. t0)
       end)
     experiments;
-  let json_path =
+  let json_paths =
     match (json_arg, Sys.getenv_opt "CLOUDMONATT_BENCH_JSON") with
-    | Some p, _ -> Some p
-    | None, Some p -> Some p
+    | Some p, _ -> [ p ]
+    | None, Some p -> [ p ]
     | None, None ->
-        (* `fleet` writes its trajectory artifact even without --json. *)
-        if List.mem_assoc "fleet" !json_results then Some "BENCH_fleet.json" else None
+        (* `fleet` and `batch` write their trajectory artifacts even
+           without --json. *)
+        List.filter_map
+          (fun (name, path) ->
+            if List.mem_assoc name !json_results then Some path else None)
+          [ ("fleet", "BENCH_fleet.json"); ("batch", "BENCH_batch.json") ]
   in
-  match json_path with
-  | None -> ()
-  | Some path ->
+  match json_paths with
+  | [] -> ()
+  | paths ->
+      (* The committed trajectory artifacts must stay byte-identical across
+         runs, so the (nondeterministic) host-observability block only goes
+         to explicitly requested destinations. *)
+      let explicit_destination =
+        json_arg <> None || Sys.getenv_opt "CLOUDMONATT_BENCH_JSON" <> None
+      in
       if !json_results = [] then
         Printf.eprintf "warning: --json given but no selected experiment emits JSON\n"
-      else begin
-        Experiments.Json.write_file path (Experiments.Json.Obj (List.rev !json_results));
-        Printf.printf "wrote %s\n%!" path
-      end
+      else
+        List.iter
+          (fun path ->
+            let keep =
+              (* Per-artifact default files carry only their own experiment;
+                 an explicit --json FILE carries everything that ran. *)
+              match (json_arg, path) with
+              | None, "BENCH_fleet.json" ->
+                  List.filter (fun (n, _) -> n = "fleet") !json_results
+              | None, "BENCH_batch.json" ->
+                  List.filter (fun (n, _) -> n = "batch") !json_results
+              | _ -> !json_results
+            in
+            let doc =
+              Experiments.Json.Obj
+                (List.rev keep
+                @
+                if explicit_destination then
+                  [ ("host", Experiments.Json.Obj (List.rev !host_stats)) ]
+                else [])
+            in
+            match Experiments.Json.write_file_result path doc with
+            | Ok () -> Printf.printf "wrote %s\n%!" path
+            | Error msg ->
+                Printf.eprintf "error: cannot write %s: %s\n" path msg;
+                exit 2)
+          paths

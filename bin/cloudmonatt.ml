@@ -15,7 +15,7 @@ let seed_arg =
 (* --- experiment --------------------------------------------------------- *)
 
 let all_experiments =
-  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "ablations" ]
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "ablations" ]
 
 let experiment_names = all_experiments @ [ "all" ]
 
@@ -32,6 +32,7 @@ let run_experiment seed name =
   | "cache" -> Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
   | "faults" -> Experiments.Faults.print (Experiments.Faults.run ~seed ())
   | "fleet" -> Experiments.Fleet_exp.print (Experiments.Fleet_exp.run ~seed ())
+  | "batch" -> Experiments.Batch_exp.print (Experiments.Batch_exp.run ~seed ())
   | "ablations" ->
       Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
       Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -43,7 +44,7 @@ let run_experiment seed name =
 
 let experiment_cmd =
   let names =
-    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, ablations, all)." in
+    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, ablations, all)." in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed names =

@@ -24,7 +24,75 @@ let ok_reply payload =
       Wire.Codec.Enc.u8 e 1;
       Wire.Codec.Enc.str e payload)
 
+(* Batched measurement: collect every item, build a Merkle tree over the
+   per-item Q3 quotes, and have the Trust Module mint ONE session key and
+   sign ONE root — the whole point of batching.  Any item that cannot be
+   collected fails the batch (the AS retries those items unbatched), so a
+   batch reply always covers exactly what was asked. *)
+let handle_batch t (req : Protocol.batch_measure_request) =
+  if req.bm_items = [] then error_reply "empty batch"
+  else begin
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | (vid, requests_raw) :: rest -> (
+          match Monitors.Measurement.decode_requests requests_raw with
+          | None -> Error "malformed measurement list"
+          | Some requests -> (
+              match Monitors.Monitor_kernel.collect t.kernel ~vid requests with
+              | Error (`Unknown_vm vid) -> Error ("unknown vm " ^ vid)
+              | Error (`Unsupported r) ->
+                  Error
+                    ("unsupported measurement " ^ Monitors.Measurement.request_to_string r)
+              | Ok values ->
+                  collect
+                    ((vid, requests_raw, Monitors.Measurement.encode_values values) :: acc)
+                    rest))
+    in
+    match collect [] req.bm_items with
+    | Error why -> error_reply why
+    | Ok measured ->
+        let leaves =
+          List.map
+            (fun (vid, requests_raw, values_raw) ->
+              Protocol.q3 ~vid ~requests_raw ~values_raw ~nonce:req.bm_nonce)
+            measured
+        in
+        let root = Crypto.Merkle.root leaves in
+        let session = Tpm.Trust_module.begin_session t.trust in
+        let signature =
+          match Tpm.Trust_module.quote_batch t.trust session ~root ~nonce:req.bm_nonce with
+          | Some s -> s
+          | None -> ""
+        in
+        Tpm.Trust_module.end_session t.trust session;
+        let items =
+          List.mapi
+            (fun i (bi_vid, bi_requests_raw, bi_values_raw) ->
+              {
+                Protocol.bi_vid;
+                bi_requests_raw;
+                bi_values_raw;
+                bi_proof = Crypto.Merkle.proof leaves i;
+              })
+            measured
+        in
+        t.served <- t.served + List.length items;
+        ok_reply
+          (Protocol.encode_batch_measure_response
+             {
+               Protocol.br_items = items;
+               br_nonce = req.bm_nonce;
+               br_root = root;
+               br_signature = signature;
+               br_avk = Crypto.Rsa.public_to_string session.public;
+               br_endorsement = session.endorsement;
+             })
+  end
+
 let handle t plaintext =
+  match Protocol.decode_batch_measure_request plaintext with
+  | Some req -> handle_batch t req
+  | None -> (
   match Protocol.decode_measure_request plaintext with
   | None -> error_reply "malformed measurement request"
   | Some req -> (
@@ -64,7 +132,7 @@ let handle t plaintext =
               in
               Tpm.Trust_module.end_session t.trust session;
               t.served <- t.served + 1;
-              ok_reply (Protocol.encode_measure_response { unsigned with signature })))
+              ok_reply (Protocol.encode_measure_response { unsigned with signature }))))
 
 let create ~net ~ca ~seed server =
   match Hypervisor.Server.trust_module server with
@@ -100,3 +168,19 @@ let measurement_cost (req : Protocol.measure_request) =
     | None -> 1
   in
   Costs.session_keygen + Costs.quote_sign + (n * Costs.measurement_collect)
+
+let batch_measurement_cost (req : Protocol.batch_measure_request) =
+  let collects =
+    List.fold_left
+      (fun acc (_, requests_raw) ->
+        acc
+        +
+        match Monitors.Measurement.decode_requests requests_raw with
+        | Some rs -> List.length rs
+        | None -> 1)
+      0 req.bm_items
+  in
+  (* One keygen + one root signature for the whole batch; collection stays
+     per measurement and the Merkle build is charged per node. *)
+  Costs.batch_quote_cost ~batch:(List.length req.bm_items)
+  + (collects * Costs.measurement_collect)

@@ -33,4 +33,10 @@ val measurement_cost : Protocol.measure_request -> Sim.Time.t
 (** Simulated server-side cost of serving a request: session key
     generation, per-measurement collection, quote signing. *)
 
+val batch_measurement_cost : Protocol.batch_measure_request -> Sim.Time.t
+(** Simulated cost of a batched round: one session keygen + one root
+    signature for the whole batch ({!Core.Costs.batch_quote_cost}), plus
+    per-measurement collection.  The client answers batch requests on the
+    same channel as single ones, distinguished by the wire magic. *)
+
 val requests_served : t -> int

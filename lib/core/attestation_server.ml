@@ -230,6 +230,137 @@ let attest t ~vid ~server ~property ~nonce =
   in
   (go 1, ledger)
 
+(* --- Batched appraisal ---------------------------------------------------- *)
+
+(* One measurement round for a whole batch: one channel call, one pCA
+   certification, one signature verification; then per report an
+   inclusion-proof walk, interpretation, and an individually signed
+   verdict.  A report whose proof fails is rejected alone — the rest of
+   the batch stands, because each verdict is bound to its own Q3 leaf
+   under the signed root, never to its neighbours. *)
+let attest_batch_once t ~server ~reqs ledger =
+  let* channel = channel_to t ~server ledger in
+  let n3 = Crypto.Drbg.nonce t.drbg in
+  let bm =
+    {
+      Protocol.bm_items = List.map (fun (vid, _, requests_raw) -> (vid, requests_raw)) reqs;
+      bm_nonce = n3;
+    }
+  in
+  Ledger.add ledger "server-measure" (Attestation_client.batch_measurement_cost bm);
+  let* raw =
+    match
+      Net.Secure_channel.Client.call_robust channel (Protocol.encode_batch_measure_request bm)
+    with
+    | Ok raw -> Ok raw
+    | Error e ->
+        Hashtbl.remove t.channels server;
+        Error (`Channel e)
+  in
+  let* body = parse_client_reply raw in
+  let* response =
+    match Protocol.decode_batch_measure_response body with
+    | Some r -> Ok r
+    | None -> Error (`Server_refused "malformed batch measurement response")
+  in
+  if List.length response.Protocol.br_items <> List.length reqs then
+    Error (`Server_refused "batch reply does not match request")
+  else begin
+    (* Certify the single session key and verify the single root signature. *)
+    Ledger.add ledger "pca-certify" Costs.pca_certify;
+    let* cert =
+      match Crypto.Rsa.public_of_string response.Protocol.br_avk with
+      | None -> Error `Uncertified_key
+      | Some avk -> (
+          match
+            Privacy_ca.certify_attestation_key t.pca ~key:avk
+              ~endorsement:response.Protocol.br_endorsement
+          with
+          | Ok cert -> Ok cert
+          | Error `Unknown_server -> Error `Uncertified_key)
+    in
+    Ledger.add ledger "verify" (Costs.batch_verify_cost ~batch:(List.length reqs));
+    let* () =
+      Result.map_error
+        (fun e -> `Verification e)
+        (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public t.pca) ~cert
+           ~expected_nonce:n3 response)
+    in
+    let root = response.Protocol.br_root in
+    let appraise (vid, property, requests_raw) (item : Protocol.batch_item) =
+      let itemwise =
+        if not (String.equal item.Protocol.bi_vid vid) then Error (`Verification `Vid_mismatch)
+        else
+          Result.map_error
+            (fun e -> `Verification e)
+            (Protocol.verify_batch_item ~root ~nonce:n3 ~expected_requests:requests_raw item)
+      in
+      match itemwise with
+      | Error e -> (vid, property, Error e)
+      | Ok () ->
+          Ledger.add ledger "interpret" Costs.interpret;
+          let values =
+            Option.value ~default:[]
+              (Monitors.Measurement.decode_values item.Protocol.bi_values_raw)
+          in
+          let status, evidence =
+            Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values
+          in
+          ( vid,
+            property,
+            Ok { Report.vid; property; status; evidence; produced_at = t.engine_now () } )
+    in
+    Ok (List.map2 appraise reqs response.Protocol.br_items)
+  end
+
+let attest_batch t ~server ~items ~nonce =
+  let ledger = Ledger.create () in
+  t.net_ledger := ledger;
+  Ledger.add ledger "db-lookup" Costs.db_lookup;
+  let reqs =
+    List.map
+      (fun (vid, property) ->
+        ( vid,
+          property,
+          Monitors.Measurement.encode_requests (Interpret.requests_for t.refs property) ))
+      items
+  in
+  let degraded_report vid property reason =
+    {
+      Report.vid;
+      property;
+      status = Report.Unknown reason;
+      evidence = "no measurements collected";
+      produced_at = t.engine_now ();
+    }
+  in
+  let sign (vid, property, itemwise) =
+    match itemwise with
+    | Ok report -> (vid, property, Ok (sign_report t ~vid ~server ~property ~nonce ~ledger report))
+    | Error e -> (vid, property, Error e)
+  in
+  let rec go attempt =
+    match attest_batch_once t ~server ~reqs ledger with
+    | Ok results -> Ok (List.map sign results)
+    | Error e when availability_failure e ->
+        Hashtbl.remove t.channels server;
+        if attempt < t.attest_attempts then go (attempt + 1)
+        else begin
+          t.degraded <- t.degraded + List.length items;
+          let reason =
+            Format.asprintf "attestation path unavailable after %d attempts: %a" attempt
+              pp_error e
+          in
+          Ok
+            (List.map
+               (fun (vid, property, _) ->
+                 sign (vid, property, Ok (degraded_report vid property reason)))
+               reqs)
+        end
+    | Error e -> Error e
+  in
+  (go 1, ledger)
+
 let history t = List.rev t.history
 let attestations_done t = t.count
 let degraded_count t = t.degraded
@@ -251,15 +382,85 @@ let encode_service_reply result ledger =
           Wire.Codec.Enc.u8 e 0;
           Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
 
-let request_handler t ~peer:_ plaintext =
-  match Protocol.decode_as_request plaintext with
-  | None -> encode_service_reply (Error (`Server_refused "malformed request")) (Ledger.create ())
-  | Some req ->
-      let result, ledger =
-        attest t ~vid:req.Protocol.vid ~server:req.Protocol.server
-          ~property:req.Protocol.property ~nonce:req.Protocol.nonce
+(* A batch reply carries one tag+payload per requested item (in request
+   order), so a rejected report travels next to its accepted siblings. *)
+let encode_batch_service_reply result ledger =
+  Wire.Codec.encode (fun e ->
+      match result with
+      | Ok items ->
+          Wire.Codec.Enc.u8 e 1;
+          Wire.Codec.Enc.list e
+            (fun (_, _, itemwise) ->
+              match itemwise with
+              | Ok report ->
+                  Wire.Codec.Enc.u8 e 1;
+                  Wire.Codec.Enc.str e (Protocol.encode_as_report report)
+              | Error err ->
+                  Wire.Codec.Enc.u8 e 0;
+                  Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
+            items;
+          Wire.Codec.Enc.list e
+            (fun (label, cost) ->
+              Wire.Codec.Enc.str e label;
+              Wire.Codec.Enc.int e cost)
+            (Ledger.entries ledger)
+      | Error err ->
+          Wire.Codec.Enc.u8 e 0;
+          Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
+
+let decode_batch_service_reply raw =
+  match
+    Wire.Codec.decode_opt raw (fun d ->
+        match Wire.Codec.Dec.u8 d with
+        | 1 ->
+            let items =
+              Wire.Codec.Dec.list d (fun d ->
+                  match Wire.Codec.Dec.u8 d with
+                  | 1 -> `Report (Wire.Codec.Dec.str d)
+                  | 0 -> `Rejected (Wire.Codec.Dec.str d)
+                  | _ -> raise (Wire.Codec.Error "bad batch item tag"))
+            in
+            let entries =
+              Wire.Codec.Dec.list d (fun d ->
+                  let label = Wire.Codec.Dec.str d in
+                  let cost = Wire.Codec.Dec.int d in
+                  (label, cost))
+            in
+            `Ok (items, entries)
+        | 0 -> `Err (Wire.Codec.Dec.str d)
+        | _ -> raise (Wire.Codec.Error "bad reply tag"))
+  with
+  | Some (`Ok (items, entries)) ->
+      let rec all acc = function
+        | [] -> Ok (List.rev acc, entries)
+        | `Rejected why :: rest -> all (Error why :: acc) rest
+        | `Report raw :: rest -> (
+            match Protocol.decode_as_report raw with
+            | Some report -> all (Ok report :: acc) rest
+            | None -> Error "malformed report in batch AS reply")
       in
-      encode_service_reply result ledger
+      all [] items
+  | Some (`Err why) -> Error why
+  | None -> Error "malformed AS reply"
+
+let request_handler t ~peer:_ plaintext =
+  match Protocol.decode_batch_as_request plaintext with
+  | Some breq ->
+      let result, ledger =
+        attest_batch t ~server:breq.Protocol.ba_server ~items:breq.Protocol.ba_items
+          ~nonce:breq.Protocol.ba_nonce
+      in
+      encode_batch_service_reply result ledger
+  | None -> (
+      match Protocol.decode_as_request plaintext with
+      | None ->
+          encode_service_reply (Error (`Server_refused "malformed request")) (Ledger.create ())
+      | Some req ->
+          let result, ledger =
+            attest t ~vid:req.Protocol.vid ~server:req.Protocol.server
+              ~property:req.Protocol.property ~nonce:req.Protocol.nonce
+          in
+          encode_service_reply result ledger)
 
 let decode_service_reply raw =
   match

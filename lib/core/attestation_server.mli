@@ -73,6 +73,23 @@ val attest :
     verification failures, malformed replies, unknown hosts — never degrade
     and stay hard errors. *)
 
+val attest_batch :
+  t ->
+  server:string ->
+  items:(string * Property.t) list ->
+  nonce:string ->
+  ( (string * Property.t * (Protocol.as_report, error) result) list,
+    error )
+  result
+  * Ledger.t
+(** Batched appraisal of many VMs on one cloud server: a single
+    measurement round returns one Merkle-root signature covering every
+    report, verified once; each report is then checked against its own
+    O(log n) inclusion proof and gets an {e individual} signed verdict.
+    A report whose proof fails is rejected alone ([Error] in its slot)
+    while the rest of the batch stands.  Batch-wide availability failures
+    degrade every item to a signed [Unknown], like {!attest}. *)
+
 (** {2 Introspection for tests and benches} *)
 
 type history_entry = {
@@ -95,9 +112,18 @@ val degraded_count : t -> int
 
 val request_handler : t -> peer:string -> string -> string
 (** The on-request function for the AS's secure channel: decodes a
-    {!Protocol.as_request}, runs {!attest} and encodes the reply (report +
-    cost ledger entries, so the controller can account end-to-end time). *)
+    {!Protocol.as_request} (or a {!Protocol.batch_as_request}, recognised
+    by its wire magic), runs {!attest} / {!attest_batch} and encodes the
+    reply (report(s) + cost ledger entries, so the controller can account
+    end-to-end time). *)
 
 val decode_service_reply :
   string -> (Protocol.as_report * (string * Sim.Time.t) list, string) result
 (** Parse a {!request_handler} reply on the controller side. *)
+
+val decode_batch_service_reply :
+  string ->
+  ((Protocol.as_report, string) result list * (string * Sim.Time.t) list, string) result
+(** Parse a batched {!request_handler} reply: one [Ok report] or
+    [Error reason] per requested item, in request order, plus the shared
+    cost ledger. *)

@@ -54,6 +54,7 @@ type t = {
   periodic : (string * string, bool ref) Hashtbl.t; (* (vid, property) -> stop flag *)
   mutable response_policy : Report.t -> response_strategy option;
   mutable attest_attempts : int;
+  mutable batching : bool;  (* Merkle-batched AS rounds in [attest_many]; off by default *)
   mutable auto_resume : bool;  (* re-check suspended VMs and resume on healthy *)
   mutable recheck_period : Sim.Time.t;
   mutable max_rechecks : int;
@@ -236,6 +237,14 @@ let attest_once t (req : Protocol.attest_request) ledger =
   in
   Ok (sign_controller_report t req ledger as_report.Protocol.report)
 
+(* Never serve a stale healthy verdict after an unhealthy or undecidable
+   observation; store fresh healthy ones for the TTL window. *)
+let cache_bookkeep t ~vid ~property (report : Report.t) =
+  match report.Report.status with
+  | Report.Healthy -> ignore (Verdict_cache.store t.cache report : bool)
+  | Report.Compromised _ | Report.Unknown _ ->
+      ignore (Verdict_cache.invalidate t.cache ~vid ~property : bool)
+
 (* The attest_service path: controller -> AS -> cloud server and back.
    Bounded re-attestation with degradation to a signed [Unknown] verdict
    when the path to the AS stays unavailable — the caller always gets an
@@ -253,12 +262,7 @@ let attest t (req : Protocol.attest_request) =
       (Ok (sign_controller_report t req ledger cached), ledger)
   | None ->
   let bookkeep (creport : Protocol.controller_report) =
-    (match creport.Protocol.report.Report.status with
-    | Report.Healthy -> ignore (Verdict_cache.store t.cache creport.Protocol.report : bool)
-    | Report.Compromised _ | Report.Unknown _ ->
-        (* Never serve a stale healthy verdict after an unhealthy or
-           undecidable observation. *)
-        ignore (Verdict_cache.invalidate t.cache ~vid:req.vid ~property:req.property : bool));
+    cache_bookkeep t ~vid:req.vid ~property:req.property creport.Protocol.report;
     creport
   in
   let rec go attempt =
@@ -286,6 +290,156 @@ let attest t (req : Protocol.attest_request) =
     | Error (`Hard msg) -> Error msg
   in
   (go 1, ledger)
+
+(* --- Batched attestation (opt-in, like the verdict cache) ----------------- *)
+
+(* One controller -> AS round covering a whole group of requests that share
+   a host (and therefore an AS cluster).  The AS answers with individually
+   signed reports derived from ONE Merkle-aggregated Trust-Module quote. *)
+let attest_group_once t ~idx ~host items ledger =
+  let* channel =
+    Result.map_error (classify_channel "AS channel") (as_channel t ~idx ledger)
+  in
+  let n2 = Crypto.Drbg.nonce t.drbg in
+  let ba = { Protocol.ba_server = host; ba_items = items; ba_nonce = n2 } in
+  let* raw =
+    match
+      Net.Secure_channel.Client.call_robust channel (Protocol.encode_batch_as_request ba)
+    with
+    | Ok raw -> Ok raw
+    | Error e ->
+        Hashtbl.remove t.as_channels idx;
+        Error (classify_channel "AS call" e)
+  in
+  let* per_item, as_costs =
+    Result.map_error (fun e -> `Hard e) (Attestation_server.decode_batch_service_reply raw)
+  in
+  if List.length per_item <> List.length items then
+    Error (`Hard "batch AS reply does not match request")
+  else begin
+    List.iter (fun (label, cost) -> Ledger.add ledger ("as:" ^ label) cost) as_costs;
+    Ok (n2, per_item)
+  end
+
+let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
+  let idx = as_index t ~host in
+  let items = List.map (fun (r : Protocol.attest_request) -> (r.Protocol.vid, r.Protocol.property)) reqs in
+  let finish (req : Protocol.attest_request) creport =
+    cache_bookkeep t ~vid:req.Protocol.vid ~property:req.Protocol.property
+      creport.Protocol.report;
+    creport
+  in
+  (* Each report in the batch reply still carries its own AS signature, so
+     the controller's per-report verification is unchanged by batching. *)
+  let appraise n2 (req : Protocol.attest_request) item =
+    match item with
+    | Error why -> Error ("AS rejected report: " ^ why)
+    | Ok (as_report : Protocol.as_report) -> (
+        Ledger.add ledger "verify" Costs.signature_verify;
+        match
+          Protocol.verify_as_report
+            ~key:(snd t.attestation_servers.(idx))
+            ~expected_vid:req.Protocol.vid ~expected_server:host
+            ~expected_property:req.Protocol.property ~expected_nonce:n2 as_report
+        with
+        | Error e ->
+            Error (Format.asprintf "AS report rejected: %a" Protocol.pp_verify_error e)
+        | Ok () ->
+            Ok (finish req (sign_controller_report t req ledger as_report.Protocol.report)))
+  in
+  let degraded msg (req : Protocol.attest_request) =
+    let reason =
+      Printf.sprintf "attestation server unreachable after %d attempts: %s"
+        t.attest_attempts msg
+    in
+    let report =
+      {
+        Report.vid = req.Protocol.vid;
+        property = req.Protocol.property;
+        status = Report.Unknown reason;
+        evidence = "no attestation-server report";
+        produced_at = Sim.Engine.now t.engine;
+      }
+    in
+    Ok (finish req (sign_controller_report t req ledger report))
+  in
+  let rec go attempt =
+    match attest_group_once t ~idx ~host items ledger with
+    | Ok (n2, per_item) -> List.map2 (appraise n2) reqs per_item
+    | Error (`Avail msg) ->
+        if attempt < t.attest_attempts then go (attempt + 1)
+        else begin
+          log t "batched attestation on %s degraded to unknown: %s" host msg;
+          List.map (degraded msg) reqs
+        end
+    | Error (`Hard msg) -> List.map (fun _ -> Error msg) reqs
+  in
+  go 1
+
+let set_batching t enabled = t.batching <- enabled
+let batching t = t.batching
+
+(* Attest many (vid, property) pairs in one call.  With batching enabled,
+   cache misses are grouped by host and each group of two or more rides a
+   single Merkle-batched AS round; cache hits, unplaced VMs and lone
+   requests take the exact unbatched path.  With batching disabled this is
+   just [attest] in a loop (shared ledger), so the flag only ever amortizes
+   cost — it never changes who signs what. *)
+let attest_many t (reqs : Protocol.attest_request list) =
+  let shared = Ledger.create () in
+  let merge sub = List.iter (fun (l, c) -> Ledger.add shared l c) (Ledger.entries sub) in
+  let ireqs = List.mapi (fun i r -> (i, r)) reqs in
+  let out = Array.make (List.length reqs) (Error "unprocessed") in
+  let host_of (req : Protocol.attest_request) =
+    if not t.batching then None
+    else if Verdict_cache.find t.cache ~vid:req.vid ~property:req.property <> None then None
+    else Option.bind (Database.vm t.db req.vid) (fun r -> r.Database.host)
+  in
+  let groups : (string, (int * Protocol.attest_request) list) Hashtbl.t = Hashtbl.create 4 in
+  let singles =
+    List.filter
+      (fun (i, req) ->
+        match host_of req with
+        | None -> true
+        | Some host ->
+            Hashtbl.replace groups host
+              ((i, req) :: Option.value ~default:[] (Hashtbl.find_opt groups host));
+            false)
+      ireqs
+  in
+  (* A group of one gains nothing from a batch quote: unbatched path. *)
+  let lone =
+    Hashtbl.fold
+      (fun host items acc -> match items with [ one ] -> (host, one) :: acc | _ -> acc)
+      groups []
+  in
+  List.iter (fun (host, _) -> Hashtbl.remove groups host) lone;
+  let singles =
+    List.sort
+      (fun (i, _) (j, _) -> compare i j)
+      (List.map snd lone @ singles)
+  in
+  List.iter
+    (fun (i, req) ->
+      let result, sub = attest t req in
+      merge sub;
+      out.(i) <- result)
+    singles;
+  t.as_ledger := shared;
+  let grouped =
+    List.sort
+      (fun (h1, _) (h2, _) -> compare h1 h2)
+      (Hashtbl.fold
+         (fun host items acc ->
+           (host, List.sort (fun (i, _) (j, _) -> compare i j) items) :: acc)
+         groups [])
+  in
+  List.iter
+    (fun (host, items) ->
+      let results = attest_group t ~host (List.map snd items) shared in
+      List.iter2 (fun (i, _) r -> out.(i) <- r) items results)
+    grouped;
+  (List.map2 (fun req r -> (req, r)) reqs (Array.to_list out), shared)
 
 (* --- Responses (nova response module) ------------------------------------ *)
 
@@ -742,6 +896,7 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
       periodic = Hashtbl.create 8;
       response_policy = default_policy;
       attest_attempts = 2;
+      batching = false;
       auto_resume = true;
       recheck_period = Sim.Time.sec 5;
       max_rechecks = 10;

@@ -106,6 +106,27 @@ val set_attest_attempts : t -> int -> unit
 (** Bound on from-scratch {!attest} rounds before degrading to [Unknown]
     (clamped to at least 1; default 2). *)
 
+val attest_many :
+  t ->
+  Protocol.attest_request list ->
+  (Protocol.attest_request * (Protocol.controller_report, string) result) list * Ledger.t
+(** Attest many (vid, property) pairs in one call, results in request
+    order with a shared cost ledger.
+
+    With {!set_batching} off (the default) this is exactly {!attest} in a
+    loop.  With it on, cache misses are grouped by host and each group of
+    two or more rides a single Merkle-batched AS round — one Trust-Module
+    session key and one root signature cover the whole group, while every
+    report still arrives individually signed and individually verified, so
+    one tampered report fails alone.  Cache hits, unplaced VMs and lone
+    requests always take the unbatched path. *)
+
+val set_batching : t -> bool -> unit
+(** Enable Merkle-batched AS rounds in {!attest_many} (off by default,
+    opt-in like the verdict cache).  Never affects {!attest}. *)
+
+val batching : t -> bool
+
 val verdict_cache : t -> Verdict_cache.t
 (** The controller's verdict cache (disabled by default). *)
 

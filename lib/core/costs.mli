@@ -29,6 +29,27 @@ val db_lookup : Sim.Time.t
 val handshake_crypto : Sim.Time.t
 (** CPU cost of an SSL-style handshake (both sides combined). *)
 
+(** {2 Batched attestation costs}
+
+    One Trust-Module quote covers a Merkle tree of reports; the RSA terms
+    are paid once per batch and the per-report residue is hashing. *)
+
+val merkle_hash : Sim.Time.t
+(** One hash evaluation while building a tree or walking a proof. *)
+
+val batch_quote_cost : batch:int -> Sim.Time.t
+(** Trust-Module cost of quoting a batch: one session keygen, one root
+    signature, [Crypto.Merkle.node_count batch] hashes. *)
+
+val batch_verify_cost : batch:int -> Sim.Time.t
+(** Appraiser cost: one signature verification plus per-report
+    inclusion-proof walks. *)
+
+val amortized_session_keygen : batch:int -> Sim.Time.t
+val amortized_quote_sign : batch:int -> Sim.Time.t
+(** Per-report share of the batch's single RSA operations (display only —
+    ledgers charge whole batches). *)
+
 (** {2 VM launch stage costs (OpenStack-shaped)} *)
 
 val scheduling_base : Sim.Time.t

@@ -36,6 +36,41 @@ type controller_report = {
   signature : string;
 }
 
+(* --- Batched attestation -------------------------------------------------- *)
+
+(* Magic first fields let the batch messages share a channel with the
+   unbatched ones: the decoder that matches wins, and [Codec.decode]'s
+   trailing-bytes check keeps the formats from shadowing each other. *)
+let batch_measure_magic = "cm-batch-measure/1"
+let batch_as_magic = "cm-batch-as/1"
+
+type batch_measure_request = {
+  bm_items : (string * string) list; (* (vid, requests_raw) *)
+  bm_nonce : string; (* N3, shared by the whole batch *)
+}
+
+type batch_item = {
+  bi_vid : string;
+  bi_requests_raw : string;
+  bi_values_raw : string;
+  bi_proof : Crypto.Merkle.proof; (* inclusion of this item's Q3 leaf *)
+}
+
+type batch_measure_response = {
+  br_items : batch_item list;
+  br_nonce : string; (* echo of N3 *)
+  br_root : string; (* Merkle root over the items' Q3 quotes *)
+  br_signature : string; (* [root||N3]ASKs — one signature for the batch *)
+  br_avk : string;
+  br_endorsement : string;
+}
+
+type batch_as_request = {
+  ba_server : string;
+  ba_items : (string * Property.t) list; (* (vid, property) *)
+  ba_nonce : string; (* N2, shared by the whole batch *)
+}
+
 (* --- Quotes ------------------------------------------------------------- *)
 
 let q3 ~vid ~requests_raw ~values_raw ~nonce =
@@ -205,6 +240,90 @@ let decode_controller_report s =
       let signature = Codec.Dec.str d in
       { vid; property; report; nonce; quote; signature })
 
+(* --- Batch wire codecs ----------------------------------------------------- *)
+
+let encode_batch_measure_request (r : batch_measure_request) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e batch_measure_magic;
+      Codec.Enc.list e
+        (fun (vid, requests_raw) ->
+          Codec.Enc.str e vid;
+          Codec.Enc.str e requests_raw)
+        r.bm_items;
+      Codec.Enc.str e r.bm_nonce)
+
+let decode_batch_measure_request s =
+  Codec.decode_opt s (fun d ->
+      let magic = Codec.Dec.str d in
+      if not (String.equal magic batch_measure_magic) then
+        raise (Codec.Error "not a batch measure request");
+      let bm_items =
+        Codec.Dec.list d (fun d ->
+            let vid = Codec.Dec.str d in
+            let requests_raw = Codec.Dec.str d in
+            (vid, requests_raw))
+      in
+      let bm_nonce = Codec.Dec.str d in
+      { bm_items; bm_nonce })
+
+let encode_batch_item e (i : batch_item) =
+  Codec.Enc.str e i.bi_vid;
+  Codec.Enc.str e i.bi_requests_raw;
+  Codec.Enc.str e i.bi_values_raw;
+  Crypto.Merkle.encode e i.bi_proof
+
+let decode_batch_item d =
+  let bi_vid = Codec.Dec.str d in
+  let bi_requests_raw = Codec.Dec.str d in
+  let bi_values_raw = Codec.Dec.str d in
+  let bi_proof = Crypto.Merkle.decode d in
+  { bi_vid; bi_requests_raw; bi_values_raw; bi_proof }
+
+let encode_batch_measure_response (r : batch_measure_response) =
+  Codec.encode (fun e ->
+      Codec.Enc.list e (encode_batch_item e) r.br_items;
+      Codec.Enc.str e r.br_nonce;
+      Codec.Enc.str e r.br_root;
+      Codec.Enc.str e r.br_signature;
+      Codec.Enc.str e r.br_avk;
+      Codec.Enc.str e r.br_endorsement)
+
+let decode_batch_measure_response s =
+  Codec.decode_opt s (fun d ->
+      let br_items = Codec.Dec.list d decode_batch_item in
+      let br_nonce = Codec.Dec.str d in
+      let br_root = Codec.Dec.str d in
+      let br_signature = Codec.Dec.str d in
+      let br_avk = Codec.Dec.str d in
+      let br_endorsement = Codec.Dec.str d in
+      { br_items; br_nonce; br_root; br_signature; br_avk; br_endorsement })
+
+let encode_batch_as_request (r : batch_as_request) =
+  Codec.encode (fun e ->
+      Codec.Enc.str e batch_as_magic;
+      Codec.Enc.str e r.ba_server;
+      Codec.Enc.list e
+        (fun (vid, property) ->
+          Codec.Enc.str e vid;
+          Property.encode e property)
+        r.ba_items;
+      Codec.Enc.str e r.ba_nonce)
+
+let decode_batch_as_request s =
+  Codec.decode_opt s (fun d ->
+      let magic = Codec.Dec.str d in
+      if not (String.equal magic batch_as_magic) then
+        raise (Codec.Error "not a batch AS request");
+      let ba_server = Codec.Dec.str d in
+      let ba_items =
+        Codec.Dec.list d (fun d ->
+            let vid = Codec.Dec.str d in
+            let property = Property.decode d in
+            (vid, property))
+      in
+      let ba_nonce = Codec.Dec.str d in
+      { ba_server; ba_items; ba_nonce })
+
 (* --- Verification --------------------------------------------------------- *)
 
 type verify_error =
@@ -238,6 +357,32 @@ let verify_measure_response ~pca ~cert ~expected_vid ~expected_requests ~expecte
         (String.equal r.quote
            (q3 ~vid:r.vid ~requests_raw:r.requests_raw ~values_raw:r.values_raw ~nonce:r.nonce))
         `Bad_quote
+
+(* Whole-batch envelope: the pCA certificate binds AVKs and the single
+   session-key signature covers the Merkle root + nonce.  Verified once per
+   batch, not once per report — that is the amortization. *)
+let verify_batch_envelope ~pca ~cert ~expected_nonce (r : batch_measure_response) =
+  match Crypto.Rsa.public_of_string r.br_avk with
+  | None -> Error `Bad_certificate
+  | Some avk ->
+      let* () = check (Privacy_ca.check_certificate ~pca cert ~key:avk) `Bad_certificate in
+      let* () =
+        check
+          (Crypto.Rsa.verify avk ~signature:r.br_signature
+             (Tpm.Trust_module.batch_quote_payload ~root:r.br_root ~nonce:r.br_nonce))
+          `Bad_signature
+      in
+      check (String.equal r.br_nonce expected_nonce) `Nonce_mismatch
+
+(* Per-report check: the item's Q3 leaf must sit under the signed root, so a
+   report keeps its individual integrity even though the signature is
+   shared.  [expected_requests] pins rM to what the appraiser asked for. *)
+let verify_batch_item ~root ~nonce ~expected_requests (i : batch_item) =
+  let* () = check (String.equal i.bi_requests_raw expected_requests) `Vid_mismatch in
+  let leaf =
+    q3 ~vid:i.bi_vid ~requests_raw:i.bi_requests_raw ~values_raw:i.bi_values_raw ~nonce
+  in
+  check (Crypto.Merkle.verify ~root ~leaf i.bi_proof) `Bad_quote
 
 let verify_as_report ~key ~expected_vid ~expected_server ~expected_property ~expected_nonce
     (r : as_report) =

@@ -52,6 +52,53 @@ type controller_report = {
   signature : string;  (** [[...]]SKc *)
 }
 
+(** {2 Batched attestation}
+
+    One Trust-Module quote covers a whole batch: the cloud server builds a
+    Merkle tree over the per-report [Q3] quotes and signs only the root
+    (with a single session key), so the dominant RSA costs are paid once
+    per batch.  Each report still carries an O(log n) inclusion proof, so
+    the appraiser derives {e individual} verdicts without trusting the
+    aggregation — a tampered report fails its own proof while the rest of
+    the batch stands. *)
+
+(** Attestation Server -> Cloud Server: measure many VMs under one quote. *)
+type batch_measure_request = {
+  bm_items : (string * string) list;  (** (vid, requests_raw) per report *)
+  bm_nonce : string;  (** N3, shared by the whole batch *)
+}
+
+type batch_item = {
+  bi_vid : string;
+  bi_requests_raw : string;
+  bi_values_raw : string;
+  bi_proof : Crypto.Merkle.proof;  (** inclusion of this item's Q3 leaf *)
+}
+
+(** Cloud Server -> Attestation Server. *)
+type batch_measure_response = {
+  br_items : batch_item list;
+  br_nonce : string;  (** echo of N3 *)
+  br_root : string;  (** Merkle root over the items' Q3 quotes *)
+  br_signature : string;  (** [root||N3]ASKs — one signature for the batch *)
+  br_avk : string;
+  br_endorsement : string;
+}
+
+(** Controller -> Attestation Server: attest many VMs of one cloud server. *)
+type batch_as_request = {
+  ba_server : string;
+  ba_items : (string * Property.t) list;
+  ba_nonce : string;  (** N2, shared by the whole batch *)
+}
+
+val encode_batch_measure_request : batch_measure_request -> string
+val decode_batch_measure_request : string -> batch_measure_request option
+val encode_batch_measure_response : batch_measure_response -> string
+val decode_batch_measure_response : string -> batch_measure_response option
+val encode_batch_as_request : batch_as_request -> string
+val decode_batch_as_request : string -> batch_as_request option
+
 (** {2 Quotes} *)
 
 val q3 : vid:string -> requests_raw:string -> values_raw:string -> nonce:string -> string
@@ -114,3 +161,21 @@ val verify_controller_report :
   expected_nonce:string ->
   controller_report ->
   (unit, verify_error) result
+
+val verify_batch_envelope :
+  pca:Crypto.Rsa.public ->
+  cert:Net.Ca.cert ->
+  expected_nonce:string ->
+  batch_measure_response ->
+  (unit, verify_error) result
+(** Whole-batch check, done once: pCA certificate binds [br_avk], the
+    session-key signature covers root + nonce, N3 matches. *)
+
+val verify_batch_item :
+  root:string ->
+  nonce:string ->
+  expected_requests:string ->
+  batch_item ->
+  (unit, verify_error) result
+(** Per-report check: rM matches the request and the item's recomputed Q3
+    leaf is included under the signed [root]. *)

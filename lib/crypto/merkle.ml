@@ -1,0 +1,99 @@
+(* Binary Merkle tree with domain-separated leaf/node hashes.  Odd nodes at
+   a level are promoted unchanged, so the shape depends only on the leaf
+   count and promoted leaves simply get shorter proofs. *)
+
+let leaf_hash data = Sha256.digest_list [ "merkle-leaf|"; data ]
+let node_hash l r = Sha256.digest_list [ "merkle-node|"; l; r ]
+
+(* Which side of the pair the recorded sibling hash sits on. *)
+type side = Sibling_left | Sibling_right
+
+type proof = (side * string) list (* leaf -> root order *)
+
+(* All levels bottom-up; the last has exactly one element, the root. *)
+let levels leaves =
+  if leaves = [] then invalid_arg "Merkle: no leaves";
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let next =
+        Array.init
+          ((n + 1) / 2)
+          (fun i ->
+            if (2 * i) + 1 < n then node_hash level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      up (level :: acc) next
+    end
+  in
+  up [] (Array.of_list (List.map leaf_hash leaves))
+
+let root leaves =
+  match List.rev (levels leaves) with
+  | [| r |] :: _ -> r
+  | _ -> assert false
+
+let proof leaves i =
+  let ls = levels leaves in
+  if i < 0 || i >= List.length leaves then
+    invalid_arg "Merkle.proof: leaf index out of range";
+  let rec walk i acc = function
+    | [] | [ _ ] -> List.rev acc
+    | level :: rest ->
+        let sib = i lxor 1 in
+        let acc =
+          if sib < Array.length level then
+            let side = if sib < i then Sibling_left else Sibling_right in
+            (side, level.(sib)) :: acc
+          else acc (* promoted unchanged: nothing to hash at this level *)
+        in
+        walk (i / 2) acc rest
+  in
+  walk i [] ls
+
+let verify ~root:expected ~leaf p =
+  let h =
+    List.fold_left
+      (fun h (side, sib) ->
+        match side with
+        | Sibling_left -> node_hash sib h
+        | Sibling_right -> node_hash h sib)
+      (leaf_hash leaf) p
+  in
+  String.equal h expected
+
+let proof_length = List.length
+
+let node_count n =
+  if n <= 0 then 0
+  else begin
+    (* n leaf hashes, plus one node hash per combined pair at each level. *)
+    let rec interior n acc = if n <= 1 then acc else interior ((n + 1) / 2) (acc + (n / 2)) in
+    n + interior n 0
+  end
+
+let max_proof_length n =
+  if n <= 1 then 0
+  else begin
+    let rec depth n acc = if n <= 1 then acc else depth ((n + 1) / 2) (acc + 1) in
+    depth n 0
+  end
+
+let encode e p =
+  Wire.Codec.Enc.list e
+    (fun (side, hash) ->
+      Wire.Codec.Enc.u8 e (match side with Sibling_left -> 0 | Sibling_right -> 1);
+      Wire.Codec.Enc.str e hash)
+    p
+
+let decode d =
+  Wire.Codec.Dec.list d (fun d ->
+      let side =
+        match Wire.Codec.Dec.u8 d with
+        | 0 -> Sibling_left
+        | 1 -> Sibling_right
+        | _ -> raise (Wire.Codec.Error "bad Merkle proof side")
+      in
+      let hash = Wire.Codec.Dec.str d in
+      (side, hash))

@@ -1,0 +1,46 @@
+(** Binary Merkle tree over {!Sha256}, for batched attestation quotes.
+
+    One Trust-Module signature over the root covers many measurement
+    reports; each report stays individually checkable through its O(log n)
+    inclusion proof, so a verifier never has to trust the aggregator.
+
+    Leaf and interior hashes are domain-separated (a leaf digest can never
+    be replayed as an interior node or vice versa), which blocks the
+    classic second-preimage tricks on unbalanced trees.  Odd nodes at any
+    level are promoted unchanged, so the tree shape is a deterministic
+    function of the leaf count alone. *)
+
+type proof
+(** An inclusion proof: the sibling hashes from a leaf up to the root,
+    each tagged with the side it hashes on. *)
+
+val leaf_hash : string -> string
+(** [leaf_hash data] is the domain-separated digest a leaf contributes. *)
+
+val root : string list -> string
+(** [root leaves] is the Merkle root of the leaf {e data} (hashed with
+    {!leaf_hash} internally).  Raises [Invalid_argument] on []. *)
+
+val proof : string list -> int -> proof
+(** [proof leaves i] is the inclusion proof for leaf [i] (0-based).
+    Raises [Invalid_argument] if [i] is out of range or [leaves] is []. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** [verify ~root ~leaf p] checks that [leaf] (raw data, not a digest) is
+    included under [root] via [p]. *)
+
+val proof_length : proof -> int
+(** Number of sibling hashes in the proof (= the leaf's depth). *)
+
+val node_count : int -> int
+(** [node_count n] is the total number of hash evaluations needed to build
+    a tree over [n] leaves (leaf hashes + interior nodes) — the term the
+    cost model charges per batch. *)
+
+val max_proof_length : int -> int
+(** [max_proof_length n] is the longest inclusion proof in a tree over [n]
+    leaves (= ceil(log2 n)); the per-report verification cost bound. *)
+
+val encode : Wire.Codec.Enc.t -> proof -> unit
+val decode : Wire.Codec.Dec.t -> proof
+(** Wire codecs, so proofs travel inside batch measurement responses. *)

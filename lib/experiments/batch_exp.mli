@@ -1,0 +1,19 @@
+(** Batched-attestation frontier experiment.
+
+    Sweeps Merkle batch size x offered arrival rate x AS shard count over
+    the deterministic fleet (cache off) and reports the served-throughput
+    and tail-latency frontier versus batch size — the BENCH_batch.json
+    trajectory artifact.  Batch size 1 runs the exact pre-batching driver
+    configuration, so those rows reproduce the unbatched fleet numbers. *)
+
+type row = { batch : int; rate : float; as_count : int; r : Fleet.Driver.result }
+
+type result = { seed : int; scale : string; rows : row list }
+
+val run : ?seed:int -> ?scale:[ `Default | `Smoke ] -> unit -> result
+(** [scale] defaults to [`Smoke] when the environment variable
+    [CLOUDMONATT_FLEET_SCALE] is ["smoke"] (the CI setting), else
+    [`Default]. *)
+
+val print : result -> unit
+val to_json : result -> Json.t

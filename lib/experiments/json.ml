@@ -89,3 +89,8 @@ let write_file path t =
     (fun () ->
       output_string oc (to_string t);
       output_char oc '\n')
+
+let write_file_result path t =
+  match write_file path t with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

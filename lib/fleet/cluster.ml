@@ -18,10 +18,23 @@ type t = {
   metrics : Metrics.t;
   gauge : Sim.Stats.Gauge.t;
   mutable busy : int;
+  (* Batch window (tentpole): with [batch_max > 1] a free slot serves up to
+     [batch_max] queued jobs as ONE Merkle-batched measurement round.  When
+     the queue is shorter than a full batch the slot waits up to
+     [batch_window] for more arrivals — unless a Customer-priority request
+     is waiting, which flushes immediately (interactive requests never
+     trade latency for amortization). *)
+  batch_max : int;
+  batch_window : Sim.Time.t;
+  batch_service_time : int -> Sim.Time.t;
+  mutable gate : Sim.Engine.handle option;  (* armed window timer *)
+  mutable ripe : bool;  (* window expired with jobs still queued *)
 }
 
-let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~metrics () =
+let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~metrics
+    ?(batch_max = 1) ?(batch_window = 0) ?batch_service_time () =
   if capacity <= 0 then invalid_arg "Cluster.create: capacity must be positive";
+  if batch_max <= 0 then invalid_arg "Cluster.create: batch_max must be positive";
   {
     engine;
     name;
@@ -33,12 +46,21 @@ let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~me
     metrics;
     gauge = Sim.Stats.Gauge.create ();
     busy = 0;
+    batch_max;
+    batch_window;
+    batch_service_time =
+      (match batch_service_time with
+      | Some f -> f
+      | None -> fun n -> n * service_time ());
+    gate = None;
+    ripe = false;
   }
 
 let name t = t.name
 let queue_length t = Pqueue.length t.queue
 let inflight t = Hashtbl.length t.inflight
 let queue_gauge t = t.gauge
+let batches t = Metrics.batches t.metrics
 
 let track_depth t =
   Sim.Stats.Gauge.set t.gauge
@@ -47,6 +69,9 @@ let track_depth t =
 
 let finish job verdict = List.iter (fun w -> w verdict) (List.rev job.waiters)
 
+(* The unbatched path, kept byte-for-byte: with [batch_max = 1] every
+   scheduling decision and every [service_time] draw happens exactly as it
+   did before batching existed, so batch-1 runs replay deterministically. *)
 let rec maybe_start t =
   if t.busy < t.capacity then begin
     match Pqueue.pop t.queue with
@@ -69,6 +94,67 @@ let rec maybe_start t =
         maybe_start t
   end
 
+let disarm t =
+  match t.gate with
+  | Some h ->
+      Sim.Engine.cancel t.engine h;
+      t.gate <- None
+  | None -> ()
+
+(* Pop up to [batch_max] jobs and serve them as one batched round. *)
+let rec flush t =
+  disarm t;
+  t.ripe <- false;
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else
+      match Pqueue.pop t.queue with
+      | None -> List.rev acc
+      | Some (_, job) -> take (job :: acc) (n - 1)
+  in
+  match take [] t.batch_max with
+  | [] -> ()
+  | jobs ->
+      let n = List.length jobs in
+      track_depth t;
+      t.busy <- t.busy + 1;
+      Metrics.record_batch t.metrics ~size:n;
+      List.iter (fun _ -> Metrics.record_measurement t.metrics) jobs;
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:(t.batch_service_time n) (fun () ->
+             t.busy <- t.busy - 1;
+             List.iter
+               (fun job ->
+                 Hashtbl.remove t.inflight job.key;
+                 let status = t.measure ~vid:job.vid ~property:job.property in
+                 finish job (Done status))
+               jobs;
+             maybe_start_batched t)
+          : Sim.Engine.handle)
+
+and maybe_start_batched t =
+  if t.busy < t.capacity && not (Pqueue.is_empty t.queue) then begin
+    let should_flush =
+      t.ripe
+      || Pqueue.length t.queue >= t.batch_max
+      || Pqueue.length_of t.queue Pqueue.Customer > 0
+      || t.batch_window = 0
+    in
+    if should_flush then begin
+      flush t;
+      maybe_start_batched t
+    end
+    else if t.gate = None then
+      t.gate <-
+        Some
+          (Sim.Engine.schedule_after t.engine ~delay:t.batch_window (fun () ->
+               t.gate <- None;
+               t.ripe <- true;
+               maybe_start_batched t))
+  end
+
+let kick t = if t.batch_max > 1 then maybe_start_batched t else maybe_start t
+
 let submit t ~vid ~property ~priority ~on_done =
   let key = (vid, Core.Property.to_string property) in
   match Hashtbl.find_opt t.inflight key with
@@ -85,7 +171,7 @@ let submit t ~vid ~property ~priority ~on_done =
       | Pqueue.Enqueued ->
           Hashtbl.replace t.inflight key job;
           track_depth t;
-          maybe_start t
+          kick t
       | Pqueue.Evicted (victim_priority, victim) ->
           Hashtbl.remove t.inflight victim.key;
           List.iter
@@ -95,4 +181,4 @@ let submit t ~vid ~property ~priority ~on_done =
             (List.rev victim.waiters);
           Hashtbl.replace t.inflight key job;
           track_depth t;
-          maybe_start t)
+          kick t)

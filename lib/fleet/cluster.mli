@@ -9,7 +9,16 @@
     Backpressure: admission follows {!Pqueue} semantics — a full queue sheds
     the lowest-priority queued work first, and rejects the arrival itself
     only when everything queued is at least as important.  Shed requests
-    complete immediately with {!verdict} [Shed]. *)
+    complete immediately with {!verdict} [Shed].
+
+    Batching: with [batch_max > 1] a free slot serves up to [batch_max]
+    queued jobs as one Merkle-batched measurement round (one Trust-Module
+    quote for the whole batch).  A slot with fewer than [batch_max] jobs
+    waits up to [batch_window] for more to arrive; a queued
+    Customer-priority request flushes the window immediately.  Batching
+    composes with coalescing and shedding unchanged — both act at admission,
+    before batch formation.  [batch_max = 1] (the default) is byte-for-byte
+    the unbatched scheduler, preserving deterministic replay. *)
 
 type verdict =
   | Done of Core.Report.status  (** measurement completed with this status *)
@@ -25,12 +34,21 @@ val create :
   service_time:(unit -> Sim.Time.t) ->
   measure:(vid:string -> property:Core.Property.t -> Core.Report.status) ->
   metrics:Metrics.t ->
+  ?batch_max:int ->
+  ?batch_window:Sim.Time.t ->
+  ?batch_service_time:(int -> Sim.Time.t) ->
   unit ->
   t
 (** [capacity] (default 1) is the number of concurrent measurement rounds
     the AS sustains; [service_time] samples the simulated duration of one
     round; [measure] produces the verdict when a round completes.
-    Coalescing, measurement and shed counts are recorded into [metrics]. *)
+    Coalescing, measurement and shed counts are recorded into [metrics].
+
+    [batch_max] (default 1 = off) bounds how many jobs one slot serves per
+    batched round, [batch_window] (default 0) how long a partial batch
+    waits for company, and [batch_service_time n] samples the duration of
+    an n-job batched round (default: [n] independent [service_time]
+    draws).  With [batch_max = 1] none of the batch machinery runs. *)
 
 val name : t -> string
 
@@ -50,3 +68,6 @@ val inflight : t -> int
 
 val queue_gauge : t -> Sim.Stats.Gauge.t
 (** Time-weighted queue-depth tracking (timestamps in simulated seconds). *)
+
+val batches : t -> int
+(** Batched rounds this cluster has started (0 with batching off). *)

@@ -26,12 +26,14 @@ type config = {
   hot_p : float;  (** probability an arrival targets the hot subset *)
   customer_p : float;  (** arrival mix: customer-triggered ... *)
   periodic_p : float;  (** ... periodic (remainder: re-checks) *)
+  batch_max : int;  (** jobs per Merkle-batched round (1 = batching off) *)
+  batch_window : Sim.Time.t;  (** how long a partial batch waits to fill *)
 }
 
 val default_config : config
 (** 200 servers, 2000 VMs, 1 AS, capacity 1, queue depth 16, cache off,
     8 req/s for 30 s, 5% unhealthy, 5 s churn, 64 hot VMs at p=0.8,
-    mix 20/70/10. *)
+    mix 20/70/10, batching off. *)
 
 type result = {
   config : config;
@@ -55,6 +57,8 @@ type result = {
   p99_ms : float;
   max_queue_depth : int;
   mean_queue_depth : float;  (** time-weighted, averaged over shards *)
+  batches : int;  (** batched rounds executed (0 with batching off) *)
+  mean_batch_size : float;  (** mean jobs per batched round (0 when none) *)
 }
 
 val run : config -> result
@@ -66,3 +70,8 @@ val cold_attest_ms : float
 
 val cache_hit_ms : float
 (** Modelled latency of a verdict-cache hit. *)
+
+val batch_attest_ms : int -> float
+(** Modelled end-to-end latency of an uncontended n-report batched round
+    (whole-batch service + controller overhead); divide by n for the
+    amortized per-report cost.  [batch_attest_ms 1 = cold_attest_ms]. *)

@@ -7,6 +7,8 @@ type t = {
   mutable unhealthy : int;
   sheds : int array;  (* by Pqueue.rank *)
   latency : Sim.Stats.Series.t;
+  mutable batches : int;
+  batch_sizes : Sim.Stats.Series.t;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     unhealthy = 0;
     sheds = Array.make 3 0;
     latency = Sim.Stats.Series.create ();
+    batches = 0;
+    batch_sizes = Sim.Stats.Series.create ();
   }
 
 let record_offered t = t.offered <- t.offered + 1
@@ -33,6 +37,10 @@ let record_measurement t = t.measurements <- t.measurements + 1
 let record_shed t p = t.sheds.(Pqueue.rank p) <- t.sheds.(Pqueue.rank p) + 1
 let record_unhealthy t = t.unhealthy <- t.unhealthy + 1
 
+let record_batch t ~size =
+  t.batches <- t.batches + 1;
+  Sim.Stats.Series.add t.batch_sizes (float_of_int size)
+
 let offered t = t.offered
 let served t = t.served
 let cache_hits t = t.cache_hits
@@ -46,3 +54,8 @@ let cache_hit_rate t =
   if t.served = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int t.served
 
 let latency t = t.latency
+let batches t = t.batches
+let batch_sizes t = t.batch_sizes
+
+let mean_batch_size t =
+  if t.batches = 0 then 0.0 else Sim.Stats.Series.mean t.batch_sizes

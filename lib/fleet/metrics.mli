@@ -20,6 +20,10 @@ val record_measurement : t -> unit
 val record_shed : t -> Pqueue.priority -> unit
 val record_unhealthy : t -> unit
 
+val record_batch : t -> size:int -> unit
+(** One batched measurement round (a single Trust-Module quote covering
+    [size] reports). *)
+
 val offered : t -> int
 val served : t -> int
 val cache_hits : t -> int
@@ -34,3 +38,8 @@ val cache_hit_rate : t -> float
 
 val latency : t -> Sim.Stats.Series.t
 (** End-to-end latencies of served requests, in milliseconds. *)
+
+val batches : t -> int
+val batch_sizes : t -> Sim.Stats.Series.t
+val mean_batch_size : t -> float
+(** 0 when no batched round ran. *)

@@ -56,5 +56,10 @@ let sign_with_session t session payload =
 
 let end_session t session = Hashtbl.remove t.sessions (Crypto.Rsa.fingerprint session.public)
 
+let batch_quote_payload ~root ~nonce = "batch-quote|" ^ root ^ "|" ^ nonce
+
+let quote_batch t session ~root ~nonce =
+  sign_with_session t session (batch_quote_payload ~root ~nonce)
+
 let sign_identity t msg = Crypto.Rsa.sign t.identity.secret msg
 let decrypt_identity t cipher = Crypto.Rsa.decrypt t.identity.secret cipher

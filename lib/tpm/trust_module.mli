@@ -57,6 +57,15 @@ val sign_with_session : t -> session -> string -> string option
 val end_session : t -> session -> unit
 (** Forget the session secret. *)
 
+val quote_batch : t -> session -> root:string -> nonce:string -> string option
+(** Sign one Merkle root covering a whole batch of measurement reports —
+    a single signature (and a single session keypair) regardless of batch
+    size, which is what amortizes the Trust Module off the hot path.
+    [None] if the session is unknown. *)
+
+val batch_quote_payload : root:string -> nonce:string -> string
+(** The exact bytes {!quote_batch} signs, exposed for verifiers. *)
+
 val endorsement_payload : Crypto.Rsa.public -> string
 (** The exact bytes [SKs] signs to endorse a session public key; exposed so
     verifiers (the privacy CA) can reconstruct them. *)

@@ -218,6 +218,128 @@ let test_quotes_differ () =
   Alcotest.(check bool) "values bind" false
     (String.equal q_a (Protocol.q3 ~vid:"v" ~requests_raw:"r" ~values_raw:"m2" ~nonce:"n"))
 
+(* --- Batched quotes -------------------------------------------------------------------- *)
+
+(* A full batch envelope the way a cloud server builds one: three reports
+   under a single Merkle root, one session signature over root||N3. *)
+let build_batch () =
+  let pca = Privacy_ca.create ~seed:"pca-batch" ~bits:512 () in
+  let tm = Tpm.Trust_module.create ~key_bits:512 ~seed:"batch-srv" () in
+  Privacy_ca.enroll_server pca ~name:"server-1" (Tpm.Trust_module.identity_public tm);
+  let session = Tpm.Trust_module.begin_session tm in
+  let cert =
+    match
+      Privacy_ca.certify_attestation_key pca ~key:session.public
+        ~endorsement:session.endorsement
+    with
+    | Ok c -> c
+    | Error `Unknown_server -> Alcotest.fail "certify failed"
+  in
+  let nonce = "N3-batch" in
+  let specs =
+    List.init 3 (fun i ->
+        (Printf.sprintf "vm-%d" i, Printf.sprintf "rM-%d" i, Printf.sprintf "M-%d" i))
+  in
+  let leaves =
+    List.map
+      (fun (vid, rm, m) -> Protocol.q3 ~vid ~requests_raw:rm ~values_raw:m ~nonce)
+      specs
+  in
+  let root = Crypto.Merkle.root leaves in
+  let items =
+    List.mapi
+      (fun i (vid, rm, m) ->
+        {
+          Protocol.bi_vid = vid;
+          bi_requests_raw = rm;
+          bi_values_raw = m;
+          bi_proof = Crypto.Merkle.proof leaves i;
+        })
+      specs
+  in
+  let br =
+    {
+      Protocol.br_items = items;
+      br_nonce = nonce;
+      br_root = root;
+      br_signature = Option.get (Tpm.Trust_module.quote_batch tm session ~root ~nonce);
+      br_avk = Crypto.Rsa.public_to_string session.public;
+      br_endorsement = session.endorsement;
+    }
+  in
+  (pca, cert, specs, br)
+
+let test_batch_envelope_and_items_verify () =
+  let pca, cert, specs, br = build_batch () in
+  Alcotest.(check bool) "one envelope check covers the batch" true
+    (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public pca) ~cert
+       ~expected_nonce:br.Protocol.br_nonce br
+    = Ok ());
+  List.iteri
+    (fun i item ->
+      let _, rm, _ = List.nth specs i in
+      Alcotest.(check bool)
+        (Printf.sprintf "item %d verifies" i)
+        true
+        (Protocol.verify_batch_item ~root:br.Protocol.br_root
+           ~nonce:br.Protocol.br_nonce ~expected_requests:rm item
+        = Ok ()))
+    br.Protocol.br_items;
+  (* Wrong nonce is caught at the envelope. *)
+  Alcotest.(check bool) "stale nonce rejected" true
+    (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public pca) ~cert
+       ~expected_nonce:"N3-stale" br
+    <> Ok ())
+
+let test_batch_tampered_proof_isolated () =
+  (* A cheating aggregator holds valid session keys, so the envelope still
+     verifies — but swapping one report's inclusion proof makes exactly
+     that report fail appraisal while its batch mates stand. *)
+  let _, _, specs, br = build_batch () in
+  let root = br.Protocol.br_root and nonce = br.Protocol.br_nonce in
+  let tampered =
+    match br.Protocol.br_items with
+    | [ a; b; c ] -> [ a; { b with Protocol.bi_proof = c.Protocol.bi_proof }; c ]
+    | _ -> assert false
+  in
+  List.iteri
+    (fun i item ->
+      let _, rm, _ = List.nth specs i in
+      let got = Protocol.verify_batch_item ~root ~nonce ~expected_requests:rm item in
+      if i = 1 then
+        Alcotest.(check bool) "tampered item rejected" true (got = Error `Bad_quote)
+      else
+        Alcotest.(check bool) (Printf.sprintf "sibling %d still accepted" i) true (got = Ok ()))
+    tampered;
+  (* Substituted measurement values likewise die on the inclusion proof. *)
+  let forged = { (List.hd br.Protocol.br_items) with Protocol.bi_values_raw = "M-forged" } in
+  Alcotest.(check bool) "forged values rejected" true
+    (Protocol.verify_batch_item ~root ~nonce ~expected_requests:"rM-0" forged
+    = Error `Bad_quote)
+
+let test_batch_codecs_roundtrip () =
+  let bm = { Protocol.bm_items = [ ("vm-1", "r1"); ("vm-2", "r2") ]; bm_nonce = "n3" } in
+  Alcotest.(check bool) "batch_measure_request" true
+    (Protocol.decode_batch_measure_request (Protocol.encode_batch_measure_request bm)
+    = Some bm);
+  let _, _, _, br = build_batch () in
+  Alcotest.(check bool) "batch_measure_response" true
+    (Protocol.decode_batch_measure_response (Protocol.encode_batch_measure_response br)
+    = Some br);
+  let ba =
+    {
+      Protocol.ba_server = "server-1";
+      ba_items = [ ("vm-1", Property.Runtime_integrity); ("vm-2", Property.Cpu_availability) ];
+      ba_nonce = "n2";
+    }
+  in
+  Alcotest.(check bool) "batch_as_request" true
+    (Protocol.decode_batch_as_request (Protocol.encode_batch_as_request ba) = Some ba);
+  Alcotest.(check bool) "garbage" true (Protocol.decode_batch_measure_response "junk" = None);
+  (* The batch magic never collides with the single-shot AS request codec. *)
+  Alcotest.(check bool) "magics disjoint" true
+    (Protocol.decode_as_request (Protocol.encode_batch_as_request ba) = None)
+
 (* --- Policy --------------------------------------------------------------------------- *)
 
 let policy_db () =
@@ -631,6 +753,14 @@ let () =
           Alcotest.test_case "rejections" `Quick test_as_report_rejections;
           Alcotest.test_case "codecs roundtrip" `Quick test_protocol_codecs_roundtrip;
           Alcotest.test_case "quotes bind fields" `Quick test_quotes_differ;
+        ] );
+      ( "batch-quote",
+        [
+          Alcotest.test_case "envelope + items verify" `Quick
+            test_batch_envelope_and_items_verify;
+          Alcotest.test_case "tampered proof isolated" `Quick
+            test_batch_tampered_proof_isolated;
+          Alcotest.test_case "codecs roundtrip" `Quick test_batch_codecs_roundtrip;
         ] );
       ( "policy",
         [

@@ -50,6 +50,45 @@ let test_sha256_digest_list () =
     (hex (Crypto.Sha256.digest "foobarbaz"))
     (hex (Crypto.Sha256.digest_list [ "foo"; "bar"; "baz" ]))
 
+(* Known-answer tests for the streaming context across odd block boundaries:
+   every FIPS vector, fed in two chunks split just before, at, and just
+   after the 64-byte block edge (and at byte 1), must reproduce the
+   one-shot digest.  Guards block-buffer bookkeeping during future kernel
+   optimization work. *)
+let test_sha256_streaming_boundaries () =
+  List.iter
+    (fun (msg, want) ->
+      List.iter
+        (fun cut ->
+          if cut > 0 && cut < String.length msg then begin
+            let ctx = Crypto.Sha256.init () in
+            Crypto.Sha256.update ctx (String.sub msg 0 cut);
+            Crypto.Sha256.update ctx (String.sub msg cut (String.length msg - cut));
+            Alcotest.(check string)
+              (Printf.sprintf "len %d split at %d" (String.length msg) cut)
+              want
+              (hex (Crypto.Sha256.finalize ctx))
+          end)
+        [ 1; 55; 56; 63; 64; 65 ])
+    sha_vectors
+
+let test_sha256_streaming_million_a () =
+  (* The million-a vector streamed in 997-byte chunks: 997 is odd and no
+     divisor of 64, so every update straddles a block boundary. *)
+  let ctx = Crypto.Sha256.init () in
+  let chunk = String.make 997 'a' in
+  let rec feed left =
+    if left > 0 then begin
+      let take = min left 997 in
+      Crypto.Sha256.update ctx (if take = 997 then chunk else String.make take 'a');
+      feed (left - take)
+    end
+  in
+  feed 1_000_000;
+  Alcotest.(check string) "streamed million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Crypto.Sha256.finalize ctx))
+
 (* --- HMAC (RFC 4231) ------------------------------------------------------ *)
 
 let test_hmac_rfc4231 () =
@@ -65,11 +104,21 @@ let test_hmac_rfc4231 () =
     (String.make 20 '\xaa')
     (String.make 50 '\xdd')
     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  (* case 4: 25-byte incrementing key *)
+  check "case 4"
+    (String.init 25 (fun i -> Char.chr (i + 1)))
+    (String.make 50 '\xcd')
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b";
   (* case 6: key longer than the block size *)
   check "case 6"
     (String.make 131 '\xaa')
     "Test Using Larger Than Block-Size Key - Hash Key First"
-    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54";
+  (* case 7: key and data both longer than the block size *)
+  check "case 7"
+    (String.make 131 '\xaa')
+    "This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
 
 let test_hmac_verify () =
   let tag = Crypto.Hmac.mac ~key:"k" "message" in
@@ -353,6 +402,96 @@ let test_rsa_public_of_string_garbage () =
   Alcotest.(check bool) "wrong tag rejected" true
     (Crypto.Rsa.public_of_string "rsa-priv:512:aa:bb" = None)
 
+(* --- Merkle ------------------------------------------------------------------- *)
+
+module M = Crypto.Merkle
+
+(* Deterministic leaf data: sizes include odd counts, so odd-node promotion
+   at every level gets exercised. *)
+let mk_leaves n = List.init n (fun i -> Printf.sprintf "leaf-%d-%d" n i)
+
+let merkle_all_indices_verify =
+  QCheck.Test.make ~name:"every leaf's proof verifies" ~count:60
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let leaves = mk_leaves n in
+      let root = M.root leaves in
+      List.for_all
+        (fun i ->
+          let p = M.proof leaves i in
+          M.verify ~root ~leaf:(List.nth leaves i) p)
+        (List.init n Fun.id))
+
+let merkle_tampered_leaf_rejected =
+  QCheck.Test.make ~name:"tampered leaf rejected" ~count:60
+    QCheck.(pair (int_range 1 40) small_nat)
+    (fun (n, k) ->
+      let leaves = mk_leaves n in
+      let i = k mod n in
+      let p = M.proof leaves i in
+      not (M.verify ~root:(M.root leaves) ~leaf:(List.nth leaves i ^ "!") p))
+
+let merkle_wrong_index_proof_rejected =
+  QCheck.Test.make ~name:"proof for another index rejected" ~count:60
+    QCheck.(pair (int_range 2 40) small_nat)
+    (fun (n, k) ->
+      let leaves = mk_leaves n in
+      let i = k mod n in
+      let j = (i + 1) mod n in
+      (* A proof belongs to exactly one position: using leaf j with leaf i's
+         proof must fail (this is what the batch-appraisal tamper test
+         relies on at the protocol layer). *)
+      not (M.verify ~root:(M.root leaves) ~leaf:(List.nth leaves j) (M.proof leaves i)))
+
+let merkle_proof_length_bounded =
+  QCheck.Test.make ~name:"proof_length <= max_proof_length" ~count:60
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let leaves = mk_leaves n in
+      List.for_all
+        (fun i -> M.proof_length (M.proof leaves i) <= M.max_proof_length n)
+        (List.init n Fun.id))
+
+let merkle_codec_roundtrip =
+  QCheck.Test.make ~name:"proof wire roundtrip" ~count:60
+    QCheck.(pair (int_range 1 32) small_nat)
+    (fun (n, k) ->
+      let leaves = mk_leaves n in
+      let i = k mod n in
+      let p = M.proof leaves i in
+      let raw = Wire.Codec.encode (fun e -> M.encode e p) in
+      match Wire.Codec.decode_opt raw M.decode with
+      | None -> false
+      | Some p' -> M.verify ~root:(M.root leaves) ~leaf:(List.nth leaves i) p')
+
+let test_merkle_single_leaf () =
+  (* A one-leaf tree: root = leaf hash, empty proof. *)
+  let root = M.root [ "only" ] in
+  Alcotest.(check string) "root is the leaf hash" (hex (M.leaf_hash "only")) (hex root);
+  let p = M.proof [ "only" ] 0 in
+  Alcotest.(check int) "empty proof" 0 (M.proof_length p);
+  Alcotest.(check bool) "verifies" true (M.verify ~root ~leaf:"only" p)
+
+let test_merkle_domain_separation () =
+  Alcotest.(check bool) "leaf hash differs from plain digest" false
+    (String.equal (M.leaf_hash "x") (Crypto.Sha256.digest "x"))
+
+let test_merkle_bounds () =
+  Alcotest.check_raises "empty root" (Invalid_argument "Merkle: no leaves") (fun () ->
+      ignore (M.root []));
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Merkle.proof: leaf index out of range") (fun () ->
+      ignore (M.proof [ "a"; "b" ] 2))
+
+let test_merkle_node_count () =
+  (* n leaf hashes plus interior nodes; for a perfect tree of 4: 4 + 2 + 1. *)
+  Alcotest.(check int) "1 leaf" 1 (M.node_count 1);
+  Alcotest.(check int) "4 leaves" 7 (M.node_count 4);
+  Alcotest.(check int) "2 leaves" 3 (M.node_count 2);
+  Alcotest.(check int) "max_proof_length 1" 0 (M.max_proof_length 1);
+  Alcotest.(check int) "max_proof_length 4" 2 (M.max_proof_length 4);
+  Alcotest.(check int) "max_proof_length 5" 3 (M.max_proof_length 5)
+
 (* --- Hex ---------------------------------------------------------------------- *)
 
 let hex_roundtrip =
@@ -374,6 +513,9 @@ let () =
           Alcotest.test_case "million a's" `Slow test_sha256_million_a;
           qtest sha256_incremental_matches;
           Alcotest.test_case "digest_list" `Quick test_sha256_digest_list;
+          Alcotest.test_case "streaming block boundaries" `Quick
+            test_sha256_streaming_boundaries;
+          Alcotest.test_case "streaming million a's" `Slow test_sha256_streaming_million_a;
         ] );
       ( "hmac",
         [
@@ -425,6 +567,18 @@ let () =
           Alcotest.test_case "plaintext too long" `Quick test_rsa_encrypt_too_long;
           Alcotest.test_case "public key roundtrip" `Quick test_rsa_public_roundtrip;
           Alcotest.test_case "public_of_string garbage" `Quick test_rsa_public_of_string_garbage;
+        ] );
+      ( "merkle",
+        [
+          qtest merkle_all_indices_verify;
+          qtest merkle_tampered_leaf_rejected;
+          qtest merkle_wrong_index_proof_rejected;
+          qtest merkle_proof_length_bounded;
+          qtest merkle_codec_roundtrip;
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "domain separation" `Quick test_merkle_domain_separation;
+          Alcotest.test_case "bounds" `Quick test_merkle_bounds;
+          Alcotest.test_case "node_count" `Quick test_merkle_node_count;
         ] );
       ("hex", [ qtest hex_roundtrip; Alcotest.test_case "errors" `Quick test_hex_errors ]);
     ]

@@ -218,6 +218,86 @@ let test_cluster_shed_verdict () =
   Sim.Engine.run_until engine (Sim.Time.sec 1);
   Alcotest.(check int) "survivors measured" 2 (Fleet.Metrics.measurements metrics)
 
+(* --- Cluster: batching ------------------------------------------------------ *)
+
+let batch_cluster ~engine ~metrics ~batch_max ~batch_window =
+  Fleet.Cluster.create ~engine ~name:"as-batch" ~queue_depth:16
+    ~service_time:(fun () -> Sim.Time.ms 100)
+    ~batch_service_time:(fun n -> Sim.Time.ms (20 + (10 * n)))
+    ~measure:(fun ~vid:_ ~property:_ -> Report.Healthy)
+    ~metrics ~batch_max ~batch_window ()
+
+let test_cluster_batch_window_flush () =
+  let engine = Sim.Engine.create () in
+  let metrics = Fleet.Metrics.create () in
+  let cluster = batch_cluster ~engine ~metrics ~batch_max:4 ~batch_window:(Sim.Time.ms 200) in
+  let done_at = ref [] in
+  let submit vid =
+    Fleet.Cluster.submit cluster ~vid ~property:Property.Startup_integrity
+      ~priority:Fleet.Pqueue.Periodic
+      ~on_done:(fun _ -> done_at := Sim.Engine.now engine :: !done_at)
+  in
+  submit "vm-1";
+  submit "vm-2";
+  (* Two jobs, bound 4: the partial batch waits for the window, then both
+     are served in one round. *)
+  Sim.Engine.run_until engine (Sim.Time.sec 2);
+  Alcotest.(check int) "both served" 2 (List.length !done_at);
+  Alcotest.(check int) "as one batched round" 1 (Fleet.Cluster.batches cluster);
+  Alcotest.(check int) "both measured" 2 (Fleet.Metrics.measurements metrics);
+  Alcotest.(check (float 0.001)) "mean batch size" 2.0 (Fleet.Metrics.mean_batch_size metrics);
+  (* Completion = window (200 ms) + 2-job round (40 ms); well past the
+     window but far from a pair of back-to-back 100 ms singles. *)
+  List.iter
+    (fun at ->
+      Alcotest.(check int) "flushed when the window expired" (Sim.Time.ms 240) at)
+    !done_at
+
+let test_cluster_full_batch_skips_window () =
+  let engine = Sim.Engine.create () in
+  let metrics = Fleet.Metrics.create () in
+  let cluster = batch_cluster ~engine ~metrics ~batch_max:2 ~batch_window:(Sim.Time.sec 10) in
+  let finished = ref [] in
+  let submit vid =
+    Fleet.Cluster.submit cluster ~vid ~property:Property.Startup_integrity
+      ~priority:Fleet.Pqueue.Periodic
+      ~on_done:(fun _ -> finished := Sim.Engine.now engine :: !finished)
+  in
+  submit "vm-1";
+  submit "vm-2";
+  Sim.Engine.run_until engine (Sim.Time.sec 1);
+  (* The batch filled to batch_max, so it must not have waited the 10 s
+     window: a full batch flushes immediately. *)
+  Alcotest.(check int) "both served" 2 (List.length !finished);
+  Alcotest.(check int) "one round" 1 (Fleet.Cluster.batches cluster);
+  List.iter
+    (fun at -> Alcotest.(check int) "no window wait" (Sim.Time.ms 40) at)
+    !finished
+
+let test_cluster_customer_flushes_window () =
+  let engine = Sim.Engine.create () in
+  let metrics = Fleet.Metrics.create () in
+  let cluster = batch_cluster ~engine ~metrics ~batch_max:8 ~batch_window:(Sim.Time.sec 10) in
+  let customer_done = ref (-1) in
+  Fleet.Cluster.submit cluster ~vid:"vm-1" ~property:Property.Startup_integrity
+    ~priority:Fleet.Pqueue.Recheck
+    ~on_done:(fun _ -> ());
+  Fleet.Cluster.submit cluster ~vid:"vm-2" ~property:Property.Startup_integrity
+    ~priority:Fleet.Pqueue.Periodic
+    ~on_done:(fun _ -> ());
+  (* A customer arrival must not sit behind a 10 s batch window. *)
+  ignore
+    (Sim.Engine.schedule_after engine ~delay:(Sim.Time.ms 50) (fun () ->
+         Fleet.Cluster.submit cluster ~vid:"vm-3" ~property:Property.Startup_integrity
+           ~priority:Fleet.Pqueue.Customer
+           ~on_done:(fun _ -> customer_done := Sim.Engine.now engine))
+      : Sim.Engine.handle);
+  Sim.Engine.run_until engine (Sim.Time.sec 1);
+  (* Arrival at 50 ms + 3-job round (50 ms): served at 100 ms, not 10 s. *)
+  Alcotest.(check int) "customer flushed the partial batch" (Sim.Time.ms 100) !customer_done;
+  Alcotest.(check int) "one batched round of three" 1 (Fleet.Cluster.batches cluster);
+  Alcotest.(check (float 0.001)) "batch size 3" 3.0 (Fleet.Metrics.mean_batch_size metrics)
+
 (* --- Driver: determinism, sharding, caching -------------------------------- *)
 
 let smoke_config =
@@ -287,6 +367,96 @@ let test_driver_cache_ttl_improves_latency () =
     (warm.Fleet.Driver.p50_ms < cold.Fleet.Driver.p50_ms);
   Alcotest.(check bool) "churn invalidates" true (warm.Fleet.Driver.invalidations > 0)
 
+(* --- Driver: batching -------------------------------------------------------- *)
+
+let test_driver_batching_raises_saturated_throughput () =
+  (* 16 req/s against one capacity-1 shard (~4.5 req/s cold): batching must
+     lift served throughput by amortizing the per-round RSA costs. *)
+  let base = { smoke_config with Fleet.Driver.rate_per_s = 16.0 } in
+  let unbatched = Fleet.Driver.run base in
+  let batched =
+    Fleet.Driver.run
+      { base with
+        Fleet.Driver.batch_max = 16;
+        batch_window = Sim.Time.ms 100;
+        queue_depth = 32;
+      }
+  in
+  Alcotest.(check int) "no batch rounds when off" 0 unbatched.Fleet.Driver.batches;
+  Alcotest.(check bool) "batch rounds when on" true (batched.Fleet.Driver.batches > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean batch size > 1 (got %.2f)" batched.Fleet.Driver.mean_batch_size)
+    true
+    (batched.Fleet.Driver.mean_batch_size > 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "batched (%.1f/s) > unbatched (%.1f/s)" batched.Fleet.Driver.served_rps
+       unbatched.Fleet.Driver.served_rps)
+    true
+    (batched.Fleet.Driver.served_rps > unbatched.Fleet.Driver.served_rps)
+
+let test_driver_batch_one_is_inert () =
+  (* batch_max = 1 must be byte-for-byte the unbatched scheduler: even a
+     non-zero window changes nothing, and no batch rounds are counted. *)
+  let base = { smoke_config with Fleet.Driver.rate_per_s = 12.0 } in
+  let plain = Fleet.Driver.run base in
+  let windowed =
+    Fleet.Driver.run { base with Fleet.Driver.batch_max = 1; batch_window = Sim.Time.ms 100 }
+  in
+  Alcotest.(check int) "served identical" plain.Fleet.Driver.served windowed.Fleet.Driver.served;
+  Alcotest.(check (float 0.0)) "p50 identical" plain.Fleet.Driver.p50_ms
+    windowed.Fleet.Driver.p50_ms;
+  Alcotest.(check (float 0.0)) "p99 identical" plain.Fleet.Driver.p99_ms
+    windowed.Fleet.Driver.p99_ms;
+  Alcotest.(check int) "same measurements" plain.Fleet.Driver.measurements
+    windowed.Fleet.Driver.measurements;
+  Alcotest.(check int) "zero batch rounds" 0 windowed.Fleet.Driver.batches;
+  Alcotest.(check (float 0.0)) "no batch size" 0.0 windowed.Fleet.Driver.mean_batch_size
+
+let test_driver_shed_breakdown_sums () =
+  (* The per-class shed counters must decompose the total drop count:
+     offered = served + coalesced + cache hits + sheds. *)
+  let r = Fleet.Driver.run { smoke_config with Fleet.Driver.rate_per_s = 16.0 } in
+  let sheds =
+    r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic + r.Fleet.Driver.shed_recheck
+  in
+  Alcotest.(check bool) "overload sheds" true (sheds > 0);
+  Alcotest.(check int) "offered fully accounted" r.Fleet.Driver.offered
+    (r.Fleet.Driver.served + sheds);
+  (* Customers are the last class to pay. *)
+  Alcotest.(check bool) "customer sheds least" true
+    (r.Fleet.Driver.shed_customer <= r.Fleet.Driver.shed_periodic)
+
+let test_batch_exp_batch1_reproduces_fleet () =
+  (* The batch-1 column of the batch experiment and the unbatched fleet
+     experiment share a configuration (rate 12, 1 shard, cache off at smoke
+     scale) — their numbers must agree exactly. *)
+  let fleet = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
+  let batch = Experiments.Batch_exp.run ~seed:7 ~scale:`Smoke () in
+  let fleet_row =
+    List.find
+      (fun (row : Experiments.Fleet_exp.row) ->
+        row.rate = 12.0 && row.as_count = 1 && row.ttl = 0)
+      fleet.Experiments.Fleet_exp.rows
+  in
+  let batch_row =
+    List.find
+      (fun (row : Experiments.Batch_exp.row) -> row.batch = 1 && row.rate = 12.0)
+      batch.Experiments.Batch_exp.rows
+  in
+  Alcotest.(check bool) "identical driver results" true
+    (fleet_row.Experiments.Fleet_exp.r = batch_row.Experiments.Batch_exp.r);
+  (* And the batched column of the same sweep actually batches. *)
+  let batched_row =
+    List.find
+      (fun (row : Experiments.Batch_exp.row) -> row.batch = 8 && row.rate = 12.0)
+      batch.Experiments.Batch_exp.rows
+  in
+  Alcotest.(check bool) "batch-8 rounds recorded" true
+    (batched_row.Experiments.Batch_exp.r.Fleet.Driver.batches > 0);
+  Alcotest.(check bool) "batch-8 serves more" true
+    (batched_row.Experiments.Batch_exp.r.Fleet.Driver.served_rps
+    > batch_row.Experiments.Batch_exp.r.Fleet.Driver.served_rps)
+
 (* --- Sim.Stats additions ---------------------------------------------------- *)
 
 let test_series_percentiles () =
@@ -330,6 +500,14 @@ let test_json_emitter () =
     "{\"s\":\"a\\\"b\\n\",\"i\":42,\"f\":1.5,\"nan\":null,\"l\":[true,null]}"
     (Experiments.Json.to_string ~indent:0 j)
 
+let test_json_write_missing_dir () =
+  match
+    Experiments.Json.write_file_result "/nonexistent-dir-cloudmonatt/out.json"
+      Experiments.Json.Null
+  with
+  | Error msg -> Alcotest.(check bool) "message is non-empty" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "writing into a missing directory must fail"
+
 let () =
   Alcotest.run "fleet"
     [
@@ -356,6 +534,11 @@ let () =
           Alcotest.test_case "coalesces concurrent requests" `Quick
             test_cluster_coalesces_concurrent_requests;
           Alcotest.test_case "shed verdicts" `Quick test_cluster_shed_verdict;
+          Alcotest.test_case "batch window flush" `Quick test_cluster_batch_window_flush;
+          Alcotest.test_case "full batch skips window" `Quick
+            test_cluster_full_batch_skips_window;
+          Alcotest.test_case "customer flushes window" `Quick
+            test_cluster_customer_flushes_window;
         ] );
       ( "driver",
         [
@@ -364,11 +547,21 @@ let () =
             test_driver_sharding_raises_throughput;
           Alcotest.test_case "cache ttl improves latency" `Quick
             test_driver_cache_ttl_improves_latency;
+          Alcotest.test_case "batching raises saturated throughput" `Quick
+            test_driver_batching_raises_saturated_throughput;
+          Alcotest.test_case "batch one is inert" `Quick test_driver_batch_one_is_inert;
+          Alcotest.test_case "shed breakdown sums" `Quick test_driver_shed_breakdown_sums;
+          Alcotest.test_case "batch-1 reproduces fleet" `Quick
+            test_batch_exp_batch1_reproduces_fleet;
         ] );
       ( "stats",
         [
           Alcotest.test_case "series percentiles" `Quick test_series_percentiles;
           Alcotest.test_case "gauge time-weighted" `Quick test_gauge_time_weighted;
         ] );
-      ("json", [ Alcotest.test_case "emitter" `Quick test_json_emitter ]);
+      ( "json",
+        [
+          Alcotest.test_case "emitter" `Quick test_json_emitter;
+          Alcotest.test_case "write into missing dir fails" `Quick test_json_write_missing_dir;
+        ] );
     ]

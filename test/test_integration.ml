@@ -153,6 +153,169 @@ let test_as_history_recorded () =
     (Attestation_server.attestations_done (Cloud.attestation_server cloud)
     = List.length history)
 
+(* --- Batched attestation ---------------------------------------------------------- *)
+
+(* Launch enough monitored VMs that at least one server hosts two or more
+   (three servers, so four VMs pigeonhole), and return a host with its
+   co-located vids. *)
+let co_located_vms cloud customer n =
+  let controller = Cloud.controller cloud in
+  let all_vids =
+    List.init n (fun _ ->
+        (launch_ok customer ~image:"cirros" ~flavor:"small"
+           ~properties:[ Property.Runtime_integrity ] ())
+          .Commands.vid)
+  in
+  let by_host = Hashtbl.create 4 in
+  List.iter
+    (fun vid ->
+      let host = Option.get (Controller.vm_host controller ~vid) in
+      Hashtbl.replace by_host host
+        (vid :: Option.value ~default:[] (Hashtbl.find_opt by_host host)))
+    all_vids;
+  let best =
+    Hashtbl.fold
+      (fun host vids acc ->
+        match acc with
+        | Some (_, best, _) when List.length best >= List.length vids -> acc
+        | _ -> Some (host, List.rev vids, all_vids))
+      by_host None
+  in
+  match best with
+  | Some (host, vids, all) when List.length vids >= 2 -> (host, vids, all)
+  | _ -> Alcotest.fail "expected co-located VMs"
+
+let test_batch_attest_end_to_end () =
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let host, vids, _ = co_located_vms cloud c 4 in
+  let as_ = Cloud.attestation_server cloud in
+  let items = List.map (fun vid -> (vid, Property.Runtime_integrity)) vids in
+  let nonce = String.make 16 'b' in
+  let result, ledger = Attestation_server.attest_batch as_ ~server:host ~items ~nonce in
+  (match result with
+  | Error e -> Alcotest.failf "batch refused: %a" Attestation_server.pp_error e
+  | Ok reports ->
+      Alcotest.(check int) "one reply per request" (List.length items) (List.length reports);
+      List.iter2
+        (fun (vid, property) (rvid, rproperty, r) ->
+          Alcotest.(check string) "request order preserved" vid rvid;
+          Alcotest.(check bool) "property echoed" true (Property.equal property rproperty);
+          match r with
+          | Error e -> Alcotest.failf "item failed: %a" Attestation_server.pp_error e
+          | Ok report ->
+              (* Every report in the batch is individually signed and
+                 individually verifiable, exactly like the unbatched path. *)
+              Alcotest.(check bool) "individually verifies" true
+                (Protocol.verify_as_report
+                   ~key:(Attestation_server.public_key as_)
+                   ~expected_vid:vid ~expected_server:host ~expected_property:property
+                   ~expected_nonce:nonce report
+                = Ok ());
+              Alcotest.(check bool) "healthy" true (Report.is_healthy report.Protocol.report))
+        items reports);
+  (* The ledger shows the amortization: one batch-sized verification charge
+     instead of per-report RSA verifies, and the whole batch's quote cost
+     stays below what per-report session keygens alone would have cost. *)
+  let n = List.length items in
+  Alcotest.(check int) "batched verify charge"
+    (Costs.batch_verify_cost ~batch:n)
+    (Ledger.of_label ledger "verify");
+  Alcotest.(check bool) "quote cost amortized across the batch" true
+    (Ledger.of_label ledger "server-measure" < n * Costs.session_keygen);
+  Alcotest.(check int) "per-report interpretation still happens"
+    (n * Costs.interpret)
+    (Ledger.of_label ledger "interpret")
+
+let test_attest_many_batched_matches_unbatched () =
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let _host, _co, all_vids = co_located_vms cloud c 4 in
+  let reqs =
+    List.mapi
+      (fun i vid ->
+        { Protocol.vid; property = Property.Runtime_integrity; nonce = Printf.sprintf "nonce-%04d" i })
+      all_vids
+  in
+  Alcotest.(check bool) "have requests" true (List.length reqs >= 2);
+  (* Batching off: attest_many is attest in a loop. *)
+  let unbatched, _ = Controller.attest_many controller reqs in
+  (* Batching on: host groups ride one Merkle-batched AS round. *)
+  Controller.set_batching controller true;
+  Alcotest.(check bool) "batching on" true (Controller.batching controller);
+  let batched, _ = Controller.attest_many controller reqs in
+  List.iter2
+    (fun ((req0 : Protocol.attest_request), r0) ((req1 : Protocol.attest_request), r1) ->
+      Alcotest.(check string) "request order preserved" req0.Protocol.vid req1.Protocol.vid;
+      match (r0, r1) with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) "same verdict either way" true
+            (a.Protocol.report.Report.status = b.Protocol.report.Report.status);
+          (* Both verify under the controller key against their own nonce. *)
+          List.iter
+            (fun ((req : Protocol.attest_request), (r : Protocol.controller_report)) ->
+              Alcotest.(check bool) "verifies" true
+                (Protocol.verify_controller_report ~key:(Controller.public_key controller)
+                   ~expected_vid:req.Protocol.vid
+                   ~expected_property:req.Protocol.property
+                   ~expected_nonce:req.Protocol.nonce r
+                = Ok ()))
+            [ (req0, a); (req1, b) ]
+      | r0, r1 ->
+          Alcotest.failf "mismatched outcomes: %s / %s"
+            (match r0 with Ok _ -> "ok" | Error e -> e)
+            (match r1 with Ok _ -> "ok" | Error e -> e))
+    unbatched batched
+
+let test_attest_many_unbatched_equals_attest_loop () =
+  (* With batching off (the default) attest_many must be observably the
+     plain attest loop: same verdicts, same per-report verification. *)
+  let cloud = make_cloud () in
+  let controller = Cloud.controller cloud in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let _host, _co, vids = co_located_vms cloud c 4 in
+  let reqs =
+    List.mapi
+      (fun i vid ->
+        { Protocol.vid; property = Property.Runtime_integrity; nonce = Printf.sprintf "n-%d" i })
+      vids
+  in
+  let looped =
+    List.map (fun req -> Result.get_ok (fst (Controller.attest controller req))) reqs
+  in
+  let many, _ = Controller.attest_many controller reqs in
+  List.iter2
+    (fun (loop : Protocol.controller_report) (_, r) ->
+      let r = Result.get_ok r in
+      Alcotest.(check string) "same vid" loop.Protocol.vid r.Protocol.vid;
+      Alcotest.(check bool) "same status" true
+        (loop.Protocol.report.Report.status = r.Protocol.report.Report.status))
+    looped many
+
+let test_batch_attest_unknown_vm_refused () =
+  (* A vid the cloud server cannot measure refuses the whole batch as a
+     hard error: a batch reply always covers exactly what was asked, and
+     nothing is silently dropped or fabricated as healthy. *)
+  let cloud = make_cloud () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let host, vids, _ = co_located_vms cloud c 4 in
+  let as_ = Cloud.attestation_server cloud in
+  let items =
+    List.map (fun vid -> (vid, Property.Runtime_integrity)) vids
+    @ [ ("vm-9999", Property.Runtime_integrity) ]
+  in
+  let result, _ = Attestation_server.attest_batch as_ ~server:host ~items ~nonce:"nonce-bad-vm-x" in
+  (match result with
+  | Error (`Server_refused _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Attestation_server.pp_error e
+  | Ok _ -> Alcotest.fail "a batch with an unmeasurable vid must be refused");
+  (* The same batch without the bogus vid sails through. *)
+  let items = List.map (fun vid -> (vid, Property.Runtime_integrity)) vids in
+  match fst (Attestation_server.attest_batch as_ ~server:host ~items ~nonce:"nonce-good-x") with
+  | Ok reports -> Alcotest.(check int) "served" (List.length items) (List.length reports)
+  | Error e -> Alcotest.failf "clean batch failed: %a" Attestation_server.pp_error e
+
 (* --- Detection + response scenarios ----------------------------------------------- *)
 
 let test_malware_detected_and_terminated () =
@@ -748,6 +911,16 @@ let () =
             test_attest_other_customers_vm_refused;
           Alcotest.test_case "unknown vm" `Quick test_attest_unknown_vm;
           Alcotest.test_case "AS history" `Quick test_as_history_recorded;
+        ] );
+      ( "batched-attestation",
+        [
+          Alcotest.test_case "batch end to end" `Quick test_batch_attest_end_to_end;
+          Alcotest.test_case "batched = unbatched verdicts" `Quick
+            test_attest_many_batched_matches_unbatched;
+          Alcotest.test_case "attest_many default = attest loop" `Quick
+            test_attest_many_unbatched_equals_attest_loop;
+          Alcotest.test_case "unmeasurable vid refuses batch" `Quick
+            test_batch_attest_unknown_vm_refused;
         ] );
       ( "detection-response",
         [

@@ -129,6 +129,24 @@ let test_identity_ops () =
   Alcotest.(check (option string)) "identity decrypts" (Some "premaster")
     (Tpm.Trust_module.decrypt_identity t c)
 
+let test_quote_batch () =
+  let t = Lazy.force tm in
+  let session = Tpm.Trust_module.begin_session t in
+  let root = Crypto.Merkle.root [ "q1"; "q2"; "q3" ] in
+  let nonce = Tpm.Trust_module.random_nonce t in
+  (match Tpm.Trust_module.quote_batch t session ~root ~nonce with
+  | None -> Alcotest.fail "live session should sign a batch quote"
+  | Some s ->
+      Alcotest.(check bool) "batch quote verifies under AVKs over the payload" true
+        (Crypto.Rsa.verify session.public ~signature:s
+           (Tpm.Trust_module.batch_quote_payload ~root ~nonce));
+      Alcotest.(check bool) "bound to the root" false
+        (Crypto.Rsa.verify session.public ~signature:s
+           (Tpm.Trust_module.batch_quote_payload ~root:(Crypto.Merkle.root [ "qx" ]) ~nonce)));
+  Tpm.Trust_module.end_session t session;
+  Alcotest.(check bool) "ended session refuses batch quotes" true
+    (Tpm.Trust_module.quote_batch t session ~root ~nonce = None)
+
 let test_nonces_fresh () =
   let t = Lazy.force tm in
   let n1 = Tpm.Trust_module.random_nonce t in
@@ -168,6 +186,7 @@ let () =
           Alcotest.test_case "endorsement not transferable" `Quick
             test_endorsement_not_transferable;
           Alcotest.test_case "identity ops" `Quick test_identity_ops;
+          Alcotest.test_case "batch quote" `Quick test_quote_batch;
           Alcotest.test_case "nonces fresh" `Quick test_nonces_fresh;
           qtest trust_module_deterministic;
         ] );
