@@ -1,15 +1,17 @@
 (* Benchmark harness: one experiment per paper table/figure, the fleet-scale
    load experiment, plus bechamel micro-benchmarks of the building blocks.
 
-   Usage: main.exe [--json FILE]
-            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|ablations|micro|all]
-   With no experiment, everything runs.  Unknown names abort with a listing.
+   Usage: main.exe [--list] [--json FILE]
+            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|audit|ablations|micro|all]
+   With no experiment, everything runs.  Unknown names abort with a listing;
+   --list prints the known names one per line and exits 0.
 
-   JSON-capable experiments (fleet, fig9, batch) collect machine-readable
-   results; they are written to FILE (or $CLOUDMONATT_BENCH_JSON) as one
-   object keyed by experiment name, plus a "host" object pairing each run
-   with its real wall-clock time and GC counters.  `fleet` alone defaults
-   to writing BENCH_fleet.json and `batch` to BENCH_batch.json, the
+   JSON-capable experiments (fleet, fig9, batch, audit) collect
+   machine-readable results; they are written to FILE (or
+   $CLOUDMONATT_BENCH_JSON) as one object keyed by experiment name, plus a
+   "host" object pairing each run with its real wall-clock time and GC
+   counters.  `fleet` alone defaults to writing BENCH_fleet.json, `batch`
+   to BENCH_batch.json and `audit` to BENCH_audit.json, the
    perf-trajectory artifacts. *)
 
 let seed = 2015
@@ -79,6 +81,11 @@ let run_batch () =
   let result = Experiments.Batch_exp.run ~seed () in
   Experiments.Batch_exp.print result;
   collect "batch" (Experiments.Batch_exp.to_json result)
+
+let run_audit () =
+  let result = Experiments.Audit_exp.run ~seed () in
+  Experiments.Audit_exp.print result;
+  collect "audit" (Experiments.Audit_exp.to_json result)
 
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
@@ -151,6 +158,7 @@ let experiments =
     ("faults", run_faults);
     ("fleet", run_fleet);
     ("batch", run_batch);
+    ("audit", run_audit);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]
@@ -158,12 +166,18 @@ let experiments =
 let valid_names = "all" :: List.map fst experiments
 
 let usage () =
-  Printf.eprintf "usage: main.exe [--json FILE] [EXPERIMENT...]\nvalid experiments: %s\n"
+  Printf.eprintf
+    "usage: main.exe [--list] [--json FILE] [EXPERIMENT...]\nvalid experiments: %s\n"
     (String.concat ", " valid_names)
 
 let parse_args argv =
   let rec go names json = function
     | [] -> (List.rev names, json)
+    | "--list" :: _ ->
+        (* Machine-readable inventory for scripts and CI: one name per
+           line, nothing else, success exit. *)
+        List.iter print_endline valid_names;
+        exit 0
     | "--json" :: path :: rest -> go names (Some path) rest
     | [ "--json" ] ->
         Printf.eprintf "error: --json needs a FILE argument\n";
@@ -219,7 +233,11 @@ let () =
         List.filter_map
           (fun (name, path) ->
             if List.mem_assoc name !json_results then Some path else None)
-          [ ("fleet", "BENCH_fleet.json"); ("batch", "BENCH_batch.json") ]
+          [
+            ("fleet", "BENCH_fleet.json");
+            ("batch", "BENCH_batch.json");
+            ("audit", "BENCH_audit.json");
+          ]
   in
   match json_paths with
   | [] -> ()
@@ -243,6 +261,8 @@ let () =
                   List.filter (fun (n, _) -> n = "fleet") !json_results
               | None, "BENCH_batch.json" ->
                   List.filter (fun (n, _) -> n = "batch") !json_results
+              | None, "BENCH_audit.json" ->
+                  List.filter (fun (n, _) -> n = "audit") !json_results
               | _ -> !json_results
             in
             let doc =

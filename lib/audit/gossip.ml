@@ -1,0 +1,26 @@
+(* STHs gossip as plain signed datagrams over the simulated network, so the
+   lib/net fault adversaries apply: a garbled STH fails its signature (or
+   does not decode) and is ignored, a dropped one just misses a round —
+   the next interval's broadcast carries the same trusted heads again, so
+   loss delays detection by at most one cadence. *)
+
+let address name = "audit:" ^ name
+
+let register net auditor =
+  Net.Network.register net
+    (address (Auditor.name auditor))
+    (fun raw ->
+      (match Sth.of_string raw with
+      | Some sth -> Auditor.note auditor sth
+      | None -> () (* garbage on the gossip port: ignore *));
+      "ok")
+
+let announce net ~src ~dst sth =
+  (* Fire-and-forget: gossip tolerates loss by design, so no retries. *)
+  ignore
+    (Net.Network.call net ~src:(address src) ~dst:(address dst) (Sth.to_string sth))
+
+let broadcast net auditor ~dst =
+  List.iter
+    (fun sth -> announce net ~src:(Auditor.name auditor) ~dst sth)
+    (Auditor.trusted_heads auditor)

@@ -1,0 +1,21 @@
+type t = {
+  index : int;
+  sth : Sth.t;
+  proof : Crypto.Merkle.proof;
+}
+
+let verify ~key ~entry t =
+  Sth.verify ~key t.sth
+  && Crypto.Merkle.verify_at ~root:t.sth.Sth.root ~leaf:entry ~index:t.index
+       ~size:t.sth.Sth.size t.proof
+
+let encode e t =
+  Wire.Codec.Enc.int e t.index;
+  Sth.encode e t.sth;
+  Crypto.Merkle.encode e t.proof
+
+let decode d =
+  let index = Wire.Codec.Dec.int d in
+  let sth = Sth.decode d in
+  let proof = Crypto.Merkle.decode d in
+  { index; sth; proof }

@@ -1,0 +1,20 @@
+(** Inclusion receipts: what a verdict consumer gets back with each reply.
+
+    A receipt binds one log entry (the serialized signed AS report) to a
+    signed tree head: [proof] walks from the entry at [index] up to
+    [sth.root].  Accepting a verdict only with a valid receipt means the
+    verdict is on the public record — the AS cannot later deny having
+    issued it without forking its log, which gossiping auditors detect. *)
+
+type t = {
+  index : int;  (** position of the entry in the log *)
+  sth : Sth.t;  (** tree head the proof verifies against *)
+  proof : Crypto.Merkle.proof;  (** inclusion path, entry -> [sth.root] *)
+}
+
+val verify : key:Crypto.Rsa.public -> entry:string -> t -> bool
+(** [verify ~key ~entry r] checks the STH signature under the log
+    operator's key and the inclusion of [entry] under [r.sth.root]. *)
+
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t

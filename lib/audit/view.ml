@@ -1,0 +1,54 @@
+type t = {
+  log_id : string;
+  latest_sth : unit -> Sth.t;
+  consistency : old_size:int -> size:int -> string list;
+  inclusion : size:int -> int -> Crypto.Merkle.proof;
+  entry : int -> string option;
+}
+
+let of_log log =
+  {
+    log_id = Log.log_id log;
+    latest_sth =
+      (fun () ->
+        match Log.latest_sth log with Some sth -> sth | None -> Log.checkpoint log);
+    consistency = (fun ~old_size ~size -> Log.consistency log ~old_size ~size);
+    inclusion = (fun ~size i -> Log.inclusion log ~size i);
+    entry = (fun i -> Log.entry log i);
+  }
+
+(* --- Adversarial faces ---------------------------------------------------
+
+   Each adversary below is a *log operator* misbehaviour: the operator
+   holds the real signing key, so every STH it serves carries a valid
+   signature.  What it cannot do is make two divergent histories both
+   consistency-check against the heads it already handed out — that is the
+   invariant the auditors enforce. *)
+
+type fork = {
+  face_a : t;
+  face_b : t;
+  log_a : Log.t;
+  log_b : Log.t;
+  append_both : string -> unit;
+  append_a : string -> unit;
+  append_b : string -> unit;
+}
+
+let fork ~log_id ~key ?clock () =
+  let log_a = Log.create ~log_id ~key ?clock () in
+  let log_b = Log.create ~log_id ~key ?clock () in
+  {
+    face_a = of_log log_a;
+    face_b = of_log log_b;
+    log_a;
+    log_b;
+    append_both =
+      (fun entry ->
+        ignore (Log.append log_a entry);
+        ignore (Log.append log_b entry));
+    append_a = (fun entry -> ignore (Log.append log_a entry));
+    append_b = (fun entry -> ignore (Log.append log_b entry));
+  }
+
+let stale view ~sth = { view with latest_sth = (fun () -> sth) }

@@ -1,0 +1,44 @@
+(** A log as seen by one observer.
+
+    Auditors never touch {!Log.t} directly; they query a [t], a record of
+    closures standing for "whatever the log operator chooses to answer".
+    An honest operator answers from its single log ({!of_log}); a
+    malicious one can answer different observers from different histories
+    — the adversaries below build exactly those split faces, signed with
+    the operator's real key, so detection must come from the Merkle
+    consistency invariants rather than signature checks. *)
+
+type t = {
+  log_id : string;
+  latest_sth : unit -> Sth.t;
+  consistency : old_size:int -> size:int -> string list;
+  inclusion : size:int -> int -> Crypto.Merkle.proof;
+  entry : int -> string option;
+}
+
+val of_log : Log.t -> t
+(** The honest face: answers from the log itself (signing an initial head
+    on first query if none exists yet). *)
+
+(** {1 Adversarial faces} *)
+
+type fork = {
+  face_a : t;  (** history shown to observer A *)
+  face_b : t;  (** history shown to observer B *)
+  log_a : Log.t;
+  log_b : Log.t;
+  append_both : string -> unit;  (** extend the shared prefix *)
+  append_a : string -> unit;  (** diverge: entry visible only to A *)
+  append_b : string -> unit;  (** diverge: entry visible only to B *)
+}
+
+val fork :
+  log_id:string -> key:Crypto.Rsa.secret -> ?clock:(unit -> Sim.Time.t) -> unit -> fork
+(** A split-view/equivocation adversary: one log identity, one signing
+    key, two divergent histories.  Dropping an entry from one face only
+    ([append_a] without [append_b]) models the entry-suppressing
+    adversary. *)
+
+val stale : t -> sth:Sth.t -> t
+(** A rollback adversary: serves [sth] (an old, genuinely signed head) as
+    the latest forever, hiding everything appended since. *)

@@ -38,6 +38,12 @@ type t = {
   mutable degraded : int;
   mutable attest_attempts : int;
   mutable engine_now : unit -> Sim.Time.t;
+  (* Verdict transparency log (lib/audit), opt-in.  When present, every
+     signed verdict is appended and its inclusion receipt rides the service
+     reply as a trailing block; when absent the reply bytes are exactly the
+     pre-audit format. *)
+  mutable audit : Audit.Log.t option;
+  mutable receipts : Audit.Receipt.t list; (* this call's receipts, newest first *)
 }
 
 let create ~net ~ca ~pca ~refs ~seed ?(name = "attestation-server") () =
@@ -57,6 +63,8 @@ let create ~net ~ca ~pca ~refs ~seed ?(name = "attestation-server") () =
     degraded = 0;
     attest_attempts = 2;
     engine_now = (fun () -> 0);
+    audit = None;
+    receipts = [];
   }
 
 let name t = t.name
@@ -67,6 +75,21 @@ let set_refs t refs = t.refs <- refs
 let set_vm_image_lookup t f = t.vm_image_lookup <- f
 let set_clock t f = t.engine_now <- f
 let set_attest_attempts t n = t.attest_attempts <- max 1 n
+
+let enable_audit t =
+  match t.audit with
+  | Some log -> log
+  | None ->
+      let log =
+        Audit.Log.create ~log_id:t.name
+          ~key:t.identity.Net.Secure_channel.Identity.keypair.secret
+          ~clock:(fun () -> t.engine_now ())
+          ()
+      in
+      t.audit <- Some log;
+      log
+
+let audit_log t = t.audit
 
 let no_such_host_prefix = "no such host"
 
@@ -128,7 +151,9 @@ let record t vid property status =
   t.count <- t.count + 1;
   t.history <- { at = t.engine_now (); vid; property; status } :: t.history
 
-(* Produce the signed AS report for [report], recording it in the history. *)
+(* Produce the signed AS report for [report], recording it in the history.
+   With auditing on, the serialized signed report is also appended to the
+   transparency log and its inclusion receipt queued for the reply. *)
 let sign_report t ~vid ~server ~property ~nonce ~ledger report =
   record t vid property report.Report.status;
   Ledger.add ledger "report-sign" Costs.report_sign;
@@ -138,7 +163,17 @@ let sign_report t ~vid ~server ~property ~nonce ~ledger report =
     Crypto.Rsa.sign t.identity.Net.Secure_channel.Identity.keypair.secret
       (Protocol.as_report_payload unsigned)
   in
-  { unsigned with Protocol.signature }
+  let signed = { unsigned with Protocol.signature } in
+  (match t.audit with
+  | None -> ()
+  | Some log ->
+      let size = Audit.Log.size log + 1 in
+      Ledger.add ledger "audit-append" (Costs.audit_append ~size);
+      Ledger.add ledger "audit-sth-sign" Costs.sth_sign;
+      Ledger.add ledger "audit-proof" (Costs.audit_proof ~size);
+      let receipt = Audit.Log.append_with_receipt log (Protocol.encode_as_report signed) in
+      t.receipts <- receipt :: t.receipts);
+  signed
 
 (* One measurement-collection round against the cloud server. *)
 let attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger =
@@ -196,6 +231,7 @@ let attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger =
 let attest t ~vid ~server ~property ~nonce =
   let ledger = Ledger.create () in
   t.net_ledger := ledger;
+  t.receipts <- [];
   Ledger.add ledger "db-lookup" Costs.db_lookup;
   let requests = Interpret.requests_for t.refs property in
   let requests_raw = Monitors.Measurement.encode_requests requests in
@@ -316,6 +352,7 @@ let attest_batch_once t ~server ~reqs ledger =
 let attest_batch t ~server ~items ~nonce =
   let ledger = Ledger.create () in
   t.net_ledger := ledger;
+  t.receipts <- [];
   Ledger.add ledger "db-lookup" Costs.db_lookup;
   let reqs =
     List.map
@@ -367,7 +404,10 @@ let degraded_count t = t.degraded
 
 (* --- Network service ------------------------------------------------------ *)
 
-let encode_service_reply result ledger =
+(* Replies keep the exact pre-audit byte layout when no receipts are
+   attached; with auditing on, the receipts ride as a trailing block the
+   decoder recognizes by the bytes remaining after the ledger list. *)
+let encode_service_reply ?(receipts = []) result ledger =
   Wire.Codec.encode (fun e ->
       match result with
       | Ok report ->
@@ -377,14 +417,17 @@ let encode_service_reply result ledger =
             (fun (label, cost) ->
               Wire.Codec.Enc.str e label;
               Wire.Codec.Enc.int e cost)
-            (Ledger.entries ledger)
+            (Ledger.entries ledger);
+          (match receipts with
+          | [] -> ()
+          | receipt :: _ -> Audit.Receipt.encode e receipt)
       | Error err ->
           Wire.Codec.Enc.u8 e 0;
           Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
 
 (* A batch reply carries one tag+payload per requested item (in request
    order), so a rejected report travels next to its accepted siblings. *)
-let encode_batch_service_reply result ledger =
+let encode_batch_service_reply ?(receipts = []) result ledger =
   Wire.Codec.encode (fun e ->
       match result with
       | Ok items ->
@@ -403,7 +446,10 @@ let encode_batch_service_reply result ledger =
             (fun (label, cost) ->
               Wire.Codec.Enc.str e label;
               Wire.Codec.Enc.int e cost)
-            (Ledger.entries ledger)
+            (Ledger.entries ledger);
+          (match receipts with
+          | [] -> ()
+          | _ -> Wire.Codec.Enc.list e (Audit.Receipt.encode e) receipts)
       | Error err ->
           Wire.Codec.Enc.u8 e 0;
           Wire.Codec.Enc.str e (Format.asprintf "%a" pp_error err))
@@ -426,13 +472,20 @@ let decode_batch_service_reply raw =
                   let cost = Wire.Codec.Dec.int d in
                   (label, cost))
             in
-            `Ok (items, entries)
+            (* Auditing AS: receipts (one per accepted report) trail the
+               ledger; their absence is the pre-audit byte format. *)
+            let receipts =
+              if Wire.Codec.Dec.remaining d > 0 then
+                Wire.Codec.Dec.list d Audit.Receipt.decode
+              else []
+            in
+            `Ok (items, entries, receipts)
         | 0 -> `Err (Wire.Codec.Dec.str d)
         | _ -> raise (Wire.Codec.Error "bad reply tag"))
   with
-  | Some (`Ok (items, entries)) ->
+  | Some (`Ok (items, entries, receipts)) ->
       let rec all acc = function
-        | [] -> Ok (List.rev acc, entries)
+        | [] -> Ok (List.rev acc, entries, receipts)
         | `Rejected why :: rest -> all (Error why :: acc) rest
         | `Report raw :: rest -> (
             match Protocol.decode_as_report raw with
@@ -450,7 +503,7 @@ let request_handler t ~peer:_ plaintext =
         attest_batch t ~server:breq.Protocol.ba_server ~items:breq.Protocol.ba_items
           ~nonce:breq.Protocol.ba_nonce
       in
-      encode_batch_service_reply result ledger
+      encode_batch_service_reply ~receipts:(List.rev t.receipts) result ledger
   | None -> (
       match Protocol.decode_as_request plaintext with
       | None ->
@@ -460,7 +513,7 @@ let request_handler t ~peer:_ plaintext =
             attest t ~vid:req.Protocol.vid ~server:req.Protocol.server
               ~property:req.Protocol.property ~nonce:req.Protocol.nonce
           in
-          encode_service_reply result ledger)
+          encode_service_reply ~receipts:(List.rev t.receipts) result ledger)
 
 let decode_service_reply raw =
   match
@@ -474,13 +527,16 @@ let decode_service_reply raw =
                   let cost = Wire.Codec.Dec.int d in
                   (label, cost))
             in
-            `Ok (report_raw, entries)
+            let receipt =
+              if Wire.Codec.Dec.remaining d > 0 then Some (Audit.Receipt.decode d) else None
+            in
+            `Ok (report_raw, entries, receipt)
         | 0 -> `Err (Wire.Codec.Dec.str d)
         | _ -> raise (Wire.Codec.Error "bad reply tag"))
   with
-  | Some (`Ok (report_raw, entries)) -> (
+  | Some (`Ok (report_raw, entries, receipt)) -> (
       match Protocol.decode_as_report report_raw with
-      | Some report -> Ok (report, entries)
+      | Some report -> Ok (report, entries, receipt)
       | None -> Error "malformed report in AS reply")
   | Some (`Err why) -> Error why
   | None -> Error "malformed AS reply"

@@ -53,6 +53,16 @@ val set_attest_attempts : t -> int -> unit
 (** How many from-scratch attestation rounds {!attest} may run before it
     degrades the verdict to [Unknown] (clamped to at least 1; default 2). *)
 
+val enable_audit : t -> Audit.Log.t
+(** Switch the verdict transparency log on (idempotent): every signed
+    verdict — healthy, compromised, unknown or degraded — is appended to an
+    append-only Merkle log keyed by this AS's identity, and service replies
+    gain a trailing inclusion receipt the controller can verify.  Off by
+    default; when off, replies are byte-identical to the pre-audit
+    format. *)
+
+val audit_log : t -> Audit.Log.t option
+
 val attest :
   t ->
   vid:string ->
@@ -118,12 +128,21 @@ val request_handler : t -> peer:string -> string -> string
     end-to-end time). *)
 
 val decode_service_reply :
-  string -> (Protocol.as_report * (string * Sim.Time.t) list, string) result
-(** Parse a {!request_handler} reply on the controller side. *)
+  string ->
+  ( Protocol.as_report * (string * Sim.Time.t) list * Audit.Receipt.t option,
+    string )
+  result
+(** Parse a {!request_handler} reply on the controller side.  The receipt
+    is [Some] exactly when the AS has auditing enabled. *)
 
 val decode_batch_service_reply :
   string ->
-  ((Protocol.as_report, string) result list * (string * Sim.Time.t) list, string) result
+  ( (Protocol.as_report, string) result list
+    * (string * Sim.Time.t) list
+    * Audit.Receipt.t list,
+    string )
+  result
 (** Parse a batched {!request_handler} reply: one [Ok report] or
     [Error reason] per requested item, in request order, plus the shared
-    cost ledger. *)
+    cost ledger.  With auditing on, the receipt list pairs with the [Ok]
+    reports in order; with auditing off it is empty. *)

@@ -52,6 +52,20 @@ let find_server t name =
 let run_for t d = Sim.Engine.run_until t.engine (Sim.Engine.now t.engine + d)
 let now t = Sim.Engine.now t.engine
 
+(* Switch verdict transparency on end to end: every AS gets an append-only
+   log (verdicts -> inclusion receipts in replies), the controller starts
+   requiring and verifying those receipts, and each log emits a periodic
+   signed checkpoint that auditors and customers can gossip. *)
+let enable_audit ?(checkpoint_interval = Sim.Time.sec 1) t =
+  let logs = List.map Attestation_server.enable_audit t.attestation_servers in
+  Controller.set_auditing t.controller true;
+  if checkpoint_interval > 0 then
+    ignore
+      (Sim.Engine.every t.engine ~period:checkpoint_interval (fun () ->
+           List.iter (fun log -> ignore (Audit.Log.checkpoint log : Audit.Sth.t)) logs)
+        : Sim.Engine.handle);
+  logs
+
 let all_capabilities = List.map Property.to_string Property.all
 
 let build ?(config = default_config) () =

@@ -48,6 +48,15 @@ val run_for : t -> Sim.Time.t -> unit
 
 val now : t -> Sim.Time.t
 
+val enable_audit : ?checkpoint_interval:Sim.Time.t -> t -> Audit.Log.t list
+(** Switch the verdict transparency layer on end to end (opt-in; off by
+    default, in which case every wire byte is identical to the pre-audit
+    protocol): calls {!Attestation_server.enable_audit} on every AS, turns
+    on {!Controller.set_auditing}, and schedules a periodic signed
+    checkpoint of every log ([checkpoint_interval] defaults to 1 s; pass
+    [0] to skip scheduling).  Returns the logs, one per AS, for wiring
+    auditors. *)
+
 (** Customer-side API: issues Table 1 requests over a secure channel and
     verifies the full signature chain of every report it accepts. *)
 module Customer : sig

@@ -55,6 +55,8 @@ type t = {
   mutable response_policy : Report.t -> response_strategy option;
   mutable attest_attempts : int;
   mutable batching : bool;  (* Merkle-batched AS rounds in [attest_many]; off by default *)
+  mutable auditing : bool;  (* require + verify AS inclusion receipts; off by default *)
+  mutable auditor : Audit.Auditor.t option;  (* STH sink fed by verified receipts *)
   mutable auto_resume : bool;  (* re-check suspended VMs and resume on healthy *)
   mutable recheck_period : Sim.Time.t;
   mutable max_rechecks : int;
@@ -191,6 +193,32 @@ let sign_controller_report t (req : Protocol.attest_request) ledger report =
   in
   { unsigned with Protocol.signature }
 
+(* Verify the transparency-log inclusion receipt accompanying an AS report
+   (auditing on only).  A missing or forged receipt is a HARD error — it is
+   evidence of an equivocating or misconfigured AS, exactly the signal the
+   audit layer exists to surface, so it must never degrade to a signed
+   [Unknown] the way availability failures do. *)
+let audit_check t ~idx (as_report : Protocol.as_report) receipt ledger =
+  if not t.auditing then Ok ()
+  else begin
+    match receipt with
+    | None -> Error (`Hard "audit receipt missing from AS reply")
+    | Some (r : Audit.Receipt.t) ->
+        Ledger.add ledger "audit-receipt-verify"
+          (Costs.audit_receipt_verify ~size:r.Audit.Receipt.sth.Audit.Sth.size);
+        let key = snd t.attestation_servers.(idx) in
+        if
+          not
+            (Audit.Receipt.verify ~key ~entry:(Protocol.encode_as_report as_report) r)
+        then Error (`Hard "audit inclusion receipt rejected")
+        else begin
+          (match t.auditor with
+          | Some auditor -> Audit.Auditor.note auditor r.Audit.Receipt.sth
+          | None -> ());
+          Ok ()
+        end
+  end
+
 (* One controller -> AS -> cloud server round.  Errors carry whether they
    are availability-shaped ([`Avail]) and thus eligible for degradation. *)
 let attest_once t (req : Protocol.attest_request) ledger =
@@ -222,7 +250,7 @@ let attest_once t (req : Protocol.attest_request) ledger =
         Hashtbl.remove t.as_channels idx;
         Error (classify_channel "AS call" e)
   in
-  let* as_report, as_costs =
+  let* as_report, as_costs, receipt =
     Result.map_error (fun e -> `Hard e) (Attestation_server.decode_service_reply raw)
   in
   List.iter (fun (label, cost) -> Ledger.add ledger ("as:" ^ label) cost) as_costs;
@@ -235,6 +263,7 @@ let attest_once t (req : Protocol.attest_request) ledger =
          ~expected_vid:req.vid ~expected_server:host ~expected_property:req.property
          ~expected_nonce:n2 as_report)
   in
+  let* () = audit_check t ~idx as_report receipt ledger in
   Ok (sign_controller_report t req ledger as_report.Protocol.report)
 
 (* Never serve a stale healthy verdict after an unhealthy or undecidable
@@ -311,14 +340,14 @@ let attest_group_once t ~idx ~host items ledger =
         Hashtbl.remove t.as_channels idx;
         Error (classify_channel "AS call" e)
   in
-  let* per_item, as_costs =
+  let* per_item, as_costs, receipts =
     Result.map_error (fun e -> `Hard e) (Attestation_server.decode_batch_service_reply raw)
   in
   if List.length per_item <> List.length items then
     Error (`Hard "batch AS reply does not match request")
   else begin
     List.iter (fun (label, cost) -> Ledger.add ledger ("as:" ^ label) cost) as_costs;
-    Ok (n2, per_item)
+    Ok (n2, per_item, receipts)
   end
 
 let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
@@ -330,11 +359,20 @@ let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
     creport
   in
   (* Each report in the batch reply still carries its own AS signature, so
-     the controller's per-report verification is unchanged by batching. *)
-  let appraise n2 (req : Protocol.attest_request) item =
+     the controller's per-report verification is unchanged by batching.
+     With auditing on, receipts pair with the [Ok] reports in reply order
+     and each is verified before its verdict is accepted. *)
+  let appraise n2 receipts (req : Protocol.attest_request) item =
     match item with
     | Error why -> Error ("AS rejected report: " ^ why)
     | Ok (as_report : Protocol.as_report) -> (
+        let receipt =
+          match !receipts with
+          | r :: rest ->
+              receipts := rest;
+              Some r
+          | [] -> None
+        in
         Ledger.add ledger "verify" Costs.signature_verify;
         match
           Protocol.verify_as_report
@@ -344,8 +382,12 @@ let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
         with
         | Error e ->
             Error (Format.asprintf "AS report rejected: %a" Protocol.pp_verify_error e)
-        | Ok () ->
-            Ok (finish req (sign_controller_report t req ledger as_report.Protocol.report)))
+        | Ok () -> (
+            match audit_check t ~idx as_report receipt ledger with
+            | Error (`Hard msg) -> Error msg
+            | Ok () ->
+                Ok
+                  (finish req (sign_controller_report t req ledger as_report.Protocol.report))))
   in
   let degraded msg (req : Protocol.attest_request) =
     let reason =
@@ -365,7 +407,7 @@ let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
   in
   let rec go attempt =
     match attest_group_once t ~idx ~host items ledger with
-    | Ok (n2, per_item) -> List.map2 (appraise n2) reqs per_item
+    | Ok (n2, per_item, receipts) -> List.map2 (appraise n2 (ref receipts)) reqs per_item
     | Error (`Avail msg) ->
         if attempt < t.attest_attempts then go (attempt + 1)
         else begin
@@ -378,6 +420,10 @@ let attest_group t ~host (reqs : Protocol.attest_request list) ledger =
 
 let set_batching t enabled = t.batching <- enabled
 let batching t = t.batching
+let set_auditing t enabled = t.auditing <- enabled
+let auditing t = t.auditing
+let set_auditor t auditor = t.auditor <- auditor
+let auditor t = t.auditor
 
 (* Attest many (vid, property) pairs in one call.  With batching enabled,
    cache misses are grouped by host and each group of two or more rides a
@@ -897,6 +943,8 @@ let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_serv
       response_policy = default_policy;
       attest_attempts = 2;
       batching = false;
+      auditing = false;
+      auditor = None;
       auto_resume = true;
       recheck_period = Sim.Time.sec 5;
       max_rechecks = 10;

@@ -127,6 +127,23 @@ val set_batching : t -> bool -> unit
 
 val batching : t -> bool
 
+val set_auditing : t -> bool -> unit
+(** Require and verify a transparency-log inclusion receipt on every AS
+    report before accepting the verdict (off by default, opt-in like
+    batching and the verdict cache).  The AS side must have
+    {!Attestation_server.enable_audit} on; a missing or forged receipt is a
+    {e hard} error that never degrades to a signed [Unknown] — it is the
+    attack signal the audit layer exists to surface. *)
+
+val auditing : t -> bool
+
+val set_auditor : t -> Audit.Auditor.t option -> unit
+(** Feed the STH from every verified receipt to this auditor
+    ({!Audit.Auditor.note}), so the controller participates in split-view
+    gossip alongside external auditors. *)
+
+val auditor : t -> Audit.Auditor.t option
+
 val verdict_cache : t -> Verdict_cache.t
 (** The controller's verdict cache (disabled by default). *)
 

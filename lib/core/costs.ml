@@ -34,6 +34,18 @@ let batch_verify_cost ~batch =
 let amortized_session_keygen ~batch = session_keygen / max 1 batch
 let amortized_quote_sign ~batch = quote_sign / max 1 batch
 
+(* Transparency log (lib/audit).  Appending a verdict rehashes the leaf and
+   the O(log n) right-spine interiors; proofs are O(log n) hash walks; tree
+   heads are RSA operations in the same class as report signing. *)
+let audit_append ~size = (1 + Crypto.Merkle.max_proof_length (max 1 size)) * merkle_hash
+let audit_proof ~size = max 1 (Crypto.Merkle.max_proof_length (max 1 size)) * merkle_hash
+let sth_sign = ms 25
+let sth_verify = ms 8
+
+(* Customer-side receipt check: one STH signature verification plus the
+   inclusion-proof walk. *)
+let audit_receipt_verify ~size = sth_verify + audit_proof ~size
+
 (* Launch stages, calibrated to Figure 9's 3-6 s totals. *)
 let scheduling_base = ms 280
 let scheduling_per_candidate = ms 25

@@ -50,6 +50,26 @@ val amortized_quote_sign : batch:int -> Sim.Time.t
 (** Per-report share of the batch's single RSA operations (display only —
     ledgers charge whole batches). *)
 
+(** {2 Transparency-log costs (lib/audit)}
+
+    The verdict log's hot path is hashing (append + proof walks, O(log n)
+    in the log size); signed tree heads pay RSA costs in the same class as
+    report signing. *)
+
+val audit_append : size:int -> Sim.Time.t
+(** Appending one entry to a log of [size] entries: the leaf hash plus the
+    right-spine interior rehashes. *)
+
+val audit_proof : size:int -> Sim.Time.t
+(** Serving or walking one inclusion/consistency proof at [size]. *)
+
+val sth_sign : Sim.Time.t
+val sth_verify : Sim.Time.t
+
+val audit_receipt_verify : size:int -> Sim.Time.t
+(** Customer-side check of an inclusion receipt: STH signature plus the
+    proof walk. *)
+
 (** {2 VM launch stage costs (OpenStack-shaped)} *)
 
 val scheduling_base : Sim.Time.t

@@ -65,6 +65,27 @@ let verify ~root:expected ~leaf p =
 
 let proof_length = List.length
 
+(* The side sequence (leaf -> root) of leaf [i]'s path in a tree over
+   [size] leaves.  A path's sides determine the leaf position uniquely, so
+   comparing them binds a claimed index to a side-tagged proof. *)
+let expected_sides ~size i =
+  let rec go lo hi i =
+    if hi - lo <= 1 then []
+    else begin
+      (* Largest power of two strictly below the span: RFC 6962 split. *)
+      let rec k_split n k = if 2 * k < n then k_split n (2 * k) else k in
+      let k = k_split (hi - lo) 1 in
+      if i < lo + k then go lo (lo + k) i @ [ Sibling_right ]
+      else go (lo + k) hi i @ [ Sibling_left ]
+    end
+  in
+  go 0 size i
+
+let verify_at ~root ~leaf ~index ~size p =
+  index >= 0 && index < size
+  && List.map fst p = expected_sides ~size index
+  && verify ~root ~leaf p
+
 let node_count n =
   if n <= 0 then 0
   else begin
@@ -79,6 +100,123 @@ let max_proof_length n =
     let rec depth n acc = if n <= 1 then acc else depth ((n + 1) / 2) (acc + 1) in
     depth n 0
   end
+
+(* --- RFC 6962-style log views ---------------------------------------------
+   The level-wise promote-odd construction above produces exactly the
+   RFC 6962 tree (recursive split at the largest power of two below the
+   leaf count), so append-only logs can serve inclusion proofs against any
+   historical tree size and consistency proofs between two sizes, and both
+   verify against roots produced by [root].  The functions below are
+   parameterised by a subtree-root oracle [sub lo hi] so incremental logs
+   (lib/audit) can memoize interior hashes across appends. *)
+
+let empty_root = Sha256.digest "merkle-empty|"
+
+(* Largest power of two strictly below [n]; [n >= 2]. *)
+let k_split n =
+  let rec go k = if 2 * k < n then go (2 * k) else k in
+  go 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let inclusion_with ~sub ~size i =
+  if size <= 0 then invalid_arg "Merkle.inclusion_with: empty tree";
+  if i < 0 || i >= size then invalid_arg "Merkle.inclusion_with: leaf index out of range";
+  let rec path lo hi i =
+    if hi - lo <= 1 then []
+    else begin
+      let k = k_split (hi - lo) in
+      if i < lo + k then path lo (lo + k) i @ [ (Sibling_right, sub (lo + k) hi) ]
+      else path (lo + k) hi i @ [ (Sibling_left, sub lo (lo + k)) ]
+    end
+  in
+  path 0 size i
+
+let consistency_with ~sub ~old_size ~size =
+  if old_size < 0 || old_size > size then
+    invalid_arg "Merkle.consistency_with: sizes out of order";
+  if old_size = 0 || old_size = size then []
+  else begin
+    (* RFC 6962 SUBPROOF: [m] old leaves inside the subtree [lo, hi); the
+       flag records whether that subtree's root is derivable by the old
+       tree's owner (true only along the original spine). *)
+    let rec subproof lo hi m flag =
+      if m = hi - lo then if flag then [] else [ sub lo hi ]
+      else begin
+        let k = k_split (hi - lo) in
+        if m <= k then subproof lo (lo + k) m flag @ [ sub (lo + k) hi ]
+        else subproof (lo + k) hi (m - k) false @ [ sub lo (lo + k) ]
+      end
+    in
+    subproof 0 size old_size true
+  end
+
+(* RFC 6962 section 2.1.4.2, with [node_hash] as HASH(0x01 || l || r). *)
+let verify_consistency ~old_size ~old_root ~size ~root p =
+  if old_size < 0 || size < old_size then false
+  else if old_size = 0 then p = []
+  else if old_size = size then p = [] && String.equal old_root root
+  else begin
+    let path = if is_pow2 old_size then old_root :: p else p in
+    match path with
+    | [] -> false
+    | seed :: rest ->
+        let fn = ref (old_size - 1) and sn = ref (size - 1) in
+        while !fn land 1 = 1 do
+          fn := !fn lsr 1;
+          sn := !sn lsr 1
+        done;
+        let fr = ref seed and sr = ref seed in
+        let ok = ref true in
+        List.iter
+          (fun c ->
+            if !ok then begin
+              if !sn = 0 then ok := false
+              else begin
+                (if !fn land 1 = 1 || !fn = !sn then begin
+                   fr := node_hash c !fr;
+                   sr := node_hash c !sr;
+                   if !fn land 1 = 0 then
+                     while !fn <> 0 && !fn land 1 = 0 do
+                       fn := !fn lsr 1;
+                       sn := !sn lsr 1
+                     done
+                 end
+                 else sr := node_hash !sr c);
+                fn := !fn lsr 1;
+                sn := !sn lsr 1
+              end
+            end)
+          rest;
+        !ok && String.equal !fr old_root && String.equal !sr root && !sn = 0
+  end
+
+(* List-of-leaves conveniences (tests, small verifiers). *)
+
+let sub_of_leaves leaves =
+  let hashes = Array.of_list (List.map leaf_hash leaves) in
+  let rec sub lo hi =
+    if hi - lo = 1 then hashes.(lo)
+    else begin
+      let k = k_split (hi - lo) in
+      node_hash (sub lo (lo + k)) (sub (lo + k) hi)
+    end
+  in
+  (sub, Array.length hashes)
+
+let root_prefix leaves ~size =
+  let sub, n = sub_of_leaves leaves in
+  if size < 0 || size > n then invalid_arg "Merkle.root_prefix: size out of range";
+  if size = 0 then empty_root else sub 0 size
+
+let inclusion_prefix leaves ~size i =
+  let sub, n = sub_of_leaves leaves in
+  if size > n then invalid_arg "Merkle.inclusion_prefix: size out of range";
+  inclusion_with ~sub ~size i
+
+let consistency leaves ~old_size =
+  let sub, n = sub_of_leaves leaves in
+  consistency_with ~sub ~old_size ~size:n
 
 let encode e p =
   Wire.Codec.Enc.list e

@@ -138,7 +138,7 @@ let print { seed; scale; rows } =
 let row_to_json { batch; rate; as_count; r } =
   let cfg = r.Fleet.Driver.config in
   Json.Obj
-    [
+    ([
       ("batch_max", Json.Int batch);
       ("batch_window_ms", Json.Float (Sim.Time.to_ms cfg.Fleet.Driver.batch_window));
       ("queue_depth", Json.Int cfg.Fleet.Driver.queue_depth);
@@ -169,7 +169,8 @@ let row_to_json { batch; rate; as_count; r } =
       ("mean_batch_size", Json.Float r.Fleet.Driver.mean_batch_size);
       ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
       ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
-    ]
+     ]
+    @ Fleet_exp.audit_fields r)
 
 let to_json { seed; scale; rows } =
   let batches = List.sort_uniq compare (List.map (fun r -> r.batch) rows) in

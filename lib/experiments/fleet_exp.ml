@@ -99,9 +99,28 @@ let print { seed; scale; rows } =
       scaling
   end
 
+(* Present only when the row ran with auditing on, so artifacts from
+   audit-off sweeps (the committed BENCH files) stay byte-identical. *)
+let audit_fields (r : Fleet.Driver.result) =
+  if r.Fleet.Driver.config.Fleet.Driver.audit_checkpoint <= 0 then []
+  else
+    [
+      ( "audit",
+        Json.Obj
+          [
+            ( "checkpoint_ms",
+              Json.Float
+                (Sim.Time.to_ms r.Fleet.Driver.config.Fleet.Driver.audit_checkpoint) );
+            ("appends", Json.Int r.Fleet.Driver.audit_appends);
+            ("checkpoints", Json.Int r.Fleet.Driver.audit_checkpoints);
+            ("proofs", Json.Int r.Fleet.Driver.audit_proofs);
+            ("equivocations", Json.Int r.Fleet.Driver.audit_equivocations);
+          ] );
+    ]
+
 let row_to_json { rate; as_count; ttl; r } =
   Json.Obj
-    [
+    ([
       ("rate_per_s", Json.Float rate);
       ("as_count", Json.Int as_count);
       ("ttl_ms", Json.Float (Sim.Time.to_ms ttl));
@@ -133,7 +152,8 @@ let row_to_json { rate; as_count; ttl; r } =
       ("migrations", Json.Int r.Fleet.Driver.migrations);
       ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
       ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
-    ]
+     ]
+    @ audit_fields r)
 
 let to_json { seed; scale; rows } =
   Json.Obj

@@ -21,3 +21,9 @@ val run : ?seed:int -> ?scale:[ `Default | `Smoke ] -> unit -> result
 
 val print : result -> unit
 val to_json : result -> Json.t
+
+val audit_fields : Fleet.Driver.result -> (string * Json.t) list
+(** [[]] unless the run had auditing on, in which case one ["audit"]
+    object (checkpoint interval and the four transparency counters) —
+    shared by every row emitter so audit-off artifacts stay
+    byte-identical to their pre-audit form. *)

@@ -29,6 +29,11 @@ type t = {
   batch_service_time : int -> Sim.Time.t;
   mutable gate : Sim.Engine.handle option;  (* armed window timer *)
   mutable ripe : bool;  (* window expired with jobs still queued *)
+  (* Verdict transparency log (audit subsystem): every completed
+     measurement is appended before its verdict is delivered.  [None]
+     (the default) runs the pre-audit scheduler unchanged — no extra
+     state, events or PRNG draws. *)
+  mutable audit : Audit.Log.t option;
 }
 
 let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~metrics
@@ -54,7 +59,31 @@ let create ~engine ~name ?(capacity = 1) ~queue_depth ~service_time ~measure ~me
       | None -> fun n -> n * service_time ());
     gate = None;
     ripe = false;
+    audit = None;
   }
+
+let set_audit t log = t.audit <- log
+let audit t = t.audit
+
+(* Canonical log-entry encoding for a completed measurement; what the
+   auditors replay and what inclusion proofs commit to. *)
+let audit_entry ~vid ~property status =
+  let tag =
+    match status with
+    | Core.Report.Healthy -> "healthy"
+    | Core.Report.Compromised r -> "compromised:" ^ r
+    | Core.Report.Unknown r -> "unknown:" ^ r
+  in
+  vid ^ "|" ^ Core.Property.to_string property ^ "|" ^ tag
+
+let record_verdict t job status =
+  match t.audit with
+  | None -> ()
+  | Some log ->
+      ignore
+        (Audit.Log.append log (audit_entry ~vid:job.vid ~property:job.property status)
+          : int);
+      Metrics.record_audit_append t.metrics
 
 let name t = t.name
 let queue_length t = Pqueue.length t.queue
@@ -88,6 +117,7 @@ let rec maybe_start t =
                   measurement rather than joining this finished one. *)
                Hashtbl.remove t.inflight job.key;
                let status = t.measure ~vid:job.vid ~property:job.property in
+               record_verdict t job status;
                finish job (Done status);
                maybe_start t)
             : Sim.Engine.handle);
@@ -127,6 +157,7 @@ let rec flush t =
                (fun job ->
                  Hashtbl.remove t.inflight job.key;
                  let status = t.measure ~vid:job.vid ~property:job.property in
+                 record_verdict t job status;
                  finish job (Done status))
                jobs;
              maybe_start_batched t)

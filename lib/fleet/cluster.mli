@@ -71,3 +71,17 @@ val queue_gauge : t -> Sim.Stats.Gauge.t
 
 val batches : t -> int
 (** Batched rounds this cluster has started (0 with batching off). *)
+
+val set_audit : t -> Audit.Log.t option -> unit
+(** Attach (or detach) a verdict transparency log.  While attached, every
+    completed measurement appends one canonical entry
+    ["vid|property|status"] to the log — before the verdict is delivered
+    to waiters — and counts a {!Metrics.record_audit_append}.  [None]
+    (the default) is the pre-audit scheduler, bit for bit. *)
+
+val audit : t -> Audit.Log.t option
+
+val audit_entry :
+  vid:string -> property:Core.Property.t -> Core.Report.status -> string
+(** The canonical entry encoding, exposed so auditors can recompute the
+    expected leaf when replaying a log. *)

@@ -17,6 +17,8 @@ type config = {
   periodic_p : float;
   batch_max : int;
   batch_window : Sim.Time.t;
+  audit_checkpoint : Sim.Time.t;
+      (* transparency-log STH interval; 0 (the default) = audit off *)
 }
 
 let default_config =
@@ -39,6 +41,7 @@ let default_config =
     periodic_p = 0.7;
     batch_max = 1;
     batch_window = 0;
+    audit_checkpoint = 0;
   }
 
 type result = {
@@ -65,6 +68,10 @@ type result = {
   mean_queue_depth : float;
   batches : int;
   mean_batch_size : float;
+  audit_appends : int;
+  audit_checkpoints : int;
+  audit_proofs : int;
+  audit_equivocations : int;
 }
 
 (* --- Cost model, anchored to lib/core's calibrated ledger constants ------ *)
@@ -104,6 +111,17 @@ let batch_service_base n =
     + (n * (Core.Costs.measurement_collect + Core.Costs.interpret))
     + (Core.Costs.batch_quote_cost ~batch:n - Core.Costs.session_keygen)
     + Core.Costs.batch_verify_cost ~batch:n
+
+(* Per-verdict transparency-log work when auditing is on: the AS appends
+   the signed report (O(log n) sibling hashes), signs a fresh tree head,
+   serves the inclusion proof, and the controller verifies the receipt
+   before accepting the verdict.  Pure latency — none of it occupies an
+   AS measurement slot. *)
+let audit_verdict_cost ~size =
+  Core.Costs.audit_append ~size + Core.Costs.sth_sign + Core.Costs.audit_proof ~size
+  + Core.Costs.audit_receipt_verify ~size
+
+let audit_verdict_ms ~size = Sim.Time.to_ms (audit_verdict_cost ~size)
 
 let cold_attest_ms = Sim.Time.to_ms (cold_service_base + controller_overhead)
 let cache_hit_ms = Sim.Time.to_ms cache_hit_cost
@@ -156,6 +174,67 @@ let run config =
           ~measure ~metrics ~batch_max:config.batch_max ~batch_window:config.batch_window
           ~batch_service_time ())
   in
+  (* Transparency layer (opt-in): one log per cluster, signed by a single
+     fleet operator key, checkpointed every [audit_checkpoint], watched by
+     two gossiping auditors.  With [audit_checkpoint = 0] nothing below
+     allocates, draws or schedules — the run replays the pre-audit driver
+     exactly. *)
+  let audit_logs =
+    if config.audit_checkpoint <= 0 then [||]
+    else begin
+      let key =
+        (Crypto.Rsa.generate
+           (Crypto.Drbg.create ~seed:("fleet-audit|" ^ string_of_int config.seed))
+           ~bits:512)
+          .Crypto.Rsa.secret
+      in
+      Array.map
+        (fun c ->
+          let log =
+            Audit.Log.create ~log_id:(Cluster.name c) ~key
+              ~clock:(fun () -> Sim.Engine.now engine)
+              ()
+          in
+          Cluster.set_audit c (Some log);
+          log)
+        clusters
+    end
+  in
+  if Array.length audit_logs > 0 then begin
+    let pub = Audit.Log.public_key audit_logs.(0) in
+    let key_of _ = Some pub in
+    let clock () = Sim.Engine.now engine in
+    let mk name = Audit.Auditor.create ~name ~key_of ~clock () in
+    let auditors = [| mk "fleet-auditor-a"; mk "fleet-auditor-b" |] in
+    let views = Array.map Audit.View.of_log audit_logs in
+    let last_proofs = ref 0 and last_evidence = ref 0 in
+    ignore
+      (Sim.Engine.every engine ~period:config.audit_checkpoint
+         ~until:(config.duration + config.drain)
+         (fun () ->
+           Array.iter
+             (fun log ->
+               ignore (Audit.Log.checkpoint log : Audit.Sth.t);
+               Metrics.record_audit_checkpoint metrics)
+             audit_logs;
+           Array.iter
+             (fun a -> Array.iter (fun v -> Audit.Auditor.observe a v) views)
+             auditors;
+           Audit.Auditor.exchange auditors.(0) auditors.(1);
+           let proofs =
+             Array.fold_left (fun acc a -> acc + Audit.Auditor.proofs_checked a) 0 auditors
+           in
+           for _ = !last_proofs + 1 to proofs do
+             Metrics.record_audit_proof metrics
+           done;
+           last_proofs := proofs;
+           let evidence =
+             Array.fold_left (fun acc a -> acc + Audit.Auditor.evidence_count a) 0 auditors
+           in
+           Metrics.record_audit_equivocations metrics (evidence - !last_evidence);
+           last_evidence := evidence)
+        : Sim.Engine.handle)
+  end;
   let priority () =
     let x = Sim.Prng.float pick_prng 1.0 in
     if x < config.customer_p then Pqueue.Customer
@@ -177,7 +256,18 @@ let run config =
           ~on_done:(function
           | Cluster.Shed -> ()  (* the cluster recorded the shed *)
           | Cluster.Done status ->
-              let latency = Sim.Engine.now engine - arrived + controller_overhead in
+              (* The cluster appended this verdict just before delivering
+                 it, so the log size already covers the entry. *)
+              let audit_latency =
+                match Cluster.audit cluster with
+                | None -> 0
+                | Some log ->
+                    Metrics.record_audit_proof metrics;
+                    audit_verdict_cost ~size:(Audit.Log.size log)
+              in
+              let latency =
+                Sim.Engine.now engine - arrived + controller_overhead + audit_latency
+              in
               Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms latency);
               (match status with
               | Core.Report.Healthy ->
@@ -258,4 +348,8 @@ let run config =
     mean_queue_depth = mean_depth;
     batches = Metrics.batches metrics;
     mean_batch_size = Metrics.mean_batch_size metrics;
+    audit_appends = Metrics.audit_appends metrics;
+    audit_checkpoints = Metrics.audit_checkpoints metrics;
+    audit_proofs = Metrics.audit_proofs metrics;
+    audit_equivocations = Metrics.audit_equivocations metrics;
   }

@@ -28,6 +28,12 @@ type config = {
   periodic_p : float;  (** ... periodic (remainder: re-checks) *)
   batch_max : int;  (** jobs per Merkle-batched round (1 = batching off) *)
   batch_window : Sim.Time.t;  (** how long a partial batch waits to fill *)
+  audit_checkpoint : Sim.Time.t;
+      (** transparency-log STH interval; 0 (the default) = audit off.  When
+          on, every cluster appends each verdict to its own log, heads are
+          signed every interval, and two gossiping auditors poll and
+          cross-check every log; each served verdict additionally pays the
+          receipt-verification latency. *)
 }
 
 val default_config : config
@@ -59,6 +65,10 @@ type result = {
   mean_queue_depth : float;  (** time-weighted, averaged over shards *)
   batches : int;  (** batched rounds executed (0 with batching off) *)
   mean_batch_size : float;  (** mean jobs per batched round (0 when none) *)
+  audit_appends : int;  (** verdicts committed to transparency logs *)
+  audit_checkpoints : int;  (** periodic signed tree heads emitted *)
+  audit_proofs : int;  (** inclusion + consistency proofs served/verified *)
+  audit_equivocations : int;  (** auditor evidence records (0 = honest run) *)
 }
 
 val run : config -> result
@@ -75,3 +85,8 @@ val batch_attest_ms : int -> float
 (** Modelled end-to-end latency of an uncontended n-report batched round
     (whole-batch service + controller overhead); divide by n for the
     amortized per-report cost.  [batch_attest_ms 1 = cold_attest_ms]. *)
+
+val audit_verdict_ms : size:int -> float
+(** Modelled extra latency auditing adds to one served verdict when the
+    log holds [size] entries: append, head signature, inclusion proof and
+    receipt verification.  Grows O(log size). *)

@@ -9,6 +9,12 @@ type t = {
   latency : Sim.Stats.Series.t;
   mutable batches : int;
   batch_sizes : Sim.Stats.Series.t;
+  (* Transparency-log activity (audit-enabled runs only; all zero when the
+     audit layer is off). *)
+  mutable audit_appends : int;
+  mutable audit_checkpoints : int;
+  mutable audit_proofs : int;
+  mutable audit_equivocations : int;
 }
 
 let create () =
@@ -23,6 +29,10 @@ let create () =
     latency = Sim.Stats.Series.create ();
     batches = 0;
     batch_sizes = Sim.Stats.Series.create ();
+    audit_appends = 0;
+    audit_checkpoints = 0;
+    audit_proofs = 0;
+    audit_equivocations = 0;
   }
 
 let record_offered t = t.offered <- t.offered + 1
@@ -40,6 +50,13 @@ let record_unhealthy t = t.unhealthy <- t.unhealthy + 1
 let record_batch t ~size =
   t.batches <- t.batches + 1;
   Sim.Stats.Series.add t.batch_sizes (float_of_int size)
+
+let record_audit_append t = t.audit_appends <- t.audit_appends + 1
+let record_audit_checkpoint t = t.audit_checkpoints <- t.audit_checkpoints + 1
+let record_audit_proof t = t.audit_proofs <- t.audit_proofs + 1
+
+let record_audit_equivocations t n =
+  t.audit_equivocations <- t.audit_equivocations + max 0 n
 
 let offered t = t.offered
 let served t = t.served
@@ -59,3 +76,8 @@ let batch_sizes t = t.batch_sizes
 
 let mean_batch_size t =
   if t.batches = 0 then 0.0 else Sim.Stats.Series.mean t.batch_sizes
+
+let audit_appends t = t.audit_appends
+let audit_checkpoints t = t.audit_checkpoints
+let audit_proofs t = t.audit_proofs
+let audit_equivocations t = t.audit_equivocations

@@ -43,3 +43,26 @@ val batches : t -> int
 val batch_sizes : t -> Sim.Stats.Series.t
 val mean_batch_size : t -> float
 (** 0 when no batched round ran. *)
+
+(** {2 Transparency-log counters}
+
+    Follow the shed-counter pattern: recorded where the event happens
+    (cluster appends, driver checkpoints, auditor proof checks) and all
+    zero when the audit layer is off. *)
+
+val record_audit_append : t -> unit
+(** One verdict appended to a cluster's log. *)
+
+val record_audit_checkpoint : t -> unit
+(** One periodic signed tree head emitted. *)
+
+val record_audit_proof : t -> unit
+(** One inclusion/consistency proof served and verified. *)
+
+val record_audit_equivocations : t -> int -> unit
+(** [n] new pieces of auditor evidence (split view, fork, rollback). *)
+
+val audit_appends : t -> int
+val audit_checkpoints : t -> int
+val audit_proofs : t -> int
+val audit_equivocations : t -> int

@@ -1,0 +1,514 @@
+(* Verdict transparency log: STHs, receipts, auditors, gossip,
+   equivocation detection, and the audit-off byte-identity guarantees.
+
+   The adversarial scenarios here pin the subsystem's acceptance
+   criterion: a log operator that forks its history (split view), drops
+   an entry, or rolls back is convicted by gossiping auditors within one
+   checkpoint interval — deterministically. *)
+
+open Audit
+
+let keypair seed = Crypto.Rsa.generate (Crypto.Drbg.create ~seed) ~bits:512
+
+(* --- STHs ---------------------------------------------------------------- *)
+
+let test_sth_sign_verify () =
+  let kp = keypair "sth-test" in
+  let sth = Sth.sign kp.Crypto.Rsa.secret ~log_id:"as-1" ~size:3 ~root:"r00t" ~at:5000 in
+  Alcotest.(check bool) "verifies" true (Sth.verify ~key:kp.Crypto.Rsa.public sth);
+  let other = keypair "sth-other" in
+  Alcotest.(check bool) "wrong key" false (Sth.verify ~key:other.Crypto.Rsa.public sth);
+  Alcotest.(check bool) "tampered size" false
+    (Sth.verify ~key:kp.Crypto.Rsa.public { sth with Sth.size = 4 });
+  Alcotest.(check bool) "tampered root" false
+    (Sth.verify ~key:kp.Crypto.Rsa.public { sth with Sth.root = "r00u" })
+
+let test_sth_wire_roundtrip () =
+  let kp = keypair "sth-wire" in
+  let sth = Sth.sign kp.Crypto.Rsa.secret ~log_id:"as-2" ~size:17 ~root:"abc" ~at:123456 in
+  (match Sth.of_string (Sth.to_string sth) with
+  | Some back -> Alcotest.(check bool) "roundtrip" true (Sth.equal sth back)
+  | None -> Alcotest.fail "roundtrip decode failed");
+  Alcotest.(check bool) "garbage rejected" true (Sth.of_string "not an sth" = None)
+
+(* --- Log + receipts ------------------------------------------------------ *)
+
+let entries n = List.init n (Printf.sprintf "vm-%04d|vm_integrity|healthy")
+
+let test_log_inclusion_consistency () =
+  let kp = keypair "log-basics" in
+  let log = Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  let es = entries 11 in
+  List.iteri
+    (fun i e -> Alcotest.(check int) "append index" i (Log.append log e))
+    es;
+  Alcotest.(check int) "size" 11 (Log.size log);
+  let root = Log.root log in
+  List.iteri
+    (fun i e ->
+      let proof = Log.inclusion log ~size:11 i in
+      Alcotest.(check bool)
+        (Printf.sprintf "inclusion %d" i)
+        true
+        (Crypto.Merkle.verify ~root ~leaf:e proof))
+    es;
+  (* Every historical prefix is provably a prefix of the current tree. *)
+  for m = 0 to 11 do
+    let proof = Log.consistency log ~old_size:m ~size:11 in
+    Alcotest.(check bool)
+      (Printf.sprintf "consistency %d->11" m)
+      true
+      (Crypto.Merkle.verify_consistency ~old_size:m ~old_root:(Log.root_at log m)
+         ~size:11 ~root proof)
+  done
+
+let test_receipt_verifies_and_rejects () =
+  let kp = keypair "receipt" in
+  let log = Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  List.iter (fun e -> ignore (Log.append log e : int)) (entries 5);
+  let entry = "vm-0005|vm_integrity|compromised:rootkit" in
+  let receipt = Log.append_with_receipt log entry in
+  let key = Log.public_key log in
+  Alcotest.(check bool) "receipt ok" true (Receipt.verify ~key ~entry receipt);
+  Alcotest.(check bool) "wrong entry" false
+    (Receipt.verify ~key ~entry:"vm-0005|vm_integrity|healthy" receipt);
+  Alcotest.(check bool) "wrong index" false
+    (Receipt.verify ~key ~entry { receipt with Receipt.index = 2 });
+  let other = keypair "receipt-other" in
+  Alcotest.(check bool) "wrong operator key" false
+    (Receipt.verify ~key:other.Crypto.Rsa.public ~entry receipt);
+  Alcotest.(check int) "appends counted" 6 (Log.appends log);
+  Alcotest.(check bool) "proofs counted" true (Log.proofs_served log >= 1)
+
+let test_checkpoint_heads () =
+  let clockv = ref 0 in
+  let kp = keypair "ckpt" in
+  let log =
+    Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret ~clock:(fun () -> !clockv) ()
+  in
+  ignore (Log.append log "e0" : int);
+  clockv := 1000;
+  let sth1 = Log.checkpoint log in
+  Alcotest.(check int) "head size" 1 sth1.Sth.size;
+  Alcotest.(check int) "head time" 1000 sth1.Sth.at;
+  ignore (Log.append log "e1" : int);
+  clockv := 2000;
+  let sth2 = Log.checkpoint log in
+  Alcotest.(check int) "head grows" 2 sth2.Sth.size;
+  Alcotest.(check bool) "latest" true
+    (match Log.latest_sth log with Some s -> Sth.equal s sth2 | None -> false);
+  Alcotest.(check int) "checkpoints counted" 2 (Log.checkpoints log)
+
+(* --- Auditors ------------------------------------------------------------ *)
+
+let auditor_pair seed =
+  let kp = keypair seed in
+  let key_of _ = Some kp.Crypto.Rsa.public in
+  ( kp,
+    Auditor.create ~name:(seed ^ "-a") ~key_of (),
+    Auditor.create ~name:(seed ^ "-b") ~key_of () )
+
+let test_honest_log_clean () =
+  let kp, a, b = auditor_pair "honest" in
+  let log = Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  let view = View.of_log log in
+  for round = 1 to 5 do
+    List.iter (fun e -> ignore (Log.append log e : int)) (entries 3);
+    ignore (Log.checkpoint log : Sth.t);
+    Auditor.observe a view;
+    Auditor.observe b view;
+    Auditor.exchange a b;
+    Alcotest.(check int) (Printf.sprintf "round %d clean" round) 0
+      (Auditor.evidence_count a + Auditor.evidence_count b)
+  done;
+  (match Auditor.trusted a ~log_id:"as-1" with
+  | Some sth -> Alcotest.(check int) "trusted head current" 15 sth.Sth.size
+  | None -> Alcotest.fail "no trusted head");
+  Alcotest.(check bool) "consistency proofs ran" true (Auditor.proofs_checked a > 0)
+
+let test_forged_sth_rejected () =
+  let _, a, _ = auditor_pair "forged" in
+  let mallory = keypair "mallory" in
+  let sth =
+    Sth.sign mallory.Crypto.Rsa.secret ~log_id:"as-1" ~size:9 ~root:"fake" ~at:0
+  in
+  Auditor.note a sth;
+  (match Auditor.evidence a with
+  | [ ev ] ->
+      Alcotest.(check bool) "bad signature kind" true (ev.Auditor.kind = Auditor.Bad_signature)
+  | evs -> Alcotest.failf "expected 1 evidence, got %d" (List.length evs));
+  Alcotest.(check bool) "forged head never trusted" true
+    (Auditor.trusted a ~log_id:"as-1" = None)
+
+let test_rollback_detected () =
+  let kp, a, _ = auditor_pair "rollback" in
+  let log = Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  List.iter (fun e -> ignore (Log.append log e : int)) (entries 4);
+  ignore (Log.checkpoint log : Sth.t);
+  let view = View.of_log log in
+  Auditor.observe a view;
+  let old = Log.checkpoint log in
+  List.iter (fun e -> ignore (Log.append log e : int)) (entries 4);
+  ignore (Log.checkpoint log : Sth.t);
+  Auditor.observe a view;
+  Alcotest.(check int) "still clean" 0 (Auditor.evidence_count a);
+  (* Now the operator serves the genuinely-signed old head as latest. *)
+  Auditor.observe a (View.stale view ~sth:old);
+  match Auditor.evidence a with
+  | ev :: _ ->
+      Alcotest.(check bool) "rollback kind" true (ev.Auditor.kind = Auditor.Rollback)
+  | [] -> Alcotest.fail "rollback not detected"
+
+let test_split_view_detected_by_gossip () =
+  let kp = keypair "fork" in
+  let key_of _ = Some kp.Crypto.Rsa.public in
+  let a = Auditor.create ~name:"a" ~key_of () in
+  let b = Auditor.create ~name:"b" ~key_of () in
+  let fork = View.fork ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  List.iter fork.View.append_both (entries 4);
+  (* Diverge: same index, different verdicts on each face. *)
+  fork.View.append_a "vm-0099|vm_integrity|healthy";
+  fork.View.append_b "vm-0099|vm_integrity|compromised:hidden";
+  ignore (Log.checkpoint fork.View.log_a : Sth.t);
+  ignore (Log.checkpoint fork.View.log_b : Sth.t);
+  Auditor.observe a fork.View.face_a;
+  Auditor.observe b fork.View.face_b;
+  Alcotest.(check int) "isolated observers see nothing" 0
+    (Auditor.evidence_count a + Auditor.evidence_count b);
+  (* First gossip exchange convicts: same size, different roots. *)
+  Auditor.exchange a b;
+  let split =
+    List.exists
+      (fun ev -> ev.Auditor.kind = Auditor.Split_view)
+      (Auditor.evidence a @ Auditor.evidence b)
+  in
+  Alcotest.(check bool) "split view convicted at first exchange" true split
+
+let test_dropped_entry_detected () =
+  let kp = keypair "dropper" in
+  let key_of _ = Some kp.Crypto.Rsa.public in
+  let a = Auditor.create ~name:"a" ~key_of () in
+  let b = Auditor.create ~name:"b" ~key_of () in
+  let fork = View.fork ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  List.iter fork.View.append_both (entries 3);
+  (* Face B silently drops one verdict, then both resume appending. *)
+  fork.View.append_a "vm-0777|vm_integrity|compromised:suppressed";
+  List.iter fork.View.append_both (entries 2);
+  ignore (Log.checkpoint fork.View.log_a : Sth.t);
+  ignore (Log.checkpoint fork.View.log_b : Sth.t);
+  Auditor.observe a fork.View.face_a;
+  Auditor.observe b fork.View.face_b;
+  Auditor.exchange a b;
+  (* B's head cannot be an honest ancestor of A's log (nor vice versa):
+     the next poll runs the cross-check and convicts. *)
+  Auditor.observe a fork.View.face_a;
+  Auditor.observe b fork.View.face_b;
+  Alcotest.(check bool) "suppressed entry detected" true
+    (Auditor.evidence_count a + Auditor.evidence_count b > 0)
+
+let test_fork_convicted_within_one_interval () =
+  (* The acceptance criterion, pinned deterministically: a fork planted
+     mid-interval is convicted by the gossiping auditors no later than
+     one checkpoint interval after the divergence. *)
+  List.iter
+    (fun interval ->
+      let d = Experiments.Audit_exp.detection_run ~seed:2015 ~interval in
+      match d.Experiments.Audit_exp.detected_at with
+      | None -> Alcotest.fail "fork not detected"
+      | Some at ->
+          let latency = at - d.Experiments.Audit_exp.forked_at in
+          Alcotest.(check bool)
+            (Printf.sprintf "detected within %d us (took %d us)" interval latency)
+            true (latency > 0 && latency <= interval);
+          Alcotest.(check string) "convicted as split view" "split-view"
+            d.Experiments.Audit_exp.evidence_kind)
+    [ Sim.Time.ms 250; Sim.Time.sec 1; Sim.Time.sec 5 ]
+
+(* --- Gossip over the simulated network ----------------------------------- *)
+
+let test_gossip_over_network () =
+  let net = Net.Network.create ~seed:42 () in
+  let kp = keypair "net-gossip" in
+  let key_of _ = Some kp.Crypto.Rsa.public in
+  let a = Auditor.create ~name:"aud-a" ~key_of () in
+  let b = Auditor.create ~name:"aud-b" ~key_of () in
+  Gossip.register net a;
+  Gossip.register net b;
+  let fork = View.fork ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  List.iter fork.View.append_both (entries 4);
+  fork.View.append_a "vm-0001|vm_integrity|healthy";
+  fork.View.append_b "vm-0001|vm_integrity|compromised:hidden";
+  ignore (Log.checkpoint fork.View.log_a : Sth.t);
+  ignore (Log.checkpoint fork.View.log_b : Sth.t);
+  Auditor.observe a fork.View.face_a;
+  Auditor.observe b fork.View.face_b;
+  (* Round 1 rides a faulty wire: the adversary drops everything, so the
+     heads simply do not arrive — detection is delayed, never corrupted. *)
+  Net.Network.set_adversary net (Net.Fault.blackout ());
+  Gossip.broadcast net a ~dst:"aud-b";
+  Gossip.broadcast net b ~dst:"aud-a";
+  Alcotest.(check int) "blackout delays detection" 0
+    (Auditor.evidence_count a + Auditor.evidence_count b);
+  (* Round 2, wire healed: the same heads convict immediately. *)
+  Net.Network.clear_adversary net;
+  Gossip.broadcast net a ~dst:"aud-b";
+  Gossip.broadcast net b ~dst:"aud-a";
+  Alcotest.(check bool) "split view convicted over the network" true
+    (List.exists
+       (fun ev -> ev.Auditor.kind = Auditor.Split_view)
+       (Auditor.evidence a @ Auditor.evidence b))
+
+let test_gossip_garbled_head_ignored () =
+  let net = Net.Network.create ~seed:43 () in
+  let kp = keypair "net-garble" in
+  let key_of _ = Some kp.Crypto.Rsa.public in
+  let a = Auditor.create ~name:"aud-a" ~key_of () in
+  Gossip.register net a;
+  let log = Log.create ~log_id:"as-1" ~key:kp.Crypto.Rsa.secret () in
+  ignore (Log.append log "e0" : int);
+  let sth = Log.checkpoint log in
+  (* Garble the datagram in flight: it must not become evidence or trust. *)
+  Net.Network.set_adversary net (Net.Fault.garble_nth 1);
+  Gossip.announce net ~src:"somewhere" ~dst:"aud-a" sth;
+  Net.Network.clear_adversary net;
+  Alcotest.(check bool) "garbled head ignored" true
+    (Auditor.trusted a ~log_id:"as-1" = None);
+  (* The retransmission lands and is trusted (first contact). *)
+  Gossip.announce net ~src:"somewhere" ~dst:"aud-a" sth;
+  Alcotest.(check bool) "clean head trusted" true
+    (match Auditor.trusted a ~log_id:"as-1" with
+    | Some s -> Sth.equal s sth
+    | None -> false)
+
+(* --- Core integration ---------------------------------------------------- *)
+
+open Core
+
+let fast_config = { Cloud.default_config with key_bits = 512 }
+
+let launch_ok customer ~properties =
+  match
+    Cloud.Customer.launch customer ~image:"cirros" ~flavor:"small" ~properties ()
+  with
+  | Ok info -> info
+  | Error e -> Alcotest.failf "launch failed: %a" Cloud.Customer.pp_error e
+
+let test_cloud_audited_attest_end_to_end () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let logs = Cloud.enable_audit cloud in
+  Alcotest.(check int) "one log per AS" (List.length (Cloud.attestation_servers cloud))
+    (List.length logs);
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~properties:[ Property.Runtime_integrity ] in
+  let vid = info.Commands.vid in
+  (match Cloud.Customer.attest c ~vid ~property:Property.Runtime_integrity with
+  | Ok r ->
+      Alcotest.(check bool) "healthy" true (r.Report.status = Report.Healthy)
+  | Error e -> Alcotest.failf "audited attest failed: %a" Cloud.Customer.pp_error e);
+  (* Every signed verdict is on the record: launch attestation + this one. *)
+  let log = List.hd logs in
+  Alcotest.(check bool) "verdicts logged" true (Log.size log >= 1);
+  (* Replaying the log re-verifies each committed verdict's AS signature. *)
+  let as_ = Cloud.attestation_server cloud in
+  let key = Attestation_server.public_key as_ in
+  let auditor =
+    Auditor.create ~name:"replayer" ~key_of:(fun _ -> Some (Log.public_key log)) ()
+  in
+  let check ~index:_ entry =
+    match Protocol.decode_as_report entry with
+    | None -> false
+    | Some r ->
+        Protocol.verify_as_report ~key ~expected_vid:r.Protocol.vid
+          ~expected_server:r.Protocol.server ~expected_property:r.Protocol.property
+          ~expected_nonce:r.Protocol.nonce r
+        = Ok ()
+  in
+  let bad = Auditor.replay auditor (View.of_log log) ~upto:(Log.size log) ~check in
+  Alcotest.(check int) "all logged verdicts replay clean" 0 bad;
+  Alcotest.(check int) "replay evidence empty" 0 (Auditor.evidence_count auditor)
+
+let test_auditing_without_as_audit_is_hard_error () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~properties:[ Property.Runtime_integrity ] in
+  (* Controller demands receipts, but no AS issues them: a receiptless
+     verdict must be refused outright, never degraded to Unknown. *)
+  Controller.set_auditing (Cloud.controller cloud) true;
+  match Cloud.Customer.attest c ~vid:info.Commands.vid ~property:Property.Runtime_integrity with
+  | Error _ -> ()
+  | Ok r ->
+      Alcotest.failf "receiptless verdict accepted with status %a" Report.pp_status
+        r.Report.status
+
+(* Parse a single-attestation service reply assuming the exact pre-audit
+   layout — tag, report, ledger, nothing else.  Wire.Codec.decode rejects
+   trailing bytes, so this fails iff the reply grew a receipt block. *)
+let pr3_exact_parse raw =
+  Wire.Codec.decode_opt raw (fun d ->
+      match Wire.Codec.Dec.u8 d with
+      | 1 ->
+          let report_raw = Wire.Codec.Dec.str d in
+          let entries =
+            Wire.Codec.Dec.list d (fun d ->
+                let label = Wire.Codec.Dec.str d in
+                let cost = Wire.Codec.Dec.int d in
+                (label, cost))
+          in
+          ignore (entries : (string * int) list);
+          Protocol.decode_as_report report_raw <> None
+      | 0 ->
+          ignore (Wire.Codec.Dec.str d : string);
+          true
+      | _ -> false)
+  <> None
+
+let test_audit_off_wire_bytes_unchanged () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let c = Cloud.Customer.create cloud ~name:"alice" in
+  let info = launch_ok c ~properties:[ Property.Runtime_integrity ] in
+  let vid = info.Commands.vid in
+  let server =
+    match Controller.vm_host (Cloud.controller cloud) ~vid with
+    | Some h -> h
+    | None -> Alcotest.fail "vm host unknown"
+  in
+  let as_ = Cloud.attestation_server cloud in
+  let request =
+    Protocol.encode_as_request
+      { Protocol.vid; server; property = Property.Runtime_integrity; nonce = "n2-bytes" }
+  in
+  (* Audit off (the default): the reply parses under the strict pre-audit
+     grammar with zero trailing bytes. *)
+  let raw_off = Attestation_server.request_handler as_ ~peer:"controller" request in
+  Alcotest.(check bool) "audit-off reply is byte-identical to the pre-audit format" true
+    (pr3_exact_parse raw_off);
+  (match Attestation_server.decode_service_reply raw_off with
+  | Ok (_, _, receipt) ->
+      Alcotest.(check bool) "no receipt when off" true (receipt = None)
+  | Error e -> Alcotest.failf "reply undecodable: %s" e);
+  (* Audit on: same request, reply now carries a trailing receipt — the
+     strict pre-audit parse must refuse it. *)
+  ignore (Attestation_server.enable_audit as_ : Log.t);
+  let raw_on = Attestation_server.request_handler as_ ~peer:"controller" request in
+  Alcotest.(check bool) "audited reply is NOT pre-audit-shaped" false
+    (pr3_exact_parse raw_on);
+  match Attestation_server.decode_service_reply raw_on with
+  | Ok (report, _, Some receipt) ->
+      Alcotest.(check bool) "receipt binds the logged verdict" true
+        (Receipt.verify
+           ~key:(Attestation_server.public_key as_)
+           ~entry:(Protocol.encode_as_report report)
+           receipt)
+  | Ok (_, _, None) -> Alcotest.fail "audited reply missing its receipt"
+  | Error e -> Alcotest.failf "audited reply undecodable: %s" e
+
+(* --- Fleet driver -------------------------------------------------------- *)
+
+let fleet_config =
+  {
+    Fleet.Driver.default_config with
+    servers = 40;
+    vms = 200;
+    rate_per_s = 12.0;
+    duration = Sim.Time.sec 5;
+    drain = Sim.Time.sec 5;
+    hot_vms = 32;
+  }
+
+let test_fleet_audit_off_is_inert () =
+  let r = Fleet.Driver.run fleet_config in
+  Alcotest.(check int) "no appends" 0 r.Fleet.Driver.audit_appends;
+  Alcotest.(check int) "no checkpoints" 0 r.Fleet.Driver.audit_checkpoints;
+  Alcotest.(check int) "no proofs" 0 r.Fleet.Driver.audit_proofs;
+  Alcotest.(check int) "no equivocations" 0 r.Fleet.Driver.audit_equivocations;
+  Alcotest.(check bool) "no audit block in row JSON" true
+    (Experiments.Fleet_exp.audit_fields r = [])
+
+let test_fleet_audit_adds_latency_only () =
+  let base = Fleet.Driver.run fleet_config in
+  let audited =
+    Fleet.Driver.run { fleet_config with Fleet.Driver.audit_checkpoint = Sim.Time.ms 500 }
+  in
+  (* Auditing is pure bookkeeping + latency: the schedule, admission and
+     measurement streams are untouched. *)
+  Alcotest.(check int) "offered unchanged" base.Fleet.Driver.offered
+    audited.Fleet.Driver.offered;
+  Alcotest.(check int) "served unchanged" base.Fleet.Driver.served
+    audited.Fleet.Driver.served;
+  Alcotest.(check int) "measurements unchanged" base.Fleet.Driver.measurements
+    audited.Fleet.Driver.measurements;
+  Alcotest.(check int) "sheds unchanged"
+    (base.Fleet.Driver.shed_customer + base.Fleet.Driver.shed_periodic
+   + base.Fleet.Driver.shed_recheck)
+    (audited.Fleet.Driver.shed_customer + audited.Fleet.Driver.shed_periodic
+   + audited.Fleet.Driver.shed_recheck);
+  Alcotest.(check bool) "latency overhead visible" true
+    (audited.Fleet.Driver.p50_ms > base.Fleet.Driver.p50_ms);
+  (* Every completed measurement is on the record; the honest fleet shows
+     zero equivocations. *)
+  Alcotest.(check int) "append per measurement" audited.Fleet.Driver.measurements
+    audited.Fleet.Driver.audit_appends;
+  Alcotest.(check bool) "checkpoints ran" true (audited.Fleet.Driver.audit_checkpoints > 0);
+  Alcotest.(check bool) "proofs served" true (audited.Fleet.Driver.audit_proofs > 0);
+  Alcotest.(check int) "honest fleet" 0 audited.Fleet.Driver.audit_equivocations;
+  Alcotest.(check bool) "audit block present in row JSON" true
+    (Experiments.Fleet_exp.audit_fields audited <> [])
+
+let test_fleet_audit_deterministic () =
+  let config =
+    { fleet_config with Fleet.Driver.audit_checkpoint = Sim.Time.sec 1 }
+  in
+  let r1 = Fleet.Driver.run config in
+  let r2 = Fleet.Driver.run config in
+  Alcotest.(check bool) "audited runs replay deterministically" true (r1 = r2)
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "sth",
+        [
+          Alcotest.test_case "sign and verify" `Quick test_sth_sign_verify;
+          Alcotest.test_case "wire roundtrip" `Quick test_sth_wire_roundtrip;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "inclusion + consistency" `Quick test_log_inclusion_consistency;
+          Alcotest.test_case "receipts verify and reject" `Quick
+            test_receipt_verifies_and_rejects;
+          Alcotest.test_case "checkpoint heads" `Quick test_checkpoint_heads;
+        ] );
+      ( "auditor",
+        [
+          Alcotest.test_case "honest log stays clean" `Quick test_honest_log_clean;
+          Alcotest.test_case "forged sth rejected" `Quick test_forged_sth_rejected;
+          Alcotest.test_case "rollback detected" `Quick test_rollback_detected;
+          Alcotest.test_case "split view convicted by gossip" `Quick
+            test_split_view_detected_by_gossip;
+          Alcotest.test_case "dropped entry detected" `Quick test_dropped_entry_detected;
+          Alcotest.test_case "fork convicted within one interval" `Quick
+            test_fork_convicted_within_one_interval;
+        ] );
+      ( "gossip",
+        [
+          Alcotest.test_case "split view over faulty network" `Quick
+            test_gossip_over_network;
+          Alcotest.test_case "garbled head ignored" `Quick test_gossip_garbled_head_ignored;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "audited attest end to end" `Quick
+            test_cloud_audited_attest_end_to_end;
+          Alcotest.test_case "missing receipt is a hard error" `Quick
+            test_auditing_without_as_audit_is_hard_error;
+          Alcotest.test_case "audit off keeps pre-audit bytes" `Quick
+            test_audit_off_wire_bytes_unchanged;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "audit off is inert" `Quick test_fleet_audit_off_is_inert;
+          Alcotest.test_case "audit adds latency only" `Quick
+            test_fleet_audit_adds_latency_only;
+          Alcotest.test_case "audited run deterministic" `Quick
+            test_fleet_audit_deterministic;
+        ] );
+    ]

@@ -492,6 +492,123 @@ let test_merkle_node_count () =
   Alcotest.(check int) "max_proof_length 4" 2 (M.max_proof_length 4);
   Alcotest.(check int) "max_proof_length 5" 3 (M.max_proof_length 5)
 
+(* --- Merkle log views (RFC 6962 prefix/consistency machinery) ----------------
+
+   PRNG-seeded sweeps over every tree size from 1 to 65 leaves, so each
+   ragged shape (odd counts at every level) is hit deterministically rather
+   than sampled.  These harden the PR 3 tree before the transparency log
+   (lib/audit) builds on it. *)
+
+let random_leaves prng n =
+  List.init n (fun _ -> Bytes.to_string (Sim.Prng.bytes prng (1 + Sim.Prng.int prng 24)))
+
+let test_merkle_prefix_root_matches () =
+  let prng = Sim.Prng.create 0xA0D171 in
+  for n = 1 to 65 do
+    let leaves = random_leaves prng n in
+    (* The prefix view at the full size is the classic tree... *)
+    Alcotest.(check string)
+      (Printf.sprintf "root_prefix = root at n=%d" n)
+      (hex (M.root leaves))
+      (hex (M.root_prefix leaves ~size:n));
+    (* ...and at every proper prefix it matches the tree over that prefix. *)
+    let m = 1 + Sim.Prng.int prng n in
+    Alcotest.(check string)
+      (Printf.sprintf "prefix %d of %d" m n)
+      (hex (M.root (List.filteri (fun i _ -> i < m) leaves)))
+      (hex (M.root_prefix leaves ~size:m))
+  done
+
+let test_merkle_inclusion_ragged () =
+  let prng = Sim.Prng.create 0xA0D172 in
+  for n = 1 to 65 do
+    let leaves = random_leaves prng n in
+    let arr = Array.of_list leaves in
+    let root = M.root leaves in
+    for i = 0 to n - 1 do
+      let p = M.inclusion_prefix leaves ~size:n i in
+      if not (M.verify ~root ~leaf:arr.(i) p) then
+        Alcotest.failf "inclusion proof failed at n=%d i=%d" n i;
+      (* The log-view proof must be byte-identical to the PR 3 proof. *)
+      let enc p = Wire.Codec.encode (fun e -> M.encode e p) in
+      if not (String.equal (enc p) (enc (M.proof leaves i))) then
+        Alcotest.failf "inclusion_prefix <> proof at n=%d i=%d" n i
+    done;
+    (* Tampering with one leaf must break that leaf's proof. *)
+    let i = Sim.Prng.int prng n in
+    let p = M.inclusion_prefix leaves ~size:n i in
+    if M.verify ~root ~leaf:(arr.(i) ^ "!") p then
+      Alcotest.failf "tampered leaf accepted at n=%d i=%d" n i
+  done
+
+let test_merkle_consistency_all_pairs () =
+  let prng = Sim.Prng.create 0xA0D173 in
+  for n = 1 to 65 do
+    let leaves = random_leaves prng n in
+    for m = 0 to n do
+      let proof = M.consistency leaves ~old_size:m in
+      let old_root = M.root_prefix leaves ~size:m in
+      if
+        not
+          (M.verify_consistency ~old_size:m ~old_root ~size:n ~root:(M.root leaves) proof)
+      then Alcotest.failf "consistency proof failed for %d -> %d" m n
+    done
+  done
+
+let test_merkle_consistency_tamper () =
+  let prng = Sim.Prng.create 0xA0D174 in
+  for n = 2 to 65 do
+    let leaves = random_leaves prng n in
+    let m = 1 + Sim.Prng.int prng (n - 1) in
+    let proof = M.consistency leaves ~old_size:m in
+    let old_root = M.root_prefix leaves ~size:m in
+    let root = M.root leaves in
+    (* A rewritten history: change one committed (prefix) leaf and rebuild.
+       The old head can never be consistent with the rewritten tree. *)
+    let k = Sim.Prng.int prng m in
+    let rewritten = List.mapi (fun i l -> if i = k then l ^ "!" else l) leaves in
+    let root' = M.root rewritten in
+    if
+      M.verify_consistency ~old_size:m ~old_root ~size:n ~root:root'
+        (M.consistency rewritten ~old_size:m)
+    then Alcotest.failf "rewritten history accepted at n=%d m=%d k=%d" n m k;
+    (* A garbled proof element must be rejected (empty proofs are only
+       legal for m = n, excluded here unless the proof is present). *)
+    (match proof with
+    | [] ->
+        (* m < n with an empty proof only happens when... it cannot: the
+           proof is empty iff m = 0 or m = n.  m >= 1 and m < n here. *)
+        if m <> 0 && m <> n then Alcotest.failf "unexpected empty proof %d -> %d" m n
+    | first :: rest ->
+        let bad = Crypto.Sha256.digest (first ^ "?") :: rest in
+        if M.verify_consistency ~old_size:m ~old_root ~size:n ~root bad then
+          Alcotest.failf "garbled consistency proof accepted %d -> %d" m n);
+    (* Wrong old root: claims a different history was committed. *)
+    if
+      M.verify_consistency ~old_size:m
+        ~old_root:(Crypto.Sha256.digest "not the root")
+        ~size:n ~root proof
+    then Alcotest.failf "wrong old root accepted %d -> %d" m n
+  done
+
+let test_merkle_consistency_edges () =
+  let leaves = mk_leaves 7 in
+  let root = M.root leaves in
+  (* Equal sizes: empty proof, equal roots required. *)
+  Alcotest.(check bool) "m = n" true
+    (M.verify_consistency ~old_size:7 ~old_root:root ~size:7 ~root []);
+  Alcotest.(check bool) "m = n, wrong root" false
+    (M.verify_consistency ~old_size:7 ~old_root:(M.root (mk_leaves 6)) ~size:7 ~root []);
+  (* Empty old tree is trivially a prefix. *)
+  Alcotest.(check bool) "m = 0" true
+    (M.verify_consistency ~old_size:0 ~old_root:M.empty_root ~size:7 ~root []);
+  (* Sizes out of order can never verify. *)
+  Alcotest.(check bool) "m > n" false
+    (M.verify_consistency ~old_size:8 ~old_root:root ~size:7 ~root []);
+  Alcotest.check_raises "generation rejects m > n"
+    (Invalid_argument "Merkle.consistency_with: sizes out of order") (fun () ->
+      ignore (M.consistency leaves ~old_size:8))
+
 (* --- Hex ---------------------------------------------------------------------- *)
 
 let hex_roundtrip =
@@ -579,6 +696,12 @@ let () =
           Alcotest.test_case "domain separation" `Quick test_merkle_domain_separation;
           Alcotest.test_case "bounds" `Quick test_merkle_bounds;
           Alcotest.test_case "node_count" `Quick test_merkle_node_count;
+          Alcotest.test_case "prefix roots (1..65)" `Quick test_merkle_prefix_root_matches;
+          Alcotest.test_case "ragged inclusion (1..65)" `Quick test_merkle_inclusion_ragged;
+          Alcotest.test_case "consistency all pairs (1..65)" `Quick
+            test_merkle_consistency_all_pairs;
+          Alcotest.test_case "consistency tamper" `Quick test_merkle_consistency_tamper;
+          Alcotest.test_case "consistency edges" `Quick test_merkle_consistency_edges;
         ] );
       ("hex", [ qtest hex_roundtrip; Alcotest.test_case "errors" `Quick test_hex_errors ]);
     ]
