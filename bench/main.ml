@@ -87,6 +87,24 @@ let run_audit () =
   Experiments.Audit_exp.print result;
   collect "audit" (Experiments.Audit_exp.to_json result)
 
+(* The fuzz campaign gates CI: violations flip the process exit status and
+   leave a replayable repro file for the artifact upload. *)
+let fuzz_failed = ref false
+
+let run_fuzz () =
+  let result = Experiments.Fuzz_exp.run ~seed () in
+  Experiments.Fuzz_exp.print result;
+  collect "fuzz" (Experiments.Fuzz_exp.to_json result);
+  if not (Experiments.Fuzz_exp.clean result) then begin
+    fuzz_failed := true;
+    let oc = open_out "fuzz-repros.txt" in
+    List.iter
+      (fun line -> output_string oc (line ^ "\n"))
+      (Experiments.Fuzz_exp.repro_lines result);
+    close_out oc;
+    Printf.eprintf "fuzz: oracle violations found; repros written to fuzz-repros.txt\n%!"
+  end
+
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
   Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -159,6 +177,7 @@ let experiments =
     ("fleet", run_fleet);
     ("batch", run_batch);
     ("audit", run_audit);
+    ("fuzz", run_fuzz);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]
@@ -237,6 +256,7 @@ let () =
             ("fleet", "BENCH_fleet.json");
             ("batch", "BENCH_batch.json");
             ("audit", "BENCH_audit.json");
+            ("fuzz", "BENCH_fuzz.json");
           ]
   in
   match json_paths with
@@ -263,6 +283,8 @@ let () =
                   List.filter (fun (n, _) -> n = "batch") !json_results
               | None, "BENCH_audit.json" ->
                   List.filter (fun (n, _) -> n = "audit") !json_results
+              | None, "BENCH_fuzz.json" ->
+                  List.filter (fun (n, _) -> n = "fuzz") !json_results
               | _ -> !json_results
             in
             let doc =
@@ -279,3 +301,7 @@ let () =
                 Printf.eprintf "error: cannot write %s: %s\n" path msg;
                 exit 2)
           paths
+
+(* Fail the process (after the artifacts are written, so the repro file
+   and JSON survive) when the fuzz campaign surfaced violations. *)
+let () = if !fuzz_failed then exit 1

@@ -134,7 +134,7 @@ let handle t plaintext =
               t.served <- t.served + 1;
               ok_reply (Protocol.encode_measure_response { unsigned with signature }))))
 
-let create ~net ~ca ~seed server =
+let create ~net ~ca ~seed ?(key_bits = 1024) server =
   match Hypervisor.Server.trust_module server with
   | None -> Error `Not_secure
   | Some trust ->
@@ -144,7 +144,9 @@ let create ~net ~ca ~seed server =
          attestation keys) while the measurement signatures come from the
          Trust Module. *)
       let name = Hypervisor.Server.name server in
-      let identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|attclient") ~name () in
+      let identity =
+        Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|attclient") ~bits:key_bits ~name ()
+      in
       let t =
         {
           server;

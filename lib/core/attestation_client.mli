@@ -15,6 +15,7 @@ val create :
   net:Net.Network.t ->
   ca:Net.Ca.t ->
   seed:string ->
+  ?key_bits:int ->
   Hypervisor.Server.t ->
   (t, [ `Not_secure ]) result
 (** Fails on servers without a Trust Module.  Registers the network

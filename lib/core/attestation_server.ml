@@ -46,13 +46,13 @@ type t = {
   mutable receipts : Audit.Receipt.t list; (* this call's receipts, newest first *)
 }
 
-let create ~net ~ca ~pca ~refs ~seed ?(name = "attestation-server") () =
+let create ~net ~ca ~pca ~refs ~seed ?(key_bits = 1024) ?(name = "attestation-server") () =
   {
     name;
     net;
     ca_public = Net.Ca.public ca;
     pca;
-    identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|as") ~name ();
+    identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|as") ~bits:key_bits ~name ();
     drbg = Crypto.Drbg.create ~seed:(seed ^ "|as-drbg");
     refs;
     vm_image_lookup = (fun _ -> None);

@@ -28,6 +28,7 @@ val create :
   pca:Privacy_ca.t ->
   refs:Interpret.refs ->
   seed:string ->
+  ?key_bits:int ->
   ?name:string ->
   unit ->
   t

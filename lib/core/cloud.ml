@@ -96,7 +96,7 @@ let build ?(config = default_config) () =
       | Some tm ->
           Privacy_ca.enroll_server pca ~name:(Hypervisor.Server.name server)
             (Tpm.Trust_module.identity_public tm);
-          (match Attestation_client.create ~net ~ca ~seed server with
+          (match Attestation_client.create ~net ~ca ~seed ~key_bits:config.key_bits server with
           | Ok _client -> ()
           | Error `Not_secure -> ()))
     servers;
@@ -107,7 +107,10 @@ let build ?(config = default_config) () =
         let name =
           if n_as = 1 then "attestation-server" else Printf.sprintf "attestation-server-%d" (i + 1)
         in
-        let a = Attestation_server.create ~net ~ca ~pca ~refs:config.refs ~seed ~name () in
+        let a =
+          Attestation_server.create ~net ~ca ~pca ~refs:config.refs ~seed
+            ~key_bits:config.key_bits ~name ()
+        in
         Attestation_server.set_clock a (fun () -> Sim.Engine.now engine);
         let channel_server =
           Net.Secure_channel.Server.create ~identity:(Attestation_server.identity a)
@@ -131,7 +134,7 @@ let build ?(config = default_config) () =
   in
   (* Controller. *)
   let controller =
-    Controller.create ~net ~engine ~ca ~seed
+    Controller.create ~net ~engine ~ca ~seed ~key_bits:config.key_bits
       ~attestation_servers:
         (List.map
            (fun a -> (Attestation_server.name a, Attestation_server.public_key a))

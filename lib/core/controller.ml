@@ -442,14 +442,29 @@ let attest_many t (reqs : Protocol.attest_request list) =
     else Option.bind (Database.vm t.db req.vid) (fun r -> r.Database.host)
   in
   let groups : (string, (int * Protocol.attest_request) list) Hashtbl.t = Hashtbl.create 4 in
+  (* A (vid, property) pair already claimed by a group must not be measured
+     a second time in the same round: the unbatched loop would have served
+     the duplicate from the verdict cache the first result just populated
+     (or re-measured it afterwards with the cache off).  Duplicates are
+     deferred to the unbatched path AFTER the group rounds, which restores
+     exactly that ordering — batching may never change a verdict. *)
+  let deferred = ref [] in
   let singles =
     List.filter
       (fun (i, req) ->
         match host_of req with
         | None -> true
         | Some host ->
-            Hashtbl.replace groups host
-              ((i, req) :: Option.value ~default:[] (Hashtbl.find_opt groups host));
+            let members = Option.value ~default:[] (Hashtbl.find_opt groups host) in
+            let duplicate =
+              List.exists
+                (fun (_, (r : Protocol.attest_request)) ->
+                  String.equal r.Protocol.vid req.Protocol.vid
+                  && r.Protocol.property = req.Protocol.property)
+                members
+            in
+            if duplicate then deferred := (i, req) :: !deferred
+            else Hashtbl.replace groups host ((i, req) :: members);
             false)
       ireqs
   in
@@ -485,6 +500,12 @@ let attest_many t (reqs : Protocol.attest_request list) =
       let results = attest_group t ~host (List.map snd items) shared in
       List.iter2 (fun (i, _) r -> out.(i) <- r) items results)
     grouped;
+  List.iter
+    (fun (i, req) ->
+      let result, sub = attest t req in
+      merge sub;
+      out.(i) <- result)
+    (List.sort (fun (i, _) (j, _) -> compare i j) !deferred);
   (List.map2 (fun req r -> (req, r)) reqs (Array.to_list out), shared)
 
 (* --- Responses (nova response module) ------------------------------------ *)
@@ -915,11 +936,13 @@ let customer_handler t ~peer plaintext =
   | None -> Commands.encode_reply (Commands.Err "malformed command")
   | Some command -> Commands.encode_reply (handle_command t ~peer command)
 
-let create ~net ~engine ~ca ~seed ?(name = "cloud-controller") ~attestation_servers
-    ?(cluster_of = fun _ -> 0) () =
+let create ~net ~engine ~ca ~seed ?(key_bits = 1024) ?(name = "cloud-controller")
+    ~attestation_servers ?(cluster_of = fun _ -> 0) () =
   if attestation_servers = [] then
     invalid_arg "Controller.create: need at least one attestation server";
-  let identity = Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|cc") ~name () in
+  let identity =
+    Net.Secure_channel.Identity.make ca ~seed:(seed ^ "|cc") ~bits:key_bits ~name ()
+  in
   let t =
     {
       name;

@@ -33,6 +33,7 @@ val create :
   engine:Sim.Engine.t ->
   ca:Net.Ca.t ->
   seed:string ->
+  ?key_bits:int ->
   ?name:string ->
   attestation_servers:(string * Crypto.Rsa.public) list ->
   ?cluster_of:(string -> int) ->

@@ -1,0 +1,76 @@
+type violation = { oracle : string; seed : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] fleet seed %d: %s" v.oracle v.seed v.detail
+
+(* Small configs: a fleet-property check should cost milliseconds, not the
+   full benchmark's minutes, so the campaign can afford hundreds of them. *)
+let random_config prng =
+  {
+    Fleet.Driver.seed = Sim.Prng.int prng 1_000_000;
+    servers = Sim.Prng.int_in prng 8 32;
+    vms = Sim.Prng.int_in prng 16 96;
+    as_count = Sim.Prng.int_in prng 1 4;
+    as_capacity = Sim.Prng.int_in prng 1 3;
+    queue_depth = Sim.Prng.int_in prng 2 12;
+    ttl = Sim.Time.ms [| 0; 100; 1000 |].(Sim.Prng.int prng 3);
+    rate_per_s = float_of_int (Sim.Prng.int_in prng 20 160);
+    duration = Sim.Time.ms (Sim.Prng.int_in prng 300 1200);
+    drain = Sim.Time.sec 5;
+    unhealthy_p = [| 0.0; 0.05; 0.2 |].(Sim.Prng.int prng 3);
+    churn_period = Sim.Time.ms [| 0; 0; 400 |].(Sim.Prng.int prng 3);
+    hot_vms = Sim.Prng.int_in prng 4 16;
+    hot_p = 0.5;
+    customer_p = 0.3;
+    periodic_p = 0.5;
+    batch_max = [| 1; 1; 4; 8 |].(Sim.Prng.int prng 4);
+    batch_window = Sim.Time.ms (Sim.Prng.int_in prng 1 10);
+    audit_checkpoint = Sim.Time.ms [| 0; 0; 200 |].(Sim.Prng.int prng 3);
+  }
+
+let check ~seed =
+  let prng = Sim.Prng.create (seed lxor 0x666c6565 (* "flee" *)) in
+  let config = random_config prng in
+  let violations = ref [] in
+  let flag oracle detail = violations := { oracle; seed; detail } :: !violations in
+  let r = Fleet.Driver.run config in
+  let sheds =
+    r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic
+    + r.Fleet.Driver.shed_recheck
+  in
+  if
+    r.Fleet.Driver.shed_customer < 0 || r.Fleet.Driver.shed_periodic < 0
+    || r.Fleet.Driver.shed_recheck < 0 || r.Fleet.Driver.served < 0
+  then flag "fleet-conservation" "negative counter";
+  if r.Fleet.Driver.offered <> r.Fleet.Driver.served + sheds then
+    flag "fleet-conservation"
+      (Printf.sprintf "offered %d <> served %d + shed %d" r.Fleet.Driver.offered
+         r.Fleet.Driver.served sheds);
+  (* Determinism: the driver documents equal configs => equal results. *)
+  let r2 = Fleet.Driver.run config in
+  if r2 <> r then flag "fleet-determinism" "same config produced different results";
+  (* Audit strictly pay-if-enabled. *)
+  if config.Fleet.Driver.audit_checkpoint = 0 then begin
+    if
+      r.Fleet.Driver.audit_appends <> 0
+      || r.Fleet.Driver.audit_checkpoints <> 0
+      || r.Fleet.Driver.audit_proofs <> 0
+      || r.Fleet.Driver.audit_equivocations <> 0
+    then
+      flag "fleet-audit-off"
+        (Printf.sprintf "audit off but counters %d/%d/%d/%d" r.Fleet.Driver.audit_appends
+           r.Fleet.Driver.audit_checkpoints r.Fleet.Driver.audit_proofs
+           r.Fleet.Driver.audit_equivocations)
+  end
+  else if r.Fleet.Driver.audit_equivocations <> 0 then
+    flag "fleet-audit-off"
+      (Printf.sprintf "honest run convicted the operator %d time(s)"
+         r.Fleet.Driver.audit_equivocations);
+  (* batch_max = 1 must never execute a batched round, whatever the window. *)
+  if config.Fleet.Driver.batch_max = 1 && r.Fleet.Driver.batches <> 0 then
+    flag "fleet-batch1-inert"
+      (Printf.sprintf "batch_max=1 ran %d batched rounds" r.Fleet.Driver.batches);
+  List.rev !violations
+
+let campaign ~seed0 ~runs =
+  List.concat (List.init runs (fun i -> check ~seed:(seed0 + i)))

@@ -1,0 +1,86 @@
+let n_images = Array.length Op.images
+let n_workloads = Array.length Op.workloads
+let n_properties = Array.length Op.properties
+
+(* Slots beyond the number of launches so far are resolved modulo the live
+   count at replay time; generating a slightly-too-large slot occasionally is
+   deliberate (it exercises the modulo path), but most references should hit
+   real VMs, so slots are drawn from the launches emitted so far. *)
+let slot prng launched = Sim.Prng.int prng (max 1 (launched + 1))
+
+let launch prng =
+  Op.Launch
+    {
+      image = Sim.Prng.int prng n_images;
+      monitored = Sim.Prng.int prng 4 > 0 (* 75% monitored *);
+      workload = Sim.Prng.int prng n_workloads;
+    }
+
+let attest_pair prng launched = (slot prng launched, Sim.Prng.int prng n_properties)
+
+let fault prng =
+  match Sim.Prng.int prng 4 with
+  | 0 -> Op.Drop_nth (Sim.Prng.int_in prng 2 5)
+  | 1 -> Op.Garble_nth (Sim.Prng.int_in prng 2 5)
+  | 2 -> Op.Lossy (Sim.Prng.int_in prng 5 40, Sim.Prng.int_in prng 0 20)
+  | _ -> Op.Blackout
+
+(* TTLs straddle the advance sizes below so expiry boundaries get hit. *)
+let ttl_ms prng = [| 0; 50; 200; 1000; 5000 |].(Sim.Prng.int prng 5)
+let advance_ms prng = [| 1; 10; 60; 250; 1200 |].(Sim.Prng.int prng 5)
+
+let body_op prng ~launched =
+  Sim.Prng.weighted prng
+    [
+      (6, `Launch);
+      (3, `Terminate);
+      (4, `Suspend);
+      (4, `Resume);
+      (6, `Migrate);
+      (22, `Attest);
+      (10, `Attest_many);
+      (6, `Set_cache_ttl);
+      (4, `Set_batching);
+      (2, `Enable_audit);
+      (5, `Set_fault);
+      (4, `Clear_fault);
+      (12, `Advance);
+      (5, `Infect);
+      (2, `Corrupt_image);
+    ]
+  |> function
+  | `Launch -> launch prng
+  | `Terminate -> Op.Terminate (slot prng launched)
+  | `Suspend -> Op.Suspend (slot prng launched)
+  | `Resume -> Op.Resume (slot prng launched)
+  | `Migrate -> Op.Migrate (slot prng launched)
+  | `Attest ->
+      let s, p = attest_pair prng launched in
+      Op.Attest (s, p)
+  | `Attest_many ->
+      let n = Sim.Prng.int_in prng 2 6 in
+      Op.Attest_many (List.init n (fun _ -> attest_pair prng launched))
+  | `Set_cache_ttl -> Op.Set_cache_ttl (ttl_ms prng)
+  | `Set_batching -> Op.Set_batching (Sim.Prng.bool prng)
+  | `Enable_audit -> Op.Enable_audit
+  | `Set_fault -> Op.Set_fault (fault prng)
+  | `Clear_fault -> Op.Clear_fault
+  | `Advance -> Op.Advance (advance_ms prng)
+  | `Infect -> Op.Infect (slot prng launched)
+  | `Corrupt_image -> Op.Corrupt_image (Sim.Prng.int prng n_images)
+
+let generate ~seed ~ops =
+  let prng = Sim.Prng.create (seed lxor 0x66757a7a (* "fuzz" *)) in
+  let opening = min ops (Sim.Prng.int_in prng 1 3) in
+  let acc = ref [] in
+  let launched = ref 0 in
+  for _ = 1 to opening do
+    acc := launch prng :: !acc;
+    incr launched
+  done;
+  for _ = opening + 1 to ops do
+    let op = body_op prng ~launched:!launched in
+    (match op with Op.Launch _ -> incr launched | _ -> ());
+    acc := op :: !acc
+  done;
+  { Op.seed; ops = List.rev !acc }

@@ -1,0 +1,20 @@
+(** Scenario generator: a seeded PRNG composes random cloud histories.
+
+    The grammar (weights in {!generate}):
+
+    - the history opens with 1-3 launches so later ops have VMs to act on;
+    - lifecycle ops (terminate/suspend/resume/migrate) and attestations
+      reference VM slots, including slots of already-terminated VMs —
+      attesting a dead VM is a path worth fuzzing;
+    - configuration toggles (cache TTL, batching, audit) and fault
+      adversaries flip at any point;
+    - attack injection (hidden malware, image corruption) makes the
+      health ground truth move under the cache;
+    - time advances keep TTL expiry and periodic machinery in play.
+
+    Everything derives from [Sim.Prng.create seed], so a (seed, size) pair
+    names one scenario forever. *)
+
+val generate : seed:int -> ops:int -> Op.scenario
+(** [generate ~seed ~ops] builds a scenario of exactly [ops] operations
+    (plus nothing else; the opening launches count). *)

@@ -1,0 +1,328 @@
+type violation = { oracle : string; op_index : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] op %d: %s" v.oracle v.op_index v.detail
+
+type attest_obs = {
+  a_vid : string;
+  a_property : Core.Property.t;
+  a_nonce : string;
+  a_result : (Core.Protocol.controller_report, string) result;
+}
+
+type op_obs = {
+  index : int;
+  op : Op.op;
+  started_at : Sim.Time.t;
+  finished_at : Sim.Time.t;
+  attests : attest_obs list;
+  target : string option;  (* resolved vid of a lifecycle/infect op *)
+  lifecycle_ok : bool;
+  launched : (string * int * bool) option;
+  ledger : (string * Sim.Time.t) list;
+  net_messages : int;
+  net_bytes : int;
+  net_drops : int;
+  audit_evidence : int;
+}
+
+(* Model of the verdict cache: which (vid, property) entries MAY be validly
+   cached, with the expiry the real cache computed at store time.  The model
+   must stay a superset of the real cache's valid entries — every real store
+   is mirrored, and entries are only dropped on events that provably
+   invalidate them — so "real cache served, model says invalid" is always a
+   genuine stale serve. *)
+type entry = { stored_at : Sim.Time.t; expires : Sim.Time.t }
+
+type t = {
+  controller_key : Crypto.Rsa.public;
+  cache : (string, entry) Hashtbl.t;  (* "vid|property" -> entry *)
+  mutable ttl : Sim.Time.t;  (* mirrors Set_cache_ttl, initial 0 = off *)
+  vm_image : (string, int) Hashtbl.t;  (* vid -> image pool index *)
+  vm_monitored : (string, bool) Hashtbl.t;
+  mutable terminated : string list;
+  mutable last_time : Sim.Time.t;
+  mutable last_messages : int;
+  mutable last_bytes : int;
+  mutable last_drops : int;
+  mutable violations : violation list;  (* newest first *)
+}
+
+let create ~controller_key () =
+  {
+    controller_key;
+    cache = Hashtbl.create 32;
+    ttl = 0;
+    vm_image = Hashtbl.create 16;
+    vm_monitored = Hashtbl.create 16;
+    terminated = [];
+    last_time = 0;
+    last_messages = 0;
+    last_bytes = 0;
+    last_drops = 0;
+    violations = [];
+  }
+
+let key ~vid ~property = vid ^ "|" ^ Core.Property.to_string property
+
+let model_store t ~vid ~property ~now =
+  if t.ttl > 0 then
+    Hashtbl.replace t.cache (key ~vid ~property) { stored_at = now; expires = now + t.ttl }
+
+let model_invalidate t ~vid ~property = Hashtbl.remove t.cache (key ~vid ~property)
+
+let model_invalidate_vm t ~vid =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.length k > String.length vid
+           && String.sub k 0 (String.length vid + 1) = vid ^ "|"
+        then k :: acc
+        else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) doomed
+
+let model_invalidate_image t ~image =
+  Hashtbl.iter
+    (fun vid img -> if img = image then model_invalidate_vm t ~vid)
+    t.vm_image
+
+let flag t ~oracle ~op_index detail =
+  let v = { oracle; op_index; detail } in
+  t.violations <- v :: t.violations;
+  [ v ]
+
+let status_tag = function
+  | Core.Report.Healthy -> "H"
+  | Core.Report.Compromised _ -> "C"
+  | Core.Report.Unknown _ -> "U"
+
+(* --- Per-attest checks ---------------------------------------------------- *)
+
+let check_attest t ~op_index ~started_at (a : attest_obs) =
+  match a.a_result with
+  | Error _ ->
+      (* Hard errors deliver no verdict; nothing to check, nothing cached
+         (the controller never stores on an error path). *)
+      []
+  | Ok creport ->
+      let report = creport.Core.Protocol.report in
+      let vs =
+        (* Every delivered verdict carries a controller signature binding
+           our vid, property and nonce. *)
+        match
+          Core.Protocol.verify_controller_report ~key:t.controller_key
+            ~expected_vid:a.a_vid ~expected_property:a.a_property
+            ~expected_nonce:a.a_nonce creport
+        with
+        | Ok () -> []
+        | Error e ->
+            flag t ~oracle:"verdict-signed" ~op_index
+              (Format.asprintf "report for %s/%a rejected: %a" a.a_vid
+                 Core.Property.pp a.a_property Core.Protocol.pp_verify_error e)
+      in
+      let vs =
+        vs
+        @
+        if List.mem a.a_vid t.terminated && report.Core.Report.status = Core.Report.Healthy
+        then
+          flag t ~oracle:"terminated-vm" ~op_index
+            (Printf.sprintf "terminated VM %s attested Healthy" a.a_vid)
+        else []
+      in
+      let served_from_cache = report.Core.Report.produced_at < started_at in
+      if served_from_cache then begin
+        let vs =
+          vs
+          @
+          if not (Core.Report.is_healthy report) then
+            flag t ~oracle:"cache-consistency" ~op_index
+              (Format.asprintf "non-healthy verdict (%s) served from cache for %s/%a"
+                 (status_tag report.Core.Report.status)
+                 a.a_vid Core.Property.pp a.a_property)
+          else []
+        in
+        let k = key ~vid:a.a_vid ~property:a.a_property in
+        match Hashtbl.find_opt t.cache k with
+        | Some e when e.expires > started_at -> vs
+        | Some e ->
+            vs
+            @ flag t ~oracle:"cache-consistency" ~op_index
+                (Format.asprintf
+                   "expired cache entry served for %s/%a (stored %a, expired %a, now %a)"
+                   a.a_vid Core.Property.pp a.a_property Sim.Time.pp e.stored_at
+                   Sim.Time.pp e.expires Sim.Time.pp started_at)
+        | None ->
+            vs
+            @ flag t ~oracle:"cache-consistency" ~op_index
+                (Format.asprintf
+                   "stale verdict served from cache for %s/%a after an invalidating event"
+                   a.a_vid Core.Property.pp a.a_property)
+      end
+      else begin
+        (* Fresh observation: mirror the controller's cache bookkeeping. *)
+        (match report.Core.Report.status with
+        | Core.Report.Healthy ->
+            model_store t ~vid:a.a_vid ~property:a.a_property ~now:started_at
+        | Core.Report.Compromised _ | Core.Report.Unknown _ ->
+            model_invalidate t ~vid:a.a_vid ~property:a.a_property);
+        vs
+      end
+
+let ledger_checks t ~op_index ~all_served (obs : op_obs) =
+  let neg =
+    List.filter_map
+      (fun (label, cost) ->
+        if cost < 0 then Some (Printf.sprintf "%s=%d" label cost) else None)
+      obs.ledger
+  in
+  let vs =
+    if neg <> [] then
+      flag t ~oracle:"ledger-accounting" ~op_index
+        ("negative ledger entries: " ^ String.concat ", " neg)
+    else []
+  in
+  (* Only when EVERY request in the op was answered from the cache can we
+     insist on a controller-local ledger; a mixed attest_many legitimately
+     charges AS costs for its cold requests on the shared ledger. *)
+  if
+    all_served
+    && List.exists
+         (fun (l, _) -> String.length l >= 3 && String.sub l 0 3 = "as:")
+         obs.ledger
+  then
+    vs
+    @ flag t ~oracle:"ledger-accounting" ~op_index
+        "cache-served attestation charged AS-side ledger costs"
+  else vs
+
+(* --- The per-op entry point ----------------------------------------------- *)
+
+let observe t (obs : op_obs) =
+  let vs = ref [] in
+  let add v = vs := !vs @ v in
+  (* Engine time is monotone, and Advance moves it by exactly its argument. *)
+  if obs.started_at < t.last_time then
+    add
+      (flag t ~oracle:"time-monotone" ~op_index:obs.index
+         (Format.asprintf "clock went backwards: %a after %a" Sim.Time.pp obs.started_at
+            Sim.Time.pp t.last_time));
+  if obs.finished_at < obs.started_at then
+    add
+      (flag t ~oracle:"time-monotone" ~op_index:obs.index
+         (Format.asprintf "op finished (%a) before it started (%a)" Sim.Time.pp
+            obs.finished_at Sim.Time.pp obs.started_at));
+  (match obs.op with
+  | Op.Advance ms ->
+      if obs.finished_at - obs.started_at <> Sim.Time.ms ms then
+        add
+          (flag t ~oracle:"time-monotone" ~op_index:obs.index
+             (Format.asprintf "advance %d ms moved the clock by %a" ms Sim.Time.pp
+                (obs.finished_at - obs.started_at)))
+  | _ -> ());
+  t.last_time <- obs.finished_at;
+  (* Network counters only ever grow, and drops are a subset of messages. *)
+  if
+    obs.net_messages < t.last_messages || obs.net_bytes < t.last_bytes
+    || obs.net_drops < t.last_drops
+  then
+    add
+      (flag t ~oracle:"net-accounting" ~op_index:obs.index
+         (Printf.sprintf "counters regressed: messages %d->%d bytes %d->%d drops %d->%d"
+            t.last_messages obs.net_messages t.last_bytes obs.net_bytes t.last_drops
+            obs.net_drops));
+  if obs.net_drops > obs.net_messages then
+    add
+      (flag t ~oracle:"net-accounting" ~op_index:obs.index
+         (Printf.sprintf "drops (%d) exceed observed messages (%d)" obs.net_drops
+            obs.net_messages));
+  t.last_messages <- obs.net_messages;
+  t.last_bytes <- obs.net_bytes;
+  t.last_drops <- obs.net_drops;
+  (* Auditors watching an honest operator never accumulate evidence. *)
+  if obs.audit_evidence > 0 then
+    add
+      (flag t ~oracle:"audit-honest" ~op_index:obs.index
+         (Printf.sprintf "%d equivocation evidence record(s) against an honest log"
+            obs.audit_evidence));
+  (* Attestation results: signatures, cache model, terminated VMs. *)
+  let all_served =
+    obs.attests <> []
+    && List.for_all
+         (fun (a : attest_obs) ->
+           match a.a_result with
+           | Ok cr -> cr.Core.Protocol.report.Core.Report.produced_at < obs.started_at
+           | Error _ -> false)
+         obs.attests
+  in
+  List.iter
+    (fun (a : attest_obs) ->
+      add (check_attest t ~op_index:obs.index ~started_at:obs.started_at a))
+    obs.attests;
+  add (ledger_checks t ~op_index:obs.index ~all_served obs);
+  (* Model updates for non-attest state transitions.  Lifecycle transitions
+     invalidate only when the controller reported success (a failed suspend
+     never touched the cache); terminate invalidates unconditionally, as the
+     controller does. *)
+  (match obs.op with
+  | Op.Launch _ -> (
+      match obs.launched with
+      | Some (vid, image, monitored) ->
+          Hashtbl.replace t.vm_image vid image;
+          Hashtbl.replace t.vm_monitored vid monitored;
+          if monitored then
+            model_store t ~vid ~property:Core.Property.Startup_integrity
+              ~now:obs.started_at
+      | None -> ())
+  | Op.Terminate _ -> (
+      match obs.target with
+      | Some vid ->
+          model_invalidate_vm t ~vid;
+          if obs.lifecycle_ok then t.terminated <- vid :: t.terminated
+      | None -> ())
+  | Op.Suspend _ | Op.Resume _ -> (
+      match obs.target with
+      | Some vid when obs.lifecycle_ok -> model_invalidate_vm t ~vid
+      | _ -> ())
+  | Op.Migrate _ -> (
+      match obs.target with
+      | Some vid when obs.lifecycle_ok ->
+          model_invalidate_vm t ~vid;
+          (* A successful migrate of a monitored VM re-attests startup
+             integrity on the destination and, when healthy, the verdict
+             lands in the real cache after the invalidation.  Mirror the
+             store (over-approximating: the model keeps the entry even if
+             the re-attestation came back unhealthy, which is the sound
+             direction for a one-sided oracle). *)
+          if Hashtbl.find_opt t.vm_monitored vid = Some true then
+            model_store t ~vid ~property:Core.Property.Startup_integrity
+              ~now:obs.started_at
+      | _ -> ())
+  | Op.Set_cache_ttl ms -> t.ttl <- Sim.Time.ms (max 0 ms)
+  | Op.Corrupt_image i ->
+      model_invalidate_image t ~image:(i mod Array.length Op.images)
+  | Op.Attest _ | Op.Attest_many _ | Op.Set_batching _ | Op.Enable_audit
+  | Op.Set_fault _ | Op.Clear_fault | Op.Advance _ | Op.Infect _ ->
+      ());
+  !vs
+
+let all t = List.rev t.violations
+
+(* Stable one-line summary of an op's observable effects, for the
+   determinism digest (same seed => same trace). *)
+let digest_of_obs (obs : op_obs) =
+  let result_tag (a : attest_obs) =
+    match a.a_result with
+    | Error _ -> "E"
+    | Ok cr ->
+        status_tag cr.Core.Protocol.report.Core.Report.status
+        ^ string_of_int cr.Core.Protocol.report.Core.Report.produced_at
+  in
+  Printf.sprintf "%d|%s|%d|%d|%s|%s|%b|%s|%d|%d|%d|%d" obs.index
+    (Op.op_to_string obs.op) obs.started_at obs.finished_at
+    (String.concat "," (List.map result_tag obs.attests))
+    (Option.value ~default:"-" obs.target)
+    obs.lifecycle_ok
+    (match obs.launched with Some (vid, _, _) -> vid | None -> "-")
+    obs.net_messages obs.net_bytes obs.net_drops obs.audit_evidence

@@ -1,0 +1,67 @@
+(** Invariant oracles checked against every replayed scenario.
+
+    The oracles are deliberately one-sided: each only flags behaviour the
+    system {e guarantees} can never happen, so a violation is a real bug (or
+    a planted one), never generator noise.
+
+    - [time-monotone] — the engine clock never runs backwards, and an
+      [Advance n] op moves it forward by exactly [n] ms.
+    - [cache-consistency] — a verdict served from the verdict cache (its
+      [produced_at] predates the op) is always [Healthy], and the model
+      cache — which mirrors every store, TTL change, lifecycle transition,
+      image corruption and unhealthy observation — agrees the entry was
+      still valid.  Catches skipped invalidations (e.g. on migrate) and
+      TTL-expiry bugs.
+    - [verdict-signed] — every [Ok] controller report verifies under the
+      controller's public key, binding vid, property and our nonce.
+    - [terminated-vm] — an attestation of a terminated VM never comes back
+      [Healthy].
+    - [ledger-accounting] — ledger entries are non-negative, and a
+      cache-served attestation charges no AS-side ledger labels (a hit must
+      stay controller-local).
+    - [net-accounting] — network message/byte/drop counters are monotone
+      and drops never exceed messages.
+    - [audit-honest] — with auditing on and an honest operator, gossiping
+      auditors accumulate zero equivocation evidence. *)
+
+type violation = { oracle : string; op_index : int; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** What the replayer observed while executing one op. *)
+type attest_obs = {
+  a_vid : string;
+  a_property : Core.Property.t;
+  a_nonce : string;
+  a_result : (Core.Protocol.controller_report, string) result;
+}
+
+type op_obs = {
+  index : int;
+  op : Op.op;
+  started_at : Sim.Time.t;  (** engine clock when the op began *)
+  finished_at : Sim.Time.t;
+  attests : attest_obs list;  (** results, in request order *)
+  target : string option;  (** resolved vid of a lifecycle/infect op *)
+  lifecycle_ok : bool;  (** lifecycle op succeeded (true for non-lifecycle) *)
+  launched : (string * int * bool) option;  (** (vid, image idx, monitored) *)
+  ledger : (string * Sim.Time.t) list;  (** entries of this op's ledger *)
+  net_messages : int;  (** cumulative, after the op *)
+  net_bytes : int;
+  net_drops : int;
+  audit_evidence : int;  (** cumulative auditor evidence count *)
+}
+
+type t
+
+val create : controller_key:Crypto.Rsa.public -> unit -> t
+
+val observe : t -> op_obs -> violation list
+(** Feed one op observation; returns the violations it triggered (also
+    retained for {!all}). *)
+
+val all : t -> violation list
+(** Every violation so far, oldest first. *)
+
+val digest_of_obs : op_obs -> string
+(** Stable summary line for the determinism digest. *)

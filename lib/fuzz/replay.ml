@@ -1,0 +1,274 @@
+type bug = No_bug | Skip_invalidate_on_migrate | Skip_invalidate_on_resume
+
+type outcome = {
+  scenario : Op.scenario;
+  observations : Oracle.op_obs list;
+  violations : Oracle.violation list;
+  digest : string;
+  vms_launched : int;
+  attests_run : int;
+}
+
+let n_images = Array.length Op.images
+let n_workloads = Array.length Op.workloads
+let n_properties = Array.length Op.properties
+
+(* Map an abstract fault to a network adversary.  [Lossy]'s coin flips are
+   seeded from (scenario seed, op index) so the same scenario always builds
+   the same adversary — determinism end to end. *)
+let adversary ~seed ~index = function
+  | Op.Drop_nth n -> Net.Fault.drop_nth (max 1 n)
+  | Op.Garble_nth n -> Net.Fault.garble_nth (max 1 n)
+  | Op.Lossy (drop, garble) ->
+      Net.Fault.lossy
+        ~garble_p:(float_of_int (max 0 garble) /. 100.)
+        ~drop_p:(float_of_int (max 0 drop) /. 100.)
+        ~seed:(seed lxor ((index + 1) * 7919))
+        ()
+  | Op.Blackout -> Net.Fault.blackout ()
+
+let run ?(bug = No_bug) (scenario : Op.scenario) =
+  let config =
+    {
+      Core.Cloud.default_config with
+      seed = scenario.Op.seed;
+      key_bits = 512;
+      num_attestation_servers = 2;
+    }
+  in
+  let cloud = Core.Cloud.build ~config () in
+  let ctl = Core.Cloud.controller cloud in
+  let net = Core.Cloud.net cloud in
+  let cache = Core.Controller.verdict_cache ctl in
+  let drbg = Crypto.Drbg.create ~seed:("fuzz|" ^ string_of_int scenario.Op.seed) in
+  let oracle = Oracle.create ~controller_key:(Core.Controller.public_key ctl) () in
+  (* VM slot table: every successfully launched vid, in launch order.
+     Slots stay stable forever (terminated VMs keep their index), so a
+     shrunk scenario references the same VMs as the original. *)
+  let vids = ref [||] in
+  let resolve slot =
+    let n = Array.length !vids in
+    if n = 0 then None else Some !vids.(slot mod n)
+  in
+  (* Audit plane: two gossiping auditors polling every AS log directly
+     (auditors are off-path observers; the network adversary cannot touch
+     them).  One-way switch, matching [Cloud.enable_audit]. *)
+  let auditors = ref None in
+  let logs = ref [] in
+  let audit_poll () =
+    match !auditors with
+    | None -> ()
+    | Some (a, b) ->
+        List.iter
+          (fun l ->
+            let v = Audit.View.of_log l in
+            Audit.Auditor.observe a v;
+            Audit.Auditor.observe b v)
+          !logs;
+        Audit.Auditor.exchange a b
+  in
+  let audit_evidence () =
+    match !auditors with
+    | None -> 0
+    | Some (a, b) -> Audit.Auditor.evidence_count a + Audit.Auditor.evidence_count b
+  in
+  let enable_audit () =
+    if !auditors = None then begin
+      let ls = Core.Cloud.enable_audit cloud in
+      logs := ls;
+      let key_of id =
+        List.find_opt (fun l -> Audit.Log.log_id l = id) ls
+        |> Option.map Audit.Log.public_key
+      in
+      let clock () = Core.Cloud.now cloud in
+      let make name = Audit.Auditor.create ~name ~key_of ~clock () in
+      auditors := Some (make "fuzz-auditor-a", make "fuzz-auditor-b")
+    end
+  in
+  (* Planted-bug machinery: snapshot a VM's cached verdicts before a
+     lifecycle transition and put them back afterwards, emulating a
+     controller that forgot to invalidate on that transition. *)
+  let snapshot vid =
+    List.filter_map
+      (fun p -> Core.Verdict_cache.find cache ~vid ~property:p)
+      (Array.to_list Op.properties)
+  in
+  let restore reports =
+    List.iter (fun r -> ignore (Core.Verdict_cache.store cache r : bool)) reports
+  in
+  let attest_one vid pidx =
+    let property = Op.properties.(pidx mod n_properties) in
+    let nonce = Crypto.Drbg.nonce drbg in
+    let result, ledger =
+      Core.Controller.attest ctl { Core.Protocol.vid; property; nonce }
+    in
+    ({ Oracle.a_vid = vid; a_property = property; a_nonce = nonce; a_result = result }, ledger)
+  in
+  let observations = ref [] in
+  let attests_run = ref 0 in
+  let vms_launched = ref 0 in
+  let sha = Crypto.Sha256.init () in
+  List.iteri
+    (fun index op ->
+      (* Mandatory 1 ms pre-advance: anything produced by an earlier op is
+         now strictly older than [started_at], which is how the oracles
+         recognise a cache-served verdict (see oracle.mli). *)
+      Core.Cloud.run_for cloud (Sim.Time.ms 1);
+      let started_at = Core.Cloud.now cloud in
+      let attests = ref [] in
+      let target = ref None in
+      let lifecycle_ok = ref true in
+      let launched = ref None in
+      let ledger_entries = ref [] in
+      (match op with
+      | Op.Launch { image; monitored; workload } -> (
+          let req =
+            {
+              Core.Controller.owner = "fuzz";
+              image = Op.images.(image mod n_images);
+              flavor = "small";
+              properties = (if monitored then Core.Property.all else []);
+              workload = Op.workloads.(workload mod n_workloads);
+              pins = [];
+            }
+          in
+          match Core.Controller.launch ctl req with
+          | Ok info ->
+              let vid = info.Core.Commands.vid in
+              vids := Array.append !vids [| vid |];
+              incr vms_launched;
+              launched := Some (vid, image mod n_images, monitored)
+          | Error _ -> lifecycle_ok := false)
+      | Op.Terminate s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid ->
+              target := Some vid;
+              lifecycle_ok :=
+                Result.is_ok (Core.Controller.respond ctl Core.Controller.Terminate_vm ~vid))
+      | Op.Suspend s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid ->
+              target := Some vid;
+              lifecycle_ok :=
+                Result.is_ok (Core.Controller.respond ctl Core.Controller.Suspend_vm ~vid))
+      | Op.Resume s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid ->
+              target := Some vid;
+              let snap = if bug = Skip_invalidate_on_resume then snapshot vid else [] in
+              let ok = Result.is_ok (Core.Controller.resume ctl ~vid) in
+              lifecycle_ok := ok;
+              if ok then restore snap)
+      | Op.Migrate s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid ->
+              target := Some vid;
+              let snap = if bug = Skip_invalidate_on_migrate then snapshot vid else [] in
+              let ok =
+                Result.is_ok (Core.Controller.respond ctl Core.Controller.Migrate_vm ~vid)
+              in
+              lifecycle_ok := ok;
+              if ok then restore snap)
+      | Op.Attest (s, p) -> (
+          match resolve s with
+          | None -> ()
+          | Some vid ->
+              let a, ledger = attest_one vid p in
+              attests := [ a ];
+              ledger_entries := Core.Ledger.entries ledger;
+              incr attests_run)
+      | Op.Attest_many pairs ->
+          let reqs =
+            List.filter_map
+              (fun (s, p) ->
+                Option.map
+                  (fun vid ->
+                    {
+                      Core.Protocol.vid;
+                      property = Op.properties.(p mod n_properties);
+                      nonce = Crypto.Drbg.nonce drbg;
+                    })
+                  (resolve s))
+              pairs
+          in
+          if reqs <> [] then begin
+            let results, ledger = Core.Controller.attest_many ctl reqs in
+            attests :=
+              List.map
+                (fun ((req : Core.Protocol.attest_request), res) ->
+                  {
+                    Oracle.a_vid = req.Core.Protocol.vid;
+                    a_property = req.Core.Protocol.property;
+                    a_nonce = req.Core.Protocol.nonce;
+                    a_result = res;
+                  })
+                results;
+            attests_run := !attests_run + List.length results;
+            ledger_entries := Core.Ledger.entries ledger
+          end
+      | Op.Set_cache_ttl ms ->
+          Core.Controller.set_verdict_cache_ttl ctl (Sim.Time.ms (max 0 ms))
+      | Op.Set_batching b -> Core.Controller.set_batching ctl b
+      | Op.Enable_audit -> enable_audit ()
+      | Op.Set_fault f ->
+          Net.Network.set_adversary net (adversary ~seed:scenario.Op.seed ~index f)
+      | Op.Clear_fault -> Net.Network.clear_adversary net
+      | Op.Advance ms -> Core.Cloud.run_for cloud (Sim.Time.ms ms)
+      | Op.Infect s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid -> (
+              target := Some vid;
+              let infected =
+                match Core.Controller.vm_host ctl ~vid with
+                | None -> false
+                | Some host -> (
+                    match Core.Cloud.find_server cloud host with
+                    | None -> false
+                    | Some srv -> (
+                        match Hypervisor.Server.find srv vid with
+                        | None -> false
+                        | Some inst ->
+                            ignore
+                              (Attacks.Malware.infect_hidden inst.Hypervisor.Server.vm ()
+                                : Hypervisor.Guest_os.process);
+                            true))
+              in
+              lifecycle_ok := infected))
+      | Op.Corrupt_image i ->
+          ignore (Core.Controller.corrupt_image ctl Op.images.(i mod n_images) : bool));
+      audit_poll ();
+      let obs =
+        {
+          Oracle.index;
+          op;
+          started_at;
+          finished_at = Core.Cloud.now cloud;
+          attests = !attests;
+          target = !target;
+          lifecycle_ok = !lifecycle_ok;
+          launched = !launched;
+          ledger = !ledger_entries;
+          net_messages = Net.Network.message_count net;
+          net_bytes = Net.Network.bytes_sent net;
+          net_drops = Net.Network.drop_count net;
+          audit_evidence = audit_evidence ();
+        }
+      in
+      ignore (Oracle.observe oracle obs : Oracle.violation list);
+      Crypto.Sha256.update sha (Oracle.digest_of_obs obs);
+      Crypto.Sha256.update sha "\n";
+      observations := obs :: !observations)
+    scenario.Op.ops;
+  {
+    scenario;
+    observations = List.rev !observations;
+    violations = Oracle.all oracle;
+    digest = Crypto.Hexs.encode (Crypto.Sha256.finalize sha);
+    vms_launched = !vms_launched;
+    attests_run = !attests_run;
+  }

@@ -1,0 +1,29 @@
+(** Deterministic scenario replay: executes an {!Op.scenario} against a
+    fresh {!Core.Cloud} under the discrete-event engine, feeds every
+    observation to the {!Oracle} library, and folds a determinism digest
+    over the trace (same seed, same ops => same digest, bit for bit).
+
+    The engine advances 1 ms before every op, so a verdict produced by an
+    earlier op is strictly older than the current op's start time — that
+    timestamp gap is how the oracles tell a cache-served verdict from a
+    fresh measurement without trusting the cache's own counters. *)
+
+(** Planted bugs for oracle validation (mutation testing of the fuzzer
+    itself): each re-introduces a stale-cache hazard the real controller
+    code guards against, by re-storing the pre-transition cache entries
+    right after the transition the controller just invalidated. *)
+type bug =
+  | No_bug
+  | Skip_invalidate_on_migrate
+  | Skip_invalidate_on_resume
+
+type outcome = {
+  scenario : Op.scenario;
+  observations : Oracle.op_obs list;  (** in op order *)
+  violations : Oracle.violation list;  (** oldest first *)
+  digest : string;  (** SHA-256 over the per-op trace summaries *)
+  vms_launched : int;
+  attests_run : int;  (** individual attestation results delivered *)
+}
+
+val run : ?bug:bug -> Op.scenario -> outcome

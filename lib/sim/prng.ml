@@ -74,6 +74,22 @@ let bytes t n =
   done;
   b
 
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: no positive weight";
+  let x = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: no positive weight"
+    | (w, v) :: rest ->
+        let acc = acc + max 0 w in
+        if x < acc then v else go acc rest
+  in
+  go 0 choices
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

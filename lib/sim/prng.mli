@@ -35,3 +35,11 @@ val bytes : t -> int -> bytes
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks a value with probability proportional to its
+    integer weight.  Non-positive weights never fire; at least one weight
+    must be positive. *)

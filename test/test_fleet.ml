@@ -155,6 +155,111 @@ let test_controller_lifecycle_invalidates () =
   Alcotest.(check bool) "terminate ok" true (Controller.terminate controller ~vid);
   Alcotest.(check int) "terminate invalidated" 0 (Verdict_cache.size cache)
 
+(* Freshness across lifecycle transitions, observed from the caller's side:
+   the verdict handed back after a transition must be a fresh measurement,
+   never the pre-transition cache entry.  These are the example-based twins
+   of the fuzzer's cache-consistency oracle (and of its planted bugs). *)
+
+let test_controller_migrate_then_attest_is_fresh () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let customer = Cloud.Customer.create cloud ~name:"alice" in
+  let vid =
+    launch_ok customer ~properties:[ Property.Startup_integrity; Property.Runtime_integrity ]
+  in
+  let controller = Cloud.controller cloud in
+  Controller.set_verdict_cache_ttl controller (Sim.Time.minutes 5);
+  let cache = Controller.verdict_cache controller in
+  ignore (attest_cost controller ~vid ~property:Property.Runtime_integrity);
+  ignore (attest_cost controller ~vid ~property:Property.Runtime_integrity);
+  Alcotest.(check int) "warm before migrate" 1 (Verdict_cache.stats cache).Verdict_cache.hits;
+  (match Controller.respond controller Controller.Migrate_vm ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "migrate failed: %s" e);
+  (* Post-migration attestation only re-establishes Startup_integrity; the
+     pre-migration Runtime_integrity verdict measured the old host and must
+     not be served for the new one. *)
+  let r, _ = attest_cost controller ~vid ~property:Property.Runtime_integrity in
+  Alcotest.(check bool) "fresh verdict healthy" true (Report.is_healthy r);
+  Alcotest.(check int) "no stale hit after migrate" 1
+    (Verdict_cache.stats cache).Verdict_cache.hits
+
+let test_controller_suspend_resume_race_not_stale () =
+  let cloud = Cloud.build ~config:fast_config () in
+  let customer = Cloud.Customer.create cloud ~name:"alice" in
+  let vid =
+    launch_ok customer ~properties:[ Property.Startup_integrity; Property.Runtime_integrity ]
+  in
+  let controller = Cloud.controller cloud in
+  Controller.set_verdict_cache_ttl controller (Sim.Time.minutes 5);
+  let cache = Controller.verdict_cache controller in
+  (match Controller.respond controller Controller.Suspend_vm ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "suspend failed: %s" e);
+  (* The race: a customer attestation lands while the VM is suspended and
+     its (healthy) verdict enters the cache... *)
+  ignore (attest_cost controller ~vid ~property:Property.Runtime_integrity);
+  Alcotest.(check int) "verdict cached while suspended" 1 (Verdict_cache.size cache);
+  (match Controller.resume controller ~vid with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "resume failed: %s" e);
+  (* ...so the attestation right after resume must re-measure: the cached
+     verdict describes the pre-resume world. *)
+  ignore (attest_cost controller ~vid ~property:Property.Runtime_integrity);
+  Alcotest.(check int) "no stale hit after resume" 0
+    (Verdict_cache.stats cache).Verdict_cache.hits;
+  (* The miss was the invalidation's doing, not the cache being cold-only:
+     with no transition in between, the next attestation does hit. *)
+  ignore (attest_cost controller ~vid ~property:Property.Runtime_integrity);
+  Alcotest.(check int) "cache active again" 1 (Verdict_cache.stats cache).Verdict_cache.hits
+
+let test_controller_batched_duplicates_consistent () =
+  (* Regression for a fuzz-campaign find (batch-equivalence, seed 2253): a
+     duplicated (vid, property) pair inside one [attest_many] was measured
+     twice by the batched round, and the second measurement of the stateful
+     covert-channel monitor came back Unknown ("only 0 bursts") — while the
+     unbatched loop served the duplicate from the verdict cache the first
+     result had just populated.  Duplicates must ride the unbatched path
+     after the group round, so both twins answer Healthy. *)
+  let cloud = Cloud.build ~config:fast_config () in
+  let customer = Cloud.Customer.create cloud ~name:"alice" in
+  let vid =
+    match
+      Cloud.Customer.launch customer ~image:"cirros" ~flavor:"small"
+        ~properties:Property.all ~workload:"busy" ()
+    with
+    | Ok info -> info.Commands.vid
+    | Error e -> Alcotest.failf "launch failed: %a" Cloud.Customer.pp_error e
+  in
+  Cloud.run_for cloud (Sim.Time.sec 2);
+  let controller = Cloud.controller cloud in
+  Controller.set_verdict_cache_ttl controller (Sim.Time.minutes 5);
+  Controller.set_batching controller true;
+  let drbg = Crypto.Drbg.create ~seed:"dup-batch" in
+  let mk property = { Protocol.vid; property; nonce = Crypto.Drbg.nonce drbg } in
+  let reqs =
+    [
+      mk Property.Covert_channel_free;
+      mk Property.Runtime_integrity;
+      mk Property.Covert_channel_free;
+    ]
+  in
+  let results, _ = Controller.attest_many controller reqs in
+  let statuses =
+    List.map
+      (fun ((r : Protocol.attest_request), result) ->
+        match result with
+        | Ok cr -> cr.Protocol.report.Report.status
+        | Error e -> Alcotest.failf "attest of %a failed: %s" Property.pp r.Protocol.property e)
+      results
+  in
+  match statuses with
+  | [ first; middle; dup ] ->
+      Alcotest.(check bool) "first measurement healthy" true (first = Report.Healthy);
+      Alcotest.(check bool) "sibling healthy" true (middle = Report.Healthy);
+      Alcotest.(check bool) "duplicate not re-measured to a different verdict" true
+        (dup = Report.Healthy)
+  | _ -> Alcotest.fail "three results expected"
+
 (* --- Cluster: coalescing --------------------------------------------------- *)
 
 let test_cluster_coalesces_concurrent_requests () =
@@ -528,6 +633,12 @@ let () =
           Alcotest.test_case "cached reattestation cheaper" `Quick
             test_controller_cached_reattestation_cheaper;
           Alcotest.test_case "lifecycle invalidates" `Quick test_controller_lifecycle_invalidates;
+          Alcotest.test_case "migrate then attest is fresh" `Quick
+            test_controller_migrate_then_attest_is_fresh;
+          Alcotest.test_case "suspend/resume race not stale" `Quick
+            test_controller_suspend_resume_race_not_stale;
+          Alcotest.test_case "batched duplicates consistent" `Quick
+            test_controller_batched_duplicates_consistent;
         ] );
       ( "cluster",
         [

@@ -1,0 +1,179 @@
+(* Pinned fuzzer repros and oracle mutation tests.
+
+   Each history below is a one-line scenario in the fuzzer's textual
+   grammar, promoted from the campaign (shrunk counterexamples of the
+   planted bugs) or crafted to cover a generator corner (audit + lossy
+   faults, batching, TTL expiry).  Pinning the literal strings guards the
+   codec as well as the replayer: a grammar change that breaks old repro
+   lines fails here, not in a future debugging session. *)
+
+let replay ?bug line =
+  match Fuzz.Op.of_string line with
+  | None -> Alcotest.fail ("repro line failed to parse: " ^ line)
+  | Some scenario -> (scenario, Fuzz.Replay.run ?bug scenario)
+
+let oracle_names (out : Fuzz.Replay.outcome) =
+  List.map (fun (v : Fuzz.Oracle.violation) -> v.oracle) out.violations
+
+(* --- Pinned clean histories ---------------------------------------------- *)
+
+let pinned_clean =
+  [
+    (* shrunk counterexample of the planted migrate bug (clean unmutated) *)
+    "seed=2035 ops=L1.0.0;c50;a0.3;M1;a1.3";
+    (* suspend -> attest -> resume -> attest inside one TTL window *)
+    "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1";
+    (* audit on under a lossy adversary, cleared mid-history *)
+    "seed=11 ops=L0.1.0;u;fl10.10;a0.0;a0.1;f0;A0.2+0.3;t250;a0.0";
+    (* batched multi-VM attestation toggled on and back off *)
+    "seed=23 ops=L1.1.0;L2.0.1;b1;A0.0+1.1+0.2;c1000;A0.0+1.1;b0;a1.3";
+    (* cached Healthy expires over an advance, then the VM is infected *)
+    "seed=42 ops=L0.1.1;c200;a0.1;t250;x0;a0.1;K0";
+  ]
+
+let test_pinned_histories_clean () =
+  List.iter
+    (fun line ->
+      let scenario, out = replay line in
+      Alcotest.(check (list string)) ("violations: " ^ line) [] (oracle_names out);
+      (* the pinned string is the canonical form, so codec drift shows up *)
+      Alcotest.(check string) ("canonical: " ^ line) line (Fuzz.Op.to_string scenario))
+    pinned_clean
+
+let test_pinned_histories_deterministic () =
+  List.iter
+    (fun line ->
+      let _, out1 = replay line in
+      let _, out2 = replay line in
+      Alcotest.(check string) ("digest: " ^ line) out1.Fuzz.Replay.digest
+        out2.Fuzz.Replay.digest;
+      Alcotest.(check int) ("digest length: " ^ line) 64
+        (String.length out1.Fuzz.Replay.digest))
+    pinned_clean
+
+(* --- Codec ---------------------------------------------------------------- *)
+
+let test_codec_roundtrip_generated () =
+  for seed = 1 to 25 do
+    let scenario = Fuzz.Gen.generate ~seed ~ops:30 in
+    let line = Fuzz.Op.to_string scenario in
+    match Fuzz.Op.of_string line with
+    | None -> Alcotest.fail ("generated line failed to parse: " ^ line)
+    | Some back ->
+        Alcotest.(check int) "seed" scenario.Fuzz.Op.seed back.Fuzz.Op.seed;
+        Alcotest.(check bool)
+          ("ops round-trip: " ^ line)
+          true
+          (List.for_all2 Fuzz.Op.equal_op scenario.Fuzz.Op.ops back.Fuzz.Op.ops)
+  done
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("rejected: " ^ line) true (Fuzz.Op.of_string line = None))
+    [
+      "";
+      "seed=1";
+      "ops=L0.1.0";
+      "seed=x ops=L0.1.0";
+      "seed=1 ops=Z9";
+      "seed=1 ops=L0.1.0;;a0.0";
+      "seed=1 ops=L0.2.0";
+      "seed=1 ops=fq3";
+    ]
+
+(* --- Mutation testing: the oracles must catch the planted bugs ------------ *)
+
+let triggers ~bug line =
+  let _, out = replay ~bug line in
+  List.mem "cache-consistency" (oracle_names out)
+
+let test_planted_migrate_bug () =
+  let line = "seed=2035 ops=L1.0.0;c50;a0.3;M1;a1.3" in
+  Alcotest.(check bool) "caught under mutant" true
+    (triggers ~bug:Fuzz.Replay.Skip_invalidate_on_migrate line);
+  Alcotest.(check bool) "clean without mutant" false
+    (triggers ~bug:Fuzz.Replay.No_bug line)
+
+let test_planted_resume_bug () =
+  let line = "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1" in
+  Alcotest.(check bool) "caught under mutant" true
+    (triggers ~bug:Fuzz.Replay.Skip_invalidate_on_resume line);
+  Alcotest.(check bool) "clean without mutant" false
+    (triggers ~bug:Fuzz.Replay.No_bug line)
+
+(* --- Shrinking ------------------------------------------------------------ *)
+
+let one_minimal ~bug scenario =
+  let ops = scenario.Fuzz.Op.ops in
+  List.for_all
+    (fun i ->
+      let shorter = List.filteri (fun j _ -> j <> i) ops in
+      not
+        (Fuzz.Shrink.triggers ~bug ~oracle:"cache-consistency"
+           { scenario with Fuzz.Op.ops = shorter }))
+    (List.init (List.length ops) Fun.id)
+
+let test_shrunk_repros_one_minimal () =
+  List.iter
+    (fun (bug, line) ->
+      match Fuzz.Op.of_string line with
+      | None -> Alcotest.fail ("parse: " ^ line)
+      | Some scenario ->
+          Alcotest.(check bool) ("<= 10 ops: " ^ line) true
+            (List.length scenario.Fuzz.Op.ops <= 10);
+          Alcotest.(check bool) ("1-minimal: " ^ line) true (one_minimal ~bug scenario))
+    [
+      (Fuzz.Replay.Skip_invalidate_on_migrate, "seed=2035 ops=L1.0.0;c50;a0.3;M1;a1.3");
+      (Fuzz.Replay.Skip_invalidate_on_resume, "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1");
+    ]
+
+let test_shrinker_strips_padding () =
+  (* Pad the minimal migrate repro with inert ops; ddmin must strip every
+     one of them and land back on a 1-minimal counterexample. *)
+  let bug = Fuzz.Replay.Skip_invalidate_on_migrate in
+  let padded =
+    "seed=2035 ops=t10;L1.0.0;b1;c50;t5;a0.3;u;M1;t20;a1.3;b0;t10"
+  in
+  match Fuzz.Op.of_string padded with
+  | None -> Alcotest.fail "padded line failed to parse"
+  | Some scenario ->
+      Alcotest.(check bool) "padded still triggers" true
+        (Fuzz.Shrink.triggers ~bug ~oracle:"cache-consistency" scenario);
+      let shrunk, replays =
+        Fuzz.Shrink.minimize ~bug ~oracle:"cache-consistency" scenario
+      in
+      Alcotest.(check bool) "shrunk triggers" true
+        (Fuzz.Shrink.triggers ~bug ~oracle:"cache-consistency" shrunk);
+      Alcotest.(check bool) "strictly smaller" true
+        (List.length shrunk.Fuzz.Op.ops < List.length scenario.Fuzz.Op.ops);
+      Alcotest.(check bool) "within budget" true (replays <= 500);
+      Alcotest.(check bool) "1-minimal" true (one_minimal ~bug shrunk)
+
+let () =
+  Alcotest.run "fuzz_repros"
+    [
+      ( "pinned",
+        [
+          Alcotest.test_case "histories replay clean" `Quick test_pinned_histories_clean;
+          Alcotest.test_case "replay is deterministic" `Quick
+            test_pinned_histories_deterministic;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "generated scenarios round-trip" `Quick
+            test_codec_roundtrip_generated;
+          Alcotest.test_case "garbage rejected" `Quick test_codec_rejects_garbage;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "planted migrate bug caught" `Quick test_planted_migrate_bug;
+          Alcotest.test_case "planted resume bug caught" `Quick test_planted_resume_bug;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "shrunk repros are 1-minimal" `Quick
+            test_shrunk_repros_one_minimal;
+          Alcotest.test_case "shrinker strips padding" `Quick test_shrinker_strips_padding;
+        ] );
+    ]

@@ -252,6 +252,69 @@ let test_network_retry_blackout_terminates () =
   | None -> ());
   Alcotest.(check int) "bounded attempts" 4 (Net.Network.drop_count net)
 
+let test_network_retry_deadline_mid_backoff () =
+  (* Attempts remain, but the pending backoff wait would overrun the
+     deadline: the retry must not even be attempted, and the wait that was
+     never taken must not be charged. *)
+  let blackout_net () =
+    let net = make_net () in
+    Net.Network.register net "s" (fun s -> s);
+    Net.Network.set_adversary net (Net.Fault.blackout ());
+    net
+  in
+  let policy =
+    {
+      Net.Network.max_attempts = 5;
+      base_delay = Sim.Time.ms 10;
+      backoff = 2.0;
+      max_delay = Sim.Time.ms 50;
+      deadline = Some (Sim.Time.ms 5);
+    }
+  in
+  let net = blackout_net () in
+  let r, elapsed = Net.Network.call_with_retry ~policy net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "dropped" true (r = Error `Dropped);
+  Alcotest.(check int) "single attempt" 1 (Net.Network.drop_count net);
+  Alcotest.(check int) "no re-sends" 0 (Net.Network.retry_count net);
+  Alcotest.(check bool) "deadline honoured" true (elapsed <= Sim.Time.ms 5);
+  (* A deadline that survives the 2 ms wait and the 4 ms wait but not the
+     8 ms one is deadline-bound, not attempts-bound: exactly three of the
+     five permitted attempts run. *)
+  let net2 = blackout_net () in
+  let policy2 =
+    { policy with Net.Network.base_delay = Sim.Time.ms 2; deadline = Some (Sim.Time.ms 7) }
+  in
+  let r2, elapsed2 = Net.Network.call_with_retry ~policy:policy2 net2 ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "dropped (mid-backoff)" true (r2 = Error `Dropped);
+  Alcotest.(check int) "three attempts" 3 (Net.Network.drop_count net2);
+  Alcotest.(check int) "two re-sends" 2 (Net.Network.retry_count net2);
+  Alcotest.(check bool) "both waits charged" true (elapsed2 >= Sim.Time.ms 6);
+  Alcotest.(check bool) "deadline honoured (mid-backoff)" true (elapsed2 <= Sim.Time.ms 7)
+
+let test_network_retry_blackout_spans_all_attempts () =
+  (* With no deadline, a total partition burns every attempt, and the
+     elapsed time is exactly legs + the capped backoff schedule. *)
+  let net = make_net () in
+  Net.Network.register net "s" (fun s -> s);
+  Net.Network.set_adversary net (Net.Fault.blackout ());
+  let policy =
+    {
+      Net.Network.max_attempts = 4;
+      base_delay = Sim.Time.ms 2;
+      backoff = 10.0;
+      max_delay = Sim.Time.ms 5;
+      deadline = None;
+    }
+  in
+  let r, elapsed = Net.Network.call_with_retry ~policy net ~src:"c" ~dst:"s" "hi" in
+  Alcotest.(check bool) "dropped after all attempts" true (r = Error `Dropped);
+  Alcotest.(check int) "all attempts made" 4 (Net.Network.drop_count net);
+  Alcotest.(check int) "re-sends counted" 3 (Net.Network.retry_count net);
+  (* waits: 2 ms, then 20 ms capped to 5, then 200 ms capped to 5 = 12 ms,
+     plus four sub-millisecond request legs *)
+  Alcotest.(check bool) "backoff schedule charged" true (elapsed >= Sim.Time.ms 12);
+  Alcotest.(check bool) "cap applied" true (elapsed <= Sim.Time.ms 14)
+
 let test_network_replace_bytes_accounting () =
   let net = make_net () in
   Net.Network.register net "s" (fun _ -> "r");
@@ -329,6 +392,47 @@ let test_channel_retried_record_idempotent () =
   | Ok r -> Alcotest.(check string) "reply recovered from cache" "ok:once" r
   | Error e -> Alcotest.failf "retried call failed: %a" Net.Secure_channel.pp_error e);
   Alcotest.(check int) "handler executed exactly once" 1 !hits
+
+let test_channel_retry_after_reply_cache_hit () =
+  (* A reply-cache hit must leave the channel's sequence state consistent:
+     after a call is recovered from the server's cache, later calls (and
+     later cache recoveries) still work on the same session, and every
+     request executes exactly once. *)
+  let ca_t = Lazy.force ca in
+  let net = make_net () in
+  let server_id = identity "cache-server" in
+  let client_id = identity "cache-client" in
+  let received = ref [] in
+  let server =
+    Net.Secure_channel.Server.create ~identity:server_id ~ca:(Net.Ca.public ca_t) ~seed:"srv"
+      ~on_request:(fun ~peer:_ msg ->
+        received := msg :: !received;
+        "ok:" ^ msg)
+  in
+  Net.Network.register net "cache-server" (Net.Secure_channel.Server.handle server);
+  let transport msg =
+    match Net.Network.call_with_retry net ~src:"cache-client" ~dst:"cache-server" msg with
+    | Ok r, _ -> Ok r
+    | Error `Dropped, _ -> Error "dropped"
+    | Error (`No_such_host h), _ -> Error ("no host " ^ h)
+  in
+  let ch = connect_ok ~peer:"cache-server" client_id transport in
+  List.iter
+    (fun msg ->
+      (* every reply is lost once, so every call is a cache recovery *)
+      Net.Network.set_adversary net (drop_next_reply ());
+      match Net.Secure_channel.Client.call ch msg with
+      | Ok r -> Alcotest.(check string) ("recovered: " ^ msg) ("ok:" ^ msg) r
+      | Error e -> Alcotest.failf "call %s failed: %a" msg Net.Secure_channel.pp_error e)
+    [ "first"; "second"; "third" ];
+  Net.Network.clear_adversary net;
+  (match Net.Secure_channel.Client.call ch "fresh" with
+  | Ok r -> Alcotest.(check string) "clean call after recoveries" "ok:fresh" r
+  | Error e -> Alcotest.failf "clean call failed: %a" Net.Secure_channel.pp_error e);
+  Alcotest.(check int) "no reset was needed" 1 (Net.Secure_channel.Client.handshakes ch);
+  Alcotest.(check (list string))
+    "each request executed exactly once" [ "first"; "second"; "third"; "fresh" ]
+    (List.rev !received)
 
 let fault_cloud () =
   let cloud =
@@ -412,6 +516,10 @@ let () =
           Alcotest.test_case "retry survives outage" `Quick test_network_retry_survives_outage;
           Alcotest.test_case "retry blackout terminates" `Quick
             test_network_retry_blackout_terminates;
+          Alcotest.test_case "retry deadline expires mid-backoff" `Quick
+            test_network_retry_deadline_mid_backoff;
+          Alcotest.test_case "blackout spans all attempts" `Quick
+            test_network_retry_blackout_spans_all_attempts;
           Alcotest.test_case "replace bytes accounting" `Quick
             test_network_replace_bytes_accounting;
           Alcotest.test_case "reset recovers desync" `Quick test_channel_reset_recovers_desync;
@@ -419,6 +527,8 @@ let () =
             test_channel_call_robust_auto_recovers;
           Alcotest.test_case "retried record idempotent" `Quick
             test_channel_retried_record_idempotent;
+          Alcotest.test_case "retry after reply-cache hit" `Quick
+            test_channel_retry_after_reply_cache_hit;
           Alcotest.test_case "attestation under drop-every-3rd" `Quick
             test_attestation_survives_drop_every_3rd;
           Alcotest.test_case "blackout degrades to unknown" `Quick
