@@ -2,11 +2,11 @@
    load experiment, plus bechamel micro-benchmarks of the building blocks.
 
    Usage: main.exe [--list] [--json FILE]
-            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|audit|ablations|micro|all]
+            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|audit|crypto|ablations|micro|all]
    With no experiment, everything runs.  Unknown names abort with a listing;
    --list prints the known names one per line and exits 0.
 
-   JSON-capable experiments (fleet, fig9, batch, audit) collect
+   JSON-capable experiments (fleet, fig9, batch, audit, crypto) collect
    machine-readable results; they are written to FILE (or
    $CLOUDMONATT_BENCH_JSON) as one object keyed by experiment name, plus a
    "host" object pairing each run with its real wall-clock time and GC
@@ -86,6 +86,11 @@ let run_audit () =
   let result = Experiments.Audit_exp.run ~seed () in
   Experiments.Audit_exp.print result;
   collect "audit" (Experiments.Audit_exp.to_json result)
+
+let run_crypto () =
+  let result = Experiments.Crypto_bench.run ~seed () in
+  Experiments.Crypto_bench.print result;
+  collect "crypto" (Experiments.Crypto_bench.to_json ~seed result)
 
 (* The fuzz campaign gates CI: violations flip the process exit status and
    leave a replayable repro file for the artifact upload. *)
@@ -177,6 +182,7 @@ let experiments =
     ("fleet", run_fleet);
     ("batch", run_batch);
     ("audit", run_audit);
+    ("crypto", run_crypto);
     ("fuzz", run_fuzz);
     ("ablations", run_ablations);
     ("micro", run_micro);
@@ -256,6 +262,7 @@ let () =
             ("fleet", "BENCH_fleet.json");
             ("batch", "BENCH_batch.json");
             ("audit", "BENCH_audit.json");
+            ("crypto", "BENCH_crypto.json");
             ("fuzz", "BENCH_fuzz.json");
           ]
   in
@@ -283,6 +290,8 @@ let () =
                   List.filter (fun (n, _) -> n = "batch") !json_results
               | None, "BENCH_audit.json" ->
                   List.filter (fun (n, _) -> n = "audit") !json_results
+              | None, "BENCH_crypto.json" ->
+                  List.filter (fun (n, _) -> n = "crypto") !json_results
               | None, "BENCH_fuzz.json" ->
                   List.filter (fun (n, _) -> n = "fuzz") !json_results
               | _ -> !json_results

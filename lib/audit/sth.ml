@@ -20,8 +20,11 @@ let payload ~log_id ~size ~root ~at =
 let sign key ~log_id ~size ~root ~at =
   { log_id; size; root; at; signature = Crypto.Rsa.sign key (payload ~log_id ~size ~root ~at) }
 
+(* One tree head is verified many times over: by the controller accepting a
+   receipt, by each gossiping auditor, and by every equivocation cross-check
+   — memoized so only the first check pays the exponentiation. *)
 let verify ~key t =
-  Crypto.Rsa.verify key ~signature:t.signature
+  Crypto.Rsa.verify_memo key ~signature:t.signature
     (payload ~log_id:t.log_id ~size:t.size ~root:t.root ~at:t.at)
 
 let equal a b =

@@ -15,7 +15,10 @@ let certify_attestation_key t ~key ~endorsement =
   let payload = Tpm.Trust_module.endorsement_payload key in
   let endorsed =
     Hashtbl.fold
-      (fun _ vks acc -> acc || Crypto.Rsa.verify vks ~signature:endorsement payload)
+      (* Memoized: a re-certification of the same attestation key retries
+         the same (endorsement, payload) pair against the same server keys,
+         including the misses against non-matching servers. *)
+      (fun _ vks acc -> acc || Crypto.Rsa.verify_memo vks ~signature:endorsement payload)
       t.servers false
   in
   if endorsed then Ok (Net.Ca.issue t.ca ~subject:anonymous_subject key)

@@ -347,7 +347,11 @@ let verify_measure_response ~pca ~cert ~expected_vid ~expected_requests ~expecte
   | Some avk ->
       let* () = check (Privacy_ca.check_certificate ~pca cert ~key:avk) `Bad_certificate in
       let* () =
-        check (Crypto.Rsa.verify avk ~signature:r.signature (measure_response_payload r))
+        (* Memoized (as are the three verify sites below): a re-appraised
+           quote — batch re-check, replayed retry, audited verdict — is a
+           byte-identical triple, so only its first appraisal pays the
+           exponentiation. *)
+        check (Crypto.Rsa.verify_memo avk ~signature:r.signature (measure_response_payload r))
           `Bad_signature
       in
       let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
@@ -368,7 +372,7 @@ let verify_batch_envelope ~pca ~cert ~expected_nonce (r : batch_measure_response
       let* () = check (Privacy_ca.check_certificate ~pca cert ~key:avk) `Bad_certificate in
       let* () =
         check
-          (Crypto.Rsa.verify avk ~signature:r.br_signature
+          (Crypto.Rsa.verify_memo avk ~signature:r.br_signature
              (Tpm.Trust_module.batch_quote_payload ~root:r.br_root ~nonce:r.br_nonce))
           `Bad_signature
       in
@@ -387,7 +391,7 @@ let verify_batch_item ~root ~nonce ~expected_requests (i : batch_item) =
 let verify_as_report ~key ~expected_vid ~expected_server ~expected_property ~expected_nonce
     (r : as_report) =
   let* () =
-    check (Crypto.Rsa.verify key ~signature:r.signature (as_report_payload r)) `Bad_signature
+    check (Crypto.Rsa.verify_memo key ~signature:r.signature (as_report_payload r)) `Bad_signature
   in
   let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
   let* () = check (String.equal r.server expected_server) `Vid_mismatch in
@@ -402,7 +406,7 @@ let verify_controller_report ~key ~expected_vid ~expected_property ~expected_non
     (r : controller_report) =
   let* () =
     check
-      (Crypto.Rsa.verify key ~signature:r.signature (controller_report_payload r))
+      (Crypto.Rsa.verify_memo key ~signature:r.signature (controller_report_payload r))
       `Bad_signature
   in
   let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in

@@ -44,8 +44,18 @@ val bit_length : t -> int
 val test_bit : t -> int -> bool
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t
-(** Montgomery exponentiation for odd moduli; falls back to classic
-    square-and-multiply with division for even moduli. *)
+(** Montgomery exponentiation (width-4 sliding window) for odd moduli;
+    falls back to classic square-and-multiply with division for even
+    moduli. *)
+
+val mod_pow_mont : window:bool -> base:t -> exp:t -> modulus:t -> t
+(** The Montgomery path on its own; [modulus] must be odd.
+    [window:false] keeps bit-at-a-time square-and-multiply; the result is
+    identical either way.  Exposed for the crypto micro-bench's window
+    on/off ablation and the windowed-vs-generic equivalence tests. *)
+
+val mod_pow_generic : base:t -> exp:t -> modulus:t -> t
+(** Division-based square-and-multiply reference; any modulus. *)
 
 val mod_inverse : t -> t -> t option
 (** [mod_inverse a m] is [a{^-1} mod m] when [gcd a m = 1]. *)

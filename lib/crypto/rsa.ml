@@ -1,5 +1,8 @@
 type public = { n : Bignum.t; e : Bignum.t; bits : int }
-type secret = { pub : public; d : Bignum.t }
+
+type crt = { p : Bignum.t; q : Bignum.t; dp : Bignum.t; dq : Bignum.t; qinv : Bignum.t }
+
+type secret = { pub : public; d : Bignum.t; crt : crt option }
 type keypair = { public : public; secret : secret }
 
 let e65537 = Bignum.of_int 65537
@@ -12,24 +15,56 @@ let generate drbg ~bits =
     let p1 = Bignum.sub p Bignum.one in
     if Bignum.equal (Bignum.gcd p1 e65537) Bignum.one then p else gen_suitable_prime ()
   in
-  let rec go () =
-    let p = gen_suitable_prime () in
+  (* On an unsuitable pair (n too short, q = p, or no inverse) only q is
+     regenerated: p already passed primality and gcd screening, and prime
+     generation is the expensive step, so discarding it roughly doubled
+     the worst-case retry cost for nothing. *)
+  let p = gen_suitable_prime () in
+  let rec go_q () =
     let q = gen_suitable_prime () in
-    if Bignum.equal p q then go ()
+    if Bignum.equal p q then go_q ()
     else begin
       let n = Bignum.mul p q in
-      if Bignum.bit_length n <> bits then go ()
+      if Bignum.bit_length n <> bits then go_q ()
       else begin
-        let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
-        match Bignum.mod_inverse e65537 phi with
-        | None -> go ()
-        | Some d ->
+        let p1 = Bignum.sub p Bignum.one and q1 = Bignum.sub q Bignum.one in
+        let phi = Bignum.mul p1 q1 in
+        match (Bignum.mod_inverse e65537 phi, Bignum.mod_inverse q p) with
+        | Some d, Some qinv ->
             let pub = { n; e = e65537; bits } in
-            { public = pub; secret = { pub; d } }
+            let crt =
+              Some { p; q; dp = Bignum.rem d p1; dq = Bignum.rem d q1; qinv }
+            in
+            { public = pub; secret = { pub; d; crt } }
+        | _ -> go_q ()
       end
     end
   in
-  go ()
+  go_q ()
+
+(* m^d mod n via the CRT when the prime factorization is on hand: two
+   half-width exponentiations (each ~4x cheaper than one full-width one in
+   this quadratic-mult bignum) recombined by Garner's formula.  Secrets
+   built without factors — e.g. reconstituted from a stored (n, d) pair —
+   take the classic full-width path; both produce the identical value
+   m^d mod n, so signature and plaintext bytes do not depend on which
+   path ran. *)
+let private_pow ?(crt = true) ?(window = true) secret base =
+  (* RSA moduli and their prime factors are odd, so the Montgomery path is
+     always applicable and the window toggle can reach it directly. *)
+  match if crt then secret.crt else None with
+  | None -> Bignum.mod_pow_mont ~window ~base ~exp:secret.d ~modulus:secret.pub.n
+  | Some c ->
+      let m1 = Bignum.mod_pow_mont ~window ~base:(Bignum.rem base c.p) ~exp:c.dp ~modulus:c.p in
+      let m2 = Bignum.mod_pow_mont ~window ~base:(Bignum.rem base c.q) ~exp:c.dq ~modulus:c.q in
+      (* h = qinv * (m1 - m2) mod p, then m = m2 + q*h. *)
+      let m2p = Bignum.rem m2 c.p in
+      let diff =
+        if Bignum.compare m1 m2p >= 0 then Bignum.sub m1 m2p
+        else Bignum.sub (Bignum.add m1 c.p) m2p
+      in
+      let h = Bignum.rem (Bignum.mul c.qinv diff) c.p in
+      Bignum.add m2 (Bignum.mul c.q h)
 
 let modulus_bytes pub = (pub.bits + 7) / 8
 
@@ -50,9 +85,9 @@ let emsa_encode pub msg =
   Buffer.add_string b payload;
   Buffer.contents b
 
-let sign secret msg =
+let sign ?crt ?window secret msg =
   let em = Bignum.of_bytes_be (emsa_encode secret.pub msg) in
-  let s = Bignum.mod_pow ~base:em ~exp:secret.d ~modulus:secret.pub.n in
+  let s = private_pow ?crt ?window secret em in
   Bignum.to_bytes_be ~width:(modulus_bytes secret.pub) s
 
 let verify pub ~signature msg =
@@ -92,7 +127,7 @@ let decrypt secret cipher =
     let c = Bignum.of_bytes_be cipher in
     if Bignum.compare c secret.pub.n >= 0 then None
     else begin
-      let em = Bignum.to_bytes_be ~width:k (Bignum.mod_pow ~base:c ~exp:secret.d ~modulus:secret.pub.n) in
+      let em = Bignum.to_bytes_be ~width:k (private_pow secret c) in
       if String.length em < 11 || em.[0] <> '\x00' || em.[1] <> '\x02' then None
       else begin
         match String.index_from_opt em 2 '\x00' with
@@ -115,3 +150,40 @@ let public_of_string s =
   | _ -> None
 
 let fingerprint pub = Sha256.digest (public_to_string pub)
+
+(* --- Verification memo ------------------------------------------------- *)
+
+(* Repeated appraisals of the same quote — batch re-checks, audit-receipt
+   verification, certificate chains walked once per handshake, gossiped
+   tree heads — re-verify byte-identical (key, message, signature)
+   triples.  Verification is a pure function of those bytes, so an LRU in
+   front of the exponentiation returns the identical verdict at hash
+   cost.  Keys are digests (32+32+32 bytes), never the message itself, so
+   entries stay small regardless of payload size. *)
+module Memo = struct
+  type t = bool Lru.t
+
+  let create ~capacity : t = Lru.create ~capacity
+
+  let default_capacity = 4096
+  let shared_memo = lazy (Lru.create ~capacity:default_capacity)
+  let shared () = Lazy.force shared_memo
+
+  let hits (t : t) = Lru.hits t
+  let misses (t : t) = Lru.misses t
+  let length (t : t) = Lru.length t
+  let clear (t : t) = Lru.clear t
+
+  let key pub ~signature msg =
+    fingerprint pub ^ Sha256.digest msg ^ Sha256.digest signature
+end
+
+let verify_memo ?memo pub ~signature msg =
+  let memo = match memo with Some m -> m | None -> Memo.shared () in
+  let key = Memo.key pub ~signature msg in
+  match Lru.find memo key with
+  | Some v -> v
+  | None ->
+      let v = verify pub ~signature msg in
+      Lru.add memo key v;
+      v

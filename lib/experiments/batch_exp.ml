@@ -20,8 +20,9 @@ type sweep = {
 let default_sweep ~seed =
   {
     batches = [ 1; 4; 8; 16; 32 ];
-    (* 32 req/s is ~7x what one capacity-1 shard serves cold, deep enough
-       into saturation for the frontier to show the amortization ceiling. *)
+    (* 32 req/s is ~3.4x what one capacity-1 shard serves cold (~9.4 req/s
+       since the CRT recalibration), deep enough into saturation for the
+       frontier to show the amortization ceiling. *)
     rates = [ 8.0; 16.0; 32.0 ];
     as_counts = [ 1; 2 ];
     base = { Fleet.Driver.default_config with seed };
@@ -30,7 +31,9 @@ let default_sweep ~seed =
 let smoke_sweep ~seed =
   {
     batches = [ 1; 8 ];
-    rates = [ 12.0 ];
+    (* Twice the ~9.4 req/s cold capacity of the single smoke shard, so the
+       unbatched column sheds and batch-8's amortization shows. *)
+    rates = [ 24.0 ];
     as_counts = [ 1 ];
     base =
       {

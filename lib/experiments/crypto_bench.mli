@@ -1,0 +1,11 @@
+(** Host wall-clock micro-benchmark of the RSA hot path (sign/verify ops/s
+    at 512/1024/2048 bits, CRT and window ablations, memo hit/miss).  This
+    is the one experiment that reports real CPU time rather than simulated
+    time; its output backs the calibrated {!Core.Costs} constants.  Set
+    [CLOUDMONATT_CRYPTO_SCALE=smoke] for a fast reduced-budget sweep. *)
+
+type result
+
+val run : seed:int -> unit -> result
+val print : result -> unit
+val to_json : seed:int -> result -> Json.t

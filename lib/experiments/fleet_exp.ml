@@ -19,9 +19,10 @@ let default_sweep ~seed =
 
 let smoke_sweep ~seed =
   {
-    (* 12 req/s saturates one capacity-1 shard (~4.5 req/s cold), so even
-       the smoke sweep shows the served-throughput gain from sharding. *)
-    rates = [ 12.0 ];
+    (* 24 req/s saturates one capacity-1 shard (~9.4 req/s cold with the
+       CRT-recalibrated quote_sign), so even the smoke sweep shows the
+       served-throughput gain from sharding. *)
+    rates = [ 24.0 ];
     as_counts = [ 1; 2 ];
     ttls = [ 0; Sim.Time.sec 10 ];
     base =

@@ -15,8 +15,12 @@ let payload ~subject pubkey =
 let issue t ~subject pubkey =
   { subject; pubkey; signature = Crypto.Rsa.sign t.keypair.secret (payload ~subject pubkey) }
 
+(* Certificates are long-lived and re-checked on every handshake and every
+   report appraisal, so this goes through the verification memo: the first
+   check pays the exponentiation, every later check of the same cert is a
+   hash lookup. *)
 let verify ~ca cert =
-  Crypto.Rsa.verify ca ~signature:cert.signature (payload ~subject:cert.subject cert.pubkey)
+  Crypto.Rsa.verify_memo ca ~signature:cert.signature (payload ~subject:cert.subject cert.pubkey)
 
 let encode e cert =
   Wire.Codec.Enc.str e cert.subject;

@@ -198,8 +198,10 @@ module Server = struct
           client_auth_payload ~client_random:p.p_client_random
             ~server_random:p.p_server_random ~enc_premaster
         in
-        if not (Crypto.Rsa.verify p.p_client_cert.pubkey ~signature:client_sig payload) then
-          error_reply "bad client signature"
+        (* Memoized: a retried key exchange re-sends the identical signed
+           transcript, so the retry skips the exponentiation. *)
+        if not (Crypto.Rsa.verify_memo p.p_client_cert.pubkey ~signature:client_sig payload)
+        then error_reply "bad client signature"
         else begin
           match Crypto.Rsa.decrypt t.identity.keypair.secret enc_premaster with
           | None -> error_reply "premaster decryption failed"
@@ -350,7 +352,7 @@ module Client = struct
               else if not (String.equal server_cert.subject t.peer_name) then Error `Auth_failure
               else if
                 not
-                  (Crypto.Rsa.verify server_cert.pubkey ~signature:auth
+                  (Crypto.Rsa.verify_memo server_cert.pubkey ~signature:auth
                      (server_auth_payload ~client_random ~server_random
                         ~client_name:t.identity.Identity.name ~server_name:t.peer_name))
               then Error `Auth_failure

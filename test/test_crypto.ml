@@ -333,6 +333,79 @@ let test_bignum_hex_roundtrip () =
   let a = big_of_seed "hexrt" 260 in
   Alcotest.(check bool) "hex roundtrip" true (B.equal a (B.of_hex (B.to_hex a)))
 
+(* Regression: values just above 2^62 used to truncate — [limb lsl shift]
+   dropped the high bits before the sign check, so 2^64 + 5 came back as
+   [Some 5]-style garbage and could misroute primality testing onto the
+   small-integer trial-division path. *)
+let test_bignum_to_int_overflow () =
+  let two_pow k = B.shift_left B.one k in
+  Alcotest.(check (option int)) "2^62 - 1 fits" (Some max_int)
+    (B.to_int (B.sub (two_pow 62) B.one));
+  Alcotest.(check (option int)) "2^62 overflows" None (B.to_int (two_pow 62));
+  Alcotest.(check (option int)) "2^63 overflows" None (B.to_int (two_pow 63));
+  Alcotest.(check (option int)) "2^64 + 5 overflows (3-limb)" None
+    (B.to_int (B.add (two_pow 64) (B.of_int 5)));
+  Alcotest.(check (option int)) "2^100 + 1 overflows" None
+    (B.to_int (B.add (two_pow 100) B.one));
+  (* A 3-limb value whose high limbs are zero after normalization cannot
+     exist, but a high-limb value with only low bits set must still fit. *)
+  Alcotest.(check (option int)) "(2^62-1) round trips through bytes" (Some max_int)
+    (B.to_int (B.of_bytes_be (B.to_bytes_be (B.sub (two_pow 62) B.one))))
+
+(* Differential tests against the native int as reference model: every
+   operation on small operands must agree exactly with 63-bit machine
+   arithmetic. *)
+let bignum_differential_int_model =
+  QCheck.Test.make ~name:"add/sub/mul/divmod/mod_pow match int model" ~count:500
+    QCheck.(triple (int_range 0 (1 lsl 30)) (int_range 0 (1 lsl 30)) (int_range 1 1000))
+    (fun (a, b, m) ->
+      let ba = B.of_int a and bb = B.of_int b in
+      let hi = max a b and lo = min a b in
+      let q, r = B.divmod (B.of_int hi) (B.of_int (max 1 lo)) in
+      let e = lo mod 16 and modulus = m + 1 in
+      let pow_ref =
+        let acc = ref 1 in
+        for _ = 1 to e do
+          acc := !acc * (a mod modulus) mod modulus
+        done;
+        !acc
+      in
+      B.to_int (B.add ba bb) = Some (a + b)
+      && B.to_int (B.sub (B.of_int hi) (B.of_int lo)) = Some (hi - lo)
+      && B.to_int (B.mul ba bb) = Some (a * b)
+      && B.to_int q = Some (hi / max 1 lo)
+      && B.to_int r = Some (hi mod max 1 lo)
+      && B.to_int
+           (B.mod_pow ~base:(B.of_int (a mod modulus)) ~exp:(B.of_int e)
+              ~modulus:(B.of_int modulus))
+         = Some pow_ref)
+
+(* The windowed Montgomery ladder against the division-based reference, on
+   full-width random odd moduli: identical results bit for bit, window on
+   or off. *)
+let bignum_window_vs_generic =
+  QCheck.Test.make ~name:"mod_pow_mont (windowed) = mod_pow_generic, odd moduli" ~count:30
+    QCheck.small_int
+    (fun s ->
+      let m = big_of_seed (Printf.sprintf "winmod%d" s) 200 in
+      let m = if B.is_odd m then m else B.add m B.one in
+      QCheck.assume (B.compare m B.one > 0);
+      let base = big_of_seed (Printf.sprintf "winbase%d" s) 250 in
+      let exp = big_of_seed (Printf.sprintf "winexp%d" s) 180 in
+      let reference = B.mod_pow_generic ~base ~exp ~modulus:m in
+      B.equal (B.mod_pow_mont ~window:true ~base ~exp ~modulus:m) reference
+      && B.equal (B.mod_pow_mont ~window:false ~base ~exp ~modulus:m) reference)
+
+let test_bignum_divmod_large_shift () =
+  (* Wide quotient exercising the walked-right shifted divisor: a 1500-bit
+     dividend over a 30-bit divisor. *)
+  let a = big_of_seed "divwide" 1500 in
+  let b = big_of_seed "divnarrow" 30 in
+  let b = if B.is_zero b then B.one else b in
+  let q, r = B.divmod a b in
+  Alcotest.(check bool) "a = q*b + r" true (B.equal a (B.add (B.mul q b) r));
+  Alcotest.(check bool) "r < b" true (B.compare r b < 0)
+
 (* --- RSA --------------------------------------------------------------------- *)
 
 let shared_rsa =
@@ -401,6 +474,177 @@ let test_rsa_public_of_string_garbage () =
   Alcotest.(check bool) "garbage rejected" true (Crypto.Rsa.public_of_string "nonsense" = None);
   Alcotest.(check bool) "wrong tag rejected" true
     (Crypto.Rsa.public_of_string "rsa-priv:512:aa:bb" = None)
+
+(* All four (crt, window) combinations must produce byte-identical
+   signatures: CRT and windowing change how m^d mod n is computed, never
+   its value. *)
+let rsa_crt_sign_byte_equal =
+  QCheck.Test.make ~name:"CRT/window sign = classic sign, byte for byte" ~count:8
+    QCheck.(pair (int_range 0 1000) (string_of_size (QCheck.Gen.int_range 0 80)))
+    (fun (s, msg) ->
+      let d = Crypto.Drbg.create ~seed:(Printf.sprintf "crt-eq-%d" s) in
+      let kp = Crypto.Rsa.generate d ~bits:512 in
+      let reference = Crypto.Rsa.sign ~crt:false ~window:false kp.secret msg in
+      String.equal (Crypto.Rsa.sign kp.secret msg) reference
+      && String.equal (Crypto.Rsa.sign ~crt:true ~window:false kp.secret msg) reference
+      && String.equal (Crypto.Rsa.sign ~crt:false ~window:true kp.secret msg) reference
+      && Crypto.Rsa.verify kp.public ~signature:reference msg)
+
+let test_rsa_crt_params_consistent () =
+  let kp = Lazy.force shared_rsa in
+  match kp.secret.crt with
+  | None -> Alcotest.fail "generate must produce CRT parameters"
+  | Some c ->
+      let open Crypto.Bignum in
+      Alcotest.(check bool) "p * q = n" true (equal (mul c.p c.q) kp.public.n);
+      Alcotest.(check bool) "qinv * q = 1 mod p" true
+        (equal (rem (mul c.qinv c.q) c.p) one);
+      Alcotest.(check bool) "dp = d mod p-1" true
+        (equal c.dp (rem kp.secret.d (sub c.p one)))
+
+let test_rsa_no_crt_fallback () =
+  (* A secret reconstituted without its factors — e.g. deserialized from a
+     stored (n, d) pair — must keep signing and decrypting correctly. *)
+  let kp = Lazy.force shared_rsa in
+  let bare = { kp.secret with Crypto.Rsa.crt = None } in
+  let s = Crypto.Rsa.sign bare "fallback message" in
+  Alcotest.(check string) "same bytes as CRT sign"
+    (hex (Crypto.Rsa.sign kp.secret "fallback message"))
+    (hex s);
+  let d = Crypto.Drbg.create ~seed:"nocrt-enc" in
+  let c = Crypto.Rsa.encrypt d kp.public "round trip" in
+  Alcotest.(check (option string)) "decrypts without CRT" (Some "round trip")
+    (Crypto.Rsa.decrypt bare c)
+
+(* Pinned vectors captured from the pre-CRT/pre-window implementation: the
+   same DRBG seeds must keep deriving the same keys, and fixed keys must
+   keep producing these exact signature and ciphertext bytes.  Guards the
+   wire format across any future exponentiation rework. *)
+let test_rsa_pinned_vectors () =
+  let check_pin ~seed ~bits ~n_hex ~sig_hex ~enc_hex =
+    let d = Crypto.Drbg.create ~seed in
+    let kp = Crypto.Rsa.generate d ~bits in
+    let msg = "pinned attestation quote payload" in
+    Alcotest.(check string) (seed ^ " modulus") n_hex (Crypto.Bignum.to_hex kp.public.n);
+    Alcotest.(check string) (seed ^ " signature") sig_hex (hex (Crypto.Rsa.sign kp.secret msg));
+    let enc_drbg = Crypto.Drbg.create ~seed:(seed ^ "|enc") in
+    Alcotest.(check string) (seed ^ " ciphertext") enc_hex
+      (hex (Crypto.Rsa.encrypt enc_drbg kp.public "pinned premaster secret"));
+    Alcotest.(check (option string)) (seed ^ " decrypts")
+      (Some "pinned premaster secret")
+      (Crypto.Rsa.decrypt kp.secret (Crypto.Hexs.decode enc_hex))
+  in
+  check_pin ~seed:"pin-rsa-512" ~bits:512
+    ~n_hex:
+      "c7bdad6dedad801b262548f3a6eec934bc66e806ca9c3ad4f2fde753256722478ca482474bc5e5745654e6213632c835f1e7d69bdb0fa8a3e4e6a10a64260c77"
+    ~sig_hex:
+      "8bff6214172a8063eaf5fc159ac3610b6382c952aaaaef5f7d65a2e0454c1e14c8b7c492069a24ab71ef514cb3e7975cac30c52b1aed4848dde940fa3c30758b"
+    ~enc_hex:
+      "afcc2c4a6b9a7b21189e0416d8dd19ea17ecda52a574293781c73b6948765cf495f583fce5ba4d84567dd7a93c1769e8cab30c8e7ae0d834489408a75e8265fa";
+  check_pin ~seed:"pin-rsa-1024" ~bits:1024
+    ~n_hex:
+      "e901284acc1e240bcf9adf1c63b5aa5934a02d99d83e2c65f46f38cb7537fde4cb727833606ea20d5892c49764390902c579aa3af02a363047c8bc52b36f6eb16289d7cf68b516e747062d859d5137e708c323169ba242262dd7525d188e350ba47a416aa201e56af41f8742aa1d9354212b671732dcdee3aeffc088aeb00e31"
+    ~sig_hex:
+      "cac34706155b6b024c3b139661ec56b7fc1c8406a93fcea498586207f149c1c7b150357647e08b1d1101e914a4281eec34eba279e2ee57009491349cb9975de8e1500254439d24f701dbe6c4a8134527822d8ff405c68cb27f6e0ba41d6c357fae1ccf804bc5b64a1a8aa0599161e2e081a07d35f59869c21f5e004811eb3a7e"
+    ~enc_hex:
+      "447dc3e18a05de96ee3fc4cc110f6fef15c50ef3fb0cb81995bfa4df84e01a60121d5f78f0a345bc3e56f2aff6f1f5b722d9be7b56944f042805b0462360b972ea35075b7577695a12505a8354a56ef3ce825ce56d3ca7a01f9e51ea919582eac18de0d2a2ca6f69252bfd39e7691fa581ae0774c9390e98478020d301ac60a6"
+
+(* --- Verification memo ------------------------------------------------------ *)
+
+let test_rsa_verify_memo_hit () =
+  let kp = Lazy.force shared_rsa in
+  let memo = Crypto.Rsa.Memo.create ~capacity:8 in
+  let s = Crypto.Rsa.sign kp.secret "memoized message" in
+  let cold = Crypto.Rsa.verify kp.public ~signature:s "memoized message" in
+  let miss = Crypto.Rsa.verify_memo ~memo kp.public ~signature:s "memoized message" in
+  let hit = Crypto.Rsa.verify_memo ~memo kp.public ~signature:s "memoized message" in
+  Alcotest.(check bool) "cold verdict true" true cold;
+  Alcotest.(check bool) "miss = cold" cold miss;
+  Alcotest.(check bool) "hit = cold" cold hit;
+  Alcotest.(check int) "one hit" 1 (Crypto.Rsa.Memo.hits memo);
+  Alcotest.(check int) "one miss" 1 (Crypto.Rsa.Memo.misses memo)
+
+let test_rsa_verify_memo_negative_cached () =
+  (* Rejections memoize too — and must keep being rejections. *)
+  let kp = Lazy.force shared_rsa in
+  let memo = Crypto.Rsa.Memo.create ~capacity:8 in
+  let s = Crypto.Rsa.sign kp.secret "m1" in
+  Alcotest.(check bool) "bad verdict (miss)" false
+    (Crypto.Rsa.verify_memo ~memo kp.public ~signature:s "tampered");
+  Alcotest.(check bool) "bad verdict (hit)" false
+    (Crypto.Rsa.verify_memo ~memo kp.public ~signature:s "tampered");
+  Alcotest.(check int) "negative hit counted" 1 (Crypto.Rsa.Memo.hits memo)
+
+let test_rsa_verify_memo_key_separation () =
+  (* Same message and signature bytes under a different key must not hit
+     the other key's entry. *)
+  let kp = Lazy.force shared_rsa in
+  let d = Crypto.Drbg.create ~seed:"memo-other" in
+  let other = Crypto.Rsa.generate d ~bits:512 in
+  let memo = Crypto.Rsa.Memo.create ~capacity:8 in
+  let s = Crypto.Rsa.sign kp.secret "msg" in
+  Alcotest.(check bool) "right key accepts" true
+    (Crypto.Rsa.verify_memo ~memo kp.public ~signature:s "msg");
+  Alcotest.(check bool) "wrong key rejects" false
+    (Crypto.Rsa.verify_memo ~memo other.public ~signature:s "msg");
+  Alcotest.(check int) "two distinct entries" 2 (Crypto.Rsa.Memo.length memo)
+
+(* --- LRU --------------------------------------------------------------------- *)
+
+module L = Crypto.Lru
+
+let test_lru_eviction_order () =
+  let c = L.create ~capacity:2 in
+  L.add c "a" 1;
+  L.add c "b" 2;
+  ignore (L.find c "a");
+  (* "b" is now least recent *)
+  L.add c "c" 3;
+  Alcotest.(check (option int)) "a survives (recently used)" (Some 1) (L.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (L.find c "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (L.find c "c");
+  Alcotest.(check int) "len = capacity" 2 (L.length c)
+
+let test_lru_overwrite_and_clear () =
+  let c = L.create ~capacity:2 in
+  L.add c "k" 1;
+  L.add c "k" 9;
+  Alcotest.(check (option int)) "overwritten" (Some 9) (L.find c "k");
+  Alcotest.(check int) "one entry" 1 (L.length c);
+  L.clear c;
+  Alcotest.(check int) "cleared" 0 (L.length c);
+  Alcotest.(check int) "counters reset" 0 (L.hits c);
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (L.create ~capacity:0))
+
+let lru_model_check =
+  (* Differential check against a naive list model of LRU semantics. *)
+  QCheck.Test.make ~name:"lru matches naive model" ~count:200
+    QCheck.(pair (int_range 1 6) (small_list (pair (int_range 0 9) bool)))
+    (fun (cap, ops) ->
+      let c = L.create ~capacity:cap in
+      (* model: assoc list, most recent first *)
+      let model = ref [] in
+      List.for_all
+        (fun (k, is_add) ->
+          let key = string_of_int k in
+          if is_add then begin
+            L.add c key k;
+            model := (key, k) :: List.remove_assoc key !model;
+            if List.length !model > cap then
+              model := List.filteri (fun i _ -> i < cap) !model;
+            true
+          end
+          else begin
+            let got = L.find c key in
+            let want = List.assoc_opt key !model in
+            (match want with
+            | Some _ ->
+                model := (key, List.assoc key !model) :: List.remove_assoc key !model
+            | None -> ());
+            got = want
+          end)
+        ops)
 
 (* --- Merkle ------------------------------------------------------------------- *)
 
@@ -673,6 +917,10 @@ let () =
           Alcotest.test_case "generate_prime" `Quick test_bignum_generate_prime_bits;
           Alcotest.test_case "gcd" `Quick test_bignum_gcd;
           Alcotest.test_case "hex roundtrip" `Quick test_bignum_hex_roundtrip;
+          Alcotest.test_case "to_int overflow regression" `Quick test_bignum_to_int_overflow;
+          qtest bignum_differential_int_model;
+          qtest bignum_window_vs_generic;
+          Alcotest.test_case "divmod wide quotient" `Quick test_bignum_divmod_large_shift;
         ] );
       ( "rsa",
         [
@@ -684,6 +932,21 @@ let () =
           Alcotest.test_case "plaintext too long" `Quick test_rsa_encrypt_too_long;
           Alcotest.test_case "public key roundtrip" `Quick test_rsa_public_roundtrip;
           Alcotest.test_case "public_of_string garbage" `Quick test_rsa_public_of_string_garbage;
+          qtest rsa_crt_sign_byte_equal;
+          Alcotest.test_case "CRT parameters consistent" `Quick test_rsa_crt_params_consistent;
+          Alcotest.test_case "no-CRT fallback" `Quick test_rsa_no_crt_fallback;
+          Alcotest.test_case "pinned seed vectors" `Quick test_rsa_pinned_vectors;
+          Alcotest.test_case "verify memo hit" `Quick test_rsa_verify_memo_hit;
+          Alcotest.test_case "verify memo caches rejection" `Quick
+            test_rsa_verify_memo_negative_cached;
+          Alcotest.test_case "verify memo key separation" `Quick
+            test_rsa_verify_memo_key_separation;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "overwrite and clear" `Quick test_lru_overwrite_and_clear;
+          qtest lru_model_check;
         ] );
       ( "merkle",
         [

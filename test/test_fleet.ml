@@ -429,9 +429,10 @@ let test_driver_deterministic_replay () =
        (Experiments.Json.to_string (Experiments.Fleet_exp.to_json c)))
 
 let test_driver_sharding_raises_throughput () =
-  (* Offered load well beyond one shard's ~4.5 req/s service capacity. *)
+  (* Offered load well beyond even four shards' service capacity (~9.4
+     req/s cold each since the CRT recalibration of quote_sign). *)
   let run as_count =
-    Fleet.Driver.run { smoke_config with Fleet.Driver.as_count; rate_per_s = 16.0 }
+    Fleet.Driver.run { smoke_config with Fleet.Driver.as_count; rate_per_s = 48.0 }
   in
   let r1 = run 1 and r2 = run 2 and r4 = run 4 in
   Alcotest.(check bool)
@@ -475,9 +476,9 @@ let test_driver_cache_ttl_improves_latency () =
 (* --- Driver: batching -------------------------------------------------------- *)
 
 let test_driver_batching_raises_saturated_throughput () =
-  (* 16 req/s against one capacity-1 shard (~4.5 req/s cold): batching must
+  (* 32 req/s against one capacity-1 shard (~9.4 req/s cold): batching must
      lift served throughput by amortizing the per-round RSA costs. *)
-  let base = { smoke_config with Fleet.Driver.rate_per_s = 16.0 } in
+  let base = { smoke_config with Fleet.Driver.rate_per_s = 32.0 } in
   let unbatched = Fleet.Driver.run base in
   let batched =
     Fleet.Driver.run
@@ -520,7 +521,7 @@ let test_driver_batch_one_is_inert () =
 let test_driver_shed_breakdown_sums () =
   (* The per-class shed counters must decompose the total drop count:
      offered = served + coalesced + cache hits + sheds. *)
-  let r = Fleet.Driver.run { smoke_config with Fleet.Driver.rate_per_s = 16.0 } in
+  let r = Fleet.Driver.run { smoke_config with Fleet.Driver.rate_per_s = 48.0 } in
   let sheds =
     r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic + r.Fleet.Driver.shed_recheck
   in
@@ -533,19 +534,19 @@ let test_driver_shed_breakdown_sums () =
 
 let test_batch_exp_batch1_reproduces_fleet () =
   (* The batch-1 column of the batch experiment and the unbatched fleet
-     experiment share a configuration (rate 12, 1 shard, cache off at smoke
+     experiment share a configuration (rate 24, 1 shard, cache off at smoke
      scale) — their numbers must agree exactly. *)
   let fleet = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
   let batch = Experiments.Batch_exp.run ~seed:7 ~scale:`Smoke () in
   let fleet_row =
     List.find
       (fun (row : Experiments.Fleet_exp.row) ->
-        row.rate = 12.0 && row.as_count = 1 && row.ttl = 0)
+        row.rate = 24.0 && row.as_count = 1 && row.ttl = 0)
       fleet.Experiments.Fleet_exp.rows
   in
   let batch_row =
     List.find
-      (fun (row : Experiments.Batch_exp.row) -> row.batch = 1 && row.rate = 12.0)
+      (fun (row : Experiments.Batch_exp.row) -> row.batch = 1 && row.rate = 24.0)
       batch.Experiments.Batch_exp.rows
   in
   Alcotest.(check bool) "identical driver results" true
@@ -553,7 +554,7 @@ let test_batch_exp_batch1_reproduces_fleet () =
   (* And the batched column of the same sweep actually batches. *)
   let batched_row =
     List.find
-      (fun (row : Experiments.Batch_exp.row) -> row.batch = 8 && row.rate = 12.0)
+      (fun (row : Experiments.Batch_exp.row) -> row.batch = 8 && row.rate = 24.0)
       batch.Experiments.Batch_exp.rows
   in
   Alcotest.(check bool) "batch-8 rounds recorded" true
