@@ -110,6 +110,19 @@ let run_fuzz () =
     Printf.eprintf "fuzz: oracle violations found; repros written to fuzz-repros.txt\n%!"
   end
 
+(* The backend lifecycle gates also flip the exit status: a stale-state
+   vTPM quote that verifies Healthy is a security regression, not noise. *)
+let backends_failed = ref false
+
+let run_backends () =
+  let result = Experiments.Backends_exp.run ~seed () in
+  Experiments.Backends_exp.print result;
+  collect "backends" (Experiments.Backends_exp.to_json result);
+  if not (Experiments.Backends_exp.clean result) then begin
+    backends_failed := true;
+    Printf.eprintf "backends: lifecycle gate violated (see BENCH_backends.json)\n%!"
+  end
+
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
   Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -184,6 +197,7 @@ let experiments =
     ("audit", run_audit);
     ("crypto", run_crypto);
     ("fuzz", run_fuzz);
+    ("backends", run_backends);
     ("ablations", run_ablations);
     ("micro", run_micro);
   ]
@@ -264,6 +278,7 @@ let () =
             ("audit", "BENCH_audit.json");
             ("crypto", "BENCH_crypto.json");
             ("fuzz", "BENCH_fuzz.json");
+            ("backends", "BENCH_backends.json");
           ]
   in
   match json_paths with
@@ -294,6 +309,8 @@ let () =
                   List.filter (fun (n, _) -> n = "crypto") !json_results
               | None, "BENCH_fuzz.json" ->
                   List.filter (fun (n, _) -> n = "fuzz") !json_results
+              | None, "BENCH_backends.json" ->
+                  List.filter (fun (n, _) -> n = "backends") !json_results
               | _ -> !json_results
             in
             let doc =
@@ -313,4 +330,4 @@ let () =
 
 (* Fail the process (after the artifacts are written, so the repro file
    and JSON survive) when the fuzz campaign surfaced violations. *)
-let () = if !fuzz_failed then exit 1
+let () = if !fuzz_failed || !backends_failed then exit 1

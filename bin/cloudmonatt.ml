@@ -15,7 +15,7 @@ let seed_arg =
 (* --- experiment --------------------------------------------------------- *)
 
 let all_experiments =
-  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "audit"; "ablations" ]
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "audit"; "backends"; "ablations" ]
 
 let experiment_names = all_experiments @ [ "all" ]
 
@@ -34,6 +34,7 @@ let run_experiment seed name =
   | "fleet" -> Experiments.Fleet_exp.print (Experiments.Fleet_exp.run ~seed ())
   | "batch" -> Experiments.Batch_exp.print (Experiments.Batch_exp.run ~seed ())
   | "audit" -> Experiments.Audit_exp.print (Experiments.Audit_exp.run ~seed ())
+  | "backends" -> Experiments.Backends_exp.print (Experiments.Backends_exp.run ~seed ())
   | "ablations" ->
       Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
       Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -45,7 +46,7 @@ let run_experiment seed name =
 
 let experiment_cmd =
   let names =
-    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, audit, ablations, all)." in
+    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, audit, backends, ablations, all)." in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed names =

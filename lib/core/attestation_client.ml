@@ -1,6 +1,6 @@
 type t = {
   server : Hypervisor.Server.t;
-  trust : Tpm.Trust_module.t;
+  trust : Tpm.Backend.t;
   kernel : Monitors.Monitor_kernel.t;
   identity : Net.Secure_channel.Identity.t;
   mutable served : int;
@@ -58,13 +58,13 @@ let handle_batch t (req : Protocol.batch_measure_request) =
             measured
         in
         let root = Crypto.Merkle.root leaves in
-        let session = Tpm.Trust_module.begin_session t.trust in
+        let session = Tpm.Backend.begin_session t.trust in
         let signature =
-          match Tpm.Trust_module.quote_batch t.trust session ~root ~nonce:req.bm_nonce with
+          match Tpm.Backend.quote_batch t.trust session ~root ~nonce:req.bm_nonce with
           | Some s -> s
           | None -> ""
         in
-        Tpm.Trust_module.end_session t.trust session;
+        Tpm.Backend.end_session t.trust session;
         let items =
           List.mapi
             (fun i (bi_vid, bi_requests_raw, bi_values_raw) ->
@@ -105,7 +105,7 @@ let handle t plaintext =
               error_reply ("unsupported measurement " ^ Monitors.Measurement.request_to_string r)
           | Ok values ->
               let values_raw = Monitors.Measurement.encode_values values in
-              let session = Tpm.Trust_module.begin_session t.trust in
+              let session = Tpm.Backend.begin_session t.trust in
               let quote =
                 Protocol.q3 ~vid:req.vid ~requests_raw:req.requests_raw ~values_raw
                   ~nonce:req.nonce
@@ -124,18 +124,18 @@ let handle t plaintext =
               in
               let signature =
                 match
-                  Tpm.Trust_module.sign_with_session t.trust session
+                  Tpm.Backend.sign_with_session t.trust session
                     (Protocol.measure_response_payload unsigned)
                 with
                 | Some s -> s
                 | None -> ""
               in
-              Tpm.Trust_module.end_session t.trust session;
+              Tpm.Backend.end_session t.trust session;
               t.served <- t.served + 1;
               ok_reply (Protocol.encode_measure_response { unsigned with signature }))))
 
 let create ~net ~ca ~seed ?(key_bits = 1024) server =
-  match Hypervisor.Server.trust_module server with
+  match Hypervisor.Server.trust_backend server with
   | None -> Error `Not_secure
   | Some trust ->
       (* The channel identity key is the Trust Module's identity keypair
@@ -163,15 +163,16 @@ let create ~net ~ca ~seed ?(key_bits = 1024) server =
       Net.Network.register net (address_of name) (Net.Secure_channel.Server.handle channel_server);
       Ok t
 
-let measurement_cost (req : Protocol.measure_request) =
+let measurement_cost ?(backend = Tpm.Backend.Classic) (req : Protocol.measure_request) =
   let n =
     match Monitors.Measurement.decode_requests req.requests_raw with
     | Some rs -> List.length rs
     | None -> 1
   in
-  Costs.session_keygen + Costs.quote_sign + (n * Costs.measurement_collect)
+  Costs.session_keygen_for backend + Costs.quote_sign_for backend
+  + (n * Costs.measurement_collect)
 
-let batch_measurement_cost (req : Protocol.batch_measure_request) =
+let batch_measurement_cost ?(backend = Tpm.Backend.Classic) (req : Protocol.batch_measure_request) =
   let collects =
     List.fold_left
       (fun acc (_, requests_raw) ->
@@ -184,5 +185,5 @@ let batch_measurement_cost (req : Protocol.batch_measure_request) =
   in
   (* One keygen + one root signature for the whole batch; collection stays
      per measurement and the Merkle build is charged per node. *)
-  Costs.batch_quote_cost ~batch:(List.length req.bm_items)
+  Costs.batch_quote_cost_for ~batch:(List.length req.bm_items) backend
   + (collects * Costs.measurement_collect)

@@ -30,11 +30,13 @@ val address_of : string -> string
 (** [address_of server_name] is the network address of that server's
     attestation client. *)
 
-val measurement_cost : Protocol.measure_request -> Sim.Time.t
+val measurement_cost : ?backend:Tpm.Backend.kind -> Protocol.measure_request -> Sim.Time.t
 (** Simulated server-side cost of serving a request: session key
-    generation, per-measurement collection, quote signing. *)
+    generation, per-measurement collection, quote signing.  [backend]
+    (default [Classic]) selects the per-backend keygen/sign terms. *)
 
-val batch_measurement_cost : Protocol.batch_measure_request -> Sim.Time.t
+val batch_measurement_cost :
+  ?backend:Tpm.Backend.kind -> Protocol.batch_measure_request -> Sim.Time.t
 (** Simulated cost of a batched round: one session keygen + one root
     signature for the whole batch ({!Core.Costs.batch_quote_cost}), plus
     per-measurement collection.  The client answers batch requests on the

@@ -3,7 +3,8 @@ type error =
   | `Channel of Net.Secure_channel.error
   | `Server_refused of string
   | `Verification of Protocol.verify_error
-  | `Uncertified_key ]
+  | `Uncertified_key
+  | `No_platform_root ]
 
 let pp_error ppf = function
   | `Server_unreachable s -> Format.fprintf ppf "server %s unreachable" s
@@ -11,6 +12,8 @@ let pp_error ppf = function
   | `Server_refused why -> Format.fprintf ppf "server refused: %s" why
   | `Verification e -> Format.fprintf ppf "verification failed: %a" Protocol.pp_verify_error e
   | `Uncertified_key -> Format.pp_print_string ppf "privacy CA would not certify the session key"
+  | `No_platform_root ->
+      Format.pp_print_string ppf "no hardware vendor root configured for CVM verification"
 
 type history_entry = {
   at : Sim.Time.t;
@@ -44,6 +47,12 @@ type t = {
      pre-audit format. *)
   mutable audit : Audit.Log.t option;
   mutable receipts : Audit.Receipt.t list; (* this call's receipts, newest first *)
+  (* Which trust backend each cloud server runs (wired by Cloud from the
+     controller's database); defaults to classic everywhere, which keeps a
+     homogeneous fleet on the exact pre-backend verification path. *)
+  mutable backend_of : string -> Tpm.Backend.kind;
+  (* Hardware vendor root for [Cvm_report] servers. *)
+  mutable platform_root : Crypto.Rsa.public option;
 }
 
 let create ~net ~ca ~pca ~refs ~seed ?(key_bits = 1024) ?(name = "attestation-server") () =
@@ -65,6 +74,8 @@ let create ~net ~ca ~pca ~refs ~seed ?(key_bits = 1024) ?(name = "attestation-se
     engine_now = (fun () -> 0);
     audit = None;
     receipts = [];
+    backend_of = (fun _ -> Tpm.Backend.Classic);
+    platform_root = None;
   }
 
 let name t = t.name
@@ -75,6 +86,8 @@ let set_refs t refs = t.refs <- refs
 let set_vm_image_lookup t f = t.vm_image_lookup <- f
 let set_clock t f = t.engine_now <- f
 let set_attest_attempts t n = t.attest_attempts <- max 1 n
+let set_backend_lookup t f = t.backend_of <- f
+let set_platform_root t key = t.platform_root <- Some key
 
 let enable_audit t =
   match t.audit with
@@ -107,7 +120,7 @@ let availability_failure = function
   | `Server_unreachable _ -> true
   | `Channel (`Transport m) -> not (is_no_such_host m)
   | `Channel e -> Net.Secure_channel.desync e
-  | `Server_refused _ | `Verification _ | `Uncertified_key -> false
+  | `Server_refused _ | `Verification _ | `Uncertified_key | `No_platform_root -> false
 
 let transport t ~dst msg =
   let result, elapsed = Net.Network.call_with_retry t.net ~src:t.name ~dst msg in
@@ -175,13 +188,24 @@ let sign_report t ~vid ~server ~property ~nonce ~ledger report =
       t.receipts <- receipt :: t.receipts);
   signed
 
-(* One measurement-collection round against the cloud server. *)
+let stale_binding_status =
+  Report.Compromised "vtpm-stale-binding: restored vTPM state was not re-registered"
+
+let stale_binding_evidence = "session-key endorsement carries a stale or outdated binding epoch"
+
+(* One measurement-collection round against the cloud server.  The trust
+   chain is checked per backend: classic and vTPM responses go through the
+   Privacy CA (the vTPM registry additionally enforcing the binding epoch),
+   CVM responses through the hardware vendor root.  A known-but-stale vTPM
+   binding is not an availability failure — it is the finding: the verdict
+   comes back [Compromised], signed and audited like any other. *)
 let attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger =
+  let backend = t.backend_of server in
   let* channel = channel_to t ~server ledger in
   let n3 = Crypto.Drbg.nonce t.drbg in
   let req = { Protocol.vid; requests_raw; nonce = n3 } in
   (* Server-side simulated cost: key generation, collection, signing. *)
-  Ledger.add ledger "server-measure" (Attestation_client.measurement_cost req);
+  Ledger.add ledger "server-measure" (Attestation_client.measurement_cost ~backend req);
   let* raw =
     match
       Net.Secure_channel.Client.call_robust channel (Protocol.encode_measure_request req)
@@ -198,35 +222,94 @@ let attest_once t ~vid ~server ~property ~nonce ~requests_raw ledger =
     | Some r -> Ok r
     | None -> Error (`Server_refused "malformed measurement response")
   in
-  (* Certify the session key through the privacy CA, then verify. *)
-  Ledger.add ledger "pca-certify" Costs.pca_certify;
-  let* cert =
-    match Crypto.Rsa.public_of_string response.avk with
-    | None -> Error `Uncertified_key
-    | Some avk -> (
-        match
-          Privacy_ca.certify_attestation_key t.pca ~key:avk
-            ~endorsement:response.endorsement
-        with
-        | Ok cert -> Ok cert
-        | Error `Unknown_server -> Error `Uncertified_key)
+  let* gate =
+    match backend with
+    | Tpm.Backend.Classic ->
+        (* Certify the session key through the privacy CA, then verify. *)
+        Ledger.add ledger "pca-certify" Costs.pca_certify;
+        let* cert =
+          match Crypto.Rsa.public_of_string response.avk with
+          | None -> Error `Uncertified_key
+          | Some avk -> (
+              match
+                Privacy_ca.certify_attestation_key t.pca ~key:avk
+                  ~endorsement:response.endorsement
+              with
+              | Ok cert -> Ok cert
+              | Error `Unknown_server -> Error `Uncertified_key)
+        in
+        Ledger.add ledger "verify" Costs.signature_verify;
+        let* () =
+          Result.map_error
+            (fun e -> `Verification e)
+            (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
+               ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3 response)
+        in
+        Ok `Verified
+    | Tpm.Backend.Evtpm -> (
+        Ledger.add ledger "pca-certify" Costs.pca_certify;
+        match Crypto.Rsa.public_of_string response.avk with
+        | None -> Error `Uncertified_key
+        | Some avk -> (
+            match
+              Privacy_ca.certify_evtpm_key t.pca ~key:avk ~endorsement:response.endorsement
+            with
+            | Error `Unknown_server -> Error `Uncertified_key
+            | Error `Stale_binding ->
+                (* The endorsement authenticates the response as coming from
+                   a known vTPM — just one whose binding lapsed.  Check the
+                   session signature so a forger cannot ride the stale path,
+                   then let the verdict through. *)
+                Ledger.add ledger "verify" Costs.signature_verify;
+                if
+                  Crypto.Rsa.verify_memo avk ~signature:response.signature
+                    (Protocol.measure_response_payload response)
+                then Ok `Stale_binding
+                else Error (`Verification `Bad_signature)
+            | Ok cert ->
+                Ledger.add ledger "verify" Costs.signature_verify;
+                let* () =
+                  Result.map_error
+                    (fun e -> `Verification e)
+                    (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
+                       ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3
+                       response)
+                in
+                Ok `Verified))
+    | Tpm.Backend.Cvm_report -> (
+        match t.platform_root with
+        | None -> Error `No_platform_root
+        | Some root ->
+            Ledger.add ledger "cvm-chain-verify" Costs.cvm_chain_verify;
+            Ledger.add ledger "verify" Costs.signature_verify;
+            let* () =
+              Result.map_error
+                (fun e -> `Verification e)
+                (Protocol.verify_measure_response_cvm ~root ~expected_vid:vid
+                   ~expected_requests:requests_raw ~expected_nonce:n3 response)
+            in
+            Ok `Verified)
   in
-  Ledger.add ledger "verify" Costs.signature_verify;
-  let* () =
-    Result.map_error
-      (fun e -> `Verification e)
-      (Protocol.verify_measure_response ~pca:(Privacy_ca.public t.pca) ~cert
-         ~expected_vid:vid ~expected_requests:requests_raw ~expected_nonce:n3 response)
-  in
-  (* Interpret. *)
-  Ledger.add ledger "interpret" Costs.interpret;
-  let values =
-    Option.value ~default:[] (Monitors.Measurement.decode_values response.values_raw)
-  in
-  let status, evidence =
-    Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values
-  in
-  Ok { Report.vid; property; status; evidence; produced_at = t.engine_now () }
+  match gate with
+  | `Stale_binding ->
+      Ok
+        {
+          Report.vid;
+          property;
+          status = stale_binding_status;
+          evidence = stale_binding_evidence;
+          produced_at = t.engine_now ();
+        }
+  | `Verified ->
+      (* Interpret. *)
+      Ledger.add ledger "interpret" Costs.interpret;
+      let values =
+        Option.value ~default:[] (Monitors.Measurement.decode_values response.values_raw)
+      in
+      let status, evidence =
+        Interpret.interpret t.refs ~image_name:(t.vm_image_lookup vid) property values
+      in
+      Ok { Report.vid; property; status; evidence; produced_at = t.engine_now () }
 
 let attest t ~vid ~server ~property ~nonce =
   let ledger = Ledger.create () in
@@ -275,6 +358,7 @@ let attest t ~vid ~server ~property ~nonce =
    the batch stands, because each verdict is bound to its own Q3 leaf
    under the signed root, never to its neighbours. *)
 let attest_batch_once t ~server ~reqs ledger =
+  let backend = t.backend_of server in
   let* channel = channel_to t ~server ledger in
   let n3 = Crypto.Drbg.nonce t.drbg in
   let bm =
@@ -283,7 +367,7 @@ let attest_batch_once t ~server ~reqs ledger =
       bm_nonce = n3;
     }
   in
-  Ledger.add ledger "server-measure" (Attestation_client.batch_measurement_cost bm);
+  Ledger.add ledger "server-measure" (Attestation_client.batch_measurement_cost ~backend bm);
   let* raw =
     match
       Net.Secure_channel.Client.call_robust channel (Protocol.encode_batch_measure_request bm)
@@ -302,26 +386,91 @@ let attest_batch_once t ~server ~reqs ledger =
   if List.length response.Protocol.br_items <> List.length reqs then
     Error (`Server_refused "batch reply does not match request")
   else begin
-    (* Certify the single session key and verify the single root signature. *)
-    Ledger.add ledger "pca-certify" Costs.pca_certify;
-    let* cert =
-      match Crypto.Rsa.public_of_string response.Protocol.br_avk with
-      | None -> Error `Uncertified_key
-      | Some avk -> (
-          match
-            Privacy_ca.certify_attestation_key t.pca ~key:avk
-              ~endorsement:response.Protocol.br_endorsement
-          with
-          | Ok cert -> Ok cert
-          | Error `Unknown_server -> Error `Uncertified_key)
+    (* Certify the single session key and verify the single root signature
+       — per backend, like the unbatched path.  A stale vTPM binding taints
+       the whole batch: every item came from the same restored module, so
+       every verdict is [Compromised]. *)
+    let* gate =
+      match backend with
+      | Tpm.Backend.Classic ->
+          Ledger.add ledger "pca-certify" Costs.pca_certify;
+          let* cert =
+            match Crypto.Rsa.public_of_string response.Protocol.br_avk with
+            | None -> Error `Uncertified_key
+            | Some avk -> (
+                match
+                  Privacy_ca.certify_attestation_key t.pca ~key:avk
+                    ~endorsement:response.Protocol.br_endorsement
+                with
+                | Ok cert -> Ok cert
+                | Error `Unknown_server -> Error `Uncertified_key)
+          in
+          Ledger.add ledger "verify" (Costs.batch_verify_cost ~batch:(List.length reqs));
+          let* () =
+            Result.map_error
+              (fun e -> `Verification e)
+              (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public t.pca) ~cert
+                 ~expected_nonce:n3 response)
+          in
+          Ok `Verified
+      | Tpm.Backend.Evtpm -> (
+          Ledger.add ledger "pca-certify" Costs.pca_certify;
+          match Crypto.Rsa.public_of_string response.Protocol.br_avk with
+          | None -> Error `Uncertified_key
+          | Some avk -> (
+              match
+                Privacy_ca.certify_evtpm_key t.pca ~key:avk
+                  ~endorsement:response.Protocol.br_endorsement
+              with
+              | Error `Unknown_server -> Error `Uncertified_key
+              | Error `Stale_binding ->
+                  Ledger.add ledger "verify" Costs.signature_verify;
+                  if
+                    Crypto.Rsa.verify_memo avk ~signature:response.Protocol.br_signature
+                      (Tpm.Trust_module.batch_quote_payload
+                         ~root:response.Protocol.br_root ~nonce:response.Protocol.br_nonce)
+                    && String.equal response.Protocol.br_nonce n3
+                  then Ok `Stale_binding
+                  else Error (`Verification `Bad_signature)
+              | Ok cert ->
+                  Ledger.add ledger "verify" (Costs.batch_verify_cost ~batch:(List.length reqs));
+                  let* () =
+                    Result.map_error
+                      (fun e -> `Verification e)
+                      (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public t.pca) ~cert
+                         ~expected_nonce:n3 response)
+                  in
+                  Ok `Verified))
+      | Tpm.Backend.Cvm_report -> (
+          match t.platform_root with
+          | None -> Error `No_platform_root
+          | Some root ->
+              Ledger.add ledger "cvm-chain-verify" Costs.cvm_chain_verify;
+              Ledger.add ledger "verify" (Costs.batch_verify_cost ~batch:(List.length reqs));
+              let* () =
+                Result.map_error
+                  (fun e -> `Verification e)
+                  (Protocol.verify_batch_envelope_cvm ~root ~expected_nonce:n3 response)
+              in
+              Ok `Verified)
     in
-    Ledger.add ledger "verify" (Costs.batch_verify_cost ~batch:(List.length reqs));
-    let* () =
-      Result.map_error
-        (fun e -> `Verification e)
-        (Protocol.verify_batch_envelope ~pca:(Privacy_ca.public t.pca) ~cert
-           ~expected_nonce:n3 response)
-    in
+    match gate with
+    | `Stale_binding ->
+        Ok
+          (List.map
+             (fun (vid, property, _) ->
+               ( vid,
+                 property,
+                 Ok
+                   {
+                     Report.vid;
+                     property;
+                     status = stale_binding_status;
+                     evidence = stale_binding_evidence;
+                     produced_at = t.engine_now ();
+                   } ))
+             reqs)
+    | `Verified ->
     let root = response.Protocol.br_root in
     let appraise (vid, property, requests_raw) (item : Protocol.batch_item) =
       let itemwise =

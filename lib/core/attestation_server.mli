@@ -18,7 +18,8 @@ type error =
   | `Channel of Net.Secure_channel.error
   | `Server_refused of string
   | `Verification of Protocol.verify_error
-  | `Uncertified_key ]
+  | `Uncertified_key
+  | `No_platform_root ]
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -53,6 +54,20 @@ val set_clock : t -> (unit -> Sim.Time.t) -> unit
 val set_attest_attempts : t -> int -> unit
 (** How many from-scratch attestation rounds {!attest} may run before it
     degrades the verdict to [Unknown] (clamped to at least 1; default 2). *)
+
+val set_backend_lookup : t -> (string -> Tpm.Backend.kind) -> unit
+(** Which trust backend each cloud server runs, keyed by server name
+    (wired by {!Cloud} from the controller's database).  Defaults to
+    [Classic] everywhere.  The lookup selects the verification path:
+    classic and vTPM endorsements go through the Privacy CA — the vTPM
+    registry additionally enforcing the binding epoch, so a
+    restored-but-not-rebound module yields a signed [Compromised] verdict
+    rather than a certificate — and CVM report chains are checked against
+    the hardware vendor root alone. *)
+
+val set_platform_root : t -> Crypto.Rsa.public -> unit
+(** The hardware vendor's root verification key, required before any
+    [Cvm_report] server can be appraised ([`No_platform_root] otherwise). *)
 
 val enable_audit : t -> Audit.Log.t
 (** Switch the verdict transparency log on (idempotent): every signed

@@ -10,6 +10,9 @@ type config = {
   insecure_servers : int;
   corrupt_platforms : int list;
   refs : Interpret.refs;
+  backend_of : int -> Tpm.Backend.kind;
+      (** trust backend per server index; all-[Classic] stays byte-identical
+          to the pre-backend cloud *)
 }
 
 let default_config =
@@ -23,6 +26,7 @@ let default_config =
     insecure_servers = 0;
     corrupt_platforms = [];
     refs = Interpret.default_refs;
+    backend_of = (fun _ -> Tpm.Backend.Classic);
   }
 
 type t = {
@@ -34,6 +38,7 @@ type t = {
   controller : Controller.t;
   attestation_servers : Attestation_server.t list;
   servers : Hypervisor.Server.t list;
+  platform_root : Tpm.Platform_root.t option;
 }
 
 let config t = t.config
@@ -45,6 +50,7 @@ let controller t = t.controller
 let attestation_server t = List.hd t.attestation_servers
 let attestation_servers t = t.attestation_servers
 let servers t = t.servers
+let platform_root t = t.platform_root
 
 let find_server t name =
   List.find_opt (fun s -> String.equal (Hypervisor.Server.name s) name) t.servers
@@ -74,6 +80,16 @@ let build ?(config = default_config) () =
   let seed = string_of_int config.seed in
   let ca = Net.Ca.create ~seed ~bits:config.key_bits ~name:"cloud-root-ca" () in
   let pca = Privacy_ca.create ~seed ~bits:config.key_bits () in
+  (* Hardware vendor root, minted only when some server actually runs a CVM
+     report device (an all-classic cloud draws exactly the same key streams
+     as before backends existed). *)
+  let platform_root =
+    let rec needs i =
+      i < config.num_servers
+      && (config.backend_of i = Tpm.Backend.Cvm_report || needs (i + 1))
+    in
+    if needs 0 then Some (Tpm.Platform_root.create ~bits:config.key_bits ~seed ()) else None
+  in
   (* Cloud servers. *)
   let servers =
     List.init config.num_servers (fun i ->
@@ -86,16 +102,25 @@ let build ?(config = default_config) () =
         Hypervisor.Server.create ~engine ~name ~pcpus:config.pcpus ~mem_mb:config.mem_mb
           ~platform ~secure
           ~capabilities:(if secure then all_capabilities else [])
-          ~key_bits:config.key_bits ~seed ())
+          ~key_bits:config.key_bits ~backend:(config.backend_of i) ?platform_root ~seed ())
   in
-  (* Attestation clients + privacy-CA enrollment for secure servers. *)
+  (* Attestation clients + enrollment for secure servers.  Classic modules
+     enroll their identity key; vTPMs enroll key + binding epoch in the
+     CA's vTPM registry; CVM devices enroll nowhere — their trust chain
+     terminates at the vendor root, not at the operator. *)
   List.iter
     (fun server ->
-      match Hypervisor.Server.trust_module server with
+      match Hypervisor.Server.trust_backend server with
       | None -> ()
-      | Some tm ->
-          Privacy_ca.enroll_server pca ~name:(Hypervisor.Server.name server)
-            (Tpm.Trust_module.identity_public tm);
+      | Some b ->
+          let sname = Hypervisor.Server.name server in
+          (match Tpm.Backend.kind b with
+          | Tpm.Backend.Classic ->
+              Privacy_ca.enroll_server pca ~name:sname (Tpm.Backend.identity_public b)
+          | Tpm.Backend.Evtpm ->
+              Privacy_ca.enroll_evtpm pca ~name:sname (Tpm.Backend.identity_public b)
+                ~epoch:(Tpm.Backend.binding_epoch b)
+          | Tpm.Backend.Cvm_report -> ());
           (match Attestation_client.create ~net ~ca ~seed ~key_bits:config.key_bits server with
           | Ok _client -> ()
           | Error `Not_secure -> ()))
@@ -147,7 +172,14 @@ let build ?(config = default_config) () =
       Attestation_server.set_vm_image_lookup a (fun vid ->
           Option.map
             (fun r -> r.Database.image_name)
-            (Database.vm (Controller.db controller) vid)))
+            (Database.vm (Controller.db controller) vid));
+      Attestation_server.set_backend_lookup a (fun sname ->
+          match Database.server (Controller.db controller) sname with
+          | Some r -> r.Database.backend
+          | None -> Tpm.Backend.Classic);
+      match platform_root with
+      | Some root -> Attestation_server.set_platform_root a (Tpm.Platform_root.public root)
+      | None -> ())
     attestation_servers;
   (* Image catalog and standard workloads. *)
   List.iter (Controller.add_image controller)
@@ -161,7 +193,30 @@ let build ?(config = default_config) () =
       Controller.register_workload controller bench.Workloads.Cloud_bench.name (fun flavor ->
           Workloads.Cloud_bench.programs bench ~vcpus:flavor.Hypervisor.Flavor.vcpus))
     Workloads.Cloud_bench.all;
-  { config; engine; net; ca; pca; controller; attestation_servers; servers }
+  { config; engine; net; ca; pca; controller; attestation_servers; servers; platform_root }
+
+(* --- vTPM lifecycle --------------------------------------------------------- *)
+
+let vtpm_device t server =
+  match find_server t server with
+  | None -> Error ("no such server: " ^ server)
+  | Some s -> (
+      match Option.bind (Hypervisor.Server.trust_backend s) Tpm.Backend.as_evtpm with
+      | None -> Error (server ^ " does not run an ephemeral vTPM backend")
+      | Some dev -> Ok dev)
+
+let vtpm_save t ~server = Result.bind (vtpm_device t server) Tpm.Evtpm.save_state
+
+let vtpm_restore t ~server state =
+  Result.bind (vtpm_device t server) (fun dev -> Tpm.Evtpm.restore_state dev state)
+
+let vtpm_rebind t ~server =
+  Result.map
+    (fun dev ->
+      let epoch = Tpm.Evtpm.rebind dev in
+      Privacy_ca.rebind_evtpm t.pca ~name:server (Tpm.Evtpm.identity_public dev) ~epoch;
+      epoch)
+    (vtpm_device t server)
 
 (* --- Customer --------------------------------------------------------------- *)
 

@@ -15,6 +15,11 @@ type config = {
   insecure_servers : int;  (** trailing servers built without a Trust Module *)
   corrupt_platforms : int list;  (** indices of servers booted with a tampered hypervisor *)
   refs : Interpret.refs;
+  backend_of : int -> Tpm.Backend.kind;
+      (** trust backend per server index (default all [Classic], which is
+          byte-identical on the wire to the pre-backend cloud); a vendor
+          {!Tpm.Platform_root} is minted iff some index maps to
+          [Cvm_report] *)
 }
 
 val default_config : config
@@ -41,6 +46,29 @@ val attestation_server : t -> Attestation_server.t
 val attestation_servers : t -> Attestation_server.t list
 val servers : t -> Hypervisor.Server.t list
 val find_server : t -> string -> Hypervisor.Server.t option
+
+val platform_root : t -> Tpm.Platform_root.t option
+(** The hardware vendor root, present iff the config placed a [Cvm_report]
+    backend somewhere. *)
+
+(** {2 vTPM lifecycle}
+
+    Management-plane operations on servers running the {!Tpm.Evtpm}
+    backend: serialize the module state (what a migration or
+    suspend-to-disk carries), restore it (which marks the module stale),
+    and re-register with the Privacy CA (which is the {e only} way quotes
+    from restored state verify Healthy again). *)
+
+val vtpm_save : t -> server:string -> (string, string) result
+
+val vtpm_restore : t -> server:string -> string -> (unit, string) result
+(** Restore saved state into [server]'s vTPM.  Until {!vtpm_rebind}, every
+    quote it mints is rejected by the Privacy CA as a stale binding and
+    comes back as a signed [Compromised] verdict. *)
+
+val vtpm_rebind : t -> server:string -> (int, string) result
+(** Bump the binding epoch on the device and mirror it to the Privacy CA;
+    returns the new epoch. *)
 
 val run_for : t -> Sim.Time.t -> unit
 (** Advance simulated time (runs scheduler ticks, periodic attestations,

@@ -94,6 +94,8 @@ let register_hypervisor t server =
     {
       Database.name = sname;
       secure = Hypervisor.Server.is_secure server;
+      backend =
+        Option.value ~default:Tpm.Backend.Classic (Hypervisor.Server.backend_kind server);
       monitoring = List.filter_map Property.of_string (Hypervisor.Server.capabilities server);
     }
 

@@ -21,6 +21,32 @@ let interpret = ms 30
 let db_lookup = ms 12
 let handshake_crypto = ms 60
 
+(* Per-backend attestation-path costs.  The classic constants above stay the
+   calibration anchors; the other backends scale them by where their crypto
+   runs.  An ephemeral vTPM is host software (no slow device engine, but it
+   still generates a fresh RSA session key); a CVM report device signs with a
+   pre-fused platform-derived key on dedicated hardware, so "keygen" is only
+   key derivation.  CVM verification swaps the Privacy-CA certificate check
+   for walking the two-link platform certificate chain: two RSA verifies. *)
+let evtpm_session_keygen = ms 70
+let evtpm_quote_sign = ms 9
+let cvm_session_keygen = ms 40
+let cvm_quote_sign = ms 6
+let cvm_chain_verify = signature_verify + signature_verify
+let evtpm_state_save = ms 12
+let evtpm_state_restore = ms 15
+let evtpm_rebind = pca_certify
+
+let session_keygen_for = function
+  | Tpm.Backend.Classic -> session_keygen
+  | Tpm.Backend.Evtpm -> evtpm_session_keygen
+  | Tpm.Backend.Cvm_report -> cvm_session_keygen
+
+let quote_sign_for = function
+  | Tpm.Backend.Classic -> quote_sign
+  | Tpm.Backend.Evtpm -> evtpm_quote_sign
+  | Tpm.Backend.Cvm_report -> cvm_quote_sign
+
 (* Batched attestation.  One session keypair and one quote signature cover a
    whole batch of measurement reports; what remains per report is Merkle
    hashing, three orders of magnitude cheaper than the RSA operations it
@@ -31,6 +57,10 @@ let merkle_hash = Sim.Time.us 40
 (* Trust-Module side: build the tree, mint one session key, sign the root. *)
 let batch_quote_cost ~batch =
   session_keygen + quote_sign + (Crypto.Merkle.node_count batch * merkle_hash)
+
+let batch_quote_cost_for ~batch kind =
+  session_keygen_for kind + quote_sign_for kind
+  + (Crypto.Merkle.node_count batch * merkle_hash)
 
 (* Appraiser side: one RSA verification for the whole batch, then per report
    a leaf hash plus an O(log n) inclusion-proof walk. *)

@@ -29,6 +29,32 @@ val db_lookup : Sim.Time.t
 val handshake_crypto : Sim.Time.t
 (** CPU cost of an SSL-style handshake (both sides combined). *)
 
+(** {2 Per-backend attestation-path costs}
+
+    The classic Trust Module keeps the calibration constants above; the
+    vTPM runs its crypto in host software and the CVM report device signs
+    with a pre-fused platform-derived key, so their RSA terms shrink. *)
+
+val evtpm_session_keygen : Sim.Time.t
+val evtpm_quote_sign : Sim.Time.t
+val cvm_session_keygen : Sim.Time.t
+val cvm_quote_sign : Sim.Time.t
+
+val cvm_chain_verify : Sim.Time.t
+(** Walking the two-link platform certificate chain (vendor root -> fused
+    platform key -> report key): two RSA verifications, replacing the
+    Privacy-CA certificate check. *)
+
+val evtpm_state_save : Sim.Time.t
+val evtpm_state_restore : Sim.Time.t
+
+val evtpm_rebind : Sim.Time.t
+(** Privacy-CA re-registration of a restored vTPM (same class as
+    {!pca_certify}). *)
+
+val session_keygen_for : Tpm.Backend.kind -> Sim.Time.t
+val quote_sign_for : Tpm.Backend.kind -> Sim.Time.t
+
 (** {2 Batched attestation costs}
 
     One Trust-Module quote covers a Merkle tree of reports; the RSA terms
@@ -40,6 +66,9 @@ val merkle_hash : Sim.Time.t
 val batch_quote_cost : batch:int -> Sim.Time.t
 (** Trust-Module cost of quoting a batch: one session keygen, one root
     signature, [Crypto.Merkle.node_count batch] hashes. *)
+
+val batch_quote_cost_for : batch:int -> Tpm.Backend.kind -> Sim.Time.t
+(** {!batch_quote_cost} with the backend's own keygen/sign terms. *)
 
 val batch_verify_cost : batch:int -> Sim.Time.t
 (** Appraiser cost: one signature verification plus per-report

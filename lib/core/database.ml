@@ -17,7 +17,12 @@ type vm_record = {
   mutable state : vm_state;
 }
 
-type server_record = { name : string; secure : bool; monitoring : Property.t list }
+type server_record = {
+  name : string;
+  secure : bool;
+  backend : Tpm.Backend.kind;
+  monitoring : Property.t list;
+}
 
 type t = {
   vm_table : (string, vm_record) Hashtbl.t;

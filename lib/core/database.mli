@@ -18,7 +18,8 @@ type vm_record = {
 
 type server_record = {
   name : string;
-  secure : bool;  (** has a Trust Module *)
+  secure : bool;  (** has a trust backend *)
+  backend : Tpm.Backend.kind;  (** which one ([Classic] on insecure servers too) *)
   monitoring : Property.t list;  (** properties it can monitor *)
 }
 

@@ -20,6 +20,22 @@ val enroll_server : t -> name:string -> Crypto.Rsa.public -> unit
 
 val enrolled : t -> string list
 
+(** {2 Migratable vTPM registry}
+
+    Ephemeral vTPMs enroll with an explicit {e binding epoch}.  The CA only
+    certifies session keys endorsed fresh at the registered epoch; an
+    endorsement carrying the stale marker, or minted at an older epoch, is
+    rejected as [`Stale_binding] — the signal that restored state was not
+    re-registered. *)
+
+val enroll_evtpm : t -> name:string -> Crypto.Rsa.public -> epoch:int -> unit
+
+val rebind_evtpm : t -> name:string -> Crypto.Rsa.public -> epoch:int -> unit
+(** Re-registration after a restore: records the vTPM's new binding epoch
+    (and identity key, which survives migration unchanged). *)
+
+val evtpm_epoch : t -> name:string -> int option
+
 val anonymous_subject : string
 (** Subject string used on every attestation-key certificate. *)
 
@@ -30,6 +46,16 @@ val certify_attestation_key :
   (Net.Ca.cert, [ `Unknown_server ]) result
 (** Verify that [endorsement] is a valid signature over [key] by {e some}
     enrolled server, and issue an anonymous certificate for [key]. *)
+
+val certify_evtpm_key :
+  t ->
+  key:Crypto.Rsa.public ->
+  endorsement:string ->
+  (Net.Ca.cert, [ `Unknown_server | `Stale_binding ]) result
+(** Like {!certify_attestation_key} for the vTPM registry.  Only an
+    endorsement minted fresh at the registered binding epoch certifies;
+    stale-marked or old-epoch endorsements from a known vTPM return
+    [`Stale_binding]. *)
 
 val check_certificate : pca:Crypto.Rsa.public -> Net.Ca.cert -> key:Crypto.Rsa.public -> bool
 (** What the Attestation Server checks: a valid pCA signature, the

@@ -362,6 +362,31 @@ let verify_measure_response ~pca ~cert ~expected_vid ~expected_requests ~expecte
            (q3 ~vid:r.vid ~requests_raw:r.requests_raw ~values_raw:r.values_raw ~nonce:r.nonce))
         `Bad_quote
 
+(* CVM variant: the operator's Privacy CA is out of the loop.  The
+   endorsement field carries the two-link platform certificate chain and
+   the verifier checks it against the hardware vendor's root key alone. *)
+let verify_measure_response_cvm ~root ~expected_vid ~expected_requests ~expected_nonce
+    (r : measure_response) =
+  match Crypto.Rsa.public_of_string r.avk with
+  | None -> Error `Bad_certificate
+  | Some avk ->
+      let* () =
+        check
+          (Tpm.Platform_root.verify_chain ~root ~endorsement:r.endorsement ~key:avk)
+          `Bad_certificate
+      in
+      let* () =
+        check (Crypto.Rsa.verify_memo avk ~signature:r.signature (measure_response_payload r))
+          `Bad_signature
+      in
+      let* () = check (String.equal r.vid expected_vid) `Vid_mismatch in
+      let* () = check (String.equal r.requests_raw expected_requests) `Vid_mismatch in
+      let* () = check (String.equal r.nonce expected_nonce) `Nonce_mismatch in
+      check
+        (String.equal r.quote
+           (q3 ~vid:r.vid ~requests_raw:r.requests_raw ~values_raw:r.values_raw ~nonce:r.nonce))
+        `Bad_quote
+
 (* Whole-batch envelope: the pCA certificate binds AVKs and the single
    session-key signature covers the Merkle root + nonce.  Verified once per
    batch, not once per report — that is the amortization. *)
@@ -370,6 +395,23 @@ let verify_batch_envelope ~pca ~cert ~expected_nonce (r : batch_measure_response
   | None -> Error `Bad_certificate
   | Some avk ->
       let* () = check (Privacy_ca.check_certificate ~pca cert ~key:avk) `Bad_certificate in
+      let* () =
+        check
+          (Crypto.Rsa.verify_memo avk ~signature:r.br_signature
+             (Tpm.Trust_module.batch_quote_payload ~root:r.br_root ~nonce:r.br_nonce))
+          `Bad_signature
+      in
+      check (String.equal r.br_nonce expected_nonce) `Nonce_mismatch
+
+let verify_batch_envelope_cvm ~root ~expected_nonce (r : batch_measure_response) =
+  match Crypto.Rsa.public_of_string r.br_avk with
+  | None -> Error `Bad_certificate
+  | Some avk ->
+      let* () =
+        check
+          (Tpm.Platform_root.verify_chain ~root ~endorsement:r.br_endorsement ~key:avk)
+          `Bad_certificate
+      in
       let* () =
         check
           (Crypto.Rsa.verify_memo avk ~signature:r.br_signature

@@ -145,6 +145,18 @@ val verify_measure_response :
     signature verifies under [avk], the quote recomputes, and vid, rM and
     N3 all match the outstanding request. *)
 
+val verify_measure_response_cvm :
+  root:Crypto.Rsa.public ->
+  expected_vid:string ->
+  expected_requests:string ->
+  expected_nonce:string ->
+  measure_response ->
+  (unit, verify_error) result
+(** {!verify_measure_response} for a [Cvm_report] backend: the Privacy CA
+    is replaced by the hardware vendor's [root] key, against which the
+    two-link platform chain in the endorsement field is checked.  The
+    cloud operator is outside this trust path entirely. *)
+
 val verify_as_report :
   key:Crypto.Rsa.public ->
   expected_vid:string ->
@@ -170,6 +182,14 @@ val verify_batch_envelope :
   (unit, verify_error) result
 (** Whole-batch check, done once: pCA certificate binds [br_avk], the
     session-key signature covers root + nonce, N3 matches. *)
+
+val verify_batch_envelope_cvm :
+  root:Crypto.Rsa.public ->
+  expected_nonce:string ->
+  batch_measure_response ->
+  (unit, verify_error) result
+(** {!verify_batch_envelope} against the hardware vendor root instead of
+    the Privacy CA. *)
 
 val verify_batch_item :
   root:string ->

@@ -64,7 +64,23 @@ let run ?(seed = 2015) ?scale () =
           sweep.as_counts)
       sweep.rates
   in
-  { seed; scale = scale_name; rows }
+  (* One heterogeneous-backend row at the top offered rate: three AS shards,
+     each fronting a different trust backend, cache off — the per-backend
+     served split shows how the cheaper vTPM/CVM crypto shifts capacity. *)
+  let hetero =
+    let rate = List.fold_left Float.max 0.0 sweep.rates in
+    let config =
+      {
+        sweep.base with
+        Fleet.Driver.rate_per_s = rate;
+        as_count = 3;
+        ttl = 0;
+        backends = [| Tpm.Backend.Classic; Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
+      }
+    in
+    { rate; as_count = 3; ttl = 0; r = Fleet.Driver.run config }
+  in
+  { seed; scale = scale_name; rows = rows @ [ hetero ] }
 
 let print { seed; scale; rows } =
   Common.section
@@ -98,7 +114,54 @@ let print { seed; scale; rows } =
         Printf.printf "  %d AS: %6.2f served/s  %s\n" as_count r.Fleet.Driver.served_rps
           (Common.bar r.Fleet.Driver.served_rps))
       scaling
-  end
+  end;
+  (* Per-backend split of any heterogeneous rows. *)
+  List.iter
+    (fun { r; _ } ->
+      match r.Fleet.Driver.served_by_backend with
+      | [] | [ _ ] -> ()
+      | served ->
+          let duration_s =
+            Sim.Time.to_sec r.Fleet.Driver.config.Fleet.Driver.duration
+          in
+          Printf.printf "\nHeterogeneous backends, served split:\n";
+          List.iter
+            (fun (kind, n) ->
+              Printf.printf "  %-8s %6d served  %6.2f/s\n" kind n
+                (float_of_int n /. duration_s))
+            served)
+    rows
+
+(* Present only when the row ran a non-default backend mix, mirroring the
+   audit_fields discipline: all-classic rows keep their historical bytes. *)
+let backend_fields (r : Fleet.Driver.result) =
+  let bs = r.Fleet.Driver.config.Fleet.Driver.backends in
+  let all_classic = Array.for_all (fun k -> k = Tpm.Backend.Classic) bs in
+  if all_classic then []
+  else
+    let duration_s =
+      Sim.Time.to_sec r.Fleet.Driver.config.Fleet.Driver.duration
+    in
+    [
+      ( "backends",
+        Json.Obj
+          [
+            ( "mix",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun k -> Json.Str (Tpm.Backend.kind_to_string k)) bs)) );
+            ( "served",
+              Json.Obj
+                (List.map
+                   (fun (k, n) -> (k, Json.Int n))
+                   r.Fleet.Driver.served_by_backend) );
+            ( "served_rps",
+              Json.Obj
+                (List.map
+                   (fun (k, n) -> (k, Json.Float (float_of_int n /. duration_s)))
+                   r.Fleet.Driver.served_by_backend) );
+          ] );
+    ]
 
 (* Present only when the row ran with auditing on, so artifacts from
    audit-off sweeps (the committed BENCH files) stay byte-identical. *)
@@ -154,7 +217,8 @@ let row_to_json { rate; as_count; ttl; r } =
       ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
       ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
      ]
-    @ audit_fields r)
+    @ audit_fields r
+    @ backend_fields r)
 
 let to_json { seed; scale; rows } =
   Json.Obj

@@ -29,18 +29,23 @@ let scale_of_env () =
    TTL window, which the generator first produces around seed 2510. *)
 let resume_corpus = [ "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1" ]
 
-let hunt ?(corpus = []) ~bug ~bug_name ~seed ~max_runs ~ops () =
+(* The rebind mutant needs a vTPM cycle on the e-vTPM host followed by a
+   fresh attest of the same VM before any rebind. *)
+let rebind_corpus = [ "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" ]
+
+let hunt ?(corpus = []) ?(oracle = "cache-consistency") ~bug ~bug_name ~seed ~max_runs ~ops
+    () =
   let uncaught = { bug_name; caught = false; found_at_seed = -1; shrunk_ops = 0; repro = "" } in
   let catches scenario =
     match Fuzz.Replay.run ~bug scenario with
     | exception _ -> false
     | out ->
         List.exists
-          (fun (v : Fuzz.Oracle.violation) -> v.oracle = "cache-consistency")
+          (fun (v : Fuzz.Oracle.violation) -> v.oracle = oracle)
           out.Fuzz.Replay.violations
   in
   let finish scenario =
-    let shrunk, _ = Fuzz.Shrink.minimize ~bug ~oracle:"cache-consistency" scenario in
+    let shrunk, _ = Fuzz.Shrink.minimize ~bug ~oracle scenario in
     {
       bug_name;
       caught = true;
@@ -83,6 +88,8 @@ let run ?(seed = 2015) ?scale () =
         ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
       hunt ~corpus:resume_corpus ~bug:Fuzz.Replay.Skip_invalidate_on_resume
         ~bug_name:"skip-invalidate-on-resume" ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
+      hunt ~corpus:rebind_corpus ~oracle:"vtpm-stale-binding" ~bug:Fuzz.Replay.Rebind_on_restore
+        ~bug_name:"rebind-on-restore" ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
     ]
   in
   { seed; scale = scale_name; report; fleet_runs; fleet_violations; planted }

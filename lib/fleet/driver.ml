@@ -19,6 +19,9 @@ type config = {
   batch_window : Sim.Time.t;
   audit_checkpoint : Sim.Time.t;
       (* transparency-log STH interval; 0 (the default) = audit off *)
+  backends : Tpm.Backend.kind array;
+      (* trust backend per AS cluster, cluster i running backends.(i mod len);
+         the default all-classic array replays the pre-backend driver exactly *)
 }
 
 let default_config =
@@ -42,6 +45,7 @@ let default_config =
     batch_max = 1;
     batch_window = 0;
     audit_checkpoint = 0;
+    backends = [| Tpm.Backend.Classic |];
   }
 
 type result = {
@@ -72,6 +76,9 @@ type result = {
   audit_checkpoints : int;
   audit_proofs : int;
   audit_equivocations : int;
+  served_by_backend : (string * int) list;
+      (** cluster-served requests per backend kind, for each kind the config
+          places (cache hits never reach a cluster and are not attributed) *)
 }
 
 (* --- Cost model, anchored to lib/core's calibrated ledger constants ------ *)
@@ -86,6 +93,16 @@ let wire_leg = Sim.Time.ms 12
 let cold_service_base =
   (2 * wire_leg) + Core.Costs.measurement_collect + Core.Costs.interpret
   + Core.Costs.quote_sign + Core.Costs.signature_verify
+
+(* Per-backend variant: swap the quote-signing term for the backend's own,
+   and charge the CVM platform-chain walk on top of the signature check.
+   [Classic] reduces to exactly [cold_service_base]. *)
+let cold_service_base_for kind =
+  (2 * wire_leg) + Core.Costs.measurement_collect + Core.Costs.interpret
+  + Core.Costs.quote_sign_for kind + Core.Costs.signature_verify
+  + (match kind with
+    | Tpm.Backend.Cvm_report -> Core.Costs.cvm_chain_verify
+    | Tpm.Backend.Classic | Tpm.Backend.Evtpm -> 0)
 
 (* Controller-side work around a cold round: route lookup, two legs to the
    AS, verify the AS signature, re-sign for the customer.  Adds latency but
@@ -104,13 +121,18 @@ let cache_hit_cost = Core.Costs.db_lookup + Core.Costs.report_sign
    via the Merkle-batched costs from {!Core.Costs}), while collection and
    interpretation stay per report.  [n = 1] is exactly the unbatched
    round, so a batch of one costs what a lone request always did. *)
-let batch_service_base n =
-  if n <= 1 then cold_service_base
+let batch_service_base_for kind n =
+  if n <= 1 then cold_service_base_for kind
   else
     (2 * wire_leg)
     + (n * (Core.Costs.measurement_collect + Core.Costs.interpret))
-    + (Core.Costs.batch_quote_cost ~batch:n - Core.Costs.session_keygen)
+    + (Core.Costs.batch_quote_cost_for ~batch:n kind - Core.Costs.session_keygen_for kind)
     + Core.Costs.batch_verify_cost ~batch:n
+    + (match kind with
+      | Tpm.Backend.Cvm_report -> Core.Costs.cvm_chain_verify
+      | Tpm.Backend.Classic | Tpm.Backend.Evtpm -> 0)
+
+let batch_service_base = batch_service_base_for Tpm.Backend.Classic
 
 (* Per-verdict transparency-log work when auditing is on: the AS appends
    the signed report (O(log n) sibling hashes), signs a fresh tree head,
@@ -152,28 +174,43 @@ let run config =
       Core.Report.Compromised "fleet-sim anomaly"
     else Core.Report.Healthy
   in
-  let service_time () =
+  let backend_of_cluster i =
+    config.backends.(i mod max 1 (Array.length config.backends))
+  in
+  (* One jitter draw per round regardless of backend, so a heterogeneous
+     fleet consumes the same PRNG stream as an all-classic one — and the
+     all-classic default replays the pre-backend driver exactly, since
+     [cold_service_base_for Classic = cold_service_base]. *)
+  let service_time_for kind () =
     (* +/-10% jitter around the ledger-derived base. *)
-    let base = float_of_int cold_service_base in
+    let base = float_of_int (cold_service_base_for kind) in
     let f = 0.9 +. Sim.Prng.float service_prng 0.2 in
     max 1 (int_of_float (base *. f))
   in
   (* One jitter draw per batched round, mirroring the unbatched one-draw-
      per-round discipline.  Never called when [batch_max = 1], so batch-1
      runs consume exactly the PRNG stream of the pre-batching driver. *)
-  let batch_service_time n =
-    let base = float_of_int (batch_service_base n) in
+  let batch_service_time_for kind n =
+    let base = float_of_int (batch_service_base_for kind n) in
     let f = 0.9 +. Sim.Prng.float service_prng 0.2 in
     max 1 (int_of_float (base *. f))
   in
   let clusters =
     Array.init (Topology.as_count topology) (fun i ->
+        let kind = backend_of_cluster i in
         Cluster.create ~engine
           ~name:(Printf.sprintf "as-%d" (i + 1))
-          ~capacity:config.as_capacity ~queue_depth:config.queue_depth ~service_time
-          ~measure ~metrics ~batch_max:config.batch_max ~batch_window:config.batch_window
-          ~batch_service_time ())
+          ~capacity:config.as_capacity ~queue_depth:config.queue_depth
+          ~service_time:(service_time_for kind) ~measure ~metrics
+          ~batch_max:config.batch_max ~batch_window:config.batch_window
+          ~batch_service_time:(batch_service_time_for kind) ())
   in
+  let kind_slot = function
+    | Tpm.Backend.Classic -> 0
+    | Tpm.Backend.Evtpm -> 1
+    | Tpm.Backend.Cvm_report -> 2
+  in
+  let served_by = Array.make 3 0 in
   (* Transparency layer (opt-in): one log per cluster, signed by a single
      fleet operator key, checkpointed every [audit_checkpoint], watched by
      two gossiping auditors.  With [audit_checkpoint = 0] nothing below
@@ -251,11 +288,14 @@ let run config =
         Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms cache_hit_cost)
     | None ->
         let arrived = Sim.Engine.now engine in
-        let cluster = clusters.(Topology.cluster_of_vm topology vm) in
+        let cluster_index = Topology.cluster_of_vm topology vm in
+        let cluster = clusters.(cluster_index) in
         Cluster.submit cluster ~vid:vm.Topology.vid ~property ~priority:(priority ())
           ~on_done:(function
           | Cluster.Shed -> ()  (* the cluster recorded the shed *)
           | Cluster.Done status ->
+              let slot = kind_slot (backend_of_cluster cluster_index) in
+              served_by.(slot) <- served_by.(slot) + 1;
               (* The cluster appended this verdict just before delivering
                  it, so the log size already covers the entry. *)
               let audit_latency =
@@ -352,4 +392,11 @@ let run config =
     audit_checkpoints = Metrics.audit_checkpoints metrics;
     audit_proofs = Metrics.audit_proofs metrics;
     audit_equivocations = Metrics.audit_equivocations metrics;
+    served_by_backend =
+      List.filter_map
+        (fun kind ->
+          if Array.exists (fun k -> k = kind) config.backends then
+            Some (Tpm.Backend.kind_to_string kind, served_by.(kind_slot kind))
+          else None)
+        Tpm.Backend.all_kinds;
   }

@@ -34,6 +34,13 @@ type config = {
           signed every interval, and two gossiping auditors poll and
           cross-check every log; each served verdict additionally pays the
           receipt-verification latency. *)
+  backends : Tpm.Backend.kind array;
+      (** trust backend per AS cluster — cluster [i] runs
+          [backends.(i mod Array.length backends)], so a heterogeneous
+          fleet mixes backends by listing several kinds.  Each cluster's
+          service time uses its backend's quote-signing (and, for CVM,
+          chain-verification) cost terms.  The default all-[Classic] array
+          replays the pre-backend driver exactly. *)
 }
 
 val default_config : config
@@ -69,6 +76,9 @@ type result = {
   audit_checkpoints : int;  (** periodic signed tree heads emitted *)
   audit_proofs : int;  (** inclusion + consistency proofs served/verified *)
   audit_equivocations : int;  (** auditor evidence records (0 = honest run) *)
+  served_by_backend : (string * int) list;
+      (** cluster-served requests per backend kind present in the config
+          (cache hits never reach a cluster and are not attributed) *)
 }
 
 val run : config -> result
@@ -90,3 +100,7 @@ val audit_verdict_ms : size:int -> float
 (** Modelled extra latency auditing adds to one served verdict when the
     log holds [size] entries: append, head signature, inclusion proof and
     receipt verification.  Grows O(log size). *)
+
+val cold_service_base_for : Tpm.Backend.kind -> Sim.Time.t
+(** AS-side occupancy of one cold round under the given backend;
+    [Classic] is the historical {!cold_attest_ms} service term. *)

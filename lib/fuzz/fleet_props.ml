@@ -26,6 +26,15 @@ let random_config prng =
     batch_max = [| 1; 1; 4; 8 |].(Sim.Prng.int prng 4);
     batch_window = Sim.Time.ms (Sim.Prng.int_in prng 1 10);
     audit_checkpoint = Sim.Time.ms [| 0; 0; 200 |].(Sim.Prng.int prng 3);
+    (* Half the campaign stays all-classic; the rest mixes trust backends
+       across clusters (heterogeneous fleets must satisfy every oracle). *)
+    backends =
+      [|
+        [| Tpm.Backend.Classic |];
+        [| Tpm.Backend.Classic |];
+        [| Tpm.Backend.Classic; Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
+        [| Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
+      |].(Sim.Prng.int prng 4);
   }
 
 let check ~seed =
@@ -66,6 +75,15 @@ let check ~seed =
     flag "fleet-audit-off"
       (Printf.sprintf "honest run convicted the operator %d time(s)"
          r.Fleet.Driver.audit_equivocations);
+  (* Per-backend served attribution must cover exactly the cluster-served
+     requests: everything served except controller-side cache hits. *)
+  let by_backend =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.Fleet.Driver.served_by_backend
+  in
+  if by_backend + r.Fleet.Driver.cache_hits <> r.Fleet.Driver.served then
+    flag "fleet-backend-attribution"
+      (Printf.sprintf "backend-attributed %d + cache hits %d <> served %d" by_backend
+         r.Fleet.Driver.cache_hits r.Fleet.Driver.served);
   (* batch_max = 1 must never execute a batched round, whatever the window. *)
   if config.Fleet.Driver.batch_max = 1 && r.Fleet.Driver.batches <> 0 then
     flag "fleet-batch1-inert"

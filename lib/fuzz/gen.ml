@@ -47,6 +47,10 @@ let body_op prng ~launched =
       (12, `Advance);
       (5, `Infect);
       (2, `Corrupt_image);
+      (* appended so earlier entries keep their historical weights *)
+      (3, `Vtpm_cycle);
+      (2, `Vtpm_clone);
+      (3, `Vtpm_rebind);
     ]
   |> function
   | `Launch -> launch prng
@@ -68,6 +72,11 @@ let body_op prng ~launched =
   | `Advance -> Op.Advance (advance_ms prng)
   | `Infect -> Op.Infect (slot prng launched)
   | `Corrupt_image -> Op.Corrupt_image (Sim.Prng.int prng n_images)
+  | `Vtpm_cycle -> Op.Vtpm_cycle (slot prng launched)
+  | `Vtpm_clone ->
+      let src = slot prng launched in
+      Op.Vtpm_clone (src, slot prng launched)
+  | `Vtpm_rebind -> Op.Vtpm_rebind (slot prng launched)
 
 let generate ~seed ~ops =
   let prng = Sim.Prng.create (seed lxor 0x66757a7a (* "fuzz" *)) in

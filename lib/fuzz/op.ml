@@ -16,6 +16,9 @@ type op =
   | Advance of int
   | Infect of int
   | Corrupt_image of int
+  | Vtpm_cycle of int  (** save + restore the vTPM of vm#slot's host (state now stale) *)
+  | Vtpm_clone of int * int  (** restore vm#src's host vTPM state into vm#dst's host *)
+  | Vtpm_rebind of int  (** re-register vm#slot's host vTPM with the Privacy CA *)
 
 type scenario = { seed : int; ops : op list }
 
@@ -35,6 +38,7 @@ let properties = Array.of_list Core.Property.all
      c<ms>   cache TTL          b0|b1    batching off/on
      u       enable audit       t<ms>    advance
      x<slot> infect             i<image> corrupt image
+     vs<slot> vTPM save+restore   vm<src>.<dst> vTPM clone   vr<slot> vTPM rebind
      fd<n> fg<n> fl<drop>.<garble> fb    faults;   f0  clear fault *)
 
 let op_to_string = function
@@ -58,6 +62,9 @@ let op_to_string = function
   | Advance ms -> Printf.sprintf "t%d" ms
   | Infect s -> Printf.sprintf "x%d" s
   | Corrupt_image i -> Printf.sprintf "i%d" i
+  | Vtpm_cycle s -> Printf.sprintf "vs%d" s
+  | Vtpm_clone (src, dst) -> Printf.sprintf "vm%d.%d" src dst
+  | Vtpm_rebind s -> Printf.sprintf "vr%d" s
 
 let int_of s = int_of_string_opt s
 
@@ -102,6 +109,16 @@ let op_of_string s =
     | 't' -> Option.map (fun ms -> Advance ms) (int_of rest)
     | 'x' -> Option.map (fun s -> Infect s) (int_of rest)
     | 'i' -> Option.map (fun i -> Corrupt_image i) (int_of rest)
+    | 'v' ->
+        if n < 3 then None
+        else begin
+          let arg = String.sub s 2 (n - 2) in
+          match s.[1] with
+          | 's' -> Option.map (fun s -> Vtpm_cycle s) (int_of arg)
+          | 'm' -> Option.map (fun (src, dst) -> Vtpm_clone (src, dst)) (pair_of arg)
+          | 'r' -> Option.map (fun s -> Vtpm_rebind s) (int_of arg)
+          | _ -> None
+        end
     | 'f' ->
         if rest = "0" then Some Clear_fault
         else if rest = "b" then Some (Set_fault Blackout)
@@ -185,6 +202,10 @@ let pp_op ppf op =
   | Infect s -> Format.fprintf ppf "infect vm#%d" s
   | Corrupt_image i ->
       Format.fprintf ppf "corrupt image %s" images.(i mod Array.length images)
+  | Vtpm_cycle s -> Format.fprintf ppf "vtpm save+restore host of vm#%d" s
+  | Vtpm_clone (src, dst) ->
+      Format.fprintf ppf "vtpm clone host of vm#%d -> host of vm#%d" src dst
+  | Vtpm_rebind s -> Format.fprintf ppf "vtpm rebind host of vm#%d" s
 
 let pp ppf { seed; ops } =
   Format.fprintf ppf "@[<v>scenario seed=%d (%d ops)@," seed (List.length ops);

@@ -36,6 +36,14 @@ type op =
   | Advance of int  (** run the engine forward by this many ms *)
   | Infect of int  (** hide malware in the VM at this slot *)
   | Corrupt_image of int  (** tamper the stored image at this pool index *)
+  | Vtpm_cycle of int
+      (** save then restore the vTPM state of this slot's host — what a
+          migration or suspend-to-disk carries; the state is stale until a
+          [Vtpm_rebind] *)
+  | Vtpm_clone of int * int
+      (** restore the vTPM state saved from [src]'s host into [dst]'s host
+          (rollback/clone attack; a backend-mismatched restore fails) *)
+  | Vtpm_rebind of int  (** re-register this slot's host vTPM with the Privacy CA *)
 
 type scenario = { seed : int; ops : op list }
 

@@ -8,6 +8,7 @@ type attest_obs = {
   a_property : Core.Property.t;
   a_nonce : string;
   a_result : (Core.Protocol.controller_report, string) result;
+  a_host : string option;
 }
 
 type op_obs = {
@@ -24,6 +25,8 @@ type op_obs = {
   net_bytes : int;
   net_drops : int;
   audit_evidence : int;
+  vtpm_stale : string list;
+  vtpm_rebound : string list;
 }
 
 (* Model of the verdict cache: which (vid, property) entries MAY be validly
@@ -40,6 +43,7 @@ type t = {
   mutable ttl : Sim.Time.t;  (* mirrors Set_cache_ttl, initial 0 = off *)
   vm_image : (string, int) Hashtbl.t;  (* vid -> image pool index *)
   vm_monitored : (string, bool) Hashtbl.t;
+  stale_hosts : (string, unit) Hashtbl.t;  (* restored-but-not-rebound vTPM hosts *)
   mutable terminated : string list;
   mutable last_time : Sim.Time.t;
   mutable last_messages : int;
@@ -55,6 +59,7 @@ let create ~controller_key () =
     ttl = 0;
     vm_image = Hashtbl.create 16;
     vm_monitored = Hashtbl.create 16;
+    stale_hosts = Hashtbl.create 4;
     terminated = [];
     last_time = 0;
     last_messages = 0;
@@ -161,6 +166,23 @@ let check_attest t ~op_index ~started_at (a : attest_obs) =
                    a.a_vid Core.Property.pp a.a_property)
       end
       else begin
+        (* Fresh measurement from a host holding restored-but-not-rebound
+           vTPM state: the Privacy CA must refuse the stale binding, so a
+           Healthy verdict here means a stale-state quote was certified. *)
+        let vs =
+          vs
+          @
+          match a.a_host with
+          | Some host
+            when Hashtbl.mem t.stale_hosts host
+                 && report.Core.Report.status = Core.Report.Healthy ->
+              flag t ~oracle:"vtpm-stale-binding" ~op_index
+                (Format.asprintf
+                   "fresh Healthy verdict for %s/%a measured on %s, whose restored vTPM \
+                    state was never rebound"
+                   a.a_vid Core.Property.pp a.a_property host)
+          | _ -> []
+        in
         (* Fresh observation: mirror the controller's cache bookkeeping. *)
         (match report.Core.Report.status with
         | Core.Report.Healthy ->
@@ -303,8 +325,13 @@ let observe t (obs : op_obs) =
   | Op.Corrupt_image i ->
       model_invalidate_image t ~image:(i mod Array.length Op.images)
   | Op.Attest _ | Op.Attest_many _ | Op.Set_batching _ | Op.Enable_audit
-  | Op.Set_fault _ | Op.Clear_fault | Op.Advance _ | Op.Infect _ ->
+  | Op.Set_fault _ | Op.Clear_fault | Op.Advance _ | Op.Infect _ | Op.Vtpm_cycle _
+  | Op.Vtpm_clone _ | Op.Vtpm_rebind _ ->
       ());
+  (* vTPM binding model: restored state marks the host stale, the explicit
+     Privacy-CA re-registration clears it. *)
+  List.iter (fun host -> Hashtbl.replace t.stale_hosts host ()) obs.vtpm_stale;
+  List.iter (fun host -> Hashtbl.remove t.stale_hosts host) obs.vtpm_rebound;
   !vs
 
 let all t = List.rev t.violations

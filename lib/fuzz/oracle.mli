@@ -22,7 +22,11 @@
     - [net-accounting] — network message/byte/drop counters are monotone
       and drops never exceed messages.
     - [audit-honest] — with auditing on and an honest operator, gossiping
-      auditors accumulate zero equivocation evidence. *)
+      auditors accumulate zero equivocation evidence.
+    - [vtpm-stale-binding] — a freshly measured (not cache-served) verdict
+      for a VM whose host's vTPM state was restored but not yet rebound is
+      never [Healthy]: restored state must stay convictable until the
+      explicit Privacy-CA re-registration. *)
 
 type violation = { oracle : string; op_index : int; detail : string }
 
@@ -34,6 +38,7 @@ type attest_obs = {
   a_property : Core.Property.t;
   a_nonce : string;
   a_result : (Core.Protocol.controller_report, string) result;
+  a_host : string option;  (** the VM's host at request time, when known *)
 }
 
 type op_obs = {
@@ -50,6 +55,8 @@ type op_obs = {
   net_bytes : int;
   net_drops : int;
   audit_evidence : int;  (** cumulative auditor evidence count *)
+  vtpm_stale : string list;  (** hosts whose vTPM this op left holding restored state *)
+  vtpm_rebound : string list;  (** hosts this op re-registered with the Privacy CA *)
 }
 
 type t

@@ -1,4 +1,11 @@
-type bug = No_bug | Skip_invalidate_on_migrate | Skip_invalidate_on_resume
+type bug =
+  | No_bug
+  | Skip_invalidate_on_migrate
+  | Skip_invalidate_on_resume
+  | Rebind_on_restore
+      (* management plane silently re-registers restored vTPM state with the
+         Privacy CA, laundering a migrate-without-rebind into fresh Healthy
+         verdicts — the vtpm-stale-binding oracle must catch it *)
 
 type outcome = {
   scenario : Op.scenario;
@@ -34,6 +41,11 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       seed = scenario.Op.seed;
       key_bits = 512;
       num_attestation_servers = 2;
+      (* Heterogeneous trust plane: every scenario exercises all three
+         backends (the scheduler spreads VMs across the hosts). *)
+      backend_of =
+        (fun i ->
+          [| Tpm.Backend.Classic; Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |].(i mod 3));
     }
   in
   let cloud = Core.Cloud.build ~config () in
@@ -99,10 +111,12 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
   let attest_one vid pidx =
     let property = Op.properties.(pidx mod n_properties) in
     let nonce = Crypto.Drbg.nonce drbg in
+    let a_host = Core.Controller.vm_host ctl ~vid in
     let result, ledger =
       Core.Controller.attest ctl { Core.Protocol.vid; property; nonce }
     in
-    ({ Oracle.a_vid = vid; a_property = property; a_nonce = nonce; a_result = result }, ledger)
+    ( { Oracle.a_vid = vid; a_property = property; a_nonce = nonce; a_result = result; a_host },
+      ledger )
   in
   let observations = ref [] in
   let attests_run = ref 0 in
@@ -120,6 +134,21 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       let lifecycle_ok = ref true in
       let launched = ref None in
       let ledger_entries = ref [] in
+      let vtpm_stale = ref [] in
+      let vtpm_rebound = ref [] in
+      (* Shared by Vtpm_cycle and Vtpm_clone: restore [state] into [host]'s
+         vTPM; under the planted bug the restore is silently laundered into
+         a fresh binding, which the stale-binding oracle must flag. *)
+      let restore_into host state =
+        match Core.Cloud.vtpm_restore cloud ~server:host state with
+        | Error _ -> lifecycle_ok := false
+        | Ok () ->
+            (* The oracle sees the restore either way; the bug's rebind is
+               the management plane acting behind its back. *)
+            vtpm_stale := host :: !vtpm_stale;
+            if bug = Rebind_on_restore then
+              ignore (Core.Cloud.vtpm_rebind cloud ~server:host : (int, string) result)
+      in
       (match op with
       | Op.Launch { image; monitored; workload } -> (
           let req =
@@ -205,6 +234,7 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
                     a_property = req.Core.Protocol.property;
                     a_nonce = req.Core.Protocol.nonce;
                     a_result = res;
+                    a_host = Core.Controller.vm_host ctl ~vid:req.Core.Protocol.vid;
                   })
                 results;
             attests_run := !attests_run + List.length results;
@@ -240,7 +270,43 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
               in
               lifecycle_ok := infected))
       | Op.Corrupt_image i ->
-          ignore (Core.Controller.corrupt_image ctl Op.images.(i mod n_images) : bool));
+          ignore (Core.Controller.corrupt_image ctl Op.images.(i mod n_images) : bool)
+      | Op.Vtpm_cycle s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid -> (
+              target := Some vid;
+              match Core.Controller.vm_host ctl ~vid with
+              | None -> lifecycle_ok := false
+              | Some host -> (
+                  match Core.Cloud.vtpm_save cloud ~server:host with
+                  | Error _ -> lifecycle_ok := false (* host is not an e-vTPM *)
+                  | Ok state -> restore_into host state)))
+      | Op.Vtpm_clone (src, dst) -> (
+          match (resolve src, resolve dst) with
+          | Some src_vid, Some dst_vid -> (
+              target := Some dst_vid;
+              match
+                ( Core.Controller.vm_host ctl ~vid:src_vid,
+                  Core.Controller.vm_host ctl ~vid:dst_vid )
+              with
+              | Some src_host, Some dst_host -> (
+                  match Core.Cloud.vtpm_save cloud ~server:src_host with
+                  | Error _ -> lifecycle_ok := false
+                  | Ok state -> restore_into dst_host state)
+              | _ -> lifecycle_ok := false)
+          | _ -> ())
+      | Op.Vtpm_rebind s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid -> (
+              target := Some vid;
+              match Core.Controller.vm_host ctl ~vid with
+              | None -> lifecycle_ok := false
+              | Some host -> (
+                  match Core.Cloud.vtpm_rebind cloud ~server:host with
+                  | Error _ -> lifecycle_ok := false
+                  | Ok _epoch -> vtpm_rebound := host :: !vtpm_rebound))));
       audit_poll ();
       let obs =
         {
@@ -257,6 +323,8 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
           net_bytes = Net.Network.bytes_sent net;
           net_drops = Net.Network.drop_count net;
           audit_evidence = audit_evidence ();
+          vtpm_stale = List.rev !vtpm_stale;
+          vtpm_rebound = List.rev !vtpm_rebound;
         }
       in
       ignore (Oracle.observe oracle obs : Oracle.violation list);

@@ -9,13 +9,17 @@
     fresh measurement without trusting the cache's own counters. *)
 
 (** Planted bugs for oracle validation (mutation testing of the fuzzer
-    itself): each re-introduces a stale-cache hazard the real controller
-    code guards against, by re-storing the pre-transition cache entries
-    right after the transition the controller just invalidated. *)
+    itself): the two [Skip_invalidate_*] mutants re-introduce a stale-cache
+    hazard by re-storing pre-transition cache entries right after the
+    transition the controller just invalidated; [Rebind_on_restore] makes
+    the management plane silently re-register restored vTPM state with the
+    Privacy CA, so stale-state quotes come back Healthy — the
+    [vtpm-stale-binding] oracle must convict it. *)
 type bug =
   | No_bug
   | Skip_invalidate_on_migrate
   | Skip_invalidate_on_resume
+  | Rebind_on_restore
 
 type outcome = {
   scenario : Op.scenario;

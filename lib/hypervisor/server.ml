@@ -27,7 +27,7 @@ type t = {
   engine : Sim.Engine.t;
   sched : Credit_scheduler.t;
   cache : Cache.t;
-  trust : Tpm.Trust_module.t option;
+  trust : Tpm.Backend.t option;
   platform : platform;
   capabilities : string list;
   mem_mb : int;
@@ -36,15 +36,28 @@ type t = {
 }
 
 let create ~engine ~name ?(pcpus = 4) ?(mem_mb = 32768) ?(platform = pristine_platform)
-    ?(secure = true) ?(capabilities = []) ?(key_bits = 1024) ~seed () =
+    ?(secure = true) ?(capabilities = []) ?(key_bits = 1024)
+    ?(backend = Tpm.Backend.Classic) ?platform_root ~seed () =
   let sched = Credit_scheduler.create ~engine ~pcpus () in
   let trust =
     if secure then begin
-      let tm = Tpm.Trust_module.create ~key_bits ~seed:(name ^ "|" ^ seed) () in
+      let device_seed = name ^ "|" ^ seed in
+      let b =
+        match backend with
+        | Tpm.Backend.Classic ->
+            Tpm.Backend.classic (Tpm.Trust_module.create ~key_bits ~seed:device_seed ())
+        | Tpm.Backend.Evtpm ->
+            Tpm.Backend.evtpm (Tpm.Evtpm.create ~key_bits ~seed:device_seed ())
+        | Tpm.Backend.Cvm_report -> (
+            match platform_root with
+            | None -> invalid_arg "Server.create: a Cvm_report backend needs ~platform_root"
+            | Some root ->
+                Tpm.Backend.cvm (Tpm.Cvm_device.create ~key_bits ~root ~seed:device_seed ()))
+      in
       (* Measured boot: hash the platform software into PCRs in load order. *)
-      ignore (Tpm.Pcr.extend (Tpm.Trust_module.pcrs tm) 0 platform.hypervisor_build : string);
-      ignore (Tpm.Pcr.extend (Tpm.Trust_module.pcrs tm) 1 platform.host_os_build : string);
-      Some tm
+      ignore (Tpm.Pcr.extend (Tpm.Backend.pcrs b) 0 platform.hypervisor_build : string);
+      ignore (Tpm.Pcr.extend (Tpm.Backend.pcrs b) 1 platform.host_os_build : string);
+      Some b
     end
     else None
   in
@@ -65,7 +78,9 @@ let name t = t.name
 let engine t = t.engine
 let scheduler t = t.sched
 let cache t = t.cache
-let trust_module t = t.trust
+let trust_backend t = t.trust
+let backend_kind t = Option.map Tpm.Backend.kind t.trust
+let trust_module t = Option.bind t.trust Tpm.Backend.as_classic
 let is_secure t = t.trust <> None
 let capabilities t = t.capabilities
 let platform t = t.platform

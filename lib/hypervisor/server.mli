@@ -33,12 +33,17 @@ val create :
   ?secure:bool ->
   ?capabilities:string list ->
   ?key_bits:int ->
+  ?backend:Tpm.Backend.kind ->
+  ?platform_root:Tpm.Platform_root.t ->
   seed:string ->
   unit ->
   t
-(** Defaults: 4 pCPUs, 32 GB, pristine platform.  When [secure] (default
-    true) the server gets a Trust Module and boots measured: the platform
-    software is hash-extended into PCRs 0 and 1. *)
+(** Defaults: 4 pCPUs, 32 GB, pristine platform, [backend = Classic].
+    When [secure] (default true) the server gets a trust backend of the
+    chosen kind and boots measured: the platform software is
+    hash-extended into PCRs 0 and 1.  A [Cvm_report] backend needs the
+    hardware vendor's [platform_root] to endorse its fused platform key
+    ([Invalid_argument] otherwise). *)
 
 val name : t -> string
 val engine : t -> Sim.Engine.t
@@ -47,7 +52,16 @@ val scheduler : t -> Credit_scheduler.t
 val cache : t -> Cache.t
 (** The server's shared last-level cache (co-resident VMs contend in it). *)
 
+val trust_backend : t -> Tpm.Backend.t option
+(** The server's trust backend, whatever its kind; [None] on insecure
+    servers. *)
+
+val backend_kind : t -> Tpm.Backend.kind option
+
 val trust_module : t -> Tpm.Trust_module.t option
+(** The concrete classic Trust Module — [None] on insecure servers {e and}
+    on servers running a non-classic backend.  Prefer {!trust_backend}. *)
+
 val is_secure : t -> bool
 val capabilities : t -> string list
 val platform : t -> platform

@@ -1,7 +1,7 @@
 let platform_measurement server =
-  match Hypervisor.Server.trust_module server with
+  match Hypervisor.Server.trust_backend server with
   | None -> None
-  | Some tm -> Some (Tpm.Pcr.composite (Tpm.Trust_module.pcrs tm) [ 0; 1 ])
+  | Some tm -> Some (Tpm.Pcr.composite (Tpm.Backend.pcrs tm) [ 0; 1 ])
 
 let image_measurement server ~vid =
   match Hypervisor.Server.find server vid with

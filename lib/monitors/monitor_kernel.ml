@@ -26,7 +26,7 @@ let default_cpu_window = Sim.Time.sec 1
 let load_registers t values =
   (* Mirror the measurements into the Trust Evidence Registers: histogram
      bins occupy registers 0..29, the CPU measure register 30. *)
-  match Hypervisor.Server.trust_module t.server with
+  match Hypervisor.Server.trust_backend t.server with
   | None -> ()
   | Some tm ->
       List.iter
@@ -34,16 +34,16 @@ let load_registers t values =
           match v with
           | Measurement.Measured_histogram bins ->
               Array.iteri
-                (fun i c -> if i < Tpm.Trust_module.num_registers tm then Tpm.Trust_module.write_register tm i c)
+                (fun i c -> if i < Tpm.Backend.num_registers tm then Tpm.Backend.write_register tm i c)
                 bins
           | Measurement.Measured_cpu { vtime; _ } ->
-              if Tpm.Trust_module.num_registers tm > 30 then
-                Tpm.Trust_module.write_register tm 30 vtime
+              if Tpm.Backend.num_registers tm > 30 then
+                Tpm.Backend.write_register tm 30 vtime
           | Measurement.Measured_miss_windows w ->
               (* Summary into registers 31 (windows) and 32 (total misses). *)
-              if Tpm.Trust_module.num_registers tm > 32 then begin
-                Tpm.Trust_module.write_register tm 31 (Array.length w);
-                Tpm.Trust_module.write_register tm 32 (Array.fold_left ( + ) 0 w)
+              if Tpm.Backend.num_registers tm > 32 then begin
+                Tpm.Backend.write_register tm 31 (Array.length w);
+                Tpm.Backend.write_register tm 32 (Array.fold_left ( + ) 0 w)
               end
           | Measurement.Measured_platform _ | Measurement.Measured_image _
           | Measurement.Measured_tasks _ | Measurement.Measured_ima _ ->

@@ -1,0 +1,135 @@
+(* The BACKEND signature: one interface over the three trust-module
+   families (classic hardware TPM, migratable ephemeral vTPM, CVM
+   hardware-report device), plus an existential pack so a cloud server can
+   hold "some backend" without committing the rest of the system to a
+   concrete one.  Classic_tpm is Trust_module verbatim — every byte it
+   puts on the wire is identical to the pre-backend tree. *)
+
+type kind = Classic | Evtpm | Cvm_report
+
+let all_kinds = [ Classic; Evtpm; Cvm_report ]
+
+let kind_to_string = function
+  | Classic -> "classic"
+  | Evtpm -> "evtpm"
+  | Cvm_report -> "cvm"
+
+let kind_of_string = function
+  | "classic" -> Some Classic
+  | "evtpm" -> Some Evtpm
+  | "cvm" -> Some Cvm_report
+  | _ -> None
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+module type S = sig
+  type t
+
+  val kind : kind
+
+  (* Identity and randomness. *)
+  val identity_public : t -> Crypto.Rsa.public
+  val pcrs : t -> Pcr.t
+  val random_nonce : t -> string
+  val drbg : t -> Crypto.Drbg.t
+
+  (* Trust Evidence Registers. *)
+  val num_registers : t -> int
+  val read_registers : t -> int array
+  val write_register : t -> int -> int -> unit
+  val add_register : t -> int -> int -> unit
+  val clear_registers : t -> unit
+
+  (* Per-attestation sessions and quotes. *)
+  val begin_session : t -> Trust_module.session
+  val sign_with_session : t -> Trust_module.session -> string -> string option
+  val end_session : t -> Trust_module.session -> unit
+  val quote_batch : t -> Trust_module.session -> root:string -> nonce:string -> string option
+
+  (* Identity-key operations (channel auth). *)
+  val sign_identity : t -> string -> string
+  val decrypt_identity : t -> string -> string option
+
+  (* State mobility and binding.  Backends whose state cannot leave the
+     device return [Error] from save/restore and keep the epoch at 0. *)
+  val binding_epoch : t -> int
+  val stale : t -> bool
+  val save_state : t -> (string, string) result
+  val restore_state : t -> string -> (unit, string) result
+  val rebind : t -> int
+end
+
+module Classic_tpm : S with type t = Trust_module.t = struct
+  include Trust_module
+
+  let kind = Classic
+  let binding_epoch _ = 0
+  let stale _ = false
+  let save_state _ = Error "classic TPM state is sealed inside the device"
+  let restore_state _ _ = Error "classic TPM state is sealed inside the device"
+  let rebind _ = 0
+end
+
+module Evtpm_backend : S with type t = Evtpm.t = struct
+  include Evtpm
+
+  let kind = Evtpm
+end
+
+module Cvm_backend : S with type t = Cvm_device.t = struct
+  include Cvm_device
+
+  let kind = Cvm_report
+  let binding_epoch _ = 0
+  let stale _ = false
+  let save_state _ = Error "cvm platform state is fused into the hardware"
+  let restore_state _ _ = Error "cvm platform state is fused into the hardware"
+  let rebind _ = 0
+end
+
+(* The existential pack is what the rest of the system holds; the concrete
+   [device] witness travels alongside so the few places that genuinely
+   need one family (tests poking a classic module, the vTPM lifecycle
+   helpers) can downcast without unsafe tricks. *)
+type pack = Pack : (module S with type t = 'a) * 'a -> pack
+
+type device =
+  | Classic_dev of Trust_module.t
+  | Evtpm_dev of Evtpm.t
+  | Cvm_dev of Cvm_device.t
+
+type t = { pack : pack; device : device }
+
+let classic tm = { pack = Pack ((module Classic_tpm), tm); device = Classic_dev tm }
+let evtpm e = { pack = Pack ((module Evtpm_backend), e); device = Evtpm_dev e }
+let cvm c = { pack = Pack ((module Cvm_backend), c); device = Cvm_dev c }
+
+let device t = t.device
+let as_classic t = match t.device with Classic_dev d -> Some d | _ -> None
+let as_evtpm t = match t.device with Evtpm_dev d -> Some d | _ -> None
+let as_cvm t = match t.device with Cvm_dev d -> Some d | _ -> None
+
+let kind { pack = Pack ((module B), _); _ } = B.kind
+let identity_public { pack = Pack ((module B), d); _ } = B.identity_public d
+let pcrs { pack = Pack ((module B), d); _ } = B.pcrs d
+let random_nonce { pack = Pack ((module B), d); _ } = B.random_nonce d
+let drbg { pack = Pack ((module B), d); _ } = B.drbg d
+let num_registers { pack = Pack ((module B), d); _ } = B.num_registers d
+let read_registers { pack = Pack ((module B), d); _ } = B.read_registers d
+let write_register { pack = Pack ((module B), d); _ } i v = B.write_register d i v
+let add_register { pack = Pack ((module B), d); _ } i v = B.add_register d i v
+let clear_registers { pack = Pack ((module B), d); _ } = B.clear_registers d
+let begin_session { pack = Pack ((module B), d); _ } = B.begin_session d
+let sign_with_session { pack = Pack ((module B), d); _ } s p = B.sign_with_session d s p
+let end_session { pack = Pack ((module B), d); _ } s = B.end_session d s
+
+let quote_batch { pack = Pack ((module B), d); _ } s ~root ~nonce =
+  B.quote_batch d s ~root ~nonce
+
+let sign_identity { pack = Pack ((module B), d); _ } m = B.sign_identity d m
+let decrypt_identity { pack = Pack ((module B), d); _ } c = B.decrypt_identity d c
+let binding_epoch { pack = Pack ((module B), d); _ } = B.binding_epoch d
+let stale { pack = Pack ((module B), d); _ } = B.stale d
+let save_state { pack = Pack ((module B), d); _ } = B.save_state d
+let restore_state { pack = Pack ((module B), d); _ } blob = B.restore_state d blob
+let rebind { pack = Pack ((module B), d); _ } = B.rebind d

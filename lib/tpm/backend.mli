@@ -1,0 +1,100 @@
+(** Pluggable trust backends behind one BACKEND signature.
+
+    Three families implement {!S}:
+    - {!Classic_tpm} — the hardware Trust Module of the paper
+      ({!Trust_module} verbatim; byte-identical on the wire to the
+      pre-backend tree).  State is sealed in the device: save/restore
+      always fail, the binding epoch is pinned at 0.
+    - {!Evtpm_backend} — the migratable ephemeral vTPM ({!Evtpm}).
+      Serializable state with an explicit binding epoch; restoring marks
+      the module stale until a {!val-rebind} re-registers it with the
+      Privacy CA.
+    - {!Cvm_backend} — the CVM hardware-report device ({!Cvm_device}),
+      verified against a {!Platform_root} instead of the operator's CA.
+
+    The dynamic {!type-t} packs "some backend" existentially so servers,
+    monitors and the attestation client dispatch uniformly. *)
+
+type kind = Classic | Evtpm | Cvm_report
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val pp_kind : Format.formatter -> kind -> unit
+
+(** The BACKEND signature. *)
+module type S = sig
+  type t
+
+  val kind : kind
+  val identity_public : t -> Crypto.Rsa.public
+  val pcrs : t -> Pcr.t
+  val random_nonce : t -> string
+  val drbg : t -> Crypto.Drbg.t
+  val num_registers : t -> int
+  val read_registers : t -> int array
+  val write_register : t -> int -> int -> unit
+  val add_register : t -> int -> int -> unit
+  val clear_registers : t -> unit
+  val begin_session : t -> Trust_module.session
+  val sign_with_session : t -> Trust_module.session -> string -> string option
+  val end_session : t -> Trust_module.session -> unit
+  val quote_batch : t -> Trust_module.session -> root:string -> nonce:string -> string option
+  val sign_identity : t -> string -> string
+  val decrypt_identity : t -> string -> string option
+
+  val binding_epoch : t -> int
+  (** 0 forever on immobile backends; bumped by {!rebind} on migratable
+      ones. *)
+
+  val stale : t -> bool
+  (** True between a [restore_state] and the next [rebind]. *)
+
+  val save_state : t -> (string, string) result
+  val restore_state : t -> string -> (unit, string) result
+  val rebind : t -> int
+end
+
+module Classic_tpm : S with type t = Trust_module.t
+module Evtpm_backend : S with type t = Evtpm.t
+module Cvm_backend : S with type t = Cvm_device.t
+
+(** {2 Dynamic dispatch} *)
+
+type t
+
+type device =
+  | Classic_dev of Trust_module.t
+  | Evtpm_dev of Evtpm.t
+  | Cvm_dev of Cvm_device.t
+
+val classic : Trust_module.t -> t
+val evtpm : Evtpm.t -> t
+val cvm : Cvm_device.t -> t
+
+val device : t -> device
+val as_classic : t -> Trust_module.t option
+val as_evtpm : t -> Evtpm.t option
+val as_cvm : t -> Cvm_device.t option
+
+val kind : t -> kind
+val identity_public : t -> Crypto.Rsa.public
+val pcrs : t -> Pcr.t
+val random_nonce : t -> string
+val drbg : t -> Crypto.Drbg.t
+val num_registers : t -> int
+val read_registers : t -> int array
+val write_register : t -> int -> int -> unit
+val add_register : t -> int -> int -> unit
+val clear_registers : t -> unit
+val begin_session : t -> Trust_module.session
+val sign_with_session : t -> Trust_module.session -> string -> string option
+val end_session : t -> Trust_module.session -> unit
+val quote_batch : t -> Trust_module.session -> root:string -> nonce:string -> string option
+val sign_identity : t -> string -> string
+val decrypt_identity : t -> string -> string option
+val binding_epoch : t -> int
+val stale : t -> bool
+val save_state : t -> (string, string) result
+val restore_state : t -> string -> (unit, string) result
+val rebind : t -> int

@@ -32,3 +32,15 @@ let composite t idxs =
     (List.concat_map (fun i -> [ Printf.sprintf "pcr%02d:" i; t.(i) ]) sorted)
 
 let snapshot t = Array.copy t
+
+let load t values =
+  if Array.length values <> Array.length t then
+    Error
+      (Printf.sprintf "Pcr.load: snapshot has %d registers, bank has %d"
+         (Array.length values) (Array.length t))
+  else if Array.exists (fun v -> String.length v <> digest_size) values then
+    Error "Pcr.load: snapshot value has wrong digest size"
+  else begin
+    Array.blit values 0 t 0 (Array.length t);
+    Ok ()
+  end

@@ -27,3 +27,10 @@ val composite : t -> int list -> string
     value a TPM quote signs. *)
 
 val snapshot : t -> string array
+
+val load : t -> string array -> (unit, string) result
+(** [load t values] overwrites the whole bank in place with a previously
+    taken {!snapshot} — the restore half of vTPM state migration.  The bank
+    object itself is preserved, so holders of the [t] observe the new
+    values.  Fails (without touching the bank) when the snapshot has the
+    wrong register count or a value of the wrong digest size. *)

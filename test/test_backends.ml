@@ -1,0 +1,296 @@
+(* Trust-backend tests: the BACKEND signature's three implementations.
+
+   The pinned digests below were captured from the pre-backend tree, so
+   they prove the refactor left the classic path byte-identical: the same
+   key streams, the same endorsement bytes, the same AS wire reply. *)
+
+open Core
+
+let hex s = Crypto.Hexs.encode (Crypto.Sha256.digest s)
+
+(* --- Classic backend: byte-identical to the pre-backend Trust_module ------ *)
+
+(* SHA-256 over every byte the classic backend emits for a fixed seed:
+   identity key, session key + endorsement, a session signature, a batch
+   quote and an identity signature.  Captured before Backend existed. *)
+let pinned_module_digest =
+  "5ab33645ced906421f92c9551fbc882ed22da10b2475737a3e3e0f4ad4fb5fc1"
+
+let test_classic_backend_bytes_pinned () =
+  let b = Tpm.Backend.classic (Tpm.Trust_module.create ~key_bits:512 ~seed:"pin|7" ()) in
+  let session = Tpm.Backend.begin_session b in
+  let parts =
+    [
+      Crypto.Rsa.public_to_string (Tpm.Backend.identity_public b);
+      Crypto.Rsa.public_to_string session.Tpm.Trust_module.public;
+      session.Tpm.Trust_module.endorsement;
+      Option.get (Tpm.Backend.sign_with_session b session "pin-payload");
+      Option.get (Tpm.Backend.quote_batch b session ~root:"pin-root" ~nonce:"pin-nonce");
+      Tpm.Backend.sign_identity b "pin-id-payload";
+    ]
+  in
+  Alcotest.(check string) "classic backend bytes" pinned_module_digest
+    (hex (String.concat "|" parts))
+
+(* Whole-stack version: a default (all-classic) cloud's AS answers a
+   strict-parse wire request with exactly the pre-backend reply bytes. *)
+let pinned_as_reply_len = 366
+
+let pinned_as_reply_digest =
+  "9813f0863a751590512019e18bcea1fb79ba8223bda80dc5a127341232cb5faa"
+
+let test_classic_as_reply_pinned () =
+  let cloud = Cloud.build ~config:{ Cloud.default_config with key_bits = 512 } () in
+  let ctl = Cloud.controller cloud in
+  let vid =
+    match
+      Controller.launch ctl
+        {
+          Controller.owner = "pin";
+          image = "cirros";
+          flavor = "small";
+          properties = Property.all;
+          workload = "";
+          pins = [];
+        }
+    with
+    | Ok info -> info.Commands.vid
+    | Error _ -> Alcotest.fail "launch failed"
+  in
+  let host =
+    match Controller.vm_host ctl ~vid with
+    | Some h -> h
+    | None -> Alcotest.fail "no host"
+  in
+  let reply =
+    Attestation_server.request_handler
+      (Cloud.attestation_server cloud)
+      ~peer:"cloud-controller"
+      (Protocol.encode_as_request
+         {
+           Protocol.vid;
+           server = host;
+           property = Property.Startup_integrity;
+           nonce = "pin-nonce-0123456";
+         })
+  in
+  Alcotest.(check int) "reply length" pinned_as_reply_len (String.length reply);
+  Alcotest.(check string) "reply digest" pinned_as_reply_digest (hex reply)
+
+(* --- e-vTPM state machine -------------------------------------------------- *)
+
+let test_evtpm_save_restore_roundtrip () =
+  let dev = Tpm.Evtpm.create ~key_bits:512 ~seed:"evtpm-rt" () in
+  Tpm.Evtpm.write_register dev 0 42;
+  ignore (Tpm.Pcr.extend (Tpm.Evtpm.pcrs dev) 1 "boot-measurement" : string);
+  let pcr1 = Tpm.Pcr.read (Tpm.Evtpm.pcrs dev) 1 in
+  let state = Result.get_ok (Tpm.Evtpm.save_state dev) in
+  (* Mutate after the snapshot, then restore: state rolls back. *)
+  Tpm.Evtpm.write_register dev 0 99;
+  ignore (Tpm.Pcr.extend (Tpm.Evtpm.pcrs dev) 1 "later" : string);
+  Alcotest.(check bool) "fresh before restore" false (Tpm.Evtpm.stale dev);
+  (match Tpm.Evtpm.restore_state dev state with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("restore failed: " ^ e));
+  Alcotest.(check bool) "stale after restore" true (Tpm.Evtpm.stale dev);
+  Alcotest.(check int) "register rolled back" 42 (Tpm.Evtpm.read_registers dev).(0);
+  Alcotest.(check string) "pcr rolled back" pcr1 (Tpm.Pcr.read (Tpm.Evtpm.pcrs dev) 1);
+  (* A stale module's endorsement carries the stale marker in the signed
+     payload, so no verifier can certify it by accident. *)
+  let session = Tpm.Evtpm.begin_session dev in
+  let payload =
+    Tpm.Evtpm.endorsement_payload
+      ~epoch:(Tpm.Evtpm.binding_epoch dev)
+      ~stale:true session.Tpm.Trust_module.public
+  in
+  Alcotest.(check bool) "stale endorsement verifies as stale" true
+    (Crypto.Rsa.verify (Tpm.Evtpm.identity_public dev)
+       ~signature:session.Tpm.Trust_module.endorsement payload)
+
+let test_evtpm_geometry_mismatch_rejected () =
+  let small = Tpm.Evtpm.create ~key_bits:512 ~num_registers:4 ~seed:"evtpm-a" () in
+  let big = Tpm.Evtpm.create ~key_bits:512 ~num_registers:8 ~seed:"evtpm-b" () in
+  let state = Result.get_ok (Tpm.Evtpm.save_state small) in
+  (match Tpm.Evtpm.restore_state big state with
+  | Ok () -> Alcotest.fail "geometry mismatch accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "failed restore leaves module fresh" false (Tpm.Evtpm.stale big);
+  match Tpm.Evtpm.restore_state big "garbage" with
+  | Ok () -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let test_evtpm_rebind_clears_stale () =
+  let dev = Tpm.Evtpm.create ~key_bits:512 ~seed:"evtpm-rb" () in
+  let state = Result.get_ok (Tpm.Evtpm.save_state dev) in
+  Result.get_ok (Tpm.Evtpm.restore_state dev state);
+  Alcotest.(check bool) "stale" true (Tpm.Evtpm.stale dev);
+  Alcotest.(check int) "epoch 0" 0 (Tpm.Evtpm.binding_epoch dev);
+  Alcotest.(check int) "epoch bumps" 1 (Tpm.Evtpm.rebind dev);
+  Alcotest.(check bool) "fresh again" false (Tpm.Evtpm.stale dev)
+
+let test_evtpm_clone_carries_identity () =
+  (* Restoring A's state into B is the rollback/clone attack: B now quotes
+     under A's identity — and is stale until an explicit re-registration. *)
+  let a = Tpm.Evtpm.create ~key_bits:512 ~seed:"evtpm-src" () in
+  let b = Tpm.Evtpm.create ~key_bits:512 ~seed:"evtpm-dst" () in
+  let state = Result.get_ok (Tpm.Evtpm.save_state a) in
+  Result.get_ok (Tpm.Evtpm.restore_state b state);
+  Alcotest.(check bool) "clone is stale" true (Tpm.Evtpm.stale b);
+  Alcotest.(check string) "clone took src identity"
+    (Crypto.Rsa.public_to_string (Tpm.Evtpm.identity_public a))
+    (Crypto.Rsa.public_to_string (Tpm.Evtpm.identity_public b))
+
+(* --- End-to-end lifecycle on the cloud ------------------------------------- *)
+
+let evtpm_cloud () =
+  Cloud.build
+    ~config:
+      {
+        Cloud.default_config with
+        key_bits = 512;
+        backend_of = (fun _ -> Tpm.Backend.Evtpm);
+      }
+    ()
+
+let attest_status customer ~vid =
+  match Cloud.Customer.attest customer ~vid ~property:Property.Startup_integrity with
+  | Ok r -> r.Report.status
+  | Error e -> Alcotest.failf "attest failed: %a" Cloud.Customer.pp_error e
+
+let launch_monitored customer =
+  match
+    Cloud.Customer.launch customer ~image:"cirros" ~flavor:"small"
+      ~properties:[ Property.Startup_integrity ] ()
+  with
+  | Ok info -> info.Commands.vid
+  | Error e -> Alcotest.failf "launch failed: %a" Cloud.Customer.pp_error e
+
+let test_migrate_without_rebind_detected () =
+  let cloud = evtpm_cloud () in
+  let customer = Cloud.Customer.create cloud ~name:"eve" in
+  let vid = launch_monitored customer in
+  let host = Option.get (Controller.vm_host (Cloud.controller cloud) ~vid) in
+  Alcotest.(check bool) "fresh attest healthy" true (attest_status customer ~vid = Report.Healthy);
+  (* The migrate-without-rebind attack: carry the vTPM state image over
+     and keep serving quotes from it without re-registering. *)
+  let state = Result.get_ok (Cloud.vtpm_save cloud ~server:host) in
+  Result.get_ok (Cloud.vtpm_restore cloud ~server:host state);
+  (match attest_status customer ~vid with
+  | Report.Compromised reason ->
+      Alcotest.(check bool) "stale-binding verdict" true
+        (String.length reason >= 18 && String.sub reason 0 18 = "vtpm-stale-binding")
+  | s -> Alcotest.failf "expected Compromised, got %a" Report.pp_status s);
+  (* Re-registration with the Privacy CA is the only way back. *)
+  let epoch = Result.get_ok (Cloud.vtpm_rebind cloud ~server:host) in
+  Alcotest.(check int) "epoch advanced" 1 epoch;
+  Alcotest.(check bool) "healthy after rebind" true
+    (attest_status customer ~vid = Report.Healthy)
+
+let test_vtpm_ops_reject_non_evtpm_hosts () =
+  let cloud = Cloud.build ~config:{ Cloud.default_config with key_bits = 512 } () in
+  (match Cloud.vtpm_save cloud ~server:"server-1" with
+  | Ok _ -> Alcotest.fail "saved a classic TPM"
+  | Error _ -> ());
+  match Cloud.vtpm_rebind cloud ~server:"server-1" with
+  | Ok _ -> Alcotest.fail "rebound a classic TPM"
+  | Error _ -> ()
+
+(* --- CVM hardware reports -------------------------------------------------- *)
+
+let cvm_cloud () =
+  Cloud.build
+    ~config:
+      {
+        Cloud.default_config with
+        key_bits = 512;
+        backend_of = (fun _ -> Tpm.Backend.Cvm_report);
+      }
+    ()
+
+let test_cvm_attests_against_vendor_root () =
+  let cloud = cvm_cloud () in
+  Alcotest.(check bool) "vendor root minted" true (Cloud.platform_root cloud <> None);
+  let customer = Cloud.Customer.create cloud ~name:"carol" in
+  let vid = launch_monitored customer in
+  Alcotest.(check bool) "cvm attest healthy" true
+    (attest_status customer ~vid = Report.Healthy)
+
+let test_cvm_operator_convicted_on_rollback () =
+  (* CVM hardware keeps the operator out of the measurement TCB, but the
+     verdict distribution is still operator-run: an operator that shows an
+     auditor an old signed head as latest is convicted from signatures
+     alone. *)
+  let cloud = cvm_cloud () in
+  let logs = Cloud.enable_audit ~checkpoint_interval:0 cloud in
+  let log = List.hd logs in
+  let customer = Cloud.Customer.create cloud ~name:"carol" in
+  let vid = launch_monitored customer in
+  Alcotest.(check bool) "audited attest healthy" true
+    (attest_status customer ~vid = Report.Healthy);
+  let old_sth = Audit.Log.checkpoint log in
+  Alcotest.(check bool) "second attest healthy" true
+    (attest_status customer ~vid = Report.Healthy);
+  ignore (Audit.Log.checkpoint log : Audit.Sth.t);
+  let key_of id = if id = Audit.Log.log_id log then Some (Audit.Log.public_key log) else None in
+  let auditor = Audit.Auditor.create ~name:"aud" ~key_of () in
+  let view = Audit.View.of_log log in
+  Audit.Auditor.observe auditor view;
+  Alcotest.(check int) "honest view: no evidence" 0 (Audit.Auditor.evidence_count auditor);
+  Audit.Auditor.observe auditor (Audit.View.stale view ~sth:old_sth);
+  Alcotest.(check bool) "rollback convicted" true
+    (List.exists
+       (fun ev -> ev.Audit.Auditor.kind = Audit.Auditor.Rollback)
+       (Audit.Auditor.evidence auditor))
+
+(* --- Per-backend cost rows -------------------------------------------------- *)
+
+let test_backend_cost_rows () =
+  (* Classic selectors must keep returning the historical constants. *)
+  Alcotest.(check int) "classic keygen"
+    Costs.session_keygen
+    (Costs.session_keygen_for Tpm.Backend.Classic);
+  Alcotest.(check int) "classic quote" Costs.quote_sign
+    (Costs.quote_sign_for Tpm.Backend.Classic);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s keygen positive" (Tpm.Backend.kind_to_string kind))
+        true
+        (Costs.session_keygen_for kind > 0 && Costs.quote_sign_for kind > 0))
+    Tpm.Backend.all_kinds
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "classic-pinned",
+        [
+          Alcotest.test_case "module bytes pinned" `Quick test_classic_backend_bytes_pinned;
+          Alcotest.test_case "AS wire reply pinned" `Quick test_classic_as_reply_pinned;
+        ] );
+      ( "evtpm",
+        [
+          Alcotest.test_case "save/restore round-trip" `Quick
+            test_evtpm_save_restore_roundtrip;
+          Alcotest.test_case "geometry mismatch rejected" `Quick
+            test_evtpm_geometry_mismatch_rejected;
+          Alcotest.test_case "rebind clears staleness" `Quick test_evtpm_rebind_clears_stale;
+          Alcotest.test_case "clone carries identity" `Quick
+            test_evtpm_clone_carries_identity;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "migrate without rebind detected" `Quick
+            test_migrate_without_rebind_detected;
+          Alcotest.test_case "vtpm ops reject classic hosts" `Quick
+            test_vtpm_ops_reject_non_evtpm_hosts;
+        ] );
+      ( "cvm",
+        [
+          Alcotest.test_case "attests against vendor root" `Quick
+            test_cvm_attests_against_vendor_root;
+          Alcotest.test_case "operator rollback convicted" `Quick
+            test_cvm_operator_convicted_on_rollback;
+        ] );
+      ( "costs",
+        [ Alcotest.test_case "per-backend cost rows" `Quick test_backend_cost_rows ] );
+    ]

@@ -344,10 +344,10 @@ let test_batch_codecs_roundtrip () =
 
 let policy_db () =
   let db = Database.create () in
-  Database.add_server db { Database.name = "secure-big"; secure = true; monitoring = Property.all };
+  Database.add_server db { Database.name = "secure-big"; secure = true; backend = Tpm.Backend.Classic; monitoring = Property.all };
   Database.add_server db
-    { Database.name = "secure-small"; secure = true; monitoring = Property.all };
-  Database.add_server db { Database.name = "legacy"; secure = false; monitoring = [] };
+    { Database.name = "secure-small"; secure = true; backend = Tpm.Backend.Classic; monitoring = Property.all };
+  Database.add_server db { Database.name = "legacy"; secure = false; backend = Tpm.Backend.Classic; monitoring = [] };
   db
 
 let free_mem_of assoc name = List.assoc_opt name assoc
@@ -392,8 +392,8 @@ let test_policy_exclusion () =
   | Error `No_qualified_server -> Alcotest.fail "expected a host"
 
 let test_property_filter_unit () =
-  let secure = { Database.name = "s"; secure = true; monitoring = [ Property.Runtime_integrity ] } in
-  let insecure = { Database.name = "i"; secure = false; monitoring = [] } in
+  let secure = { Database.name = "s"; secure = true; backend = Tpm.Backend.Classic; monitoring = [ Property.Runtime_integrity ] } in
+  let insecure = { Database.name = "i"; secure = false; backend = Tpm.Backend.Classic; monitoring = [] } in
   Alcotest.(check bool) "supported" true (Policy.property_filter secure [ Property.Runtime_integrity ]);
   Alcotest.(check bool) "unsupported property" false
     (Policy.property_filter secure [ Property.Cpu_availability ]);

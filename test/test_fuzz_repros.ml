@@ -29,6 +29,14 @@ let pinned_clean =
     "seed=23 ops=L1.1.0;L2.0.1;b1;A0.0+1.1+0.2;c1000;A0.0+1.1;b0;a1.3";
     (* cached Healthy expires over an advance, then the VM is infected *)
     "seed=42 ops=L0.1.1;c200;a0.1;t250;x0;a0.1;K0";
+    (* migrate-without-rebind: restored vTPM state attests Compromised
+       until the explicit Privacy-CA rebind, then Healthy again *)
+    "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0;vr1;a1.0";
+    (* backend-mismatched clones fail cleanly, and suspend/resume with
+       stale vTPM state stays convictable until the rebind *)
+    "seed=9 ops=L0.1.0;L0.1.0;L0.1.0;vm1.0;a0.0;vm0.1;a1.2;vs1;S1;R1;a1.0;vr1;a1.0";
+    (* migrating off a stale host lands on a fresh one: Healthy is fine *)
+    "seed=13 ops=L0.1.0;L0.1.0;L0.1.0;c1000;a2.0;vs1;M1;a1.0;vr1;a1.0";
   ]
 
 let test_pinned_histories_clean () =
@@ -80,13 +88,15 @@ let test_codec_rejects_garbage () =
       "seed=1 ops=L0.1.0;;a0.0";
       "seed=1 ops=L0.2.0";
       "seed=1 ops=fq3";
+      "seed=1 ops=vq3";
+      "seed=1 ops=vs";
     ]
 
 (* --- Mutation testing: the oracles must catch the planted bugs ------------ *)
 
-let triggers ~bug line =
+let triggers ?(oracle = "cache-consistency") ~bug line =
   let _, out = replay ~bug line in
-  List.mem "cache-consistency" (oracle_names out)
+  List.mem oracle (oracle_names out)
 
 let test_planted_migrate_bug () =
   let line = "seed=2035 ops=L1.0.0;c50;a0.3;M1;a1.3" in
@@ -102,16 +112,25 @@ let test_planted_resume_bug () =
   Alcotest.(check bool) "clean without mutant" false
     (triggers ~bug:Fuzz.Replay.No_bug line)
 
+let test_planted_rebind_bug () =
+  (* A management plane that silently re-registers restored vTPM state
+     turns the migrate-without-rebind attack into fresh Healthy verdicts;
+     the stale-binding oracle must convict exactly that. *)
+  let oracle = "vtpm-stale-binding" in
+  let line = "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" in
+  Alcotest.(check bool) "caught under mutant" true
+    (triggers ~oracle ~bug:Fuzz.Replay.Rebind_on_restore line);
+  Alcotest.(check bool) "clean without mutant" false
+    (triggers ~oracle ~bug:Fuzz.Replay.No_bug line)
+
 (* --- Shrinking ------------------------------------------------------------ *)
 
-let one_minimal ~bug scenario =
+let one_minimal ?(oracle = "cache-consistency") ~bug scenario =
   let ops = scenario.Fuzz.Op.ops in
   List.for_all
     (fun i ->
       let shorter = List.filteri (fun j _ -> j <> i) ops in
-      not
-        (Fuzz.Shrink.triggers ~bug ~oracle:"cache-consistency"
-           { scenario with Fuzz.Op.ops = shorter }))
+      not (Fuzz.Shrink.triggers ~bug ~oracle { scenario with Fuzz.Op.ops = shorter }))
     (List.init (List.length ops) Fun.id)
 
 let test_shrunk_repros_one_minimal () =
@@ -126,7 +145,14 @@ let test_shrunk_repros_one_minimal () =
     [
       (Fuzz.Replay.Skip_invalidate_on_migrate, "seed=2035 ops=L1.0.0;c50;a0.3;M1;a1.3");
       (Fuzz.Replay.Skip_invalidate_on_resume, "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1");
-    ]
+    ];
+  (* the rebind mutant's repro is 1-minimal under its own oracle *)
+  match Fuzz.Op.of_string "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" with
+  | None -> Alcotest.fail "parse: rebind repro"
+  | Some scenario ->
+      Alcotest.(check bool) "rebind repro 1-minimal" true
+        (one_minimal ~oracle:"vtpm-stale-binding" ~bug:Fuzz.Replay.Rebind_on_restore
+           scenario)
 
 let test_shrinker_strips_padding () =
   (* Pad the minimal migrate repro with inert ops; ddmin must strip every
@@ -169,6 +195,7 @@ let () =
         [
           Alcotest.test_case "planted migrate bug caught" `Quick test_planted_migrate_bug;
           Alcotest.test_case "planted resume bug caught" `Quick test_planted_resume_bug;
+          Alcotest.test_case "planted rebind bug caught" `Quick test_planted_rebind_bug;
         ] );
       ( "shrink",
         [
