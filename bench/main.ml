@@ -72,10 +72,20 @@ let run_verify () = Experiments.Protocol_check.print (Experiments.Protocol_check
 let run_cache () = Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
 let run_faults () = Experiments.Faults.print (Experiments.Faults.run ~seed ())
 
+(* A domains=N fleet run that diverges from domains=1 is a determinism
+   regression in the epoch-barrier protocol; it gates like the fuzz
+   campaign. *)
+let fleet_failed = ref false
+
 let run_fleet () =
   let result = Experiments.Fleet_exp.run ~seed () in
   Experiments.Fleet_exp.print result;
-  collect "fleet" (Experiments.Fleet_exp.to_json result)
+  collect "fleet" (Experiments.Fleet_exp.to_json result);
+  if not (Experiments.Fleet_exp.identical_across_domains result) then begin
+    fleet_failed := true;
+    Printf.eprintf
+      "fleet: sharded results diverged across domain counts (see BENCH_fleet.json)\n%!"
+  end
 
 let run_batch () =
   let result = Experiments.Batch_exp.run ~seed () in
@@ -329,5 +339,6 @@ let () =
           paths
 
 (* Fail the process (after the artifacts are written, so the repro file
-   and JSON survive) when the fuzz campaign surfaced violations. *)
-let () = if !fuzz_failed || !backends_failed then exit 1
+   and JSON survive) when the fuzz campaign surfaced violations, the
+   backend lifecycle gates tripped, or the sharded fleet runs diverged. *)
+let () = if !fuzz_failed || !backends_failed || !fleet_failed then exit 1

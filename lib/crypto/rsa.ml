@@ -166,8 +166,15 @@ module Memo = struct
   let create ~capacity : t = Lru.create ~capacity
 
   let default_capacity = 4096
-  let shared_memo = lazy (Lru.create ~capacity:default_capacity)
-  let shared () = Lazy.force shared_memo
+
+  (* One memo per domain: the LRU's intrusive list is not safe to mutate
+     concurrently, and the sharded fleet driver verifies on several domains
+     at once.  Domain-local tables trade some duplicate verification across
+     domains for lock-free access and unchanged single-domain behavior. *)
+  let shared_key : t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Lru.create ~capacity:default_capacity)
+
+  let shared () = Domain.DLS.get shared_key
 
   let hits (t : t) = Lru.hits t
   let misses (t : t) = Lru.misses t

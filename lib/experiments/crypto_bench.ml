@@ -25,12 +25,24 @@ type memo_rates = {
   hit_speedup : float;
 }
 
+(* Steady-state pop+push churn on the simulation kernel's binary heap —
+   the engine's hottest non-crypto loop once the fleet driver schedules
+   millions of events.  Tracked here so the bottom-up extraction path
+   shows up in the same committed artifact as the RSA hot path. *)
+type heap_row = {
+  h_size : int;
+  h_ops_per_s : float;
+  h_ns_per_op : float;
+  h_iters : int;
+}
+
 type result = {
   scale : string;
   key_bits : int list;
   sign : sign_row list;
   verify : verify_row list;
   memo : memo_rates;
+  heap : heap_row list;
   (* speedup of (crt, window) over the classic full-width bit-at-a-time
      path, per key size — the calibration ratios. *)
   sign_speedup : (int * float) list;
@@ -130,6 +142,29 @@ let run ~seed () =
       hit_speedup = miss_s /. hit_s;
     }
   in
+  let heap =
+    List.map
+      (fun size ->
+        let prng = Sim.Prng.create (seed + size) in
+        let h = Sim.Heap.create ~cmp:compare in
+        for _ = 1 to size do
+          Sim.Heap.push h (Sim.Prng.int prng 1_000_000)
+        done;
+        (* One op = pop-min + push-random at steady size: the exact churn the
+           event loop performs per scheduled event. *)
+        let s_per_op, iters =
+          time_per_op ~budget ~min_iters:(min_iters * 1000) (fun () ->
+              ignore (Sim.Heap.pop h : int option);
+              Sim.Heap.push h (Sim.Prng.int prng 1_000_000))
+        in
+        {
+          h_size = size;
+          h_ops_per_s = 1.0 /. s_per_op;
+          h_ns_per_op = 1e9 *. s_per_op;
+          h_iters = iters;
+        })
+      [ 1024; 65536 ]
+  in
   let rate ~bits ~crt ~window =
     let r = List.find (fun r -> r.bits = bits && r.crt = crt && r.window = window) sign in
     r.ops_per_s
@@ -148,7 +183,7 @@ let run ~seed () =
   let crt_speedup_1024 =
     rate ~bits:1024 ~crt:true ~window:true /. rate ~bits:1024 ~crt:false ~window:true
   in
-  { scale; key_bits; sign; verify; memo; sign_speedup; seed_speedup; crt_speedup_1024 }
+  { scale; key_bits; sign; verify; memo; heap; sign_speedup; seed_speedup; crt_speedup_1024 }
 
 let print r =
   Common.section
@@ -165,6 +200,11 @@ let print r =
     r.verify;
   Printf.printf "  memo (%d bits): hit %.0f ops/s, miss %.0f ops/s (%.0fx)\n" r.memo.m_bits
     r.memo.hit_ops_per_s r.memo.miss_ops_per_s r.memo.hit_speedup;
+  Printf.printf "  sim heap pop+push churn:\n";
+  List.iter
+    (fun h ->
+      Printf.printf "  %-6d %24.0f %10.1fns\n" h.h_size h.h_ops_per_s h.h_ns_per_op)
+    r.heap;
   List.iter
     (fun (bits, f) -> Printf.printf "  crt+window vs classic @%d: %.2fx\n" bits f)
     r.sign_speedup;
@@ -214,6 +254,18 @@ let to_json ~seed r =
             ("miss_ops_per_s", Float r.memo.miss_ops_per_s);
             ("hit_speedup", Float r.memo.hit_speedup);
           ] );
+      ( "heap",
+        List
+          (List.map
+             (fun h ->
+               Obj
+                 [
+                   ("size", Int h.h_size);
+                   ("ops_per_s", Float h.h_ops_per_s);
+                   ("ns_per_op", Float h.h_ns_per_op);
+                   ("iters", Int h.h_iters);
+                 ])
+             r.heap) );
       ( "seed_baseline",
         Obj
           (("note", Str "sign ops/s of the pre-CRT seed tree, reference host")

@@ -1,6 +1,15 @@
-type row = { rate : float; as_count : int; ttl : Sim.Time.t; r : Fleet.Driver.result }
+type row = {
+  rate : float;
+  as_count : int;
+  ttl : Sim.Time.t;
+  domains : int;
+  host_wall_s : float;
+  r : Fleet.Driver.result;
+}
 
-type result = { seed : int; scale : string; rows : row list }
+type sharded = { curve : row list; identical : bool }
+
+type result = { seed : int; scale : string; rows : row list; sharded : sharded }
 
 type sweep = {
   rates : float list;
@@ -37,10 +46,58 @@ let smoke_sweep ~seed =
       };
   }
 
+(* The sharded scaling scenario: the fleet the epoch-barrier driver exists
+   for.  [`Default] is the headline row — 10^5 VMs offered >10^3 req/s —
+   run once per domain count to (a) gate byte-identity of the results and
+   (b) record the host wall-clock curve.  [`Smoke] shrinks it to CI size
+   but keeps as_count > domains > 1 so the barrier protocol is exercised. *)
+let sharded_scenario ~seed = function
+  | `Default ->
+      ( {
+          Fleet.Driver.default_config with
+          seed;
+          servers = 2000;
+          vms = 100_000;
+          as_count = 16;
+          as_capacity = 16;
+          queue_depth = 64;
+          ttl = Sim.Time.sec 30;
+          rate_per_s = 1200.0;
+          duration = Sim.Time.sec 30;
+          drain = Sim.Time.sec 30;
+          churn_period = Sim.Time.sec 1;
+          hot_vms = 4096;
+          epoch = Sim.Time.ms 250;
+        },
+        [ 1; 2; 4; 8 ] )
+  | `Smoke ->
+      ( {
+          Fleet.Driver.default_config with
+          seed;
+          servers = 64;
+          vms = 400;
+          as_count = 4;
+          as_capacity = 2;
+          queue_depth = 8;
+          ttl = Sim.Time.sec 10;
+          rate_per_s = 40.0;
+          duration = Sim.Time.sec 5;
+          drain = Sim.Time.sec 5;
+          churn_period = Sim.Time.ms 500;
+          hot_vms = 32;
+          epoch = Sim.Time.ms 50;
+        },
+        [ 1; 2 ] )
+
 let scale_of_env () =
   match Sys.getenv_opt "CLOUDMONATT_FLEET_SCALE" with
   | Some "smoke" -> `Smoke
   | _ -> `Default
+
+let timed config =
+  let t0 = Unix.gettimeofday () in
+  let r = Fleet.Driver.run config in
+  (r, Unix.gettimeofday () -. t0)
 
 let run ?(seed = 2015) ?scale () =
   let scale = match scale with Some s -> s | None -> scale_of_env () in
@@ -59,7 +116,8 @@ let run ?(seed = 2015) ?scale () =
                 let config =
                   { sweep.base with Fleet.Driver.rate_per_s = rate; as_count; ttl }
                 in
-                { rate; as_count; ttl; r = Fleet.Driver.run config })
+                let r, host_wall_s = timed config in
+                { rate; as_count; ttl; domains = 1; host_wall_s; r })
               sweep.ttls)
           sweep.as_counts)
       sweep.rates
@@ -78,22 +136,57 @@ let run ?(seed = 2015) ?scale () =
         backends = [| Tpm.Backend.Classic; Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
       }
     in
-    { rate; as_count = 3; ttl = 0; r = Fleet.Driver.run config }
+    let r, host_wall_s = timed config in
+    { rate; as_count = 3; ttl = 0; domains = 1; host_wall_s; r }
   in
-  { seed; scale = scale_name; rows = rows @ [ hetero ] }
+  (* The sharded scenario, once per domain count.  Identity is judged on
+     {!Fleet.Driver.fingerprint}, which hashes every result field except
+     the config — counters, percentiles and the per-shard trace digest. *)
+  let sharded =
+    let config, domain_counts = sharded_scenario ~seed scale in
+    let curve =
+      List.map
+        (fun domains ->
+          let r, host_wall_s = timed { config with Fleet.Driver.domains } in
+          {
+            rate = config.Fleet.Driver.rate_per_s;
+            as_count = config.Fleet.Driver.as_count;
+            ttl = config.Fleet.Driver.ttl;
+            domains;
+            host_wall_s;
+            r;
+          })
+        domain_counts
+    in
+    let identical =
+      match curve with
+      | [] -> true
+      | base :: rest ->
+          let fp = Fleet.Driver.fingerprint base.r in
+          List.for_all
+            (fun row -> String.equal (Fleet.Driver.fingerprint row.r) fp)
+            rest
+    in
+    { curve; identical }
+  in
+  { seed; scale = scale_name; rows = rows @ [ hetero ] @ sharded.curve; sharded }
 
-let print { seed; scale; rows } =
+let identical_across_domains { sharded; _ } = sharded.identical
+
+let print { seed; scale; rows; sharded } =
   Common.section
     (Printf.sprintf "Fleet: attestation at scale (seed %d, %s sweep)" seed scale);
   Printf.printf "cost model: cold attestation %.0f ms end-to-end, cache hit %.0f ms\n\n"
     Fleet.Driver.cold_attest_ms Fleet.Driver.cache_hit_ms;
-  Printf.printf "%5s %3s %7s | %7s %7s %7s | %7s %7s %7s | %5s %6s %5s %5s\n" "rate" "AS"
-    "ttl(s)" "off/s" "srv/s" "shed" "p50ms" "p95ms" "p99ms" "hit%" "coal" "meas" "maxQ";
+  Printf.printf "%5s %3s %7s %3s | %7s %7s %7s | %7s %7s %7s | %5s %6s %5s %5s\n" "rate"
+    "AS" "ttl(s)" "dom" "off/s" "srv/s" "shed" "p50ms" "p95ms" "p99ms" "hit%" "coal"
+    "meas" "maxQ";
   List.iter
-    (fun { rate; as_count; ttl; r } ->
+    (fun { rate; as_count; ttl; domains; r; _ } ->
       Printf.printf
-        "%5.1f %3d %7.0f | %7.2f %7.2f %7d | %7.0f %7.0f %7.0f | %5.1f %6d %5d %5d\n" rate
-        as_count (Sim.Time.to_sec ttl) r.Fleet.Driver.offered_rps r.Fleet.Driver.served_rps
+        "%5.1f %3d %7.0f %3d | %7.2f %7.2f %7d | %7.0f %7.0f %7.0f | %5.1f %6d %5d %5d\n"
+        rate as_count (Sim.Time.to_sec ttl) domains r.Fleet.Driver.offered_rps
+        r.Fleet.Driver.served_rps
         (r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic
        + r.Fleet.Driver.shed_recheck)
         r.Fleet.Driver.p50_ms r.Fleet.Driver.p95_ms r.Fleet.Driver.p99_ms
@@ -104,7 +197,7 @@ let print { seed; scale; rows } =
      cache off — the number the acceptance criterion watches. *)
   let top_rate = List.fold_left (fun acc r -> Float.max acc r.rate) 0.0 rows in
   let scaling =
-    List.filter (fun r -> r.rate = top_rate && r.ttl = 0) rows
+    List.filter (fun r -> r.rate = top_rate && r.ttl = 0 && r.domains = 1) rows
     |> List.sort (fun a b -> compare a.as_count b.as_count)
   in
   if scaling <> [] then begin
@@ -130,7 +223,24 @@ let print { seed; scale; rows } =
               Printf.printf "  %-8s %6d served  %6.2f/s\n" kind n
                 (float_of_int n /. duration_s))
             served)
-    rows
+    rows;
+  (* Parallel-shard scaling: the same simulation at each domain count must
+     be byte-identical; the host wall clock is what parallelism buys. *)
+  (match sharded.curve with
+  | [] -> ()
+  | base :: _ ->
+      Printf.printf
+        "\nEpoch-barrier sharding: %d VMs, %d AS shards, %.0f req/s offered, %d epochs:\n"
+        base.r.Fleet.Driver.config.Fleet.Driver.vms
+        base.r.Fleet.Driver.config.Fleet.Driver.as_count base.rate
+        base.r.Fleet.Driver.epochs;
+      List.iter
+        (fun row ->
+          Printf.printf "  domains=%d  %7.2f served/s  host %6.2fs wall\n" row.domains
+            row.r.Fleet.Driver.served_rps row.host_wall_s)
+        sharded.curve;
+      Printf.printf "  results byte-identical across domain counts: %b\n"
+        sharded.identical)
 
 (* Present only when the row ran a non-default backend mix, mirroring the
    audit_fields discipline: all-classic rows keep their historical bytes. *)
@@ -182,45 +292,54 @@ let audit_fields (r : Fleet.Driver.result) =
           ] );
     ]
 
-let row_to_json { rate; as_count; ttl; r } =
+(* [host = false] drops the wall-clock field — the only nondeterministic
+   byte in a row — so determinism tests can compare full JSON documents. *)
+let row_to_json ?(host = true) { rate; as_count; ttl; domains; host_wall_s; r } =
   Json.Obj
     ([
       ("rate_per_s", Json.Float rate);
       ("as_count", Json.Int as_count);
       ("ttl_ms", Json.Float (Sim.Time.to_ms ttl));
-      ("offered", Json.Int r.Fleet.Driver.offered);
-      ("served", Json.Int r.Fleet.Driver.served);
-      ("offered_rps", Json.Float r.Fleet.Driver.offered_rps);
-      ("served_rps", Json.Float r.Fleet.Driver.served_rps);
-      ("mean_ms", Json.Float r.Fleet.Driver.mean_ms);
-      ("p50_ms", Json.Float r.Fleet.Driver.p50_ms);
-      ("p95_ms", Json.Float r.Fleet.Driver.p95_ms);
-      ("p99_ms", Json.Float r.Fleet.Driver.p99_ms);
-      ("cache_hits", Json.Int r.Fleet.Driver.cache_hits);
-      ("cache_hit_rate", Json.Float r.Fleet.Driver.cache_hit_rate);
-      ( "shed",
-        Json.Obj
-          [
-            ("customer", Json.Int r.Fleet.Driver.shed_customer);
-            ("periodic", Json.Int r.Fleet.Driver.shed_periodic);
-            ("recheck", Json.Int r.Fleet.Driver.shed_recheck);
-            ( "total",
-              Json.Int
-                (r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic
-               + r.Fleet.Driver.shed_recheck) );
-          ] );
-      ("coalesced", Json.Int r.Fleet.Driver.coalesced);
-      ("measurements", Json.Int r.Fleet.Driver.measurements);
-      ("unhealthy", Json.Int r.Fleet.Driver.unhealthy);
-      ("invalidations", Json.Int r.Fleet.Driver.invalidations);
-      ("migrations", Json.Int r.Fleet.Driver.migrations);
-      ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
-      ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
+      ("domains", Json.Int domains);
+      ("vms_total", Json.Int r.Fleet.Driver.config.Fleet.Driver.vms);
      ]
+    @ (if host then [ ("host_wall_s", Json.Float host_wall_s) ] else [])
+    @ [
+        ("offered", Json.Int r.Fleet.Driver.offered);
+        ("served", Json.Int r.Fleet.Driver.served);
+        ("offered_rps", Json.Float r.Fleet.Driver.offered_rps);
+        ("served_rps", Json.Float r.Fleet.Driver.served_rps);
+        ("mean_ms", Json.Float r.Fleet.Driver.mean_ms);
+        ("p50_ms", Json.Float r.Fleet.Driver.p50_ms);
+        ("p95_ms", Json.Float r.Fleet.Driver.p95_ms);
+        ("p99_ms", Json.Float r.Fleet.Driver.p99_ms);
+        ("cache_hits", Json.Int r.Fleet.Driver.cache_hits);
+        ("cache_hit_rate", Json.Float r.Fleet.Driver.cache_hit_rate);
+        ( "shed",
+          Json.Obj
+            [
+              ("customer", Json.Int r.Fleet.Driver.shed_customer);
+              ("periodic", Json.Int r.Fleet.Driver.shed_periodic);
+              ("recheck", Json.Int r.Fleet.Driver.shed_recheck);
+              ( "total",
+                Json.Int
+                  (r.Fleet.Driver.shed_customer + r.Fleet.Driver.shed_periodic
+                 + r.Fleet.Driver.shed_recheck) );
+            ] );
+        ("coalesced", Json.Int r.Fleet.Driver.coalesced);
+        ("measurements", Json.Int r.Fleet.Driver.measurements);
+        ("unhealthy", Json.Int r.Fleet.Driver.unhealthy);
+        ("invalidations", Json.Int r.Fleet.Driver.invalidations);
+        ("migrations", Json.Int r.Fleet.Driver.migrations);
+        ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
+        ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
+        ("epochs", Json.Int r.Fleet.Driver.epochs);
+        ("trace_digest", Json.Str r.Fleet.Driver.trace_digest);
+      ]
     @ audit_fields r
     @ backend_fields r)
 
-let to_json { seed; scale; rows } =
+let to_json ?host { seed; scale; rows; sharded } =
   Json.Obj
     [
       ("experiment", Json.Str "fleet");
@@ -232,5 +351,38 @@ let to_json { seed; scale; rows } =
             ("cold_attest_ms", Json.Float Fleet.Driver.cold_attest_ms);
             ("cache_hit_ms", Json.Float Fleet.Driver.cache_hit_ms);
           ] );
-      ("rows", Json.List (List.map row_to_json rows));
+      ("rows", Json.List (List.map (row_to_json ?host) rows));
+      ( "sharded",
+        Json.Obj
+          ([ ("identical_across_domains", Json.Bool sharded.identical) ]
+          @
+          match sharded.curve with
+          | [] -> []
+          | base :: _ ->
+              [
+                ( "vms_total",
+                  Json.Int base.r.Fleet.Driver.config.Fleet.Driver.vms );
+                ( "as_count",
+                  Json.Int base.r.Fleet.Driver.config.Fleet.Driver.as_count );
+                ("rate_per_s", Json.Float base.rate);
+                ("offered_rps", Json.Float base.r.Fleet.Driver.offered_rps);
+                ("trace_digest", Json.Str base.r.Fleet.Driver.trace_digest);
+                ( "fingerprint",
+                  Json.Str (Fleet.Driver.fingerprint base.r) );
+                ( "domains",
+                  Json.List
+                    (List.map (fun row -> Json.Int row.domains) sharded.curve) );
+              ]
+              @
+              if
+                match host with Some false -> false | _ -> true
+              then
+                [
+                  ( "host_wall_s",
+                    Json.List
+                      (List.map
+                         (fun row -> Json.Float row.host_wall_s)
+                         sharded.curve) );
+                ]
+              else []) );
     ]

@@ -20,8 +20,11 @@ type config = {
   audit_checkpoint : Sim.Time.t;
       (* transparency-log STH interval; 0 (the default) = audit off *)
   backends : Tpm.Backend.kind array;
-      (* trust backend per AS cluster, cluster i running backends.(i mod len);
-         the default all-classic array replays the pre-backend driver exactly *)
+      (* trust backend per AS cluster, cluster i running backends.(i mod len) *)
+  domains : int;
+      (* OCaml domains executing the shards; results are independent of it *)
+  epoch : Sim.Time.t;
+      (* barrier interval for cross-shard message exchange *)
 }
 
 let default_config =
@@ -46,6 +49,8 @@ let default_config =
     batch_window = 0;
     audit_checkpoint = 0;
     backends = [| Tpm.Backend.Classic |];
+    domains = 1;
+    epoch = Sim.Time.ms 50;
   }
 
 type result = {
@@ -79,6 +84,8 @@ type result = {
   served_by_backend : (string * int) list;
       (** cluster-served requests per backend kind, for each kind the config
           places (cache hits never reach a cluster and are not attributed) *)
+  epochs : int;
+  trace_digest : string;
 }
 
 (* --- Cost model, anchored to lib/core's calibrated ledger constants ------ *)
@@ -111,9 +118,10 @@ let controller_overhead =
   (2 * wire_leg) + Core.Costs.db_lookup + Core.Costs.signature_verify
   + Core.Costs.report_sign
 
-(* A verdict-cache hit never leaves the controller: database lookup plus
-   re-signing the cached report under the fresh nonce — the same charges
-   Controller.attest puts on its ledger for a hit. *)
+(* A verdict-cache hit never leaves the serving shard's controller
+   partition: database lookup plus re-signing the cached report under the
+   fresh nonce — the same charges Controller.attest puts on its ledger for
+   a hit. *)
 let cache_hit_cost = Core.Costs.db_lookup + Core.Costs.report_sign
 
 (* AS-side occupancy of one n-report batched round: the wire legs, quote
@@ -151,218 +159,436 @@ let batch_attest_ms n = Sim.Time.to_ms (batch_service_base n + controller_overhe
 
 let properties = Array.of_list Core.Property.all
 
+(* --- Sharded execution ---------------------------------------------------
+
+   One shard per AS cluster.  A shard owns its cluster, engine (clock and
+   event queue), verdict-cache partition, metrics, prng streams, audit log
+   and the VMs whose *initial* placement was this cluster (their "home").
+   The home shard generates a VM's arrivals and runs its lifecycle churn
+   for the whole run; the shard of the VM's *current* host serves the
+   requests and caches the verdicts.  When those differ, the home shard
+   sends a {!Msg.Submit} instead of touching foreign state, and churn sends
+   {!Msg.Invalidate} to the clusters the VM moved between.
+
+   Shards never read or write each other's state inside an epoch, so any
+   assignment of shards to domains executes the same per-shard event
+   sequences; the barrier sorts the union of outboxes by (send time, source
+   shard, send seq) — a total order that is itself a pure function of the
+   per-shard sequences — making the merged run reproducible bit-for-bit at
+   any domain count. *)
+
+type shard = {
+  index : int;
+  engine : Sim.Engine.t;
+  metrics : Metrics.t;
+  cache : Core.Verdict_cache.t;
+  cluster : Cluster.t;
+  pick_prng : Sim.Prng.t;
+  churn_prng : Sim.Prng.t;
+  my_vms : Topology.vm array;  (* home slice, idx order *)
+  my_hot : Topology.vm array;  (* home slice ∩ the fleet-wide hot set *)
+  trace : Crypto.Sha256.ctx;
+  mutable outbox : Msg.t list;  (* newest first; reversed at the barrier *)
+  mutable out_seq : int;
+  mutable migrations : int;
+  served_by : int array;  (* by backend kind slot *)
+  mutable audit_proofs_seen : int;
+  mutable audit_evidence_seen : int;
+}
+
+let kind_slot = function
+  | Tpm.Backend.Classic -> 0
+  | Tpm.Backend.Evtpm -> 1
+  | Tpm.Backend.Cvm_report -> 2
+
 let run config =
-  let engine = Sim.Engine.create () in
-  let root = Sim.Prng.create (config.seed lxor 0x464c45) in
-  let arrival_prng = Sim.Prng.split root in
-  let pick_prng = Sim.Prng.split root in
-  let service_prng = Sim.Prng.split root in
-  let verdict_prng = Sim.Prng.split root in
-  let churn_prng = Sim.Prng.split root in
   let topology =
     Topology.make ~seed:config.seed ~servers:config.servers ~vms:config.vms
       ~as_count:config.as_count
   in
-  let metrics = Metrics.create () in
-  let cache =
-    Core.Verdict_cache.create ~ttl:config.ttl
-      ~clock:(fun () -> Sim.Engine.now engine)
-      ()
-  in
-  let measure ~vid:_ ~property:_ =
-    if Sim.Prng.float verdict_prng 1.0 < config.unhealthy_p then
-      Core.Report.Compromised "fleet-sim anomaly"
-    else Core.Report.Healthy
-  in
+  let shard_count = Topology.as_count topology in
+  let horizon = config.duration + config.drain in
   let backend_of_cluster i =
     config.backends.(i mod max 1 (Array.length config.backends))
   in
-  (* One jitter draw per round regardless of backend, so a heterogeneous
-     fleet consumes the same PRNG stream as an all-classic one — and the
-     all-classic default replays the pre-backend driver exactly, since
-     [cold_service_base_for Classic = cold_service_base]. *)
-  let service_time_for kind () =
-    (* +/-10% jitter around the ledger-derived base. *)
-    let base = float_of_int (cold_service_base_for kind) in
-    let f = 0.9 +. Sim.Prng.float service_prng 0.2 in
-    max 1 (int_of_float (base *. f))
+  (* Every shard's five prng streams are split from the root on the main
+     domain, in shard order, before anything runs — the stream assignment
+     is part of the configuration, not of the execution schedule. *)
+  let root = Sim.Prng.create (config.seed lxor 0x464c45) in
+  let streams =
+    let arr = Array.make shard_count (root, root, root, root, root) in
+    for _s = 0 to shard_count - 1 do
+      let arrival = Sim.Prng.split root in
+      let pick = Sim.Prng.split root in
+      let service = Sim.Prng.split root in
+      let verdict = Sim.Prng.split root in
+      let churn = Sim.Prng.split root in
+      arr.(_s) <- (arrival, pick, service, verdict, churn)
+    done;
+    arr
   in
-  (* One jitter draw per batched round, mirroring the unbatched one-draw-
-     per-round discipline.  Never called when [batch_max = 1], so batch-1
-     runs consume exactly the PRNG stream of the pre-batching driver. *)
-  let batch_service_time_for kind n =
-    let base = float_of_int (batch_service_base_for kind n) in
-    let f = 0.9 +. Sim.Prng.float service_prng 0.2 in
-    max 1 (int_of_float (base *. f))
-  in
-  let clusters =
-    Array.init (Topology.as_count topology) (fun i ->
-        let kind = backend_of_cluster i in
-        Cluster.create ~engine
-          ~name:(Printf.sprintf "as-%d" (i + 1))
-          ~capacity:config.as_capacity ~queue_depth:config.queue_depth
-          ~service_time:(service_time_for kind) ~measure ~metrics
-          ~batch_max:config.batch_max ~batch_window:config.batch_window
-          ~batch_service_time:(batch_service_time_for kind) ())
-  in
-  let kind_slot = function
-    | Tpm.Backend.Classic -> 0
-    | Tpm.Backend.Evtpm -> 1
-    | Tpm.Backend.Cvm_report -> 2
-  in
-  let served_by = Array.make 3 0 in
-  (* Transparency layer (opt-in): one log per cluster, signed by a single
-     fleet operator key, checkpointed every [audit_checkpoint], watched by
-     two gossiping auditors.  With [audit_checkpoint = 0] nothing below
-     allocates, draws or schedules — the run replays the pre-audit driver
-     exactly. *)
-  let audit_logs =
-    if config.audit_checkpoint <= 0 then [||]
-    else begin
-      let key =
+  let slices = Topology.home_slices topology in
+  let audit_key =
+    if config.audit_checkpoint <= 0 then None
+    else
+      Some
         (Crypto.Rsa.generate
            (Crypto.Drbg.create ~seed:("fleet-audit|" ^ string_of_int config.seed))
            ~bits:512)
           .Crypto.Rsa.secret
-      in
-      Array.map
-        (fun c ->
-          let log =
-            Audit.Log.create ~log_id:(Cluster.name c) ~key
-              ~clock:(fun () -> Sim.Engine.now engine)
-              ()
-          in
-          Cluster.set_audit c (Some log);
-          log)
-        clusters
-    end
   in
-  if Array.length audit_logs > 0 then begin
-    let pub = Audit.Log.public_key audit_logs.(0) in
-    let key_of _ = Some pub in
-    let clock () = Sim.Engine.now engine in
-    let mk name = Audit.Auditor.create ~name ~key_of ~clock () in
-    let auditors = [| mk "fleet-auditor-a"; mk "fleet-auditor-b" |] in
-    let views = Array.map Audit.View.of_log audit_logs in
-    let last_proofs = ref 0 and last_evidence = ref 0 in
-    ignore
-      (Sim.Engine.every engine ~period:config.audit_checkpoint
-         ~until:(config.duration + config.drain)
-         (fun () ->
-           Array.iter
-             (fun log ->
-               ignore (Audit.Log.checkpoint log : Audit.Sth.t);
-               Metrics.record_audit_checkpoint metrics)
-             audit_logs;
-           Array.iter
-             (fun a -> Array.iter (fun v -> Audit.Auditor.observe a v) views)
-             auditors;
-           Audit.Auditor.exchange auditors.(0) auditors.(1);
-           let proofs =
-             Array.fold_left (fun acc a -> acc + Audit.Auditor.proofs_checked a) 0 auditors
-           in
-           for _ = !last_proofs + 1 to proofs do
-             Metrics.record_audit_proof metrics
-           done;
-           last_proofs := proofs;
-           let evidence =
-             Array.fold_left (fun acc a -> acc + Audit.Auditor.evidence_count a) 0 auditors
-           in
-           Metrics.record_audit_equivocations metrics (evidence - !last_evidence);
-           last_evidence := evidence)
-        : Sim.Engine.handle)
-  end;
-  let priority () =
-    let x = Sim.Prng.float pick_prng 1.0 in
+  let arrival_prngs = Array.make shard_count root in
+  let make_shard s =
+    let arrival, pick, service, verdict, churn = streams.(s) in
+    arrival_prngs.(s) <- arrival;
+    let engine = Sim.Engine.create () in
+    let metrics = Metrics.create ~seed:(config.seed + s) () in
+    let cache =
+      Core.Verdict_cache.create ~ttl:config.ttl
+        ~clock:(fun () -> Sim.Engine.now engine)
+        ()
+    in
+    let kind = backend_of_cluster s in
+    (* One jitter draw per round regardless of backend, so a heterogeneous
+       fleet consumes the same PRNG stream as an all-classic one. *)
+    let service_time () =
+      (* +/-10% jitter around the ledger-derived base. *)
+      let base = float_of_int (cold_service_base_for kind) in
+      let f = 0.9 +. Sim.Prng.float service 0.2 in
+      max 1 (int_of_float (base *. f))
+    in
+    (* One jitter draw per batched round, mirroring the unbatched one-draw-
+       per-round discipline.  Never called when [batch_max = 1]. *)
+    let batch_service_time n =
+      let base = float_of_int (batch_service_base_for kind n) in
+      let f = 0.9 +. Sim.Prng.float service 0.2 in
+      max 1 (int_of_float (base *. f))
+    in
+    let measure ~vid:_ ~property:_ =
+      if Sim.Prng.float verdict 1.0 < config.unhealthy_p then
+        Core.Report.Compromised "fleet-sim anomaly"
+      else Core.Report.Healthy
+    in
+    let cluster =
+      Cluster.create ~engine
+        ~name:(Printf.sprintf "as-%d" (s + 1))
+        ~capacity:config.as_capacity ~queue_depth:config.queue_depth
+        ~service_time ~measure ~metrics ~batch_max:config.batch_max
+        ~batch_window:config.batch_window ~batch_service_time ()
+    in
+    let my_vms = slices.(s) in
+    let my_hot =
+      Array.of_list
+        (List.filter
+           (fun vm -> vm.Topology.idx < config.hot_vms)
+           (Array.to_list my_vms))
+    in
+    {
+      index = s;
+      engine;
+      metrics;
+      cache;
+      cluster;
+      pick_prng = pick;
+      churn_prng = churn;
+      my_vms;
+      my_hot;
+      trace = Crypto.Sha256.init ();
+      outbox = [];
+      out_seq = 0;
+      migrations = 0;
+      served_by = Array.make 3 0;
+      audit_proofs_seen = 0;
+      audit_evidence_seen = 0;
+    }
+  in
+  let shards = Array.init shard_count make_shard in
+  let trace_line sh line =
+    Crypto.Sha256.update sh.trace line;
+    Crypto.Sha256.update sh.trace "\n"
+  in
+  let send sh ~dst payload =
+    let m =
+      {
+        Msg.at = Sim.Engine.now sh.engine;
+        src = sh.index;
+        seq = sh.out_seq;
+        dst;
+        payload;
+      }
+    in
+    sh.out_seq <- sh.out_seq + 1;
+    sh.outbox <- m :: sh.outbox;
+    trace_line sh ("m|" ^ Msg.encode m)
+  in
+  let priority_of sh =
+    let x = Sim.Prng.float sh.pick_prng 1.0 in
     if x < config.customer_p then Pqueue.Customer
     else if x < config.customer_p +. config.periodic_p then Pqueue.Periodic
     else Pqueue.Recheck
   in
-  let arrival () =
-    Metrics.record_offered metrics;
-    let vm = Topology.pick_vm topology pick_prng ~hot:config.hot_vms ~hot_p:config.hot_p () in
-    let property = properties.(Sim.Prng.int pick_prng (Array.length properties)) in
-    match Core.Verdict_cache.find cache ~vid:vm.Topology.vid ~property with
-    | Some _ ->
-        Metrics.record_cache_hit metrics;
-        Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms cache_hit_cost)
-    | None ->
-        let arrived = Sim.Engine.now engine in
-        let cluster_index = Topology.cluster_of_vm topology vm in
-        let cluster = clusters.(cluster_index) in
-        Cluster.submit cluster ~vid:vm.Topology.vid ~property ~priority:(priority ())
-          ~on_done:(function
-          | Cluster.Shed -> ()  (* the cluster recorded the shed *)
-          | Cluster.Done status ->
-              let slot = kind_slot (backend_of_cluster cluster_index) in
-              served_by.(slot) <- served_by.(slot) + 1;
-              (* The cluster appended this verdict just before delivering
-                 it, so the log size already covers the entry. *)
-              let audit_latency =
-                match Cluster.audit cluster with
-                | None -> 0
-                | Some log ->
-                    Metrics.record_audit_proof metrics;
-                    audit_verdict_cost ~size:(Audit.Log.size log)
-              in
-              let latency =
-                Sim.Engine.now engine - arrived + controller_overhead + audit_latency
-              in
-              Metrics.record_served metrics ~latency_ms:(Sim.Time.to_ms latency);
-              (match status with
-              | Core.Report.Healthy ->
-                  ignore
-                    (Core.Verdict_cache.store cache
-                       {
-                         Core.Report.vid = vm.Topology.vid;
-                         property;
-                         status;
-                         evidence = "fleet measurement";
-                         produced_at = Sim.Engine.now engine;
-                       }
-                      : bool)
-              | Core.Report.Compromised _ | Core.Report.Unknown _ ->
-                  Metrics.record_unhealthy metrics;
-                  ignore
-                    (Core.Verdict_cache.invalidate cache ~vid:vm.Topology.vid ~property
-                      : bool)))
+  let record_cache_hit sh ~vid =
+    Metrics.record_cache_hit sh.metrics;
+    Metrics.record_served sh.metrics ~latency_ms:(Sim.Time.to_ms cache_hit_cost);
+    trace_line sh (Printf.sprintf "h|%d|%s" (Sim.Engine.now sh.engine) vid)
   in
-  let migrations = ref 0 in
-  if config.churn_period > 0 then
-    ignore
-      (Sim.Engine.every engine ~period:config.churn_period ~until:config.duration (fun () ->
-           (* Lifecycle churn concentrates where the load is: hot VMs. *)
-           let vm =
-             Topology.pick_vm topology churn_prng ~hot:config.hot_vms ~hot_p:0.9 ()
-           in
-           ignore (Topology.migrate topology churn_prng vm : string);
-           ignore (Core.Verdict_cache.invalidate_vm cache ~vid:vm.Topology.vid : int);
-           incr migrations)
-        : Sim.Engine.handle);
-  Load.poisson ~engine ~prng:arrival_prng ~rate_per_s:config.rate_per_s
-    ~until:config.duration arrival;
-  Sim.Engine.run_until engine (config.duration + config.drain);
+  let submit_to_cluster sh ~vid ~property ~priority ~arrived =
+    Cluster.submit sh.cluster ~vid ~property ~priority ~on_done:(function
+      | Cluster.Shed ->
+          (* the cluster recorded the shed *)
+          trace_line sh (Printf.sprintf "x|%d|%s" (Sim.Engine.now sh.engine) vid)
+      | Cluster.Done status ->
+          let slot = kind_slot (backend_of_cluster sh.index) in
+          sh.served_by.(slot) <- sh.served_by.(slot) + 1;
+          (* The cluster appended this verdict just before delivering it,
+             so the log size already covers the entry. *)
+          let audit_latency =
+            match Cluster.audit sh.cluster with
+            | None -> 0
+            | Some log ->
+                Metrics.record_audit_proof sh.metrics;
+                audit_verdict_cost ~size:(Audit.Log.size log)
+          in
+          let now = Sim.Engine.now sh.engine in
+          let latency = now - arrived + controller_overhead + audit_latency in
+          Metrics.record_served sh.metrics ~latency_ms:(Sim.Time.to_ms latency);
+          trace_line sh (Printf.sprintf "s|%d|%s|%d" now vid latency);
+          (match status with
+          | Core.Report.Healthy ->
+              ignore
+                (Core.Verdict_cache.store sh.cache
+                   {
+                     Core.Report.vid;
+                     property;
+                     status;
+                     evidence = "fleet measurement";
+                     produced_at = now;
+                   }
+                  : bool)
+          | Core.Report.Compromised _ | Core.Report.Unknown _ ->
+              Metrics.record_unhealthy sh.metrics;
+              ignore (Core.Verdict_cache.invalidate sh.cache ~vid ~property : bool)))
+  in
+  let arrival sh () =
+    Metrics.record_offered sh.metrics;
+    let vm =
+      Topology.pick_among sh.pick_prng ~pool:sh.my_vms ~hot:sh.my_hot
+        ~hot_p:config.hot_p
+    in
+    let property = properties.(Sim.Prng.int sh.pick_prng (Array.length properties)) in
+    let vid = vm.Topology.vid in
+    let now = Sim.Engine.now sh.engine in
+    trace_line sh
+      (Printf.sprintf "a|%d|%s|%s" now vid (Core.Property.to_string property));
+    let dst = Topology.cluster_of_vm topology vm in
+    if dst = sh.index then
+      match Core.Verdict_cache.find sh.cache ~vid ~property with
+      | Some _ -> record_cache_hit sh ~vid
+      | None ->
+          (* Priority is drawn only on a miss, as the single-engine driver
+             always did; the remote path below draws it at send time
+             because the sender cannot see the destination's cache. *)
+          submit_to_cluster sh ~vid ~property ~priority:(priority_of sh)
+            ~arrived:now
+    else
+      send sh ~dst (Msg.Submit { vid; property; priority = priority_of sh; arrived = now })
+  in
+  let deliver sh (m : Msg.t) =
+    trace_line sh ("d|" ^ Msg.encode m);
+    match m.Msg.payload with
+    | Msg.Submit { vid; property; priority; arrived } -> (
+        match Core.Verdict_cache.find sh.cache ~vid ~property with
+        | Some _ -> record_cache_hit sh ~vid
+        | None -> submit_to_cluster sh ~vid ~property ~priority ~arrived)
+    | Msg.Invalidate { vid } ->
+        ignore (Core.Verdict_cache.invalidate_vm sh.cache ~vid : int)
+  in
+  let churn sh () =
+    (* Lifecycle churn concentrates where the load is: hot VMs. *)
+    let vm =
+      Topology.pick_among sh.churn_prng ~pool:sh.my_vms ~hot:sh.my_hot ~hot_p:0.9
+    in
+    let old_cluster = Topology.cluster_of_vm topology vm in
+    ignore (Topology.migrate topology sh.churn_prng vm : string);
+    let new_cluster = Topology.cluster_of_vm topology vm in
+    sh.migrations <- sh.migrations + 1;
+    trace_line sh
+      (Printf.sprintf "g|%d|%s|%d|%d" (Sim.Engine.now sh.engine) vm.Topology.vid
+         old_cluster new_cluster);
+    (* Cached verdicts live on the serving shard: drop them where the VM
+       was, and defensively where it lands (a re-arrival there must
+       re-measure, never resurrect a pre-migration verdict). *)
+    let invalidate_at c =
+      if c = sh.index then
+        ignore (Core.Verdict_cache.invalidate_vm sh.cache ~vid:vm.Topology.vid : int)
+      else send sh ~dst:c (Msg.Invalidate { vid = vm.Topology.vid })
+    in
+    invalidate_at old_cluster;
+    if new_cluster <> old_cluster then invalidate_at new_cluster
+  in
+  (* Per-shard processes: arrivals at a rate proportional to the shard's
+     share of the fleet (independent Poisson streams superpose to the
+     configured total rate), and churn staggered so the fleet-wide
+     migration cadence stays one per [churn_period]. *)
+  let total_vms = Array.length (Topology.vms topology) in
+  Array.iter
+    (fun sh ->
+      (match audit_key with
+      | None -> ()
+      | Some key ->
+          let log =
+            Audit.Log.create ~log_id:(Cluster.name sh.cluster) ~key
+              ~clock:(fun () -> Sim.Engine.now sh.engine)
+              ()
+          in
+          Cluster.set_audit sh.cluster (Some log);
+          let pub = Audit.Log.public_key log in
+          let clock () = Sim.Engine.now sh.engine in
+          let mk name = Audit.Auditor.create ~name ~key_of:(fun _ -> Some pub) ~clock () in
+          let auditors =
+            [|
+              mk (Printf.sprintf "fleet-auditor-%d-a" (sh.index + 1));
+              mk (Printf.sprintf "fleet-auditor-%d-b" (sh.index + 1));
+            |]
+          in
+          let view = Audit.View.of_log log in
+          ignore
+            (Sim.Engine.every sh.engine ~period:config.audit_checkpoint
+               ~until:horizon (fun () ->
+                 ignore (Audit.Log.checkpoint log : Audit.Sth.t);
+                 Metrics.record_audit_checkpoint sh.metrics;
+                 Array.iter (fun a -> Audit.Auditor.observe a view) auditors;
+                 Audit.Auditor.exchange auditors.(0) auditors.(1);
+                 let proofs =
+                   Array.fold_left
+                     (fun acc a -> acc + Audit.Auditor.proofs_checked a)
+                     0 auditors
+                 in
+                 for _ = sh.audit_proofs_seen + 1 to proofs do
+                   Metrics.record_audit_proof sh.metrics
+                 done;
+                 sh.audit_proofs_seen <- proofs;
+                 let evidence =
+                   Array.fold_left
+                     (fun acc a -> acc + Audit.Auditor.evidence_count a)
+                     0 auditors
+                 in
+                 Metrics.record_audit_equivocations sh.metrics
+                   (evidence - sh.audit_evidence_seen);
+                 sh.audit_evidence_seen <- evidence)
+              : Sim.Engine.handle));
+      let n_mine = Array.length sh.my_vms in
+      if n_mine > 0 then begin
+        let rate =
+          config.rate_per_s *. float_of_int n_mine /. float_of_int total_vms
+        in
+        if rate > 0.0 then
+          Load.poisson ~engine:sh.engine ~prng:arrival_prngs.(sh.index)
+            ~rate_per_s:rate ~until:config.duration (arrival sh);
+        if config.churn_period > 0 then begin
+          let stride = config.churn_period * shard_count in
+          let rec arm at =
+            if at <= config.duration then
+              ignore
+                (Sim.Engine.schedule sh.engine ~at (fun () ->
+                     churn sh ();
+                     arm (at + stride))
+                  : Sim.Engine.handle)
+          in
+          arm (config.churn_period * (sh.index + 1))
+        end
+      end)
+    shards;
+  (* Epoch-barrier loop.  Within an epoch every shard advances alone on its
+     domain; at the barrier the main domain gathers the outboxes, imposes
+     the (at, src, seq) total order, and schedules each message on its
+     destination engine at the barrier time.  The loop keeps stepping past
+     the arrival horizon until every queue is empty and no message is in
+     flight, so offered = served + shed exactly. *)
+  let epoch = max 1 config.epoch in
+  let slots = max 1 (min config.domains shard_count) in
+  let pool = Sim.Domain_pool.create ~slots in
+  let epochs = ref 0 in
+  let finish () =
+    try
+      let t = ref Sim.Time.zero in
+      let some_pending () =
+        Array.exists (fun sh -> Sim.Engine.pending sh.engine > 0) shards
+      in
+      while !t < horizon || some_pending () do
+        t := !t + epoch;
+        incr epochs;
+        Sim.Domain_pool.run pool (fun slot ->
+            Array.iter
+              (fun sh ->
+                if sh.index mod slots = slot then
+                  Sim.Engine.run_until sh.engine !t)
+              shards);
+        let msgs =
+          Array.fold_left
+            (fun acc sh ->
+              let mine = sh.outbox in
+              sh.outbox <- [];
+              List.rev_append mine acc)
+            [] shards
+        in
+        let msgs = List.sort Msg.compare msgs in
+        List.iter
+          (fun m ->
+            let dst = shards.(m.Msg.dst) in
+            ignore
+              (Sim.Engine.schedule dst.engine ~at:!t (fun () -> deliver dst m)
+                : Sim.Engine.handle))
+          msgs
+      done
+    with e ->
+      Sim.Domain_pool.shutdown pool;
+      raise e
+  in
+  finish ();
+  Sim.Domain_pool.shutdown pool;
+  (* Deterministic merge: fold per-shard state in shard order on the main
+     domain.  Every reduction below is order-fixed, so the merged result is
+     a pure function of the per-shard runs. *)
+  let metrics = Metrics.create ~seed:config.seed () in
+  Array.iter (fun sh -> Metrics.merge_into metrics sh.metrics) shards;
+  let served_by = Array.make 3 0 in
+  Array.iter
+    (fun sh -> Array.iteri (fun i n -> served_by.(i) <- served_by.(i) + n) sh.served_by)
+    shards;
+  let invalidations =
+    Array.fold_left
+      (fun acc sh -> acc + (Core.Verdict_cache.stats sh.cache).Core.Verdict_cache.invalidations)
+      0 shards
+  in
+  let migrations = Array.fold_left (fun acc sh -> acc + sh.migrations) 0 shards in
+  let trace_digest =
+    let buf = Buffer.create (40 * shard_count) in
+    Array.iter (fun sh -> Buffer.add_string buf (Crypto.Sha256.finalize sh.trace)) shards;
+    Crypto.Hexs.encode (Crypto.Sha256.digest (Buffer.contents buf))
+  in
   let duration_s = Sim.Time.to_sec config.duration in
   let latency = Metrics.latency metrics in
   let pct p =
-    let v = Sim.Stats.Series.percentile latency p in
+    let v = Sim.Stats.Reservoir.percentile latency p in
     if Float.is_nan v then 0.0 else v
   in
-  let stats = Core.Verdict_cache.stats cache in
   let max_depth =
     Array.fold_left
-      (fun acc c -> max acc (Sim.Stats.Gauge.peak (Cluster.queue_gauge c)))
-      0 clusters
+      (fun acc sh -> max acc (Sim.Stats.Gauge.peak (Cluster.queue_gauge sh.cluster)))
+      0 shards
   in
   let mean_depth =
-    let now_s = Sim.Time.to_sec (Sim.Engine.now engine) in
     let total =
       Array.fold_left
-        (fun acc c ->
-          acc +. Sim.Stats.Gauge.time_weighted_mean (Cluster.queue_gauge c) ~now:now_s)
-        0.0 clusters
+        (fun acc sh ->
+          let now_s = Sim.Time.to_sec (Sim.Engine.now sh.engine) in
+          acc
+          +. Sim.Stats.Gauge.time_weighted_mean (Cluster.queue_gauge sh.cluster)
+               ~now:now_s)
+        0.0 shards
     in
-    total /. float_of_int (Array.length clusters)
+    total /. float_of_int shard_count
   in
   {
     config;
@@ -376,11 +602,11 @@ let run config =
     unhealthy = Metrics.unhealthy metrics;
     cache_hits = Metrics.cache_hits metrics;
     cache_hit_rate = Metrics.cache_hit_rate metrics;
-    invalidations = stats.Core.Verdict_cache.invalidations;
-    migrations = !migrations;
+    invalidations;
+    migrations;
     offered_rps = float_of_int (Metrics.offered metrics) /. duration_s;
     served_rps = float_of_int (Metrics.served metrics) /. duration_s;
-    mean_ms = Sim.Stats.Series.mean latency;
+    mean_ms = Sim.Stats.Reservoir.mean latency;
     p50_ms = pct 50.0;
     p95_ms = pct 95.0;
     p99_ms = pct 99.0;
@@ -399,4 +625,37 @@ let run config =
             Some (Tpm.Backend.kind_to_string kind, served_by.(kind_slot kind))
           else None)
         Tpm.Backend.all_kinds;
+    epochs = !epochs;
+    trace_digest;
   }
+
+let fingerprint (r : result) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "offered=%d" r.offered;
+  add "served=%d" r.served;
+  add "shed=%d,%d,%d" r.shed_customer r.shed_periodic r.shed_recheck;
+  add "coalesced=%d" r.coalesced;
+  add "measurements=%d" r.measurements;
+  add "unhealthy=%d" r.unhealthy;
+  add "cache_hits=%d" r.cache_hits;
+  add "cache_hit_rate=%h" r.cache_hit_rate;
+  add "invalidations=%d" r.invalidations;
+  add "migrations=%d" r.migrations;
+  add "offered_rps=%h" r.offered_rps;
+  add "served_rps=%h" r.served_rps;
+  add "mean_ms=%h" r.mean_ms;
+  add "p50=%h" r.p50_ms;
+  add "p95=%h" r.p95_ms;
+  add "p99=%h" r.p99_ms;
+  add "max_qd=%d" r.max_queue_depth;
+  add "mean_qd=%h" r.mean_queue_depth;
+  add "batches=%d" r.batches;
+  add "mean_batch=%h" r.mean_batch_size;
+  add "audit=%d,%d,%d,%d" r.audit_appends r.audit_checkpoints r.audit_proofs
+    r.audit_equivocations;
+  add "served_by=%s"
+    (String.concat ","
+       (List.map (fun (k, n) -> k ^ ":" ^ string_of_int n) r.served_by_backend));
+  add "trace=%s" r.trace_digest;
+  Crypto.Hexs.encode (Crypto.Sha256.digest (Buffer.contents b))

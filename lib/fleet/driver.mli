@@ -1,9 +1,20 @@
-(** Fleet-scale attestation scenario runner.
+(** Fleet-scale attestation scenario runner, sharded by AS cluster.
 
-    Builds a deterministic {!Topology}, one {!Cluster} per AS shard, a
-    controller-side {!Core.Verdict_cache}, and an open-loop Poisson
-    arrival stream, then runs the discrete-event engine and reports
-    throughput, latency percentiles, cache effectiveness and shed counts.
+    Builds a deterministic {!Topology} and one {e shard} per AS cluster —
+    each shard owning its own {!Sim.Engine} (clock and event queue),
+    {!Cluster}, verdict-cache partition, metrics, prng streams and audit
+    log.  A VM's requests are generated on its {e home} shard (the cluster
+    of its initial placement) and served by the shard of its current host;
+    when those differ the request crosses shards as a timestamped
+    {!Msg.t}, exchanged at epoch barriers.  Shards run concurrently on up
+    to [domains] OCaml domains.
+
+    Determinism is the design invariant: shards share no mutable state
+    within an epoch, every shard consumes only its own prng streams, and
+    the barrier merge imposes the total order (send time, source shard,
+    send seq) on cross-shard messages — so the result (every counter,
+    percentile and the trace digest) is byte-identical whether the shards
+    run on one domain or eight.
 
     The per-request cost model is derived from [lib/core]'s calibrated
     ledger constants ({!Core.Costs}), so fleet numbers stay commensurable
@@ -39,14 +50,22 @@ type config = {
           [backends.(i mod Array.length backends)], so a heterogeneous
           fleet mixes backends by listing several kinds.  Each cluster's
           service time uses its backend's quote-signing (and, for CVM,
-          chain-verification) cost terms.  The default all-[Classic] array
-          replays the pre-backend driver exactly. *)
+          chain-verification) cost terms. *)
+  domains : int;
+      (** OCaml domains executing the shards (clamped to the shard count).
+          Purely an execution parameter: every field of the result is
+          byte-identical at any value. *)
+  epoch : Sim.Time.t;
+      (** barrier interval: how much simulated time each shard advances
+          between cross-shard message exchanges.  Affects when cross-shard
+          requests are delivered (larger epochs delay them), so it is part
+          of the simulated scenario — but not of the execution schedule. *)
 }
 
 val default_config : config
 (** 200 servers, 2000 VMs, 1 AS, capacity 1, queue depth 16, cache off,
     8 req/s for 30 s, 5% unhealthy, 5 s churn, 64 hot VMs at p=0.8,
-    mix 20/70/10, batching off. *)
+    mix 20/70/10, batching off, 1 domain, 50 ms epochs. *)
 
 type result = {
   config : config;
@@ -79,10 +98,23 @@ type result = {
   served_by_backend : (string * int) list;
       (** cluster-served requests per backend kind present in the config
           (cache hits never reach a cluster and are not attributed) *)
+  epochs : int;  (** barrier iterations the run took (drain included) *)
+  trace_digest : string;
+      (** hex SHA-256 over the per-shard event traces (arrivals, serves,
+          sheds, migrations, every cross-shard message), folded in shard
+          order.  Two runs with equal digests executed the same per-shard
+          event sequences — the strongest cheap witness that a domains=N
+          run replayed the domains=1 run exactly. *)
 }
 
 val run : config -> result
-(** Deterministic: equal configs give equal results. *)
+(** Deterministic: equal configs give equal results — including equal
+    [trace_digest] across different [domains] values. *)
+
+val fingerprint : result -> string
+(** Hex SHA-256 over every result field except [config], so runs that
+    differ only in [config.domains] can be compared for byte-identity with
+    one string equality. *)
 
 val cold_attest_ms : float
 (** Modelled end-to-end latency of an uncontended cold attestation (mean

@@ -6,13 +6,17 @@ let poisson ~engine ~prng ~rate_per_s ~until fire =
     let dt_us = -.log u /. rate_per_s *. 1_000_000.0 in
     max 1 (int_of_float (Float.round dt_us))
   in
+  (* Check the horizon before scheduling, not inside the fired event: the
+     sharded driver's epoch loop runs until every shard's queue is empty,
+     so a dangling past-horizon arrival event would keep the barrier loop
+     alive one epoch longer than the work it contains. *)
   let rec arm () =
-    ignore
-      (Sim.Engine.schedule_after engine ~delay:(interarrival ()) (fun () ->
-           if Sim.Engine.now engine <= until then begin
+    let at = Sim.Engine.now engine + interarrival () in
+    if at <= until then
+      ignore
+        (Sim.Engine.schedule engine ~at (fun () ->
              fire ();
-             arm ()
-           end)
-        : Sim.Engine.handle)
+             arm ())
+          : Sim.Engine.handle)
   in
   arm ()

@@ -6,9 +6,9 @@ type t = {
   mutable measurements : int;
   mutable unhealthy : int;
   sheds : int array;  (* by Pqueue.rank *)
-  latency : Sim.Stats.Series.t;
+  latency : Sim.Stats.Reservoir.t;
   mutable batches : int;
-  batch_sizes : Sim.Stats.Series.t;
+  batch_sizes : Sim.Stats.Reservoir.t;
   (* Transparency-log activity (audit-enabled runs only; all zero when the
      audit layer is off). *)
   mutable audit_appends : int;
@@ -17,7 +17,7 @@ type t = {
   mutable audit_equivocations : int;
 }
 
-let create () =
+let create ?cap ?(seed = 0) () =
   {
     offered = 0;
     served = 0;
@@ -26,9 +26,9 @@ let create () =
     measurements = 0;
     unhealthy = 0;
     sheds = Array.make 3 0;
-    latency = Sim.Stats.Series.create ();
+    latency = Sim.Stats.Reservoir.create ?cap ~seed:(seed lxor 0x6c617465) ();
     batches = 0;
-    batch_sizes = Sim.Stats.Series.create ();
+    batch_sizes = Sim.Stats.Reservoir.create ?cap ~seed:(seed lxor 0x62617463) ();
     audit_appends = 0;
     audit_checkpoints = 0;
     audit_proofs = 0;
@@ -39,7 +39,7 @@ let record_offered t = t.offered <- t.offered + 1
 
 let record_served t ~latency_ms =
   t.served <- t.served + 1;
-  Sim.Stats.Series.add t.latency latency_ms
+  Sim.Stats.Reservoir.add t.latency latency_ms
 
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
 let record_coalesced t = t.coalesced <- t.coalesced + 1
@@ -49,7 +49,7 @@ let record_unhealthy t = t.unhealthy <- t.unhealthy + 1
 
 let record_batch t ~size =
   t.batches <- t.batches + 1;
-  Sim.Stats.Series.add t.batch_sizes (float_of_int size)
+  Sim.Stats.Reservoir.add t.batch_sizes (float_of_int size)
 
 let record_audit_append t = t.audit_appends <- t.audit_appends + 1
 let record_audit_checkpoint t = t.audit_checkpoints <- t.audit_checkpoints + 1
@@ -57,6 +57,22 @@ let record_audit_proof t = t.audit_proofs <- t.audit_proofs + 1
 
 let record_audit_equivocations t n =
   t.audit_equivocations <- t.audit_equivocations + max 0 n
+
+let merge_into acc t =
+  acc.offered <- acc.offered + t.offered;
+  acc.served <- acc.served + t.served;
+  acc.cache_hits <- acc.cache_hits + t.cache_hits;
+  acc.coalesced <- acc.coalesced + t.coalesced;
+  acc.measurements <- acc.measurements + t.measurements;
+  acc.unhealthy <- acc.unhealthy + t.unhealthy;
+  Array.iteri (fun i n -> acc.sheds.(i) <- acc.sheds.(i) + n) t.sheds;
+  Sim.Stats.Reservoir.merge_into acc.latency t.latency;
+  acc.batches <- acc.batches + t.batches;
+  Sim.Stats.Reservoir.merge_into acc.batch_sizes t.batch_sizes;
+  acc.audit_appends <- acc.audit_appends + t.audit_appends;
+  acc.audit_checkpoints <- acc.audit_checkpoints + t.audit_checkpoints;
+  acc.audit_proofs <- acc.audit_proofs + t.audit_proofs;
+  acc.audit_equivocations <- acc.audit_equivocations + t.audit_equivocations
 
 let offered t = t.offered
 let served t = t.served
@@ -75,7 +91,7 @@ let batches t = t.batches
 let batch_sizes t = t.batch_sizes
 
 let mean_batch_size t =
-  if t.batches = 0 then 0.0 else Sim.Stats.Series.mean t.batch_sizes
+  if t.batches = 0 then 0.0 else Sim.Stats.Reservoir.mean t.batch_sizes
 
 let audit_appends t = t.audit_appends
 let audit_checkpoints t = t.audit_checkpoints

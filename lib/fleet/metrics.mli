@@ -1,10 +1,22 @@
 (** Per-run fleet metrics: offered vs. served load, end-to-end latency
     percentiles, cache effectiveness, coalescing, and shed counts by
-    priority class. *)
+    priority class.
+
+    In the sharded driver each shard keeps its own [t] (sample reservoirs
+    have bounded memory at million-VM scale) and the driver folds them with
+    {!merge_into} in shard order, so the merged result is independent of
+    how many domains executed the shards. *)
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> ?seed:int -> unit -> t
+(** [cap] bounds each sample reservoir (default {!Sim.Stats.Reservoir}'s);
+    [seed] (default 0) seeds the reservoirs' subsampling prngs. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into acc t] folds [t] into [acc] ([t] unchanged): counters add,
+    reservoirs merge per {!Sim.Stats.Reservoir.merge_into}.  Call in a
+    fixed shard order for reproducible percentiles. *)
 
 val record_offered : t -> unit
 val record_served : t -> latency_ms:float -> unit
@@ -36,11 +48,11 @@ val shed_total : t -> int
 val cache_hit_rate : t -> float
 (** Hits over served requests (0 when nothing served). *)
 
-val latency : t -> Sim.Stats.Series.t
+val latency : t -> Sim.Stats.Reservoir.t
 (** End-to-end latencies of served requests, in milliseconds. *)
 
 val batches : t -> int
-val batch_sizes : t -> Sim.Stats.Series.t
+val batch_sizes : t -> Sim.Stats.Reservoir.t
 val mean_batch_size : t -> float
 (** 0 when no batched round ran. *)
 

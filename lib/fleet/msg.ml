@@ -1,0 +1,34 @@
+type payload =
+  | Submit of {
+      vid : string;
+      property : Core.Property.t;
+      priority : Pqueue.priority;
+      arrived : Sim.Time.t;
+    }
+  | Invalidate of { vid : string }
+
+type t = {
+  at : Sim.Time.t;
+  src : int;
+  seq : int;
+  dst : int;
+  payload : payload;
+}
+
+let compare a b =
+  let c = Stdlib.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.src b.src in
+    if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+let encode_payload = function
+  | Submit { vid; property; priority; arrived } ->
+      Printf.sprintf "S|%s|%s|%d|%d" vid
+        (Core.Property.to_string property)
+        (Pqueue.rank priority) arrived
+  | Invalidate { vid } -> "I|" ^ vid
+
+let encode m =
+  Printf.sprintf "%d|%d|%d|%d|%s" m.at m.src m.seq m.dst
+    (encode_payload m.payload)

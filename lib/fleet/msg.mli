@@ -1,0 +1,39 @@
+(** Cross-shard messages for the epoch-barrier fleet driver.
+
+    Within an epoch every shard runs its own engine independently; anything
+    one shard wants another to see is appended to the sender's outbox as a
+    timestamped message and delivered at the next barrier.  The total order
+    [(at, src, seq)] is a pure function of each shard's deterministic
+    execution, so sorting the union of all outboxes gives the same delivery
+    sequence no matter how many domains ran the shards — this is the whole
+    determinism argument for the parallel driver. *)
+
+type payload =
+  | Submit of {
+      vid : string;
+      property : Core.Property.t;
+      priority : Pqueue.priority;
+      arrived : Sim.Time.t;  (** generation time on the home shard *)
+    }
+      (** Attestation request for a VM currently served by another shard's
+          cluster.  The destination checks its verdict cache on delivery
+          and submits to its cluster on a miss. *)
+  | Invalidate of { vid : string }
+      (** Lifecycle churn moved [vid] into or out of the destination's
+          cluster; drop any cached verdicts for it. *)
+
+type t = {
+  at : Sim.Time.t;  (** send time on the source shard's clock *)
+  src : int;  (** sending shard *)
+  seq : int;  (** per-source send counter, breaks same-instant ties *)
+  dst : int;  (** destination shard *)
+  payload : payload;
+}
+
+val compare : t -> t -> int
+(** Lexicographic [(at, src, seq)] — a total order over all messages of an
+    epoch, independent of collection order. *)
+
+val encode : t -> string
+(** Canonical one-line encoding, fed to the per-shard trace digest.  Times
+    are integral microseconds, so the encoding is platform-stable. *)

@@ -1,6 +1,12 @@
 type server = { name : string; cluster : int }
 
-type vm = { vid : string; owner : string; mutable host : string }
+type vm = {
+  idx : int;
+  vid : string;
+  owner : string;
+  home : int;
+  mutable host : string;
+}
 
 type t = {
   seed : int;
@@ -23,10 +29,13 @@ let make ~seed ~servers:n_servers ~vms:n_vms ~as_count =
   Array.iter (fun s -> Hashtbl.replace routing s.name s.cluster) servers;
   let vms =
     Array.init n_vms (fun i ->
+        let srv = servers.(Sim.Prng.int prng n_servers) in
         {
+          idx = i;
           vid = Printf.sprintf "vm-%05d" (i + 1);
           owner = Printf.sprintf "cust-%03d" (i mod 97);
-          host = servers.(Sim.Prng.int prng n_servers).name;
+          home = srv.cluster;
+          host = srv.name;
         })
   in
   { seed; as_count; servers; vms; routing }
@@ -39,12 +48,28 @@ let vms t = t.vms
 let cluster_of t host = Option.value ~default:0 (Hashtbl.find_opt t.routing host)
 let cluster_of_vm t vm = cluster_of t vm.host
 
+let home_slices t =
+  let buckets = Array.make t.as_count [] in
+  (* Walk backwards so each cons-accumulated bucket comes out in idx order. *)
+  for i = Array.length t.vms - 1 downto 0 do
+    let vm = t.vms.(i) in
+    buckets.(vm.home) <- vm :: buckets.(vm.home)
+  done;
+  Array.map Array.of_list buckets
+
 let pick_vm t prng ?(hot = 0) ?(hot_p = 0.0) () =
   let n = Array.length t.vms in
   if n = 0 then invalid_arg "Topology.pick_vm: empty fleet";
   let hot = min hot n in
   if hot > 0 && Sim.Prng.float prng 1.0 < hot_p then t.vms.(Sim.Prng.int prng hot)
   else t.vms.(Sim.Prng.int prng n)
+
+let pick_among prng ~pool ~hot ~hot_p =
+  let n = Array.length pool in
+  if n = 0 then invalid_arg "Topology.pick_among: empty pool";
+  let h = Array.length hot in
+  if h > 0 && Sim.Prng.float prng 1.0 < hot_p then hot.(Sim.Prng.int prng h)
+  else pool.(Sim.Prng.int prng n)
 
 let migrate t prng vm =
   let n = Array.length t.servers in

@@ -6,13 +6,22 @@
     The whole layout is generated deterministically from a seed, so a fleet
     run is reproducible bit-for-bit.  The [routing] table is the controller's
     host -> AS-cluster map; VM placement can change at runtime ({!migrate}),
-    modelling the lifecycle churn that invalidates cached verdicts. *)
+    modelling the lifecycle churn that invalidates cached verdicts.
+
+    Each VM also records its [home] cluster — the cluster of its initial
+    placement — which the sharded driver uses as the VM's owning shard:
+    requests for a VM are generated and accounted on its home shard for the
+    whole run, even after migrations move its serving cluster elsewhere.
+    Home assignment is placement-derived, so the shard partition is a pure
+    function of the seed and is identical however many domains execute it. *)
 
 type server = { name : string; cluster : int }
 
 type vm = {
+  idx : int;  (** position in {!vms}; [idx < hot] marks the hot set *)
   vid : string;
   owner : string;
+  home : int;  (** cluster of initial placement; never changes *)
   mutable host : string;  (** current placement; changes on {!migrate} *)
 }
 
@@ -33,11 +42,21 @@ val cluster_of : t -> string -> int
 
 val cluster_of_vm : t -> vm -> int
 
+val home_slices : t -> vm array array
+(** [home_slices t] partitions the fleet by home cluster; slice [c] holds
+    the VMs with [home = c], in [idx] order.  A slice may be empty. *)
+
 val pick_vm : t -> Sim.Prng.t -> ?hot:int -> ?hot_p:float -> unit -> vm
 (** Sample a VM for an arriving attestation request.  With probability
     [hot_p] (default 0) the VM comes from the first [hot] VMs (default 0 =
     whole fleet), modelling the skewed access pattern of monitored tenants;
     otherwise uniform over the whole fleet. *)
+
+val pick_among :
+  Sim.Prng.t -> pool:vm array -> hot:vm array -> hot_p:float -> vm
+(** Shard-local variant of {!pick_vm}: sample from [pool], biased towards
+    the [hot] subset with probability [hot_p] when [hot] is non-empty.
+    [pool] must be non-empty. *)
 
 val migrate : t -> Sim.Prng.t -> vm -> string
 (** Re-place [vm] on a different random server; returns the new host. *)

@@ -35,6 +35,8 @@ let random_config prng =
         [| Tpm.Backend.Classic; Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
         [| Tpm.Backend.Evtpm; Tpm.Backend.Cvm_report |];
       |].(Sim.Prng.int prng 4);
+    domains = 1;
+    epoch = Sim.Time.ms (Sim.Prng.int_in prng 20 120);
   }
 
 let check ~seed =
@@ -58,6 +60,18 @@ let check ~seed =
   (* Determinism: the driver documents equal configs => equal results. *)
   let r2 = Fleet.Driver.run config in
   if r2 <> r then flag "fleet-determinism" "same config produced different results";
+  (* Sharded determinism: running the very same scenario on two domains
+     must replay the one-domain run byte for byte, trace digest included. *)
+  let r_par = Fleet.Driver.run { config with Fleet.Driver.domains = 2 } in
+  if
+    not
+      (String.equal
+         (Fleet.Driver.fingerprint r_par)
+         (Fleet.Driver.fingerprint r))
+  then
+    flag "fleet-shard-determinism"
+      (Printf.sprintf "domains=2 diverged from domains=1 (as_count %d)"
+         config.Fleet.Driver.as_count);
   (* Audit strictly pay-if-enabled. *)
   if config.Fleet.Driver.audit_checkpoint = 0 then begin
     if

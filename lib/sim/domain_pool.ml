@@ -1,0 +1,95 @@
+type t = {
+  slots : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker t slot =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      let outcome = try Ok (job slot) with e -> Error e in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Ok () -> ()
+      | Error e -> if t.failure = None then t.failure <- Some e);
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.finished;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Domain_pool.create: slots must be positive";
+  let t =
+    {
+      slots;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      failure = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  (* Slot 0 always runs on the caller's domain, so a 1-slot pool spawns
+     nothing and [run] degenerates to a plain call — the domains=1 baseline
+     executes exactly the code a sequential driver would. *)
+  t.workers <-
+    Array.init (slots - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let slots t = t.slots
+
+let run t f =
+  if t.slots = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some f;
+    t.failure <- None;
+    t.generation <- t.generation + 1;
+    t.remaining <- t.slots - 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    let own = try Ok (f 0) with e -> Error e in
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    let worker_failure = t.failure in
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match (own, worker_failure) with
+    | Error e, _ -> raise e
+    | Ok (), Some e -> raise e
+    | Ok (), None -> ()
+  end
+
+let shutdown t =
+  if t.slots > 1 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end

@@ -1,0 +1,30 @@
+(** Persistent pool of OCaml 5 domains with a fork-join [run] primitive.
+
+    Built for the sharded fleet driver's epoch loop: the pool is created
+    once per simulation, [run] is called once per epoch (every call is a
+    full barrier — it returns only after every slot's work finished), and
+    [shutdown] joins the workers at the end.  Keeping the domains alive
+    across epochs avoids a [Domain.spawn] per barrier, which would dominate
+    at sub-second epochs.
+
+    Slot 0 always executes on the calling domain; a 1-slot pool spawns no
+    domains at all, so sequential and parallel runs share the same code
+    path.  The mutex/condition hand-off establishes the happens-before
+    edges that make each slot's writes from epoch [k] visible to the merge
+    phase and to epoch [k+1]. *)
+
+type t
+
+val create : slots:int -> t
+(** Spawns [slots - 1] worker domains.  [slots] must be positive. *)
+
+val slots : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f slot] for every slot in [0, slots) concurrently
+    ([f 0] on the caller's domain) and returns when all have finished.  If
+    any call raises, one of the exceptions is re-raised after the barrier
+    (the pool remains usable).  Not reentrant: one [run] at a time. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the workers.  [run] must not be called after. *)

@@ -30,26 +30,36 @@ let push h x =
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
-
+(* Bottom-up extraction (Wegener): walk the hole left by the root down
+   along the smaller-child path to a leaf — one comparison per level —
+   then drop the displaced last element into the hole and sift it back up.
+   The displaced element usually belongs near the bottom (it came from the
+   bottom), so the sift-up terminates after O(1) comparisons on average,
+   versus two comparisons per level for the classic top-down sift. *)
 let pop h =
   if h.size = 0 then None
   else begin
     let top = h.data.(0) in
     h.size <- h.size - 1;
     if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
+      let last = h.data.(h.size) in
+      (* Pull the smaller child up into the hole until the hole is a leaf. *)
+      let i = ref 0 in
+      let l = ref 1 in
+      while !l < h.size do
+        let c =
+          let r = !l + 1 in
+          if r < h.size && h.cmp h.data.(r) h.data.(!l) < 0 then r else !l
+        in
+        h.data.(!i) <- h.data.(c);
+        i := c;
+        l := (2 * c) + 1
+      done;
+      (* Place the displaced element at the leaf hole and sift it up; every
+         ancestor along this path was a smaller child, so the heap order is
+         restored exactly. *)
+      h.data.(!i) <- last;
+      sift_up h !i
     end;
     Some top
   end

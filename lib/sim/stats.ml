@@ -133,6 +133,140 @@ module Series = struct
     t.sum <- 0.0
 end
 
+module Reservoir = struct
+  type t = {
+    cap : int;
+    prng : Prng.t;
+    mutable data : float array;
+    mutable len : int;  (* retained samples *)
+    mutable count : int;  (* total observations *)
+    mutable sum : float;
+    mutable lo : float;
+    mutable hi : float;
+    mutable sorted : bool;
+  }
+
+  let create ?(cap = 8192) ~seed () =
+    if cap <= 0 then invalid_arg "Reservoir.create: cap must be positive";
+    {
+      cap;
+      prng = Prng.create seed;
+      data = [||];
+      len = 0;
+      count = 0;
+      sum = 0.0;
+      lo = infinity;
+      hi = neg_infinity;
+      sorted = true;
+    }
+
+  let ensure_room t =
+    let room = Array.length t.data in
+    if t.len = room then begin
+      let bigger = Array.make (Stdlib.min t.cap (Stdlib.max 64 (2 * room))) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end
+
+  (* Algorithm R: while under [cap] keep everything (the sample is exact);
+     past it, each new observation replaces a random slot with probability
+     cap/count.  The prng is the reservoir's own, so sampling draws never
+     perturb any simulation stream. *)
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.lo then t.lo <- x;
+    if x > t.hi then t.hi <- x;
+    if t.len < t.cap then begin
+      ensure_room t;
+      t.data.(t.len) <- x;
+      t.len <- t.len + 1;
+      t.sorted <- false
+    end
+    else begin
+      let j = Prng.int t.prng t.count in
+      if j < t.cap then begin
+        t.data.(j) <- x;
+        t.sorted <- false
+      end
+    end
+
+  let n t = t.count
+  let retained t = t.len
+  let cap t = t.cap
+  let exact t = t.count = t.len
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then nan else t.lo
+  let max t = if t.count = 0 then nan else t.hi
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let a = Array.sub t.data 0 t.len in
+      Array.sort compare a;
+      Array.blit a 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  (* Nearest-rank over the retained sample; exact whenever count <= cap. *)
+  let percentile t p =
+    if t.len = 0 then nan
+    else begin
+      ensure_sorted t;
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+      let rank = if rank < 1 then 1 else if rank > t.len then t.len else rank in
+      t.data.(rank - 1)
+    end
+
+  (* Fold [b] into [a].  Totals (count, sum, min, max) merge exactly; the
+     retained sample is the concatenation when it fits, otherwise a weighted
+     without-replacement subsample where each retained item of a reservoir
+     stands for count/len originals.  All randomness comes from [a]'s own
+     prng, so a fixed merge order gives a fixed result — the property the
+     sharded fleet driver's domains=1 vs domains=N byte-identity rests on. *)
+  let merge_into a b =
+    let total = a.count + b.count in
+    a.sum <- a.sum +. b.sum;
+    if b.lo < a.lo then a.lo <- b.lo;
+    if b.hi > a.hi then a.hi <- b.hi;
+    if b.len = 0 then a.count <- total
+    else if a.len + b.len <= a.cap then begin
+      for i = 0 to b.len - 1 do
+        ensure_room a;
+        a.data.(a.len) <- b.data.(i);
+        a.len <- a.len + 1
+      done;
+      a.sorted <- false;
+      a.count <- total
+    end
+    else begin
+      let wa = float_of_int a.count /. float_of_int a.len
+      and wb = float_of_int b.count /. float_of_int b.len in
+      let da = Array.sub a.data 0 a.len and db = Array.sub b.data 0 b.len in
+      let na = ref a.len and nb = ref b.len in
+      let out = Array.make a.cap 0.0 in
+      for k = 0 to a.cap - 1 do
+        let ta = wa *. float_of_int !na and tb = wb *. float_of_int !nb in
+        let from_a = !nb = 0 || (!na > 0 && Prng.float a.prng (ta +. tb) < ta) in
+        if from_a then begin
+          let i = Prng.int a.prng !na in
+          out.(k) <- da.(i);
+          da.(i) <- da.(!na - 1);
+          decr na
+        end
+        else begin
+          let i = Prng.int a.prng !nb in
+          out.(k) <- db.(i);
+          db.(i) <- db.(!nb - 1);
+          decr nb
+        end
+      done;
+      a.data <- out;
+      a.len <- a.cap;
+      a.sorted <- false;
+      a.count <- total
+    end
+end
+
 module Gauge = struct
   type t = {
     mutable level : int;

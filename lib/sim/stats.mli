@@ -57,6 +57,51 @@ module Series : sig
   val clear : t -> unit
 end
 
+(** Bounded-memory sample reservoir with deterministic merging.  Holds at
+    most [cap] retained samples (Algorithm R) while tracking count, sum,
+    min and max exactly, so mean and extrema are always exact and
+    percentiles are exact until the cap is exceeded.  Two reservoirs merge
+    into one of the same cap by weighted subsampling, which is what lets
+    per-shard latency series combine across a 10^5-VM fleet without ever
+    concatenating raw samples.  All sampling randomness comes from the
+    reservoir's own seeded prng: a fixed add/merge order reproduces the
+    reservoir bit-for-bit, independent of host parallelism. *)
+module Reservoir : sig
+  type t
+
+  val create : ?cap:int -> seed:int -> unit -> t
+  (** Default cap 8192. *)
+
+  val add : t -> float -> unit
+
+  val n : t -> int
+  (** Total observations (not bounded by cap). *)
+
+  val retained : t -> int
+  (** Samples currently held, [<= cap]. *)
+
+  val cap : t -> int
+
+  val exact : t -> bool
+  (** True while every observation is retained (percentiles exact). *)
+
+  val mean : t -> float
+  (** Exact (from the running sum); 0 when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  (** Exact extrema; [nan] when empty. *)
+
+  val percentile : t -> float -> float
+  (** Nearest-rank over the retained sample; [nan] when empty. *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into a b] folds [b]'s population into [a] ([b] unchanged).
+      Count/sum/extrema merge exactly; retained samples concatenate when
+      they fit in [a]'s cap and are weighted-subsampled otherwise, drawing
+      only from [a]'s prng. *)
+end
+
 (** Time-weighted level tracking (queue depths, in-service counts).  The
     caller reports every level change with its timestamp; the gauge keeps
     the peak and the time-weighted mean. *)

@@ -417,16 +417,101 @@ let smoke_config =
   }
 
 let test_driver_deterministic_replay () =
+  (* ~host:false drops the host_wall_s columns — wall-clock is the one
+     intentionally nondeterministic part of the artifact. *)
   let a = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
   let b = Experiments.Fleet_exp.run ~seed:7 ~scale:`Smoke () in
   Alcotest.(check string) "same seed, identical JSON"
-    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json a))
-    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json b));
+    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json ~host:false a))
+    (Experiments.Json.to_string (Experiments.Fleet_exp.to_json ~host:false b));
   let c = Experiments.Fleet_exp.run ~seed:8 ~scale:`Smoke () in
   Alcotest.(check bool) "different seed differs" false
     (String.equal
-       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json a))
-       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json c)))
+       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json ~host:false a))
+       (Experiments.Json.to_string (Experiments.Fleet_exp.to_json ~host:false c)))
+
+let sharded_config =
+  (* Four home shards, churn and a live cache so arrivals, migrations and
+     invalidations all cross shard boundaries during the run. *)
+  {
+    smoke_config with
+    Fleet.Driver.as_count = 4;
+    as_capacity = 2;
+    rate_per_s = 24.0;
+    ttl = Sim.Time.sec 10;
+    churn_period = Sim.Time.ms 500;
+    duration = Sim.Time.sec 5;
+    drain = Sim.Time.sec 5;
+    epoch = Sim.Time.ms 50;
+  }
+
+let test_driver_domains_byte_identical () =
+  let run domains = Fleet.Driver.run { sharded_config with Fleet.Driver.domains } in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  (* The scenario must actually exercise the cross-shard machinery, or the
+     identity below is vacuous. *)
+  Alcotest.(check bool) "migrations happened" true (r1.Fleet.Driver.migrations > 0);
+  Alcotest.(check bool) "churn invalidated caches" true (r1.Fleet.Driver.invalidations > 0);
+  Alcotest.(check bool) "cache hits happened" true (r1.Fleet.Driver.cache_hits > 0);
+  Alcotest.(check string) "trace digest 1 = 2" r1.Fleet.Driver.trace_digest
+    r2.Fleet.Driver.trace_digest;
+  Alcotest.(check string) "trace digest 1 = 4" r1.Fleet.Driver.trace_digest
+    r4.Fleet.Driver.trace_digest;
+  Alcotest.(check string) "fingerprint 1 = 2" (Fleet.Driver.fingerprint r1)
+    (Fleet.Driver.fingerprint r2);
+  Alcotest.(check string) "fingerprint 1 = 4" (Fleet.Driver.fingerprint r1)
+    (Fleet.Driver.fingerprint r4);
+  (* Structural check on the records too (sans config, which differs in
+     [domains] by construction). *)
+  Alcotest.(check bool) "results structurally equal" true
+    ({ r1 with Fleet.Driver.config = sharded_config }
+    = { r2 with Fleet.Driver.config = sharded_config });
+  (* And a different seed gives a different trace. *)
+  let r1' =
+    Fleet.Driver.run { sharded_config with Fleet.Driver.seed = sharded_config.Fleet.Driver.seed + 1 }
+  in
+  Alcotest.(check bool) "different seed, different digest" false
+    (String.equal r1.Fleet.Driver.trace_digest r1'.Fleet.Driver.trace_digest)
+
+let test_epoch_barrier_migration_invalidates () =
+  (* Protocol-level: a migration on the source shard emits an [Invalidate]
+     for the destination shard; delivering it at the barrier must drop the
+     destination's cached verdict so the next attestation re-measures. *)
+  let engine = Sim.Engine.create () in
+  let cache =
+    Verdict_cache.create ~ttl:(Sim.Time.sec 60) ~clock:(fun () -> Sim.Engine.now engine) ()
+  in
+  ignore
+    (Verdict_cache.store cache (report ~vid:"vm-7" ~property:Property.Startup_integrity ())
+      : bool);
+  Alcotest.(check bool) "cached before the barrier" true
+    (Verdict_cache.find cache ~vid:"vm-7" ~property:Property.Startup_integrity <> None);
+  let msg =
+    { Fleet.Msg.at = Sim.Time.ms 40; src = 0; seq = 0; dst = 1;
+      payload = Fleet.Msg.Invalidate { vid = "vm-7" } }
+  in
+  let barrier = Sim.Time.ms 50 in
+  ignore
+    (Sim.Engine.schedule engine ~at:barrier (fun () ->
+         match msg.Fleet.Msg.payload with
+         | Fleet.Msg.Invalidate { vid } -> ignore (Verdict_cache.invalidate_vm cache ~vid : int)
+         | Fleet.Msg.Submit _ -> Alcotest.fail "unexpected payload")
+      : Sim.Engine.handle);
+  Sim.Engine.run_until engine barrier;
+  Alcotest.(check bool) "gone after delivery" true
+    (Verdict_cache.find cache ~vid:"vm-7" ~property:Property.Startup_integrity = None);
+  Alcotest.(check int) "counted as invalidation" 1 (Verdict_cache.stats cache).invalidations;
+  (* The (at, src, seq) order is total and collection-order independent. *)
+  let m ~at ~src ~seq =
+    { Fleet.Msg.at; src; seq; dst = 0; payload = Fleet.Msg.Invalidate { vid = "x" } }
+  in
+  let ms = [ m ~at:2 ~src:0 ~seq:0; m ~at:1 ~src:1 ~seq:1; m ~at:1 ~src:1 ~seq:0; m ~at:1 ~src:0 ~seq:5 ] in
+  let sorted = List.sort Fleet.Msg.compare ms in
+  Alcotest.(check (list string)) "sorted by (at, src, seq)"
+    [ "1/0/5"; "1/1/0"; "1/1/1"; "2/0/0" ]
+    (List.map
+       (fun (x : Fleet.Msg.t) -> Printf.sprintf "%d/%d/%d" x.at x.src x.seq)
+       sorted)
 
 let test_driver_sharding_raises_throughput () =
   (* Offered load well beyond even four shards' service capacity (~9.4
@@ -579,6 +664,58 @@ let test_series_percentiles () =
     (Sim.Stats.Series.percentile s 75.0
     = Sim.Stats.percentile (List.init 100 (fun i -> float_of_int (i + 1)) @ [ 1000.0 ]) 75.0)
 
+let test_reservoir_exact_mode () =
+  let r = Sim.Stats.Reservoir.create ~cap:200 ~seed:1 () in
+  List.iter (Sim.Stats.Reservoir.add r) (List.init 100 (fun i -> float_of_int (i + 1)));
+  Alcotest.(check bool) "still exact" true (Sim.Stats.Reservoir.exact r);
+  Alcotest.(check int) "n" 100 (Sim.Stats.Reservoir.n r);
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Sim.Stats.Reservoir.percentile r 50.0);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Sim.Stats.Reservoir.percentile r 99.0);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Sim.Stats.Reservoir.mean r);
+  Alcotest.(check (float 0.001)) "min" 1.0 (Sim.Stats.Reservoir.min r);
+  Alcotest.(check (float 0.001)) "max" 100.0 (Sim.Stats.Reservoir.max r)
+
+let test_reservoir_merge () =
+  (* Exact merge when everything fits in the accumulator's cap. *)
+  let a = Sim.Stats.Reservoir.create ~cap:400 ~seed:1 () in
+  let b = Sim.Stats.Reservoir.create ~cap:400 ~seed:2 () in
+  List.iter (Sim.Stats.Reservoir.add a) (List.init 100 (fun i -> float_of_int (i + 1)));
+  List.iter (Sim.Stats.Reservoir.add b) (List.init 100 (fun i -> float_of_int (i + 101)));
+  Sim.Stats.Reservoir.merge_into a b;
+  Alcotest.(check int) "merged count" 200 (Sim.Stats.Reservoir.n a);
+  Alcotest.(check bool) "merge of exact fits stays exact" true (Sim.Stats.Reservoir.exact a);
+  Alcotest.(check (float 0.001)) "merged p50" 100.0 (Sim.Stats.Reservoir.percentile a 50.0);
+  Alcotest.(check (float 0.001)) "merged max" 200.0 (Sim.Stats.Reservoir.max a);
+  Alcotest.(check int) "source unchanged" 100 (Sim.Stats.Reservoir.n b);
+  (* Subsampled merge: count/sum/extrema stay exact, retention is bounded,
+     and the whole procedure is deterministic in the accumulator's seed. *)
+  let merged seed =
+    let acc = Sim.Stats.Reservoir.create ~cap:64 ~seed () in
+    for shard = 0 to 3 do
+      let r = Sim.Stats.Reservoir.create ~cap:64 ~seed:(10 + shard) () in
+      for i = 1 to 1000 do
+        Sim.Stats.Reservoir.add r (float_of_int ((shard * 1000) + i))
+      done;
+      Sim.Stats.Reservoir.merge_into acc r
+    done;
+    acc
+  in
+  let acc = merged 5 in
+  Alcotest.(check int) "subsampled count exact" 4000 (Sim.Stats.Reservoir.n acc);
+  Alcotest.(check bool) "retention bounded" true (Sim.Stats.Reservoir.retained acc <= 64);
+  Alcotest.(check bool) "no longer exact" false (Sim.Stats.Reservoir.exact acc);
+  Alcotest.(check (float 0.001)) "mean exact" 2000.5 (Sim.Stats.Reservoir.mean acc);
+  Alcotest.(check (float 0.001)) "min exact" 1.0 (Sim.Stats.Reservoir.min acc);
+  Alcotest.(check (float 0.001)) "max exact" 4000.0 (Sim.Stats.Reservoir.max acc);
+  let p50 = Sim.Stats.Reservoir.percentile acc 50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 estimate in range (got %.0f)" p50)
+    true
+    (p50 > 1000.0 && p50 < 3000.0);
+  let acc' = merged 5 in
+  Alcotest.(check (float 0.0)) "merge deterministic" p50
+    (Sim.Stats.Reservoir.percentile acc' 50.0)
+
 let test_gauge_time_weighted () =
   let g = Sim.Stats.Gauge.create () in
   Sim.Stats.Gauge.set g ~now:0.0 2;
@@ -655,6 +792,9 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "deterministic replay" `Quick test_driver_deterministic_replay;
+          Alcotest.test_case "domains byte-identical" `Quick test_driver_domains_byte_identical;
+          Alcotest.test_case "epoch-barrier migration invalidates" `Quick
+            test_epoch_barrier_migration_invalidates;
           Alcotest.test_case "sharding raises throughput" `Quick
             test_driver_sharding_raises_throughput;
           Alcotest.test_case "cache ttl improves latency" `Quick
@@ -669,6 +809,8 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "series percentiles" `Quick test_series_percentiles;
+          Alcotest.test_case "reservoir exact mode" `Quick test_reservoir_exact_mode;
+          Alcotest.test_case "reservoir merge" `Quick test_reservoir_merge;
           Alcotest.test_case "gauge time-weighted" `Quick test_gauge_time_weighted;
         ] );
       ( "json",

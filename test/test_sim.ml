@@ -25,6 +25,25 @@ let test_prng_split_independent () =
   let ys = List.init 32 (fun _ -> Sim.Prng.bits64 b) in
   Alcotest.(check bool) "split streams differ" false (xs = ys)
 
+let test_prng_split_stability () =
+  (* Pinned vectors: [split] is the basis for the fleet driver's per-shard
+     stream assignment, so its output order (parent advances, children are
+     independent) must never drift — a change here silently re-randomizes
+     every committed fleet artifact. *)
+  let root = Sim.Prng.create 42 in
+  let a = Sim.Prng.split root in
+  let b = Sim.Prng.split root in
+  let hex p = Printf.sprintf "%016Lx" (Sim.Prng.bits64 p) in
+  Alcotest.(check (list string)) "root after two splits"
+    [ "ecb8ad4703b360a1"; "ae17533239e499a1" ]
+    [ hex root; hex root ];
+  Alcotest.(check (list string)) "first child"
+    [ "106fa1a13296fe62"; "8ee445d14631c453" ]
+    [ hex a; hex a ];
+  Alcotest.(check (list string)) "second child"
+    [ "e77e94b6db1b6deb"; "9f62288718cc63b6" ]
+    [ hex b; hex b ]
+
 let prng_int_in_bounds =
   QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
     QCheck.(pair int small_int)
@@ -100,6 +119,31 @@ let test_heap_peek () =
   Alcotest.(check (option int)) "peek min" (Some 2) (Sim.Heap.peek h);
   Alcotest.(check int) "length" 3 (Sim.Heap.length h);
   Alcotest.(check int) "to_list size" 3 (List.length (Sim.Heap.to_list h))
+
+let test_heap_pop_push_churn () =
+  (* Steady-state churn at fixed size — the engine's hot loop, and the shape
+     that exercises the bottom-up pop path repeatedly.  The heap must keep
+     returning the true minimum against a sorted-list oracle. *)
+  let p = Sim.Prng.create 31 in
+  let h = Sim.Heap.create ~cmp:compare in
+  let oracle = ref [] in
+  for _ = 1 to 256 do
+    let x = Sim.Prng.int p 10_000 in
+    Sim.Heap.push h x;
+    oracle := x :: !oracle
+  done;
+  oracle := List.sort compare !oracle;
+  for _ = 1 to 2_000 do
+    (match (Sim.Heap.pop h, !oracle) with
+    | Some got, expect :: rest ->
+        Alcotest.(check int) "pop returns minimum" expect got;
+        oracle := rest
+    | _ -> Alcotest.fail "heap/oracle desync");
+    let x = Sim.Prng.int p 10_000 in
+    Sim.Heap.push h x;
+    oracle := List.merge compare [ x ] !oracle
+  done;
+  Alcotest.(check int) "size preserved" 256 (Sim.Heap.length h)
 
 (* --- Engine -------------------------------------------------------------- *)
 
@@ -305,6 +349,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "split stability (pinned)" `Quick test_prng_split_stability;
           Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
           Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
           Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
@@ -312,7 +357,12 @@ let () =
           qtest prng_int_in_bounds;
           qtest prng_int_in_range;
         ] );
-      ("heap", [ qtest heap_sorts; Alcotest.test_case "peek/length" `Quick test_heap_peek ]);
+      ( "heap",
+        [
+          qtest heap_sorts;
+          Alcotest.test_case "peek/length" `Quick test_heap_peek;
+          Alcotest.test_case "pop/push churn" `Quick test_heap_pop_push_churn;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "time ordering" `Quick test_engine_ordering;
