@@ -133,6 +133,20 @@ let run_backends () =
     Printf.eprintf "backends: lifecycle gate violated (see BENCH_backends.json)\n%!"
   end
 
+(* The protocol catalogue gates too: a weakened term with no synthesised
+   attack, a default term failing a check, or an interpreter run outside
+   its static cost envelope all flip the exit status. *)
+let protocols_failed = ref false
+
+let run_protocols () =
+  let result = Experiments.Protocols_exp.run ~seed () in
+  Experiments.Protocols_exp.print result;
+  collect "protocols" (Experiments.Protocols_exp.to_json result);
+  if not (Experiments.Protocols_exp.clean result) then begin
+    protocols_failed := true;
+    Printf.eprintf "protocols: catalogue gate violated (see BENCH_protocols.json)\n%!"
+  end
+
 let run_ablations () =
   Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
   Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -190,29 +204,32 @@ let run_micro () =
         results)
     tests
 
+(* (name, one-line description, runner).  The descriptions feed --list, so
+   scripts can show an inventory without grepping the sources. *)
 let experiments =
   [
-    ("fig4", run_fig4);
-    ("fig5", run_fig5);
-    ("fig6", run_fig6);
-    ("fig7", run_fig7);
-    ("fig9", run_fig9);
-    ("fig10", run_fig10);
-    ("fig11", run_fig11);
-    ("verify", run_verify);
-    ("cache", run_cache);
-    ("faults", run_faults);
-    ("fleet", run_fleet);
-    ("batch", run_batch);
-    ("audit", run_audit);
-    ("crypto", run_crypto);
-    ("fuzz", run_fuzz);
-    ("backends", run_backends);
-    ("ablations", run_ablations);
-    ("micro", run_micro);
+    ("fig4", "cross-VM covert information leakage (paper Fig. 4)", run_fig4);
+    ("fig5", "covert-channel vulnerability measurements (Fig. 5)", run_fig5);
+    ("fig6", "performance impact of CPU-availability attacks (Fig. 6)", run_fig6);
+    ("fig7", "CPU-availability vulnerability measurements (Fig. 7)", run_fig7);
+    ("fig9", "VM launching performance (Fig. 9)", run_fig9);
+    ("fig10", "performance effect of runtime attestation (Fig. 10)", run_fig10);
+    ("fig11", "attestation and response reaction times (Fig. 11)", run_fig11);
+    ("verify", "symbolic verification of the fixed protocol (section 7.2.2)", run_verify);
+    ("cache", "prime-probe cache covert channel and its detection", run_cache);
+    ("faults", "attestation availability on a lossy network", run_faults);
+    ("fleet", "fleet-scale throughput sweep, sharded by AS cluster", run_fleet);
+    ("batch", "Merkle-batched attestation frontier", run_batch);
+    ("audit", "verdict-transparency log overhead and fork detection", run_audit);
+    ("crypto", "RSA hot-path micro-benchmark (host CPU time)", run_crypto);
+    ("fuzz", "oracle-checked fuzz campaign over generated histories", run_fuzz);
+    ("backends", "trust-backend comparison and lifecycle gates", run_backends);
+    ("protocols", "attestation-protocol catalogue: Dolev-Yao + cost envelopes", run_protocols);
+    ("ablations", "design-choice ablation studies", run_ablations);
+    ("micro", "bechamel micro-benchmarks of the primitives", run_micro);
   ]
 
-let valid_names = "all" :: List.map fst experiments
+let valid_names = "all" :: List.map (fun (n, _, _) -> n) experiments
 
 let usage () =
   Printf.eprintf
@@ -223,9 +240,13 @@ let parse_args argv =
   let rec go names json = function
     | [] -> (List.rev names, json)
     | "--list" :: _ ->
-        (* Machine-readable inventory for scripts and CI: one name per
-           line, nothing else, success exit. *)
-        List.iter print_endline valid_names;
+        (* Machine-readable inventory for scripts and CI: one
+           "name: description" line per experiment (plus the bare "all"
+           pseudo-name), success exit. *)
+        print_endline "all: every experiment below";
+        List.iter
+          (fun (name, description, _) -> Printf.printf "%s: %s\n" name description)
+          experiments;
         exit 0
     | "--json" :: path :: rest -> go names (Some path) rest
     | [ "--json" ] ->
@@ -265,7 +286,7 @@ let () =
   let run_all = List.mem "all" which in
   print_endline "CloudMonatt evaluation harness (ISCA'15 figures)";
   List.iter
-    (fun (name, f) ->
+    (fun (name, _, f) ->
       if run_all || List.mem name which then begin
         let t0 = Sys.time () in
         observed name f;
@@ -289,6 +310,7 @@ let () =
             ("crypto", "BENCH_crypto.json");
             ("fuzz", "BENCH_fuzz.json");
             ("backends", "BENCH_backends.json");
+            ("protocols", "BENCH_protocols.json");
           ]
   in
   match json_paths with
@@ -321,6 +343,8 @@ let () =
                   List.filter (fun (n, _) -> n = "fuzz") !json_results
               | None, "BENCH_backends.json" ->
                   List.filter (fun (n, _) -> n = "backends") !json_results
+              | None, "BENCH_protocols.json" ->
+                  List.filter (fun (n, _) -> n = "protocols") !json_results
               | _ -> !json_results
             in
             let doc =
@@ -340,5 +364,7 @@ let () =
 
 (* Fail the process (after the artifacts are written, so the repro file
    and JSON survive) when the fuzz campaign surfaced violations, the
-   backend lifecycle gates tripped, or the sharded fleet runs diverged. *)
-let () = if !fuzz_failed || !backends_failed || !fleet_failed then exit 1
+   backend lifecycle gates tripped, the protocol catalogue deviated from
+   its planted expectations, or the sharded fleet runs diverged. *)
+let () =
+  if !fuzz_failed || !backends_failed || !fleet_failed || !protocols_failed then exit 1

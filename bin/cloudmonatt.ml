@@ -3,6 +3,7 @@
    Subcommands:
      experiment  -- regenerate the paper's figures (fig4..fig11, verify, all)
      verify      -- check the attestation protocol symbolically
+     protocol    -- type-check, estimate, run and verify one protocol term
      launch      -- spin up a simulated cloud, launch a VM, attest properties
      catalog     -- list supported properties, images, flavors, workloads *)
 
@@ -15,7 +16,7 @@ let seed_arg =
 (* --- experiment --------------------------------------------------------- *)
 
 let all_experiments =
-  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "audit"; "backends"; "ablations" ]
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "audit"; "backends"; "protocols"; "ablations" ]
 
 let experiment_names = all_experiments @ [ "all" ]
 
@@ -35,6 +36,7 @@ let run_experiment seed name =
   | "batch" -> Experiments.Batch_exp.print (Experiments.Batch_exp.run ~seed ())
   | "audit" -> Experiments.Audit_exp.print (Experiments.Audit_exp.run ~seed ())
   | "backends" -> Experiments.Backends_exp.print (Experiments.Backends_exp.run ~seed ())
+  | "protocols" -> Experiments.Protocols_exp.print (Experiments.Protocols_exp.run ~seed ())
   | "ablations" ->
       Experiments.Ablations.print_detector (Experiments.Ablations.detector_sweep ~seed ());
       Experiments.Ablations.print_benign (Experiments.Ablations.benign_false_positives ());
@@ -46,7 +48,7 @@ let run_experiment seed name =
 
 let experiment_cmd =
   let names =
-    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, audit, backends, ablations, all)." in
+    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, audit, backends, protocols, ablations, all)." in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed names =
@@ -83,6 +85,105 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Symbolically verify the attestation protocol (section 7.2.2)")
     Term.(const (fun () -> Stdlib.exit (run ())) $ const ())
+
+(* --- protocol -------------------------------------------------------------- *)
+
+let protocol_cmd =
+  let term_arg =
+    let doc =
+      "Protocol term, e.g. a0.0, (a0.0>a1.1), (a0.0&Qa1.0), d1:a2.0, l0:a0.1; \
+       a '-' after the operator weakens it (a-0.0 drops the nonce)."
+    in
+    Arg.(value & pos 0 string "a0.0" & info [] ~docv:"TERM" ~doc)
+  in
+  let servers_arg =
+    Arg.(value & opt int 3 & info [ "servers" ] ~docv:"N" ~doc:"Cloud servers (one VM each).")
+  in
+  let clusters_arg =
+    Arg.(value & opt int 2 & info [ "clusters" ] ~docv:"N" ~doc:"Attestation-server clusters.")
+  in
+  let run seed line servers clusters =
+    match Copland.Phrase.of_string line with
+    | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        2
+    | Ok term -> (
+        Printf.printf "term      %s  (%d appraisal%s%s)\n"
+          (Copland.Phrase.to_string term)
+          (Copland.Phrase.appraisals term)
+          (if Copland.Phrase.appraisals term = 1 then "" else "s")
+          (if Copland.Phrase.weakened term then ", weakened" else "");
+        let config =
+          {
+            Core.Cloud.default_config with
+            seed;
+            key_bits = 512;
+            num_servers = servers;
+            num_attestation_servers = clusters;
+          }
+        in
+        let cloud = Core.Cloud.build ~config () in
+        let ctl = Core.Cloud.controller cloud in
+        let vids =
+          Array.init servers (fun _ ->
+              match
+                Core.Controller.launch ctl
+                  {
+                    Core.Controller.owner = "cli-user";
+                    image = "cirros";
+                    flavor = "small";
+                    properties = Core.Property.all;
+                    workload = "";
+                    pins = [];
+                  }
+              with
+              | Ok info -> info.Core.Commands.vid
+              | Error _ -> failwith "launch failed")
+        in
+        let env = Copland.Env.of_cloud cloud ~vids in
+        match Copland.Typing.check env.Copland.Env.typing term with
+        | Error e ->
+            Format.printf "ill-typed: %a@." Copland.Typing.pp_error e;
+            1
+        | Ok () -> (
+            Format.printf "estimate  %a@." Copland.Estimate.pp
+              (Copland.Estimate.of_phrase env term);
+            let report = Copland.Dy.verify term in
+            Format.printf "dolev-yao %s@."
+              (if Copland.Dy.holds report then "all checks hold"
+               else "VIOLATED: " ^ String.concat ", " (Copland.Dy.violated report));
+            List.iter
+              (fun a -> Format.printf "  attack: %a@." Copland.Dy.pp_attack a)
+              report.Copland.Dy.attacks;
+            match Copland.Interp.run cloud ~vids term with
+            | Error e ->
+                Printf.printf "run       failed: %s\n" e;
+                1
+            | Ok outcome ->
+                Format.printf "run       %a (%d leaf appraisal%s)@." Core.Report.pp_status
+                  outcome.Copland.Interp.status
+                  (List.length outcome.Copland.Interp.leaves)
+                  (if List.length outcome.Copland.Interp.leaves = 1 then "" else "s");
+                List.iter
+                  (fun (l : Copland.Interp.leaf_result) ->
+                    match l.Copland.Interp.report with
+                    | Ok r ->
+                        Format.printf "  slot %d %-22s %a@." l.Copland.Interp.slot
+                          (Core.Property.to_string l.Copland.Interp.property)
+                          Core.Report.pp_status
+                          r.Core.Protocol.report.Core.Report.status
+                    | Error e ->
+                        Printf.printf "  slot %d %-22s error: %s\n" l.Copland.Interp.slot
+                          (Core.Property.to_string l.Copland.Interp.property)
+                          e)
+                  outcome.Copland.Interp.leaves;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "protocol"
+       ~doc:"Type-check, estimate, Dolev-Yao-verify and run one protocol term")
+    Term.(const (fun seed line s c -> Stdlib.exit (run seed line s c))
+          $ seed_arg $ term_arg $ servers_arg $ clusters_arg)
 
 (* --- launch ---------------------------------------------------------------- *)
 
@@ -167,6 +268,6 @@ let catalog_cmd =
 let main_cmd =
   let doc = "CloudMonatt: security health monitoring and attestation of VMs (ISCA'15)" in
   Cmd.group (Cmd.info "cloudmonatt" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; verify_cmd; launch_cmd; catalog_cmd ]
+    [ experiment_cmd; verify_cmd; protocol_cmd; launch_cmd; catalog_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

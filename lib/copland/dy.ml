@@ -1,0 +1,345 @@
+(* Per-phrase Dolev-Yao verification.
+
+   Where [Verifier.Model] hardcodes the paper's one protocol, this module
+   *generates* the symbolic model from a phrase: two protocol sessions over
+   long-lived channel keys (channels are cached across attestation rounds,
+   exactly like the simulator's), per-leaf session keys and nonces, plus
+   the knowledge an attacker gains from each weakened operator —
+
+   - a no-nonce appraisal ("a-") makes both sessions use the same public
+     nonce constant, so replayed session-1 material matches session-2
+     acceptance patterns;
+   - an unauthenticated delegation ("d-") sends the controller <-> sub-AS
+     hop in the clear and drops the delegation certificate from report
+     acceptance, so the attacker's own key signs accepted reports;
+   - an unchecked layer ("l-") trusts quotes from a host whose restored
+     trust backend was never re-registered: the stale state leaks the
+     host's channel key and an epoch-0-endorsed session key, and report
+     acceptance no longer pins the binding epoch.
+
+   The same eight checks as [Verifier.Properties] (the paper's six section
+   7.2.2 properties) are replayed over the generated model, and every
+   violation is turned into a concrete attack: the forged or replayed
+   message together with its [Deduction.prove] derivation. *)
+
+module T = Verifier.Term
+module D = Verifier.Deduction
+module P = Verifier.Properties
+
+type attack = {
+  check_id : string;
+  description : string;
+  message : T.t;
+  proof : D.proof;
+}
+
+type report = {
+  phrase : Phrase.t;
+  checks : P.check list;
+  attacks : attack list;
+}
+
+(* --- Key and payload vocabulary ------------------------------------------- *)
+
+let skc = T.Fresh "SKc"
+let ski = T.Fresh "SKi" (* the attacker's own signing key *)
+let kx = T.Fresh "Kx"
+let ska c = T.Fresh (Printf.sprintf "SKa%d" c)
+let ky c = T.Fresh (Printf.sprintf "Ky%d" c)
+let sks h = T.Fresh (Printf.sprintf "SKs%d" h)
+let kz s = T.Fresh (Printf.sprintf "Kz%d" s)
+let stale_key h = T.Fresh (Printf.sprintf "ASKstale%d" h)
+let payload_p = T.Fresh "P"
+let payload_m = T.Fresh "rM"
+let payload_r = T.Fresh "rR"
+let fresh_epoch = T.Const "epoch1"
+let stale_epoch = T.Const "epoch0"
+let reused_nonce = T.Const "nonce0"
+let evil_measurements = T.Const "evil-measurements"
+let evil_report = T.Const "report-says-healthy"
+
+(* One leaf appraisal with its weakenings resolved. *)
+type lview = {
+  leaf : Phrase.leaf;
+  cluster : int;  (** appraising AS cluster (0 outside delegations) *)
+  unauth : bool;  (** delegated without authentication *)
+  unchecked : bool;  (** layered but freshness check skipped *)
+  hostkey : int;  (** which host identity key endorses this leaf's quotes *)
+}
+
+let view (l : Phrase.leaf) =
+  let cluster, unauth =
+    match l.Phrase.deleg with Some (c, auth) -> (c, not auth) | None -> (0, false)
+  in
+  let unchecked = match l.Phrase.layer with Some (_, checked) -> not checked | None -> false in
+  let hostkey = match l.Phrase.layer with Some (ls, _) -> ls | None -> l.Phrase.slot in
+  { leaf = l; cluster; unauth; unchecked; hostkey }
+
+let vid v = T.Const (Printf.sprintf "vm%d" v.leaf.Phrase.slot)
+let srv v = T.Const (Printf.sprintf "server%d" v.leaf.Phrase.slot)
+let propc v = T.Const (Printf.sprintf "prop%d" v.leaf.Phrase.prop)
+let asks i v = T.Fresh (Printf.sprintf "ASKs.%d.%d" i v.leaf.Phrase.index)
+
+let n1 i = T.Fresh (Printf.sprintf "N1.%d" i)
+
+let n2 i v =
+  if v.leaf.Phrase.nonce then T.Fresh (Printf.sprintf "N2.%d.%d" i v.leaf.Phrase.index)
+  else reused_nonce
+
+let n3 i v =
+  if v.leaf.Phrase.nonce then T.Fresh (Printf.sprintf "N3.%d.%d" i v.leaf.Phrase.index)
+  else reused_nonce
+
+let sessions = [ 1; 2 ]
+
+let dedup xs = List.sort_uniq compare xs
+
+(* --- Model generation ------------------------------------------------------ *)
+
+let meas i v = T.pair_list [ vid v; payload_m; n3 i v ]
+let rep i v = T.pair_list [ vid v; propc v; payload_r; n2 i v ]
+let endorsement i v = T.Sign (sks v.hostkey, T.pair_list [ T.Pub (asks i v); fresh_epoch ])
+let measurement_reply i v = T.Senc (kz v.leaf.Phrase.slot, T.Pair (meas i v, T.Sign (asks i v, meas i v)))
+let deleg_cert c = T.Sign (skc, T.pair_list [ T.Const "deleg"; T.Pub (ska c) ])
+
+(* Everything one session of one leaf puts on the wire. *)
+let traffic i v =
+  let s = v.leaf.Phrase.slot in
+  let request_body = T.pair_list [ vid v; srv v; payload_p; n2 i v ] in
+  let signed_rep = T.Sign (ska v.cluster, rep i v) in
+  [
+    (* customer -> controller *)
+    T.Senc (kx, T.pair_list [ vid v; propc v; payload_p; n1 i ]);
+    (* controller -> AS: in the clear when the delegation skips
+       authentication *)
+    (if v.unauth then request_body else T.Senc (ky v.cluster, request_body));
+    (* AS -> server measurement request *)
+    T.Senc (kz s, T.pair_list [ vid v; T.Const "requests"; n3 i v ]);
+    (* server -> AS: quoted measurements + session-key endorsement *)
+    measurement_reply i v;
+    endorsement i v;
+    (* AS -> controller report *)
+    (if v.unauth then signed_rep else T.Senc (ky v.cluster, signed_rep));
+    (* controller -> customer *)
+    T.Senc (kx, T.Sign (skc, T.pair_list [ vid v; propc v; payload_r; n1 i ]));
+  ]
+
+let stale_leak v =
+  if not v.unchecked then []
+  else
+    [
+      (* The restored-but-never-rebound backend state: the host's channel
+         key and an old, epoch-0-endorsed session key. *)
+      kz v.leaf.Phrase.slot;
+      stale_key v.hostkey;
+      T.Sign (sks v.hostkey, T.pair_list [ T.Pub (stale_key v.hostkey); stale_epoch ]);
+    ]
+
+let knowledge views =
+  let clusters = dedup (List.map (fun v -> v.cluster) views) in
+  let hostkeys = dedup (List.map (fun v -> v.hostkey) views) in
+  let auth_deleg_clusters =
+    dedup (List.filter_map (fun v ->
+        match v.leaf.Phrase.deleg with Some (c, true) -> Some c | _ -> None) views)
+  in
+  List.concat
+    [
+      [ ski; T.Pub ski; T.Pub skc ];
+      List.map (fun c -> T.Pub (ska c)) clusters;
+      List.map (fun h -> T.Pub (sks h)) hostkeys;
+      List.map deleg_cert auth_deleg_clusters;
+      List.concat_map (fun i -> List.concat_map (traffic i) views) sessions;
+      List.concat_map stale_leak views;
+    ]
+
+(* --- Checks ---------------------------------------------------------------- *)
+
+let accepted_epochs v = if v.unchecked then [ stale_epoch; fresh_epoch ] else [ fresh_epoch ]
+
+let verify phrase =
+  let views = List.map view (Phrase.leaves phrase) in
+  let know = D.of_list (knowledge views) in
+  let attacks = ref [] in
+  let add_attack check_id description message =
+    match D.prove know message with
+    | Some proof -> attacks := { check_id; description; message; proof } :: !attacks
+    | None -> ()
+  in
+  (* A secrecy-style check: every derivable item is a violation and its own
+     attack witness. *)
+  let secrecy id name items =
+    let broken = List.filter (fun (_, t) -> D.derives know t) items in
+    List.iter (fun (d, t) -> add_attack id d t) broken;
+    {
+      P.id;
+      name;
+      outcome =
+        (match broken with
+        | [] -> P.Holds
+        | (d, _) :: _ -> P.Violated d);
+    }
+  in
+  (* A forgery-style check: a violation is an accepting term the attacker
+     can derive (acceptance side conditions already folded in). *)
+  let forgery id name candidates =
+    let broken = List.filter (fun (_, t, extra) ->
+        D.derives know t && List.for_all (D.derives know) extra) candidates
+    in
+    List.iter (fun (d, t, _) -> add_attack id d t) broken;
+    {
+      P.id;
+      name;
+      outcome =
+        (match broken with
+        | [] -> P.Holds
+        | (d, _, _) :: _ -> P.Violated d);
+    }
+  in
+  let clusters = dedup (List.map (fun v -> v.cluster) views) in
+  let hostkeys = dedup (List.map (fun v -> v.hostkey) views) in
+  let slots = dedup (List.map (fun v -> v.leaf.Phrase.slot) views) in
+  let leaf_label v = Printf.sprintf "leaf %d (vm%d)" v.leaf.Phrase.index v.leaf.Phrase.slot in
+  let checks =
+    [
+      secrecy "secrecy-channel-keys" "(1a) session keys Kx/Ky/Kz stay secret"
+        (("customer channel key Kx leaked", kx)
+        :: List.map (fun c -> (Printf.sprintf "controller<->AS%d channel key leaked" c, ky c)) clusters
+        @ List.map (fun s -> (Printf.sprintf "AS<->server%d channel key leaked" s, kz s)) slots);
+      secrecy "secrecy-identity-keys" "(1b) private keys SKcust/SKc/SKa/SKs/ASKs stay secret"
+        ((("controller key SKc leaked", skc)
+         :: List.map (fun c -> (Printf.sprintf "AS%d key leaked" c, ska c)) clusters)
+        @ List.map (fun h -> (Printf.sprintf "server%d identity key leaked" h, sks h)) hostkeys
+        @ List.concat_map
+            (fun v ->
+              List.map
+                (fun i -> (Printf.sprintf "%s session key (session %d) leaked" (leaf_label v) i, asks i v))
+                sessions)
+            views);
+      secrecy "secrecy-payloads" "(2) P, M and R stay secret"
+        [
+          ("property payload P leaked", payload_p);
+          ("measurements M leaked", payload_m);
+          ("report R leaked", payload_r);
+        ];
+      forgery "integrity" "(3) P, M and R cannot be modified"
+        (List.concat_map
+           (fun v ->
+             let s = v.leaf.Phrase.slot in
+             let evil_meas = T.pair_list [ vid v; evil_measurements; n3 2 v ] in
+             let evil_rep = T.pair_list [ vid v; propc v; evil_report; n2 2 v ] in
+             let meas_forgeries =
+               let keys = (ski, "the attacker's key") :: (if v.unchecked then [ (stale_key v.hostkey, "the leaked stale session key") ] else []) in
+               List.concat_map
+                 (fun (k, kd) ->
+                   List.map
+                     (fun epoch ->
+                       ( Printf.sprintf
+                           "%s: forged measurements signed with %s pass the endorsement check"
+                           (leaf_label v) kd,
+                         T.Senc (kz s, T.Pair (evil_meas, T.Sign (k, evil_meas))),
+                         [ T.Sign (sks v.hostkey, T.pair_list [ T.Pub k; epoch ]) ] ))
+                     (accepted_epochs v))
+                 keys
+             in
+             let rep_forgeries =
+               if v.unauth then
+                 [
+                   ( Printf.sprintf
+                       "%s: unauthenticated delegation accepts a report signed by the attacker"
+                       (leaf_label v),
+                     T.Sign (ski, evil_rep),
+                     [] );
+                 ]
+               else
+                 [
+                   ( Printf.sprintf "%s: forged AS report" (leaf_label v),
+                     T.Senc (ky v.cluster, T.Sign (ska v.cluster, evil_rep)),
+                     [] );
+                 ]
+             in
+             let customer_forgery =
+               [
+                 ( Printf.sprintf "%s: forged controller report" (leaf_label v),
+                   T.Senc (kx, T.Sign (skc, T.pair_list [ vid v; propc v; evil_report; n1 2 ])),
+                   [] );
+               ]
+             in
+             meas_forgeries @ rep_forgeries @ customer_forgery)
+           views);
+      forgery "freshness" "(3b) nonces reject cross-session replay"
+        (List.filter_map
+           (fun v ->
+             if v.leaf.Phrase.nonce then None
+             else
+               Some
+                 ( Printf.sprintf
+                     "%s: reused nonce lets the session-1 measurement quote replay into \
+                      session 2"
+                     (leaf_label v),
+                   measurement_reply 1 v,
+                   [] ))
+           views);
+      forgery "auth-customer-controller" "(4) customer <-> controller authenticated"
+        (("customer channel key Kx derivable", kx, [])
+        :: List.map
+             (fun v ->
+               ( Printf.sprintf "%s: forged customer-facing report" (leaf_label v),
+                 T.Senc (kx, T.Sign (skc, T.pair_list [ vid v; propc v; evil_report; n1 2 ])),
+                 [] ))
+             views);
+      forgery "auth-controller-as" "(5) controller <-> attestation server authenticated"
+        (List.concat_map
+           (fun v ->
+             let evil_rep = T.pair_list [ vid v; propc v; evil_report; n2 2 v ] in
+             [
+               ( Printf.sprintf "controller<->AS%d channel key derivable" v.cluster,
+                 ky v.cluster,
+                 [] );
+               (if v.unauth then
+                  ( Printf.sprintf
+                      "%s: attacker impersonates the unauthenticated sub-appraiser"
+                      (leaf_label v),
+                    T.Sign (ski, evil_rep),
+                    [] )
+                else
+                  ( Printf.sprintf "%s: forged delegation certificate" (leaf_label v),
+                    T.Sign (skc, T.pair_list [ T.Const "deleg"; T.Pub ski ]),
+                    [] ));
+             ])
+           views);
+      forgery "auth-as-server" "(6) attestation server <-> cloud server authenticated"
+        (List.concat_map
+           (fun v ->
+             let s = v.leaf.Phrase.slot in
+             ( Printf.sprintf "%s: attacker injects a measurement request to the server"
+                 (leaf_label v),
+               T.Senc (kz s, T.pair_list [ vid v; T.Const "requests"; T.Const "evil-nonce" ]),
+               [] )
+             :: List.map
+                  (fun epoch ->
+                    ( Printf.sprintf
+                        "%s: attacker impersonates the server with an accepted stale \
+                         endorsement"
+                        (leaf_label v),
+                      T.Sign (sks v.hostkey, T.pair_list [ T.Pub (stale_key v.hostkey); epoch ]),
+                      [] ))
+                  (accepted_epochs v))
+           views);
+    ]
+  in
+  (* Re-order: the identity-key check sits second in [P.check_ids]. *)
+  let ordered =
+    List.filter_map (fun id -> List.find_opt (fun c -> String.equal c.P.id id) checks) P.check_ids
+  in
+  { phrase; checks = ordered; attacks = List.rev !attacks }
+
+let holds r = P.holds r.checks
+
+let violated r =
+  List.filter_map
+    (fun c -> match c.P.outcome with P.Violated _ -> Some c.P.id | P.Holds -> None)
+    r.checks
+
+let pp_attack ppf a =
+  Format.fprintf ppf "@[<v 2>[%s] %s@,message: %a@,%a@]" a.check_id a.description T.pp
+    a.message D.pp_proof a.proof

@@ -1,0 +1,32 @@
+(** Per-phrase Dolev-Yao verification.
+
+    Generates the symbolic protocol model from a phrase — two sessions
+    over long-lived channel keys, per-leaf session keys and nonces, plus
+    the attacker knowledge each weakened operator grants — and replays the
+    same eight checks as {!Verifier.Properties} (the paper's six section
+    7.2.2 properties) over it.  Every violation comes with a concrete
+    attack: the forged or replayed message and its derivation. *)
+
+type attack = {
+  check_id : string;
+  description : string;
+  message : Verifier.Term.t;  (** the accepting forged/replayed term *)
+  proof : Verifier.Deduction.proof;  (** how the attacker assembles it *)
+}
+
+type report = {
+  phrase : Phrase.t;
+  checks : Verifier.Properties.check list;  (** in {!Verifier.Properties.check_ids} order *)
+  attacks : attack list;
+}
+
+val verify : Phrase.t -> report
+(** Pure and deterministic; needs no cloud (the model is the phrase). *)
+
+val holds : report -> bool
+(** All eight checks hold. *)
+
+val violated : report -> string list
+(** Ids of the violated checks, in report order. *)
+
+val pp_attack : Format.formatter -> attack -> unit

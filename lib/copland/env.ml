@@ -1,0 +1,59 @@
+type t = {
+  typing : Typing.ctx;
+  vids : string array;
+  host_name : int -> string option;
+  backend_of : int -> Tpm.Backend.kind;
+  requests_of : int -> int;
+  cache_possible : bool;
+  audit_possible : bool;
+}
+
+let of_cloud cloud ~vids =
+  let controller = Core.Cloud.controller cloud in
+  let server_names =
+    Array.of_list (List.map Hypervisor.Server.name (Core.Cloud.servers cloud))
+  in
+  let index_of name =
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if !found < 0 && String.equal n name then found := i) server_names;
+    !found
+  in
+  let host_name slot =
+    if slot < 0 || slot >= Array.length vids then None
+    else Core.Controller.vm_host controller ~vid:vids.(slot)
+  in
+  let host_of slot = match host_name slot with None -> -1 | Some h -> index_of h in
+  let cluster_of slot =
+    match host_name slot with
+    | None -> 0
+    | Some host -> Core.Controller.cluster_of_host controller ~host
+  in
+  let db = Core.Controller.db controller in
+  let backend_of slot =
+    match Option.bind (host_name slot) (Core.Database.server db) with
+    | Some r -> r.Core.Database.backend
+    | None -> Tpm.Backend.Classic
+  in
+  let refs = Core.Attestation_server.refs (Core.Cloud.attestation_server cloud) in
+  let properties = Array.of_list Core.Property.all in
+  let requests_of prop =
+    if prop < 0 || prop >= Array.length properties then 1
+    else List.length (Core.Interpret.requests_for refs properties.(prop))
+  in
+  {
+    typing =
+      {
+        Typing.vms = Array.length vids;
+        clusters = Core.Controller.cluster_count controller;
+        properties = Array.length properties;
+        cluster_of;
+        host_of;
+      };
+    vids;
+    host_name;
+    backend_of;
+    requests_of;
+    cache_possible =
+      Core.Verdict_cache.enabled (Core.Controller.verdict_cache controller);
+    audit_possible = Core.Controller.auditing controller;
+  }

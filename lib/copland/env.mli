@@ -1,0 +1,17 @@
+(** Execution environment for a phrase: the typing context plus the cost
+    parameters {!Estimate} needs, derived from a live {!Core.Cloud} and the
+    VM slot assignment. *)
+
+type t = {
+  typing : Typing.ctx;
+  vids : string array;  (** slot -> vid *)
+  host_name : int -> string option;  (** slot -> hosting server name *)
+  backend_of : int -> Tpm.Backend.kind;  (** slot -> host's trust backend *)
+  requests_of : int -> int;  (** property index -> measurement requests *)
+  cache_possible : bool;  (** verdict cache enabled (hits possible) *)
+  audit_possible : bool;  (** controller-side audit receipts enabled *)
+}
+
+val of_cloud : Core.Cloud.t -> vids:string array -> t
+(** Snapshot the cloud's topology (placements, cluster routing, backends)
+    into a phrase environment.  Re-derive after lifecycle changes. *)

@@ -1,0 +1,101 @@
+(* Static cost estimates, derived from the same [Core.Costs] constants the
+   live ledgers charge.  The bounds cover the non-lossy execution paths:
+   the low bound admits verdict-cache hits (when the cache is on) and the
+   cheapest verification gate; the high bound admits cold secure channels
+   on both hops and audit-receipt overhead (when auditing is on).  Retries
+   on a lossy network can exceed the high bound — callers comparing against
+   a live run should only apply the upper bounds when no message was
+   dropped during it (the interpreter-vs-estimate fuzz oracle does). *)
+
+type t = {
+  appraisals : int;
+  messages_min : int;
+  messages_max : int;
+  compute_min : Sim.Time.t;
+  compute_max : Sim.Time.t;
+}
+
+(* One warm-channel, cache-miss appraisal: every non-network ledger entry
+   the Controller and the AS charge on the verified path.  [gate] is the
+   backend-specific trust-chain check the AS runs on the response. *)
+let warm_compute (env : Env.t) ~slot ~prop =
+  let backend = env.backend_of slot in
+  let gate =
+    match backend with
+    | Tpm.Backend.Classic | Tpm.Backend.Evtpm ->
+        Core.Costs.pca_certify + Core.Costs.signature_verify
+    | Tpm.Backend.Cvm_report ->
+        Core.Costs.cvm_chain_verify + Core.Costs.signature_verify
+  in
+  let measure =
+    Core.Costs.session_keygen_for backend
+    + Core.Costs.quote_sign_for backend
+    + (env.requests_of prop * Core.Costs.measurement_collect)
+  in
+  (* Controller: db-lookup + verify + report-sign; AS: db-lookup + measure
+     + gate + interpret + report-sign. *)
+  Core.Costs.db_lookup + Core.Costs.signature_verify + Core.Costs.report_sign
+  + Core.Costs.db_lookup + measure + gate + Core.Costs.interpret + Core.Costs.report_sign
+
+(* Generous allowance for the audit trailer on one appraisal: STH sign and
+   verify plus the O(log n) hash walks on both sides. *)
+let audit_allowance =
+  Core.Costs.sth_sign + Core.Costs.sth_verify + (200 * Core.Costs.merkle_hash)
+
+(* Wire messages per appraisal: each hop (controller<->AS, AS<->server) is
+   one request/reply call; a cold secure channel adds two handshake calls
+   (hello + key exchange) on that hop. *)
+let warm_messages = 4
+let cold_messages = 12
+
+let zero = { appraisals = 0; messages_min = 0; messages_max = 0; compute_min = 0; compute_max = 0 }
+
+let seq a b =
+  {
+    appraisals = a.appraisals + b.appraisals;
+    messages_min = a.messages_min + b.messages_min;
+    messages_max = a.messages_max + b.messages_max;
+    compute_min = a.compute_min + b.compute_min;
+    compute_max = a.compute_max + b.compute_max;
+  }
+
+let of_phrase (env : Env.t) phrase =
+  let leaf ~slot ~prop =
+    let warm = warm_compute env ~slot ~prop in
+    {
+      appraisals = 1;
+      messages_min = (if env.cache_possible then 0 else warm_messages);
+      messages_max = cold_messages;
+      (* The stale-vTPM path skips interpretation; a cache hit collapses to
+         controller-local work. *)
+      compute_min =
+        (if env.cache_possible then Core.Costs.db_lookup + Core.Costs.report_sign
+         else warm - Core.Costs.interpret);
+      compute_max =
+        warm + (2 * Core.Costs.handshake_crypto)
+        + (if env.audit_possible then audit_allowance else 0);
+    }
+  in
+  let rec go = function
+    | Phrase.Appraise { slot; prop; nonce = _ } -> leaf ~slot ~prop
+    | Phrase.Seq (a, b) | Phrase.Par (_, a, b) -> seq (go a) (go b)
+    | Phrase.Deleg { body; _ } -> go body
+    | Phrase.Layer { checked; body; _ } ->
+        let b = go body in
+        if not checked then b
+        else
+          (* A failed freshness check skips the body entirely, so only the
+             check itself is guaranteed work. *)
+          {
+            b with
+            messages_min = 0;
+            compute_min = Core.Costs.layer_appraise;
+            compute_max = b.compute_max + Core.Costs.layer_appraise;
+          }
+  in
+  let e = go phrase in
+  { e with appraisals = Phrase.appraisals phrase }
+
+let pp ppf t =
+  Format.fprintf ppf "%d appraisal(s), %d-%d messages, %a-%a compute" t.appraisals
+    t.messages_min t.messages_max Sim.Time.pp t.compute_min Sim.Time.pp t.compute_max

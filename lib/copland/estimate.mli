@@ -1,0 +1,20 @@
+(** Static latency/message estimates per phrase, derived from the same
+    {!Core.Costs} constants the live ledgers charge.
+
+    [compute] bounds the total non-network ledger work of one execution of
+    the phrase; [messages] bounds the wire messages.  The bounds cover the
+    non-lossy paths only: verdict-cache hits and the stale-vTPM short
+    circuit push the low bound down, cold channel handshakes and audit
+    receipts push the high bound up, and network retries can exceed the
+    high bound — only apply the upper bounds to runs with no drops. *)
+
+type t = {
+  appraisals : int;
+  messages_min : int;
+  messages_max : int;
+  compute_min : Sim.Time.t;
+  compute_max : Sim.Time.t;
+}
+
+val of_phrase : Env.t -> Phrase.t -> t
+val pp : Format.formatter -> t -> unit

@@ -322,6 +322,33 @@ let attest t (req : Protocol.attest_request) =
   in
   (go 1, ledger)
 
+(* --- Cluster routing (protocol-term delegation) -------------------------- *)
+
+let cluster_count t = Array.length t.attestation_servers
+let cluster_of_host t ~host = as_index t ~host
+
+(* Delegated attestation: the caller (a protocol term's [Deleg] node) claims
+   the VM is appraised by AS cluster [cluster].  The claim is checked against
+   the topology BEFORE any wire traffic — a misrouted delegation is a hard
+   protocol error, never a degradable availability failure.  A matching
+   route then takes the exact [attest] path, so delegation through the right
+   cluster is byte-identical to the undelegated flow. *)
+let attest_routed t ~cluster (req : Protocol.attest_request) =
+  let fail msg = (Error msg, Ledger.create ()) in
+  if cluster < 0 || cluster >= Array.length t.attestation_servers then
+    fail (Printf.sprintf "delegation misroute: no AS cluster %d" cluster)
+  else begin
+    match Option.bind (Database.vm t.db req.vid) (fun r -> r.Database.host) with
+    | None -> fail ("VM " ^ req.vid ^ " is not running on any host")
+    | Some host ->
+        let idx = as_index t ~host in
+        if idx <> cluster then
+          fail
+            (Printf.sprintf "delegation misroute: VM %s is appraised by AS cluster %d, not %d"
+               req.vid idx cluster)
+        else attest t req
+  end
+
 (* --- Batched attestation (opt-in, like the verdict cache) ----------------- *)
 
 (* One controller -> AS round covering a whole group of requests that share

@@ -103,6 +103,24 @@ val attest :
     Forgery-shaped failures (bad signatures, malformed replies, unknown
     hosts) remain hard [Error]s. *)
 
+val cluster_count : t -> int
+(** Number of configured AS clusters (length of [attestation_servers]). *)
+
+val cluster_of_host : t -> host:string -> int
+(** The AS cluster index a cloud server is routed to (clamped to the
+    configured range, like the internal routing). *)
+
+val attest_routed :
+  t ->
+  cluster:int ->
+  Protocol.attest_request ->
+  (Protocol.controller_report, string) result * Ledger.t
+(** {!attest} on behalf of a protocol term's delegation node: the caller
+    claims the VM belongs to AS cluster [cluster], and the claim is checked
+    against the topology before any wire traffic.  A misroute is a hard
+    error; a correct route takes the exact {!attest} path (byte-identical
+    wire traffic). *)
+
 val set_attest_attempts : t -> int -> unit
 (** Bound on from-scratch {!attest} rounds before degrading to [Unknown]
     (clamped to at least 1; default 2). *)

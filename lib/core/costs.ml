@@ -37,6 +37,13 @@ let evtpm_state_save = ms 12
 let evtpm_state_restore = ms 15
 let evtpm_rebind = pca_certify
 
+(* Layered attestation: before trusting a VM quote, the appraiser checks the
+   freshness of the host's trust backend (binding epoch + stale flag).  This
+   is a local table walk plus one hash comparison — cheap next to any RSA
+   term, but nonzero so protocol terms that layer the check are measurably
+   dearer than ones that skip it. *)
+let layer_appraise = ms 4
+
 let session_keygen_for = function
   | Tpm.Backend.Classic -> session_keygen
   | Tpm.Backend.Evtpm -> evtpm_session_keygen

@@ -52,6 +52,11 @@ val evtpm_rebind : Sim.Time.t
 (** Privacy-CA re-registration of a restored vTPM (same class as
     {!pca_certify}). *)
 
+val layer_appraise : Sim.Time.t
+(** Nested "attest the attester" check: appraising the freshness of a host's
+    trust backend (binding epoch / stale flag) before accepting VM quotes
+    routed through it.  Local bookkeeping, far cheaper than any RSA term. *)
+
 val session_keygen_for : Tpm.Backend.kind -> Sim.Time.t
 val quote_sign_for : Tpm.Backend.kind -> Sim.Time.t
 

@@ -246,6 +246,15 @@ let row_to_json { interval; rate; as_count; base; audited } =
             ("checkpoints", Json.Int audited.Fleet.Driver.audit_checkpoints);
             ("proofs", Json.Int audited.Fleet.Driver.audit_proofs);
             ("equivocations", Json.Int audited.Fleet.Driver.audit_equivocations);
+            (* the audit path is the only real RSA in the fleet model, so
+               the verify-memo counters characterise receipt re-checking *)
+            ( "verify_memo",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun (h, m) ->
+                        Json.Obj [ ("hits", Json.Int h); ("misses", Json.Int m) ])
+                      audited.Fleet.Driver.verify_memo)) );
           ] );
     ]
 

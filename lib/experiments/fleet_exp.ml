@@ -334,6 +334,12 @@ let row_to_json ?(host = true) { rate; as_count; ttl; domains; host_wall_s; r } 
         ("max_queue_depth", Json.Int r.Fleet.Driver.max_queue_depth);
         ("mean_queue_depth", Json.Float r.Fleet.Driver.mean_queue_depth);
         ("epochs", Json.Int r.Fleet.Driver.epochs);
+        ( "verify_memo",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun (h, m) -> Json.Obj [ ("hits", Json.Int h); ("misses", Json.Int m) ])
+                  r.Fleet.Driver.verify_memo)) );
         ("trace_digest", Json.Str r.Fleet.Driver.trace_digest);
       ]
     @ audit_fields r

@@ -1,0 +1,51 @@
+(** Protocol-space experiment over Copland-style attestation phrases.
+
+    Two sections.  The {e symbolic} section runs the generated Dolev-Yao
+    model ({!Copland.Dy}) over a catalogue of named terms — the default
+    phrase, the composition shapes, and deliberately weakened variants
+    with their planted expected violations — and records whether each
+    verdict came back as expected (default and shapes: all checks hold,
+    zero attacks; weakened terms: every planted check id violated with at
+    least one concrete attack).  The {e executable} section interprets the
+    well-typed shapes over live clouds at two scales and compares the
+    observed wire messages and non-network ledger compute against the
+    static {!Copland.Estimate} envelope.
+
+    Exit-status material: {!clean} is false when any symbolic verdict
+    deviates from its planted expectation or any executed run leaves its
+    estimate envelope — CI fails the bench step on it.  Everything is
+    simulated and seeded, so the JSON artifact is byte-stable and
+    committable. *)
+
+type symbolic_row = {
+  name : string;
+  term : Copland.Phrase.t;
+  weakened : bool;
+  expected : string list;
+      (** planted expectation: check ids that must be violated ([] = the
+          term must verify cleanly) *)
+  violated : string list;  (** what {!Copland.Dy} actually reported *)
+  attacks : int;  (** concrete attacks attached to the report *)
+  as_expected : bool;
+}
+
+type exec_row = {
+  e_name : string;
+  e_term : Copland.Phrase.t;
+  servers : int;
+  as_clusters : int;
+  status : Core.Report.status;
+  leaves : int;
+  messages : int;  (** wire messages this run *)
+  drops : int;  (** dropped messages (0 on these fault-free clouds) *)
+  compute : Sim.Time.t;  (** ledger total minus the network labels *)
+  estimate : Copland.Estimate.t;
+  within_estimate : bool;
+}
+
+type result = { seed : int; symbolic : symbolic_row list; executable : exec_row list }
+
+val run : ?seed:int -> unit -> result
+val clean : result -> bool
+val print : result -> unit
+val to_json : result -> Json.t

@@ -85,6 +85,9 @@ type result = {
       (** cluster-served requests per backend kind, for each kind the config
           places (cache hits never reach a cluster and are not attributed) *)
   epochs : int;
+  verify_memo : (int * int) array;
+      (** per-domain (hits, misses) of the RSA verify memo, slot order;
+          excluded from {!fingerprint} (the split depends on [domains]) *)
   trace_digest : string;
 }
 
@@ -508,6 +511,10 @@ let run config =
   let epoch = max 1 config.epoch in
   let slots = max 1 (min config.domains shard_count) in
   let pool = Sim.Domain_pool.create ~slots in
+  (* The RSA verify memo is domain-local (Domain.DLS); reset every slot's
+     memo up front so the counters gathered after the run are attributable
+     to this run alone, whatever ran on these domains before. *)
+  Sim.Domain_pool.run pool (fun _slot -> Crypto.Rsa.Memo.clear (Crypto.Rsa.Memo.shared ()));
   let epochs = ref 0 in
   let finish () =
     try
@@ -546,6 +553,13 @@ let run config =
       raise e
   in
   finish ();
+  (* Gather each domain's memo counters before the workers join.  Distinct
+     slots write distinct array cells, so the barrier in [run] is the only
+     synchronisation needed. *)
+  let verify_memo = Array.make slots (0, 0) in
+  Sim.Domain_pool.run pool (fun slot ->
+      let m = Crypto.Rsa.Memo.shared () in
+      verify_memo.(slot) <- (Crypto.Rsa.Memo.hits m, Crypto.Rsa.Memo.misses m));
   Sim.Domain_pool.shutdown pool;
   (* Deterministic merge: fold per-shard state in shard order on the main
      domain.  Every reduction below is order-fixed, so the merged result is
@@ -626,6 +640,7 @@ let run config =
           else None)
         Tpm.Backend.all_kinds;
     epochs = !epochs;
+    verify_memo;
     trace_digest;
   }
 

@@ -99,6 +99,13 @@ type result = {
       (** cluster-served requests per backend kind present in the config
           (cache hits never reach a cluster and are not attributed) *)
   epochs : int;  (** barrier iterations the run took (drain included) *)
+  verify_memo : (int * int) array;
+      (** per-domain (hits, misses) of the domain-local RSA verify memo
+          ({!Crypto.Rsa.Memo}), in pool-slot order; the memos are cleared
+          at the start of the run, so the counters cover this run alone.
+          Only the audit path does real RSA here, so all zeros with audit
+          off.  How the totals split across slots depends on [domains], so
+          this field is excluded from {!fingerprint}. *)
   trace_digest : string;
       (** hex SHA-256 over the per-shard event traces (arrivals, serves,
           sheds, migrations, every cross-shard message), folded in shard

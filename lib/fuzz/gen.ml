@@ -51,6 +51,7 @@ let body_op prng ~launched =
       (3, `Vtpm_cycle);
       (2, `Vtpm_clone);
       (3, `Vtpm_rebind);
+      (4, `Protocol);
     ]
   |> function
   | `Launch -> launch prng
@@ -77,6 +78,14 @@ let body_op prng ~launched =
       let src = slot prng launched in
       Op.Vtpm_clone (src, slot prng launched)
   | `Vtpm_rebind -> Op.Vtpm_rebind (slot prng launched)
+  | `Protocol ->
+      let phrase = Phrase_gen.generate prng ~slots:(max 1 launched) in
+      (* one in four phrases is weakened — the Dolev-Yao engine must
+         produce a concrete attack on every one of them *)
+      let phrase =
+        if Sim.Prng.int prng 4 = 0 then Phrase_gen.weaken prng phrase else phrase
+      in
+      Op.Protocol_term phrase
 
 let generate ~seed ~ops =
   let prng = Sim.Prng.create (seed lxor 0x66757a7a (* "fuzz" *)) in

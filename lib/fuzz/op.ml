@@ -19,6 +19,8 @@ type op =
   | Vtpm_cycle of int  (** save + restore the vTPM of vm#slot's host (state now stale) *)
   | Vtpm_clone of int * int  (** restore vm#src's host vTPM state into vm#dst's host *)
   | Vtpm_rebind of int  (** re-register vm#slot's host vTPM with the Privacy CA *)
+  | Protocol_term of Copland.Phrase.t
+      (** run a protocol phrase through the Controller interpreter *)
 
 type scenario = { seed : int; ops : op list }
 
@@ -39,7 +41,8 @@ let properties = Array.of_list Core.Property.all
      u       enable audit       t<ms>    advance
      x<slot> infect             i<image> corrupt image
      vs<slot> vTPM save+restore   vm<src>.<dst> vTPM clone   vr<slot> vTPM rebind
-     fd<n> fg<n> fl<drop>.<garble> fb    faults;   f0  clear fault *)
+     fd<n> fg<n> fl<drop>.<garble> fb    faults;   f0  clear fault
+     P<phrase>   protocol term (Copland codec; no ';' or space inside) *)
 
 let op_to_string = function
   | Launch { image; monitored; workload } ->
@@ -65,6 +68,7 @@ let op_to_string = function
   | Vtpm_cycle s -> Printf.sprintf "vs%d" s
   | Vtpm_clone (src, dst) -> Printf.sprintf "vm%d.%d" src dst
   | Vtpm_rebind s -> Printf.sprintf "vr%d" s
+  | Protocol_term p -> "P" ^ Copland.Phrase.to_string p
 
 let int_of s = int_of_string_opt s
 
@@ -119,6 +123,10 @@ let op_of_string s =
           | 'r' -> Option.map (fun s -> Vtpm_rebind s) (int_of arg)
           | _ -> None
         end
+    | 'P' -> (
+        match Copland.Phrase.of_string rest with
+        | Ok p -> Some (Protocol_term p)
+        | Error _ -> None)
     | 'f' ->
         if rest = "0" then Some Clear_fault
         else if rest = "b" then Some (Set_fault Blackout)
@@ -206,6 +214,10 @@ let pp_op ppf op =
   | Vtpm_clone (src, dst) ->
       Format.fprintf ppf "vtpm clone host of vm#%d -> host of vm#%d" src dst
   | Vtpm_rebind s -> Format.fprintf ppf "vtpm rebind host of vm#%d" s
+  | Protocol_term p ->
+      Format.fprintf ppf "protocol %s%s"
+        (Copland.Phrase.to_string p)
+        (if Copland.Phrase.weakened p then " (weakened)" else "")
 
 let pp ppf { seed; ops } =
   Format.fprintf ppf "@[<v>scenario seed=%d (%d ops)@," seed (List.length ops);

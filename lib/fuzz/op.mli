@@ -44,6 +44,10 @@ type op =
       (** restore the vTPM state saved from [src]'s host into [dst]'s host
           (rollback/clone attack; a backend-mismatched restore fails) *)
   | Vtpm_rebind of int  (** re-register this slot's host vTPM with the Privacy CA *)
+  | Protocol_term of Copland.Phrase.t
+      (** run a protocol phrase through the Controller interpreter; an
+          ill-typed phrase (e.g. a delegation that no longer matches the
+          live placement) replays as a rejected no-op *)
 
 type scenario = { seed : int; ops : op list }
 

@@ -11,6 +11,19 @@ type attest_obs = {
   a_host : string option;
 }
 
+type protocol_obs = {
+  p_phrase : Copland.Phrase.t;
+  p_accepted : bool;  (* type-checked and executed *)
+  p_status : string;  (* "H"/"C"/"U", or "-" when rejected *)
+  p_leaves : int;
+  p_all_ok : bool;  (* every executed leaf delivered a report *)
+  p_messages : int;  (* wire messages during this run *)
+  p_drops : int;  (* wire drops during this run *)
+  p_compute : Sim.Time.t;  (* non-network ledger total *)
+  p_estimate : Copland.Estimate.t option;  (* Some iff accepted *)
+  p_faulty : bool;  (* a network adversary was active *)
+}
+
 type op_obs = {
   index : int;
   op : Op.op;
@@ -27,6 +40,7 @@ type op_obs = {
   audit_evidence : int;
   vtpm_stale : string list;
   vtpm_rebound : string list;
+  protocol : protocol_obs option;  (* set only for Protocol_term ops *)
 }
 
 (* Model of the verdict cache: which (vid, property) entries MAY be validly
@@ -192,6 +206,55 @@ let check_attest t ~op_index ~started_at (a : attest_obs) =
         vs
       end
 
+(* --- Protocol-term checks -------------------------------------------------
+   protocol-verifier-agreement: the symbolic engine must agree with the
+   phrase's syntactic strength — an unweakened phrase proves all properties,
+   a weakened phrase yields at least one concrete attack.
+   protocol-estimate: on a clean run (accepted, no adversary, no drops, no
+   leaf errors) the measured wire messages and non-network compute sit
+   inside the static {!Copland.Estimate} envelope. *)
+
+let protocol_checks t ~op_index (p : protocol_obs) =
+  let phrase = Copland.Phrase.to_string p.p_phrase in
+  let report = Copland.Dy.verify p.p_phrase in
+  let vs =
+    if Copland.Phrase.weakened p.p_phrase then
+      if report.Copland.Dy.attacks = [] then
+        flag t ~oracle:"protocol-verifier-agreement" ~op_index
+          (Printf.sprintf "weakened phrase %s produced no attack" phrase)
+      else []
+    else if not (Copland.Dy.holds report) then
+      flag t ~oracle:"protocol-verifier-agreement" ~op_index
+        (Printf.sprintf "unweakened phrase %s violates: %s" phrase
+           (String.concat ", " (Copland.Dy.violated report)))
+    else []
+  in
+  match p.p_estimate with
+  | Some est when p.p_accepted && (not p.p_faulty) && p.p_drops = 0 && p.p_all_ok ->
+      let vs =
+        vs
+        @
+        if
+          p.p_messages < est.Copland.Estimate.messages_min
+          || p.p_messages > est.Copland.Estimate.messages_max
+        then
+          flag t ~oracle:"protocol-estimate" ~op_index
+            (Printf.sprintf "%s sent %d messages, estimate [%d, %d]" phrase p.p_messages
+               est.Copland.Estimate.messages_min est.Copland.Estimate.messages_max)
+        else []
+      in
+      vs
+      @
+      if
+        p.p_compute < est.Copland.Estimate.compute_min
+        || p.p_compute > est.Copland.Estimate.compute_max
+      then
+        flag t ~oracle:"protocol-estimate" ~op_index
+          (Printf.sprintf "%s cost %d compute, estimate [%d, %d]" phrase p.p_compute
+             est.Copland.Estimate.compute_min est.Copland.Estimate.compute_max)
+      else []
+  | _ -> vs
+
 let ledger_checks t ~op_index ~all_served (obs : op_obs) =
   let neg =
     List.filter_map
@@ -283,6 +346,9 @@ let observe t (obs : op_obs) =
       add (check_attest t ~op_index:obs.index ~started_at:obs.started_at a))
     obs.attests;
   add (ledger_checks t ~op_index:obs.index ~all_served obs);
+  (match obs.protocol with
+  | Some p -> add (protocol_checks t ~op_index:obs.index p)
+  | None -> ());
   (* Model updates for non-attest state transitions.  Lifecycle transitions
      invalidate only when the controller reported success (a failed suspend
      never touched the cache); terminate invalidates unconditionally, as the
@@ -326,7 +392,7 @@ let observe t (obs : op_obs) =
       model_invalidate_image t ~image:(i mod Array.length Op.images)
   | Op.Attest _ | Op.Attest_many _ | Op.Set_batching _ | Op.Enable_audit
   | Op.Set_fault _ | Op.Clear_fault | Op.Advance _ | Op.Infect _ | Op.Vtpm_cycle _
-  | Op.Vtpm_clone _ | Op.Vtpm_rebind _ ->
+  | Op.Vtpm_clone _ | Op.Vtpm_rebind _ | Op.Protocol_term _ ->
       ());
   (* vTPM binding model: restored state marks the host stale, the explicit
      Privacy-CA re-registration clears it. *)
@@ -353,3 +419,11 @@ let digest_of_obs (obs : op_obs) =
     obs.lifecycle_ok
     (match obs.launched with Some (vid, _, _) -> vid | None -> "-")
     obs.net_messages obs.net_bytes obs.net_drops obs.audit_evidence
+  (* appended only for protocol ops, so historical digests are unchanged *)
+  ^
+  match obs.protocol with
+  | None -> ""
+  | Some p ->
+      Printf.sprintf "|P%s:%b:%s:%d:%d:%d:%d"
+        (Copland.Phrase.to_string p.p_phrase)
+        p.p_accepted p.p_status p.p_leaves p.p_messages p.p_drops p.p_compute

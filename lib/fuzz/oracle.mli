@@ -26,7 +26,14 @@
     - [vtpm-stale-binding] — a freshly measured (not cache-served) verdict
       for a VM whose host's vTPM state was restored but not yet rebound is
       never [Healthy]: restored state must stay convictable until the
-      explicit Privacy-CA re-registration. *)
+      explicit Privacy-CA re-registration.
+    - [protocol-verifier-agreement] — the per-phrase Dolev-Yao engine
+      agrees with the phrase's syntactic strength: an unweakened phrase
+      proves every property, a weakened one yields a concrete attack.
+    - [protocol-estimate] — on a clean interpreter run (accepted, no
+      adversary, no drops, no leaf errors) the measured wire messages and
+      non-network compute stay inside the static {!Copland.Estimate}
+      envelope. *)
 
 type violation = { oracle : string; op_index : int; detail : string }
 
@@ -39,6 +46,20 @@ type attest_obs = {
   a_nonce : string;
   a_result : (Core.Protocol.controller_report, string) result;
   a_host : string option;  (** the VM's host at request time, when known *)
+}
+
+(** What the replayer observed running one protocol phrase. *)
+type protocol_obs = {
+  p_phrase : Copland.Phrase.t;
+  p_accepted : bool;  (** type-checked against the live cloud and executed *)
+  p_status : string;  (** merged verdict tag ["H"]/["C"]/["U"], ["-"] when rejected *)
+  p_leaves : int;  (** leaf appraisals executed *)
+  p_all_ok : bool;  (** every executed leaf delivered a report *)
+  p_messages : int;  (** wire messages sent during the run *)
+  p_drops : int;  (** wire drops during the run *)
+  p_compute : Sim.Time.t;  (** non-network ledger total *)
+  p_estimate : Copland.Estimate.t option;  (** static envelope, when accepted *)
+  p_faulty : bool;  (** a network adversary was active during the run *)
 }
 
 type op_obs = {
@@ -57,6 +78,7 @@ type op_obs = {
   audit_evidence : int;  (** cumulative auditor evidence count *)
   vtpm_stale : string list;  (** hosts whose vTPM this op left holding restored state *)
   vtpm_rebound : string list;  (** hosts this op re-registered with the Privacy CA *)
+  protocol : protocol_obs option;  (** set only for [Protocol_term] ops *)
 }
 
 type t

@@ -1,0 +1,14 @@
+(** Weighted generator of protocol phrases for {!Gen}'s [Protocol_term] op.
+
+    Phrases are built well-typed by construction where the generator can
+    see the constraint (slot/property bounds, no nested delegation, layers
+    over their own slot); delegation clusters are drawn blind, so a phrase
+    occasionally lands on the interpreter's typing-rejection path — which
+    is a path worth fuzzing. *)
+
+val generate : Sim.Prng.t -> slots:int -> Copland.Phrase.t
+(** A strengthened (unweakened) phrase over VM slots [0, slots). *)
+
+val weaken : Sim.Prng.t -> Copland.Phrase.t -> Copland.Phrase.t
+(** Flip exactly one strengthening flag (nonce / deleg auth / layer check),
+    uniformly chosen; identity on a phrase with none left. *)

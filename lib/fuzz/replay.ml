@@ -121,6 +121,9 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
   let observations = ref [] in
   let attests_run = ref 0 in
   let vms_launched = ref 0 in
+  (* Whether a network adversary is currently installed; the protocol
+     estimate oracle only trusts its envelope on adversary-free runs. *)
+  let fault_active = ref false in
   let sha = Crypto.Sha256.init () in
   List.iteri
     (fun index op ->
@@ -136,6 +139,7 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       let ledger_entries = ref [] in
       let vtpm_stale = ref [] in
       let vtpm_rebound = ref [] in
+      let protocol = ref None in
       (* Shared by Vtpm_cycle and Vtpm_clone: restore [state] into [host]'s
          vTPM; under the planted bug the restore is silently laundered into
          a fresh binding, which the stale-binding oracle must flag. *)
@@ -245,8 +249,11 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       | Op.Set_batching b -> Core.Controller.set_batching ctl b
       | Op.Enable_audit -> enable_audit ()
       | Op.Set_fault f ->
+          fault_active := true;
           Net.Network.set_adversary net (adversary ~seed:scenario.Op.seed ~index f)
-      | Op.Clear_fault -> Net.Network.clear_adversary net
+      | Op.Clear_fault ->
+          fault_active := false;
+          Net.Network.clear_adversary net
       | Op.Advance ms -> Core.Cloud.run_for cloud (Sim.Time.ms ms)
       | Op.Infect s -> (
           match resolve s with
@@ -306,7 +313,75 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
               | Some host -> (
                   match Core.Cloud.vtpm_rebind cloud ~server:host with
                   | Error _ -> lifecycle_ok := false
-                  | Ok _epoch -> vtpm_rebound := host :: !vtpm_rebound))));
+                  | Ok _epoch -> vtpm_rebound := host :: !vtpm_rebound)))
+      | Op.Protocol_term phrase ->
+          (* Before the first launch there is no slot table; the phrase is a
+             no-op rather than a rejection (slot 0 is not ill-typed, it just
+             has nothing to name yet). *)
+          if Array.length !vids > 0 then begin
+            let msgs0 = Net.Network.message_count net in
+            let drops0 = Net.Network.drop_count net in
+            match Copland.Interp.run ~drbg cloud ~vids:!vids phrase with
+            | Error _ ->
+                protocol :=
+                  Some
+                    {
+                      Oracle.p_phrase = phrase;
+                      p_accepted = false;
+                      p_status = "-";
+                      p_leaves = 0;
+                      p_all_ok = true;
+                      p_messages = Net.Network.message_count net - msgs0;
+                      p_drops = Net.Network.drop_count net - drops0;
+                      p_compute = 0;
+                      p_estimate = None;
+                      p_faulty = !fault_active;
+                    }
+            | Ok outcome ->
+                let leaves = outcome.Copland.Interp.leaves in
+                attests :=
+                  List.map
+                    (fun (l : Copland.Interp.leaf_result) ->
+                      {
+                        Oracle.a_vid = l.Copland.Interp.vid;
+                        a_property = l.Copland.Interp.property;
+                        a_nonce = l.Copland.Interp.nonce;
+                        a_result = l.Copland.Interp.report;
+                        a_host = Core.Controller.vm_host ctl ~vid:l.Copland.Interp.vid;
+                      })
+                    leaves;
+                attests_run := !attests_run + List.length leaves;
+                let ledger = outcome.Copland.Interp.ledger in
+                ledger_entries := Core.Ledger.entries ledger;
+                let compute =
+                  Core.Ledger.total ledger
+                  - Core.Ledger.of_label ledger "network"
+                  - Core.Ledger.of_label ledger "as:network"
+                in
+                let env = Copland.Env.of_cloud cloud ~vids:!vids in
+                protocol :=
+                  Some
+                    {
+                      Oracle.p_phrase = phrase;
+                      p_accepted = true;
+                      p_status =
+                        (match outcome.Copland.Interp.status with
+                        | Core.Report.Healthy -> "H"
+                        | Core.Report.Compromised _ -> "C"
+                        | Core.Report.Unknown _ -> "U");
+                      p_leaves = List.length leaves;
+                      p_all_ok =
+                        List.for_all
+                          (fun (l : Copland.Interp.leaf_result) ->
+                            Result.is_ok l.Copland.Interp.report)
+                          leaves;
+                      p_messages = Net.Network.message_count net - msgs0;
+                      p_drops = Net.Network.drop_count net - drops0;
+                      p_compute = compute;
+                      p_estimate = Some (Copland.Estimate.of_phrase env phrase);
+                      p_faulty = !fault_active;
+                    }
+          end);
       audit_poll ();
       let obs =
         {
@@ -325,6 +400,7 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
           audit_evidence = audit_evidence ();
           vtpm_stale = List.rev !vtpm_stale;
           vtpm_rebound = List.rev !vtpm_rebound;
+          protocol = !protocol;
         }
       in
       ignore (Oracle.observe oracle obs : Oracle.violation list);

@@ -56,3 +56,43 @@ let knows t term = Term.Set.mem term t.know
 let derives t term = derives_in t.know term
 
 let atoms t = Term.Set.elements t.know
+
+(* Constructive derivability: the same recursion as [derives_in], but
+   returning the witness tree.  [Known] leaves are terms sitting in the
+   saturated knowledge set (obtained there by interception or decomposition);
+   [Build] nodes are attacker compositions from derivable parts. *)
+
+type proof = Known of Term.t | Build of Term.t * proof list
+
+let rec prove_in know term =
+  if Term.Set.mem term know then Some (Known term)
+  else
+    let build parts =
+      let rec all acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match prove_in know p with
+            | Some proof -> all (proof :: acc) rest
+            | None -> None)
+      in
+      Option.map (fun proofs -> Build (term, proofs)) (all [] parts)
+    in
+    match term with
+    | Term.Const _ -> Some (Build (term, []))
+    | Term.Fresh _ -> None
+    | Term.Pub k -> build [ k ]
+    | Term.Pair (a, b) -> build [ a; b ]
+    | Term.Senc (k, m) -> build [ k; m ]
+    | Term.Aenc (pk, m) -> build [ pk; m ]
+    | Term.Sign (sk, m) -> build [ sk; m ]
+    | Term.Hash m -> build [ m ]
+
+let prove t term = prove_in t.know term
+
+let rec pp_proof ppf = function
+  | Known t -> Format.fprintf ppf "known %a" Term.pp t
+  | Build (t, []) -> Format.fprintf ppf "public %a" Term.pp t
+  | Build (t, parts) ->
+      Format.fprintf ppf "@[<v 2>build %a from@,%a@]" Term.pp t
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_proof)
+        parts

@@ -21,3 +21,14 @@ val derives : t -> Term.t -> bool
 
 val atoms : t -> Term.t list
 (** The saturated knowledge set (for debugging/reporting). *)
+
+type proof =
+  | Known of Term.t  (** in the saturated knowledge (intercepted/decomposed) *)
+  | Build of Term.t * proof list  (** attacker composition from derivable parts *)
+
+val prove : t -> Term.t -> proof option
+(** Constructive {!derives}: [Some witness] explaining exactly how the
+    attacker assembles the term, [None] when it is underivable.  Used to
+    turn property violations into concrete attack traces. *)
+
+val pp_proof : Format.formatter -> proof -> unit

@@ -422,7 +422,11 @@ let test_fleet_audit_off_is_inert () =
   Alcotest.(check int) "no proofs" 0 r.Fleet.Driver.audit_proofs;
   Alcotest.(check int) "no equivocations" 0 r.Fleet.Driver.audit_equivocations;
   Alcotest.(check bool) "no audit block in row JSON" true
-    (Experiments.Fleet_exp.audit_fields r = [])
+    (Experiments.Fleet_exp.audit_fields r = []);
+  (* The audit path is the only real RSA in the fleet model, so with audit
+     off every domain's verify memo stays untouched. *)
+  Alcotest.(check bool) "verify memo untouched" true
+    (Array.for_all (fun (h, m) -> h = 0 && m = 0) r.Fleet.Driver.verify_memo)
 
 let test_fleet_audit_adds_latency_only () =
   let base = Fleet.Driver.run fleet_config in
@@ -452,7 +456,15 @@ let test_fleet_audit_adds_latency_only () =
   Alcotest.(check bool) "proofs served" true (audited.Fleet.Driver.audit_proofs > 0);
   Alcotest.(check int) "honest fleet" 0 audited.Fleet.Driver.audit_equivocations;
   Alcotest.(check bool) "audit block present in row JSON" true
-    (Experiments.Fleet_exp.audit_fields audited <> [])
+    (Experiments.Fleet_exp.audit_fields audited <> []);
+  (* Receipt and tree-head verification flow through the per-domain RSA
+     verify memo; re-checked tree heads hit it. *)
+  let hits = Array.fold_left (fun acc (h, _) -> acc + h) 0 audited.Fleet.Driver.verify_memo in
+  let misses =
+    Array.fold_left (fun acc (_, m) -> acc + m) 0 audited.Fleet.Driver.verify_memo
+  in
+  Alcotest.(check bool) "memo misses recorded" true (misses > 0);
+  Alcotest.(check bool) "memo hits recorded" true (hits > 0)
 
 let test_fleet_audit_deterministic () =
   let config =

@@ -37,6 +37,19 @@ let pinned_clean =
     "seed=9 ops=L0.1.0;L0.1.0;L0.1.0;vm1.0;a0.0;vm0.1;a1.2;vs1;S1;R1;a1.0;vr1;a1.0";
     (* migrating off a stale host lands on a fresh one: Healthy is fine *)
     "seed=13 ops=L0.1.0;L0.1.0;L0.1.0;c1000;a2.0;vs1;M1;a1.0;vr1;a1.0";
+    (* protocol terms through the interpreter: a cache-warm sequence, a
+       quorum merge, and a weakened (no-nonce) appraisal the Dolev-Yao
+       engine must attack *)
+    "seed=77 ops=L0.1.0;L0.1.0;Pa0.0;c1000;P(a0.0>a1.1);P(a0.0&Qa1.0);Pa-0.0";
+    (* layered appraisal plus both delegation outcomes: one cluster claim
+       matches the live placement, the other is rejected as ill-typed *)
+    "seed=78 ops=L0.1.0;Pl0:a0.2;Pd0:a0.0;Pd1:a0.0";
+    (* checked layer over a restored-but-unrebound vTPM refuses to run the
+       body (Compromised, zero leaves); after the rebind it appraises again *)
+    "seed=79 ops=L0.1.0;L0.1.0;L0.1.0;vs1;Pl1:a1.0;vr1;Pl1:a1.0";
+    (* protocol run under a lossy adversary (estimate oracle stands down),
+       then a clean all-merge over cold channels *)
+    "seed=80 ops=L0.1.0;L0.1.0;fl10.10;P(a0.0>a1.0);f0;P(a0.0&Aa1.3)";
   ]
 
 let test_pinned_histories_clean () =
@@ -90,6 +103,10 @@ let test_codec_rejects_garbage () =
       "seed=1 ops=fq3";
       "seed=1 ops=vq3";
       "seed=1 ops=vs";
+      "seed=1 ops=P";
+      "seed=1 ops=Pa0";
+      "seed=1 ops=P(a0.0>a1.0";
+      "seed=1 ops=Pa0.0x";
     ]
 
 (* --- Mutation testing: the oracles must catch the planted bugs ------------ *)

@@ -330,6 +330,69 @@ let test_two_means_empty () =
   Alcotest.(check bool) "zero mass" true
     (Sim.Stats.Two_means.cluster ~values ~mass:[| 0.0; 0.0 |] = None)
 
+(* --- Domain_pool --------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_pool_covers_all_slots () =
+  let pool = Sim.Domain_pool.create ~slots:4 in
+  Alcotest.(check int) "slots" 4 (Sim.Domain_pool.slots pool);
+  let counts = Array.make 4 0 in
+  (* distinct cells per slot, so no synchronisation needed inside the job *)
+  Sim.Domain_pool.run pool (fun slot -> counts.(slot) <- counts.(slot) + 1);
+  Sim.Domain_pool.run pool (fun slot -> counts.(slot) <- counts.(slot) + 10);
+  Sim.Domain_pool.shutdown pool;
+  Alcotest.(check (array int)) "each slot ran once per run" [| 11; 11; 11; 11 |] counts
+
+let test_pool_one_slot_degenerates () =
+  let pool = Sim.Domain_pool.create ~slots:1 in
+  let caller = Domain.self () in
+  let seen = ref None in
+  Sim.Domain_pool.run pool (fun slot -> seen := Some (slot, Domain.self ()));
+  (match !seen with
+  | Some (0, d) -> Alcotest.(check bool) "ran on caller's domain" true (d = caller)
+  | _ -> Alcotest.fail "job did not run with slot 0");
+  (* a failing job must propagate through the degenerate path too *)
+  (match Sim.Domain_pool.run pool (fun _ -> raise (Boom 1)) with
+  | () -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ());
+  Sim.Domain_pool.shutdown pool
+
+let test_pool_worker_failure_reraised () =
+  let pool = Sim.Domain_pool.create ~slots:3 in
+  (match Sim.Domain_pool.run pool (fun slot -> if slot = 2 then raise (Boom 2)) with
+  | () -> Alcotest.fail "expected Boom"
+  | exception Boom 2 -> ());
+  (* the pool stays usable after a failed run *)
+  let ok = Array.make 3 false in
+  Sim.Domain_pool.run pool (fun slot -> ok.(slot) <- true);
+  Sim.Domain_pool.shutdown pool;
+  Alcotest.(check (array bool)) "usable after failure" [| true; true; true |] ok
+
+let test_pool_own_failure_wins () =
+  (* when both the caller's slot and a worker raise, slot 0's exception is
+     the one re-raised (workers still finish first — run is a barrier) *)
+  let pool = Sim.Domain_pool.create ~slots:2 in
+  let worker_ran = ref false in
+  (match
+     Sim.Domain_pool.run pool (fun slot ->
+         if slot = 1 then begin
+           worker_ran := true;
+           raise (Boom 1)
+         end
+         else raise (Boom 0))
+   with
+  | () -> Alcotest.fail "expected Boom"
+  | exception Boom 0 -> ()
+  | exception Boom _ -> Alcotest.fail "worker exception shadowed the caller's");
+  Sim.Domain_pool.shutdown pool;
+  Alcotest.(check bool) "worker slot still executed" true !worker_ran
+
+let test_pool_invalid_slots () =
+  Alcotest.check_raises "zero slots"
+    (Invalid_argument "Domain_pool.create: slots must be positive") (fun () ->
+      ignore (Sim.Domain_pool.create ~slots:0 : Sim.Domain_pool.t))
+
 (* --- Time ---------------------------------------------------------------- *)
 
 let test_time_conversions () =
@@ -386,6 +449,15 @@ let () =
           Alcotest.test_case "two-means bimodal" `Quick test_two_means_bimodal;
           Alcotest.test_case "two-means unimodal" `Quick test_two_means_unimodal;
           Alcotest.test_case "two-means empty" `Quick test_two_means_empty;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "covers all slots" `Quick test_pool_covers_all_slots;
+          Alcotest.test_case "one slot degenerates" `Quick test_pool_one_slot_degenerates;
+          Alcotest.test_case "worker failure re-raised" `Quick
+            test_pool_worker_failure_reraised;
+          Alcotest.test_case "own failure wins" `Quick test_pool_own_failure_wins;
+          Alcotest.test_case "invalid slots" `Quick test_pool_invalid_slots;
         ] );
       ("time", [ Alcotest.test_case "conversions" `Quick test_time_conversions ]);
     ]
