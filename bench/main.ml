@@ -2,7 +2,7 @@
    load experiment, plus bechamel micro-benchmarks of the building blocks.
 
    Usage: main.exe [--list] [--json FILE]
-            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|batch|audit|crypto|ablations|micro|all]
+            [fig4|fig5|fig6|fig7|fig9|fig10|fig11|verify|cache|faults|fleet|monitor|batch|audit|crypto|ablations|micro|all]
    With no experiment, everything runs.  Unknown names abort with a listing;
    --list prints the known names one per line and exits 0.
 
@@ -85,6 +85,20 @@ let run_fleet () =
     fleet_failed := true;
     Printf.eprintf
       "fleet: sharded results diverged across domain counts (see BENCH_fleet.json)\n%!"
+  end
+
+(* The monitoring SLOs gate too: an undetected (or slowly detected) rack
+   compromise, a divergent domain curve or an empty fresh-fraction series
+   all flip the exit status. *)
+let monitor_failed = ref false
+
+let run_monitor () =
+  let result = Experiments.Monitor_exp.run ~seed () in
+  Experiments.Monitor_exp.print result;
+  collect "monitor" (Experiments.Monitor_exp.to_json result);
+  if not (Experiments.Monitor_exp.clean result) then begin
+    monitor_failed := true;
+    Printf.eprintf "monitor: SLO gate violated (see BENCH_monitor.json)\n%!"
   end
 
 let run_batch () =
@@ -219,6 +233,7 @@ let experiments =
     ("cache", "prime-probe cache covert channel and its detection", run_cache);
     ("faults", "attestation availability on a lossy network", run_faults);
     ("fleet", "fleet-scale throughput sweep, sharded by AS cluster", run_fleet);
+    ("monitor", "continuous re-attestation: storms, freshness SLOs, time-to-detect", run_monitor);
     ("batch", "Merkle-batched attestation frontier", run_batch);
     ("audit", "verdict-transparency log overhead and fork detection", run_audit);
     ("crypto", "RSA hot-path micro-benchmark (host CPU time)", run_crypto);
@@ -305,6 +320,7 @@ let () =
             if List.mem_assoc name !json_results then Some path else None)
           [
             ("fleet", "BENCH_fleet.json");
+            ("monitor", "BENCH_monitor.json");
             ("batch", "BENCH_batch.json");
             ("audit", "BENCH_audit.json");
             ("crypto", "BENCH_crypto.json");
@@ -333,6 +349,8 @@ let () =
               match (json_arg, path) with
               | None, "BENCH_fleet.json" ->
                   List.filter (fun (n, _) -> n = "fleet") !json_results
+              | None, "BENCH_monitor.json" ->
+                  List.filter (fun (n, _) -> n = "monitor") !json_results
               | None, "BENCH_batch.json" ->
                   List.filter (fun (n, _) -> n = "batch") !json_results
               | None, "BENCH_audit.json" ->
@@ -367,4 +385,7 @@ let () =
    backend lifecycle gates tripped, the protocol catalogue deviated from
    its planted expectations, or the sharded fleet runs diverged. *)
 let () =
-  if !fuzz_failed || !backends_failed || !fleet_failed || !protocols_failed then exit 1
+  if
+    !fuzz_failed || !backends_failed || !fleet_failed || !protocols_failed
+    || !monitor_failed
+  then exit 1

@@ -16,7 +16,7 @@ let seed_arg =
 (* --- experiment --------------------------------------------------------- *)
 
 let all_experiments =
-  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "batch"; "audit"; "backends"; "protocols"; "ablations" ]
+  [ "fig4"; "fig5"; "fig6"; "fig7"; "fig9"; "fig10"; "fig11"; "verify"; "cache"; "faults"; "fleet"; "monitor"; "batch"; "audit"; "backends"; "protocols"; "ablations" ]
 
 let experiment_names = all_experiments @ [ "all" ]
 
@@ -33,6 +33,7 @@ let run_experiment seed name =
   | "cache" -> Experiments.Cache_exp.print (Experiments.Cache_exp.run ~seed ())
   | "faults" -> Experiments.Faults.print (Experiments.Faults.run ~seed ())
   | "fleet" -> Experiments.Fleet_exp.print (Experiments.Fleet_exp.run ~seed ())
+  | "monitor" -> Experiments.Monitor_exp.print (Experiments.Monitor_exp.run ~seed ())
   | "batch" -> Experiments.Batch_exp.print (Experiments.Batch_exp.run ~seed ())
   | "audit" -> Experiments.Audit_exp.print (Experiments.Audit_exp.run ~seed ())
   | "backends" -> Experiments.Backends_exp.print (Experiments.Backends_exp.run ~seed ())
@@ -48,7 +49,7 @@ let run_experiment seed name =
 
 let experiment_cmd =
   let names =
-    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, batch, audit, backends, protocols, ablations, all)." in
+    let doc = "Experiments to run (fig4..fig11, verify, cache, faults, fleet, monitor, batch, audit, backends, protocols, ablations, all)." in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run seed names =

@@ -30,6 +30,13 @@ type result = { seed : int; scale : string; rows : row list; sharded : sharded }
     heterogeneous-backend row), so artifact consumers see one uniform
     schema; [sharded] summarises the curve and its identity verdict. *)
 
+val sharded_scenario :
+  seed:int -> [ `Default | `Smoke ] -> Fleet.Driver.config * int list
+(** The sharded scaling scenario at the given scale: its driver config and
+    the domain counts it is swept over.  Exposed so the monitor experiment
+    and the regression tests pin the very same scenario the committed
+    BENCH_fleet.json fingerprints. *)
+
 val run : ?seed:int -> ?scale:[ `Default | `Smoke ] -> unit -> result
 (** [scale] defaults to [`Smoke] when the environment variable
     [CLOUDMONATT_FLEET_SCALE] is ["smoke"] (the CI setting), else

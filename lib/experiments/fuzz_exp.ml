@@ -33,6 +33,10 @@ let resume_corpus = [ "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1" ]
    fresh attest of the same VM before any rebind. *)
 let rebind_corpus = [ "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" ]
 
+(* The lazy-monitor mutant only wakes at op boundaries, so it needs an
+   armed monitor followed by one advance longer than the freshness bound. *)
+let monitor_corpus = [ "seed=3 ops=L0.1.0;me200;t5000" ]
+
 let hunt ?(corpus = []) ?(oracle = "cache-consistency") ~bug ~bug_name ~seed ~max_runs ~ops
     () =
   let uncaught = { bug_name; caught = false; found_at_seed = -1; shrunk_ops = 0; repro = "" } in
@@ -90,6 +94,8 @@ let run ?(seed = 2015) ?scale () =
         ~bug_name:"skip-invalidate-on-resume" ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
       hunt ~corpus:rebind_corpus ~oracle:"vtpm-stale-binding" ~bug:Fuzz.Replay.Rebind_on_restore
         ~bug_name:"rebind-on-restore" ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
+      hunt ~corpus:monitor_corpus ~oracle:"monitor-freshness" ~bug:Fuzz.Replay.Lazy_monitor
+        ~bug_name:"lazy-monitor" ~seed ~max_runs:hunt_runs ~ops:ops_per_run ();
     ]
   in
   { seed; scale = scale_name; report; fleet_runs; fleet_violations; planted }

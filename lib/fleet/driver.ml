@@ -25,6 +25,9 @@ type config = {
       (* OCaml domains executing the shards; results are independent of it *)
   epoch : Sim.Time.t;
       (* barrier interval for cross-shard message exchange *)
+  monitor : Monitor.config option;
+      (* continuous re-attestation scheduler; None (the default) = off,
+         byte-identical to the unmonitored driver *)
 }
 
 let default_config =
@@ -51,7 +54,15 @@ let default_config =
     backends = [| Tpm.Backend.Classic |];
     domains = 1;
     epoch = Sim.Time.ms 50;
+    monitor = None;
   }
+
+type storm_outcome = {
+  storm : string;
+  at : Sim.Time.t;
+  affected : int;
+  detected_at : Sim.Time.t option;
+}
 
 type result = {
   config : config;
@@ -88,6 +99,21 @@ type result = {
   verify_memo : (int * int) array;
       (** per-domain (hits, misses) of the RSA verify memo, slot order;
           excluded from {!fingerprint} (the split depends on [domains]) *)
+  (* Continuous-monitoring results; all zero / empty with the monitor off
+     (and only then excluded from the fingerprint). *)
+  mon_scheduled : int;
+  mon_served : int;
+  mon_missed_periodic : int;
+  mon_missed_recheck : int;
+  mon_shed : int;
+  mon_dedups : int;
+  mon_ticks : int;
+  mon_entries : int;
+  mon_entry_dups : int;
+  mon_fresh_min : float;
+  mon_fresh_mean : float;
+  mon_fresh_final : float;
+  mon_storms : storm_outcome list;
   trace_digest : string;
 }
 
@@ -197,6 +223,11 @@ type shard = {
   served_by : int array;  (* by backend kind slot *)
   mutable audit_proofs_seen : int;
   mutable audit_evidence_seen : int;
+  mon : Monitor.t option;  (* re-attestation scheduler (serving-side state) *)
+  compromised : (string, int) Hashtbl.t;  (* vid -> storm index *)
+  mon_detect : Sim.Time.t option array;  (* first Compromised seen, per storm *)
+  mon_affected : int array;  (* VMs this shard marked/forced, per storm *)
+  mutable mon_double_adds : int;  (* scheduler double-tracking events (bug) *)
 }
 
 let kind_slot = function
@@ -231,6 +262,11 @@ let run config =
     arr
   in
   let slices = Topology.home_slices topology in
+  let n_storms =
+    match config.monitor with
+    | None -> 0
+    | Some m -> List.length m.Monitor.storms
+  in
   let audit_key =
     if config.audit_checkpoint <= 0 then None
     else
@@ -241,6 +277,7 @@ let run config =
           .Crypto.Rsa.secret
   in
   let arrival_prngs = Array.make shard_count root in
+  let total_vms = Array.length (Topology.vms topology) in
   let make_shard s =
     let arrival, pick, service, verdict, churn = streams.(s) in
     arrival_prngs.(s) <- arrival;
@@ -267,10 +304,21 @@ let run config =
       let f = 0.9 +. Sim.Prng.float service 0.2 in
       max 1 (int_of_float (base *. f))
     in
-    let measure ~vid:_ ~property:_ =
-      if Sim.Prng.float verdict 1.0 < config.unhealthy_p then
-        Core.Report.Compromised "fleet-sim anomaly"
-      else Core.Report.Healthy
+    (* A rack-compromise storm marks VMs in [compromised]; their
+       measurements observe it (the planted signal behind the
+       time-to-detect SLO).  The verdict draw happens regardless, so an
+       unmonitored run consumes the stream identically. *)
+    let compromised = Hashtbl.create 16 in
+    let mon_detect = Array.make n_storms None in
+    let measure ~vid ~property:_ =
+      let anomalous = Sim.Prng.float verdict 1.0 < config.unhealthy_p in
+      match Hashtbl.find_opt compromised vid with
+      | Some si ->
+          if mon_detect.(si) = None then mon_detect.(si) <- Some (Sim.Engine.now engine);
+          Core.Report.Compromised "planted rack compromise"
+      | None ->
+          if anomalous then Core.Report.Compromised "fleet-sim anomaly"
+          else Core.Report.Healthy
     in
     let cluster =
       Cluster.create ~engine
@@ -303,6 +351,11 @@ let run config =
       served_by = Array.make 3 0;
       audit_proofs_seen = 0;
       audit_evidence_seen = 0;
+      mon = Option.map Monitor.create config.monitor;
+      compromised;
+      mon_detect;
+      mon_affected = Array.make n_storms 0;
+      mon_double_adds = 0;
     }
   in
   let shards = Array.init shard_count make_shard in
@@ -324,6 +377,29 @@ let run config =
     sh.outbox <- m :: sh.outbox;
     trace_line sh ("m|" ^ Msg.encode m)
   in
+  (* Exactly-once monitor rescheduling: churn emits one Mon_del to the old
+     serving cluster and one Mon_add to the new one (locally or over the
+     barrier), so a migrating VM's scheduler entry moves — never forks,
+     never orphans.  A compromise mark travels along with it. *)
+  let local_mon_del sh ~vid ~moved_to =
+    (match Hashtbl.find_opt sh.compromised vid with
+    | Some si when moved_to <> sh.index ->
+        Hashtbl.remove sh.compromised vid;
+        send sh ~dst:moved_to (Msg.Compromise { vid; storm = si })
+    | Some _ | None -> ());
+    match sh.mon with
+    | Some mon -> ignore (Monitor.remove mon ~vid : bool)
+    | None -> ()
+  in
+  let local_mon_add sh ~vid ~idx =
+    match sh.mon with
+    | None -> ()
+    | Some mon ->
+        let mcfg = Monitor.config mon in
+        let deadline = Sim.Engine.now sh.engine + mcfg.Monitor.recheck_budget in
+        if not (Monitor.add mon ~vid ~idx ~cls:Pqueue.Recheck ~deadline) then
+          sh.mon_double_adds <- sh.mon_double_adds + 1
+  in
   let priority_of sh =
     let x = Sim.Prng.float sh.pick_prng 1.0 in
     if x < config.customer_p then Pqueue.Customer
@@ -335,8 +411,10 @@ let run config =
     Metrics.record_served sh.metrics ~latency_ms:(Sim.Time.to_ms cache_hit_cost);
     trace_line sh (Printf.sprintf "h|%d|%s" (Sim.Engine.now sh.engine) vid)
   in
-  let submit_to_cluster sh ~vid ~property ~priority ~arrived =
-    Cluster.submit sh.cluster ~vid ~property ~priority ~on_done:(function
+  let submit_to_cluster sh ?(k = fun (_ : Cluster.verdict) -> ()) ~vid ~property
+      ~priority ~arrived () =
+    Cluster.submit sh.cluster ~vid ~property ~priority ~on_done:(fun verdict ->
+      (match verdict with
       | Cluster.Shed ->
           (* the cluster recorded the shed *)
           trace_line sh (Printf.sprintf "x|%d|%s" (Sim.Engine.now sh.engine) vid)
@@ -370,7 +448,8 @@ let run config =
                   : bool)
           | Core.Report.Compromised _ | Core.Report.Unknown _ ->
               Metrics.record_unhealthy sh.metrics;
-              ignore (Core.Verdict_cache.invalidate sh.cache ~vid ~property : bool)))
+              ignore (Core.Verdict_cache.invalidate sh.cache ~vid ~property : bool)));
+      k verdict)
   in
   let arrival sh () =
     Metrics.record_offered sh.metrics;
@@ -392,7 +471,7 @@ let run config =
              always did; the remote path below draws it at send time
              because the sender cannot see the destination's cache. *)
           submit_to_cluster sh ~vid ~property ~priority:(priority_of sh)
-            ~arrived:now
+            ~arrived:now ()
     else
       send sh ~dst (Msg.Submit { vid; property; priority = priority_of sh; arrived = now })
   in
@@ -402,9 +481,12 @@ let run config =
     | Msg.Submit { vid; property; priority; arrived } -> (
         match Core.Verdict_cache.find sh.cache ~vid ~property with
         | Some _ -> record_cache_hit sh ~vid
-        | None -> submit_to_cluster sh ~vid ~property ~priority ~arrived)
+        | None -> submit_to_cluster sh ~vid ~property ~priority ~arrived ())
     | Msg.Invalidate { vid } ->
         ignore (Core.Verdict_cache.invalidate_vm sh.cache ~vid : int)
+    | Msg.Mon_add { vid; idx } -> local_mon_add sh ~vid ~idx
+    | Msg.Mon_del { vid; moved_to } -> local_mon_del sh ~vid ~moved_to
+    | Msg.Compromise { vid; storm } -> Hashtbl.replace sh.compromised vid storm
   in
   let churn sh () =
     (* Lifecycle churn concentrates where the load is: hot VMs. *)
@@ -427,13 +509,111 @@ let run config =
       else send sh ~dst:c (Msg.Invalidate { vid = vm.Topology.vid })
     in
     invalidate_at old_cluster;
-    if new_cluster <> old_cluster then invalidate_at new_cluster
+    if new_cluster <> old_cluster then invalidate_at new_cluster;
+    (* Reschedule the VM's re-attestation on its new serving shard exactly
+       once: one Mon_del at the old cluster, one Mon_add at the new (the
+       rule DESIGN.md §17 states; the pair is emitted even when the VM
+       stays in-cluster, so a post-migration recheck always happens). *)
+    match sh.mon with
+    | None -> ()
+    | Some _ ->
+        let vid = vm.Topology.vid in
+        (if old_cluster = sh.index then local_mon_del sh ~vid ~moved_to:new_cluster
+         else send sh ~dst:old_cluster (Msg.Mon_del { vid; moved_to = new_cluster }));
+        if new_cluster = sh.index then local_mon_add sh ~vid ~idx:vm.Topology.idx
+        else send sh ~dst:new_cluster (Msg.Mon_add { vid; idx = vm.Topology.idx })
+  in
+  (* One scheduler probe: a real cluster submission whose completion is
+     classified against the deadline captured at submit time — so every
+     scheduled probe lands in exactly one of served / missed / shed even
+     if the entry migrates away mid-flight. *)
+  let submit_probe sh mon (p : Monitor.probe) =
+    let now = Sim.Engine.now sh.engine in
+    Metrics.record_mon_scheduled sh.metrics p.Monitor.cls;
+    trace_line sh
+      (Printf.sprintf "p|%d|%s|%s|%d" now p.Monitor.vid
+         (Core.Property.to_string p.Monitor.prop)
+         (Pqueue.rank p.Monitor.cls));
+    submit_to_cluster sh ~vid:p.Monitor.vid ~property:p.Monitor.prop
+      ~priority:p.Monitor.cls ~arrived:now
+      ~k:(fun verdict ->
+        let done_at = Sim.Engine.now sh.engine in
+        let served =
+          match verdict with Cluster.Done _ -> true | Cluster.Shed -> false
+        in
+        (if not served then Metrics.record_mon_shed sh.metrics p.Monitor.cls
+         else if done_at <= p.Monitor.deadline then
+           Metrics.record_mon_served sh.metrics p.Monitor.cls
+         else Metrics.record_mon_missed sh.metrics p.Monitor.cls);
+        Monitor.complete mon p ~now:done_at ~served)
+      ()
+  in
+  let process_storm sh mon si storm =
+    let now = Sim.Engine.now sh.engine in
+    match storm with
+    | Monitor.Rack_compromise { at = _; cluster } ->
+        (* Each home shard marks its own VMs currently hosted on the rack
+           (it is the sole writer of their placement), telling the serving
+           shard over the barrier when that is someone else. *)
+        let n = ref 0 in
+        Array.iter
+          (fun vm ->
+            if Topology.cluster_of_vm topology vm = cluster then begin
+              incr n;
+              let vid = vm.Topology.vid in
+              if cluster = sh.index then Hashtbl.replace sh.compromised vid si
+              else send sh ~dst:cluster (Msg.Compromise { vid; storm = si })
+            end)
+          sh.my_vms;
+        sh.mon_affected.(si) <- sh.mon_affected.(si) + !n;
+        trace_line sh (Printf.sprintf "w|%d|rack|%d|%d" now si !n)
+    | Monitor.Image_cve { at = _; property } ->
+        let vids = Monitor.force_all mon ~now ~cls:Pqueue.Recheck ~prop:property in
+        List.iter
+          (fun vid ->
+            ignore (Core.Verdict_cache.invalidate sh.cache ~vid ~property : bool))
+          vids;
+        let n = List.length vids in
+        sh.mon_affected.(si) <- sh.mon_affected.(si) + n;
+        trace_line sh (Printf.sprintf "w|%d|cve|%d|%d" now si n)
+    | Monitor.Migration_wave { at = _; count } ->
+        let mine = Array.length sh.my_vms in
+        let k = if mine = 0 then 0 else count * mine / total_vms in
+        for _ = 1 to k do
+          churn sh ()
+        done;
+        sh.mon_affected.(si) <- sh.mon_affected.(si) + k;
+        trace_line sh (Printf.sprintf "w|%d|wave|%d|%d" now si k)
+  in
+  let mon_tick sh mon () =
+    let mcfg = Monitor.config mon in
+    let now = Sim.Engine.now sh.engine in
+    (* Storms first, so their forced rechecks can probe this very tick. *)
+    List.iter
+      (fun (si, storm) -> process_storm sh mon si storm)
+      (Monitor.due_storms mon ~now);
+    let fresh_until ~vid ~prop =
+      match Core.Verdict_cache.find sh.cache ~vid ~property:prop with
+      | Some r ->
+          let until = Monitor.fresh_until_of_report mcfg r in
+          if until > now then Some until else None
+      | None -> None
+    in
+    let { Monitor.probes; dedups; fresh; total } =
+      Monitor.tick mon ~now ~fresh_until
+    in
+    List.iter
+      (fun vid ->
+        Metrics.record_mon_dedup sh.metrics;
+        trace_line sh (Printf.sprintf "u|%d|%s" now vid))
+      dedups;
+    List.iter (fun p -> submit_probe sh mon p) probes;
+    Metrics.record_mon_tick sh.metrics ~fresh ~total
   in
   (* Per-shard processes: arrivals at a rate proportional to the shard's
      share of the fleet (independent Poisson streams superpose to the
      configured total rate), and churn staggered so the fleet-wide
      migration cadence stays one per [churn_period]. *)
-  let total_vms = Array.length (Topology.vms topology) in
   Array.iter
     (fun sh ->
       (match audit_key with
@@ -480,6 +660,33 @@ let run config =
                    (evidence - sh.audit_evidence_seen);
                  sh.audit_evidence_seen <- evidence)
               : Sim.Engine.handle));
+      (match sh.mon with
+      | None -> ()
+      | Some mon ->
+          let mcfg = Monitor.config mon in
+          (* Initially every VM is served by its home cluster, so its
+             entry starts here; first deadlines are staggered across the
+             budget by fleet index, spreading the first monitoring cycle
+             uniformly instead of thundering at t = budget. *)
+          Array.iter
+            (fun vm ->
+              let deadline =
+                mcfg.Monitor.budget * (vm.Topology.idx + 1) / total_vms
+              in
+              if
+                not
+                  (Monitor.add mon ~vid:vm.Topology.vid ~idx:vm.Topology.idx
+                     ~cls:Pqueue.Periodic ~deadline)
+              then sh.mon_double_adds <- sh.mon_double_adds + 1)
+            sh.my_vms;
+          (* Every shard ticks — even one with no home VMs tracks entries
+             that migrate in — and at the same absolute times, keeping the
+             per-shard fresh series index-aligned for the merge. *)
+          if mcfg.Monitor.tick > 0 then
+            ignore
+              (Sim.Engine.every sh.engine ~period:mcfg.Monitor.tick
+                 ~until:config.duration (mon_tick sh mon)
+                : Sim.Engine.handle));
       let n_mine = Array.length sh.my_vms in
       if n_mine > 0 then begin
         let rate =
@@ -576,6 +783,58 @@ let run config =
       0 shards
   in
   let migrations = Array.fold_left (fun acc sh -> acc + sh.migrations) 0 shards in
+  (* Monitor merge: storm tallies add, detection times take the earliest,
+     and the end-of-run entry census proves exactly-once rescheduling
+     (every VM tracked on exactly one shard). *)
+  let mon_affected = Array.make n_storms 0 in
+  let mon_detect = Array.make n_storms None in
+  Array.iter
+    (fun sh ->
+      Array.iteri (fun i n -> mon_affected.(i) <- mon_affected.(i) + n) sh.mon_affected;
+      Array.iteri
+        (fun i d ->
+          match (d, mon_detect.(i)) with
+          | Some t, Some t' -> if t < t' then mon_detect.(i) <- Some t
+          | Some t, None -> mon_detect.(i) <- Some t
+          | None, _ -> ())
+        sh.mon_detect)
+    shards;
+  let mon_storms =
+    match config.monitor with
+    | None -> []
+    | Some m ->
+        List.mapi
+          (fun i s ->
+            let storm, at =
+              match s with
+              | Monitor.Rack_compromise { at; _ } -> ("rack-compromise", at)
+              | Monitor.Image_cve { at; _ } -> ("image-cve", at)
+              | Monitor.Migration_wave { at; _ } -> ("migration-wave", at)
+            in
+            { storm; at; affected = mon_affected.(i); detected_at = mon_detect.(i) })
+          m.Monitor.storms
+  in
+  let mon_entries, mon_entry_dups =
+    match config.monitor with
+    | None -> (0, 0)
+    | Some _ ->
+        let seen = Hashtbl.create (max 16 total_vms) in
+        let dups =
+          ref (Array.fold_left (fun acc sh -> acc + sh.mon_double_adds) 0 shards)
+        in
+        Array.iter
+          (fun sh ->
+            match sh.mon with
+            | None -> ()
+            | Some mon ->
+                List.iter
+                  (fun vid ->
+                    if Hashtbl.mem seen vid then incr dups
+                    else Hashtbl.add seen vid ())
+                  (Monitor.vids mon))
+          shards;
+        (Hashtbl.length seen, !dups)
+  in
   let trace_digest =
     let buf = Buffer.create (40 * shard_count) in
     Array.iter (fun sh -> Buffer.add_string buf (Crypto.Sha256.finalize sh.trace)) shards;
@@ -583,10 +842,8 @@ let run config =
   in
   let duration_s = Sim.Time.to_sec config.duration in
   let latency = Metrics.latency metrics in
-  let pct p =
-    let v = Sim.Stats.Reservoir.percentile latency p in
-    if Float.is_nan v then 0.0 else v
-  in
+  let nz v = if Float.is_nan v then 0.0 else v in
+  let pct p = nz (Sim.Stats.Reservoir.percentile latency p) in
   let max_depth =
     Array.fold_left
       (fun acc sh -> max acc (Sim.Stats.Gauge.peak (Cluster.queue_gauge sh.cluster)))
@@ -641,6 +898,19 @@ let run config =
         Tpm.Backend.all_kinds;
     epochs = !epochs;
     verify_memo;
+    mon_scheduled = Metrics.mon_scheduled_total metrics;
+    mon_served = Metrics.mon_served_total metrics;
+    mon_missed_periodic = Metrics.mon_missed metrics Pqueue.Periodic;
+    mon_missed_recheck = Metrics.mon_missed metrics Pqueue.Recheck;
+    mon_shed = Metrics.mon_shed_total metrics;
+    mon_dedups = Metrics.mon_dedups metrics;
+    mon_ticks = Metrics.mon_ticks metrics;
+    mon_entries;
+    mon_entry_dups;
+    mon_fresh_min = nz (Sim.Stats.Fraction_series.min_fraction (Metrics.mon_fresh metrics));
+    mon_fresh_mean = nz (Sim.Stats.Fraction_series.mean_fraction (Metrics.mon_fresh metrics));
+    mon_fresh_final = nz (Sim.Stats.Fraction_series.final_fraction (Metrics.mon_fresh metrics));
+    mon_storms;
     trace_digest;
   }
 
@@ -672,5 +942,20 @@ let fingerprint (r : result) =
   add "served_by=%s"
     (String.concat ","
        (List.map (fun (k, n) -> k ^ ":" ^ string_of_int n) r.served_by_backend));
+  (* Monitor lines appear only in monitored runs, so an unmonitored run's
+     fingerprint stays byte-identical to the pre-monitor driver's. *)
+  (match r.config.monitor with
+  | None -> ()
+  | Some _ ->
+      add "mon=%d,%d,%d,%d,%d,%d" r.mon_scheduled r.mon_served
+        r.mon_missed_periodic r.mon_missed_recheck r.mon_shed r.mon_dedups;
+      add "mon_ticks=%d" r.mon_ticks;
+      add "mon_entries=%d,%d" r.mon_entries r.mon_entry_dups;
+      add "mon_fresh=%h,%h,%h" r.mon_fresh_min r.mon_fresh_mean r.mon_fresh_final;
+      List.iter
+        (fun o ->
+          add "mon_storm=%s,%d,%d,%s" o.storm o.at o.affected
+            (match o.detected_at with None -> "-" | Some t -> string_of_int t))
+        r.mon_storms);
   add "trace=%s" r.trace_digest;
   Crypto.Hexs.encode (Crypto.Sha256.digest (Buffer.contents b))

@@ -60,12 +60,27 @@ type config = {
           between cross-shard message exchanges.  Affects when cross-shard
           requests are delivered (larger epochs delay them), so it is part
           of the simulated scenario — but not of the execution schedule. *)
+  monitor : Monitor.config option;
+      (** continuous re-attestation scheduler ({!Monitor}): every VM is
+          re-attested before its verdict outlives the freshness budget,
+          deduplicating against the verdict cache, with optional storm
+          scenarios.  [None] (the default) is the unmonitored driver, byte
+          for byte: same prng draws, same trace, same fingerprint. *)
 }
 
 val default_config : config
 (** 200 servers, 2000 VMs, 1 AS, capacity 1, queue depth 16, cache off,
     8 req/s for 30 s, 5% unhealthy, 5 s churn, 64 hot VMs at p=0.8,
-    mix 20/70/10, batching off, 1 domain, 50 ms epochs. *)
+    mix 20/70/10, batching off, 1 domain, 50 ms epochs, monitor off. *)
+
+type storm_outcome = {
+  storm : string;  (** "rack-compromise" | "image-cve" | "migration-wave" *)
+  at : Sim.Time.t;  (** configured storm time *)
+  affected : int;  (** VMs marked compromised / forced / migrated *)
+  detected_at : Sim.Time.t option;
+      (** first measurement observing a planted compromise
+          (rack-compromise storms; [None] for other kinds or undetected) *)
+}
 
 type result = {
   config : config;
@@ -106,6 +121,26 @@ type result = {
           Only the audit path does real RSA here, so all zeros with audit
           off.  How the totals split across slots depends on [domains], so
           this field is excluded from {!fingerprint}. *)
+  mon_scheduled : int;
+      (** re-attestation probes submitted to clusters.  The conservation
+          law [mon_scheduled = mon_served + missed + mon_shed] holds
+          exactly once the run drains. *)
+  mon_served : int;  (** probes completed at or before their deadline *)
+  mon_missed_periodic : int;  (** periodic-class probes completed late *)
+  mon_missed_recheck : int;  (** recheck-class probes completed late *)
+  mon_shed : int;  (** probes dropped by admission control (retried) *)
+  mon_dedups : int;  (** due probes answered by a budget-fresh cached verdict *)
+  mon_ticks : int;  (** scheduler ticks (same count on every shard) *)
+  mon_entries : int;
+      (** distinct VMs tracked across all shards at end of run; equals
+          [config.vms] when rescheduling was exactly-once *)
+  mon_entry_dups : int;
+      (** double-tracking events: a VM tracked on two shards at once or
+          double-added on one — 0 unless rescheduling broke *)
+  mon_fresh_min : float;  (** min over ticks of fraction-of-fleet-fresh *)
+  mon_fresh_mean : float;
+  mon_fresh_final : float;  (** fraction fresh at the last tick *)
+  mon_storms : storm_outcome list;  (** per configured storm, in order *)
   trace_digest : string;
       (** hex SHA-256 over the per-shard event traces (arrivals, serves,
           sheds, migrations, every cross-shard message), folded in shard
@@ -119,9 +154,11 @@ val run : config -> result
     [trace_digest] across different [domains] values. *)
 
 val fingerprint : result -> string
-(** Hex SHA-256 over every result field except [config], so runs that
-    differ only in [config.domains] can be compared for byte-identity with
-    one string equality. *)
+(** Hex SHA-256 over every result field except [config] and
+    [verify_memo], so runs that differ only in [config.domains] can be
+    compared for byte-identity with one string equality.  Monitor fields
+    are hashed only for monitored runs, so an unmonitored run's
+    fingerprint is byte-identical to the pre-monitor driver's. *)
 
 val cold_attest_ms : float
 (** Modelled end-to-end latency of an uncontended cold attestation (mean

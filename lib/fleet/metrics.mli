@@ -78,3 +78,47 @@ val audit_appends : t -> int
 val audit_checkpoints : t -> int
 val audit_proofs : t -> int
 val audit_equivocations : t -> int
+
+(** {2 Continuous-monitoring counters}
+
+    Same pattern as the audit counters: recorded where the scheduler acts
+    and all zero when the monitor is off.  Every probe the scheduler
+    submits ([record_mon_scheduled]) completes exactly once as served (by
+    its deadline), missed (after it) or shed — the conservation law
+    [scheduled = served + missed + shed] the test suite pins. *)
+
+val record_mon_scheduled : t -> Pqueue.priority -> unit
+(** One re-attestation probe submitted to a cluster. *)
+
+val record_mon_served : t -> Pqueue.priority -> unit
+(** A probe completed at or before its freshness deadline. *)
+
+val record_mon_missed : t -> Pqueue.priority -> unit
+(** A probe completed after its freshness deadline. *)
+
+val record_mon_shed : t -> Pqueue.priority -> unit
+(** A probe dropped by cluster admission control (retried next tick). *)
+
+val record_mon_dedup : t -> unit
+(** A due probe answered by a cached verdict still inside the budget. *)
+
+val record_mon_tick : t -> fresh:int -> total:int -> unit
+(** One scheduler tick observing [fresh] of [total] tracked VMs holding a
+    verdict younger than the freshness budget. *)
+
+val mon_scheduled : t -> Pqueue.priority -> int
+val mon_served : t -> Pqueue.priority -> int
+val mon_missed : t -> Pqueue.priority -> int
+val mon_shed : t -> Pqueue.priority -> int
+val mon_scheduled_total : t -> int
+val mon_served_total : t -> int
+val mon_missed_total : t -> int
+val mon_shed_total : t -> int
+val mon_dedups : t -> int
+
+val mon_ticks : t -> int
+(** Scheduler ticks executed; merging takes the max (shards tick at the
+    same absolute times, so per-shard tick counts coincide). *)
+
+val mon_fresh : t -> Sim.Stats.Fraction_series.t
+(** Fraction-of-fleet-fresh per tick; merges index-aligned across shards. *)

@@ -1,0 +1,179 @@
+type storm =
+  | Rack_compromise of { at : Sim.Time.t; cluster : int }
+  | Image_cve of { at : Sim.Time.t; property : Core.Property.t }
+  | Migration_wave of { at : Sim.Time.t; count : int }
+
+type config = {
+  tick : Sim.Time.t;
+  budget : Sim.Time.t;
+  recheck_budget : Sim.Time.t;
+  lead : Sim.Time.t;
+  property : Core.Property.t;
+  storms : storm list;
+}
+
+let default_config =
+  {
+    tick = Sim.Time.ms 500;
+    budget = Sim.Time.sec 5;
+    recheck_budget = Sim.Time.sec 1;
+    lead = Sim.Time.ms 1500;
+    property = Core.Property.Runtime_integrity;
+    storms = [];
+  }
+
+type entry = {
+  vid : string;
+  idx : int;
+  stamp : int;  (* identity across remove/re-add, checked by complete *)
+  mutable cls : Pqueue.priority;
+  mutable prop : Core.Property.t;
+  mutable deadline : Sim.Time.t;
+  mutable fresh_until : Sim.Time.t;
+  mutable inflight : bool;
+  mutable forced : (Pqueue.priority * Core.Property.t) option;
+}
+
+type t = {
+  config : config;
+  entries : (string, entry) Hashtbl.t;
+  mutable next_stamp : int;
+  mutable storms_pending : (int * storm) list;
+}
+
+let create config =
+  {
+    config;
+    entries = Hashtbl.create 64;
+    next_stamp = 0;
+    storms_pending = List.mapi (fun i s -> (i, s)) config.storms;
+  }
+
+let config t = t.config
+let size t = Hashtbl.length t.entries
+let vids t = Hashtbl.fold (fun vid _ acc -> vid :: acc) t.entries []
+
+let add t ~vid ~idx ~cls ~deadline =
+  let fresh_insert = not (Hashtbl.mem t.entries vid) in
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  Hashtbl.replace t.entries vid
+    {
+      vid;
+      idx;
+      stamp;
+      cls;
+      prop = t.config.property;
+      deadline;
+      fresh_until = 0;
+      inflight = false;
+      forced = None;
+    };
+  fresh_insert
+
+let remove t ~vid =
+  let present = Hashtbl.mem t.entries vid in
+  Hashtbl.remove t.entries vid;
+  present
+
+type probe = {
+  vid : string;
+  cls : Pqueue.priority;
+  prop : Core.Property.t;
+  deadline : Sim.Time.t;
+  token : int;
+}
+
+type tick_result = {
+  probes : probe list;
+  dedups : string list;
+  fresh : int;
+  total : int;
+}
+
+(* Scan order is fleet-index order — a pure function of the tracked set,
+   independent of hash-table internals and so of the execution history
+   that built the table.  This is the scheduler's determinism anchor. *)
+let scan t =
+  let es = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+  List.sort (fun a b -> compare a.idx b.idx) es
+
+let tick t ~now ~fresh_until =
+  let probes = ref [] and dedups = ref [] and fresh = ref 0 and total = ref 0 in
+  List.iter
+    (fun e ->
+      incr total;
+      if (not e.inflight) && e.deadline <= now + t.config.lead then begin
+        match fresh_until ~vid:e.vid ~prop:e.prop with
+        | Some until when until > now ->
+            (* A cached verdict still covers the budget: no probe, just
+               push the deadline to when that verdict goes stale. *)
+            e.deadline <- until;
+            if until > e.fresh_until then e.fresh_until <- until;
+            dedups := e.vid :: !dedups
+        | Some _ | None ->
+            e.inflight <- true;
+            probes :=
+              {
+                vid = e.vid;
+                cls = e.cls;
+                prop = e.prop;
+                deadline = e.deadline;
+                token = e.stamp;
+              }
+              :: !probes
+      end;
+      if e.fresh_until > now then incr fresh)
+    (scan t);
+  { probes = List.rev !probes; dedups = List.rev !dedups; fresh = !fresh; total = !total }
+
+let complete t (p : probe) ~now ~served =
+  match Hashtbl.find_opt t.entries p.vid with
+  | Some e when e.stamp = p.token ->
+      e.inflight <- false;
+      if served && now + t.config.budget > e.fresh_until then
+        e.fresh_until <- now + t.config.budget;
+      (match e.forced with
+      | Some (cls, prop) ->
+          e.cls <- cls;
+          e.prop <- prop;
+          e.deadline <- now + t.config.recheck_budget;
+          e.forced <- None
+      | None ->
+          if served then begin
+            e.cls <- Pqueue.Periodic;
+            e.prop <- t.config.property;
+            e.deadline <- now + t.config.budget
+          end
+          (* shed: deadline stays armed, the next tick retries *))
+  | Some _ | None -> ()
+
+let force_all t ~now ~cls ~prop =
+  List.map
+    (fun e ->
+      (* The verdict being re-proven is suspect from now on. *)
+      if e.fresh_until > now then e.fresh_until <- now;
+      if e.inflight then e.forced <- Some (cls, prop)
+      else begin
+        e.cls <- cls;
+        e.prop <- prop;
+        e.deadline <- now + t.config.recheck_budget
+      end;
+      e.vid)
+    (scan t)
+
+let due_storms t ~now =
+  let due, later =
+    List.partition
+      (fun (_, s) ->
+        match s with
+        | Rack_compromise { at; _ } | Image_cve { at; _ } | Migration_wave { at; _ }
+          ->
+            at <= now)
+      t.storms_pending
+  in
+  t.storms_pending <- later;
+  due
+
+let fresh_until_of_report config (r : Core.Report.t) =
+  r.Core.Report.produced_at + config.budget

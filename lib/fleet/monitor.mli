@@ -1,0 +1,119 @@
+(** Deadline-aware epoch re-attestation scheduler (one instance per shard).
+
+    Continuous monitoring turns the fleet driver's open-loop request
+    stream into the paper's periodic/recheck mode: every tracked VM must
+    hold an attestation verdict younger than a freshness [budget].  The
+    scheduler ticks at a fixed [tick] period on every shard's own engine
+    (at the same absolute simulated times fleet-wide), scans its entries
+    in a deterministic order, and emits a {e probe} for each VM whose
+    deadline falls within [lead] — unless a cached verdict is still
+    inside the budget, in which case the probe is deduplicated and the
+    deadline simply advances to when that verdict goes stale.
+
+    The scheduler holds only per-shard state and consumes no prng: with
+    the monitor off the driver is byte-identical to the unmonitored one,
+    and with it on the run is byte-identical at any domain count (entries
+    migrate between shards on the epoch-barrier {!Msg} path, exactly once
+    per churn event).
+
+    Storm scenarios model correlated incidents: a rack-wide compromise
+    (every VM hosted on one cluster starts measuring Compromised until
+    re-imaged — the time-to-detect SLO input), an image-CVE recheck
+    forcing one property re-proven fleet-wide, and a mass-migration wave
+    re-placing a slice of the fleet at once. *)
+
+type storm =
+  | Rack_compromise of { at : Sim.Time.t; cluster : int }
+      (** From [at], every VM hosted on [cluster] measures Compromised. *)
+  | Image_cve of { at : Sim.Time.t; property : Core.Property.t }
+      (** At [at], invalidate [property] fleet-wide and force every VM to
+          re-prove it as a recheck. *)
+  | Migration_wave of { at : Sim.Time.t; count : int }
+      (** At [at], migrate [count] VMs (spread over shards by their share
+          of the fleet) through the normal churn machinery. *)
+
+type config = {
+  tick : Sim.Time.t;  (** scheduler period (the SLO sampling interval) *)
+  budget : Sim.Time.t;  (** per-VM verdict freshness budget *)
+  recheck_budget : Sim.Time.t;
+      (** tighter deadline granted to forced rechecks (storms, migrations) *)
+  lead : Sim.Time.t;
+      (** schedule a probe this long before its deadline, so service time
+          and queueing fit inside the budget; must cover at least one
+          [tick] or every probe completes late *)
+  property : Core.Property.t;  (** property the periodic probes re-prove *)
+  storms : storm list;  (** processed in order at the first tick >= [at] *)
+}
+
+val default_config : config
+(** 500 ms ticks, 5 s budget, 1 s recheck budget, 1.5 s lead,
+    runtime-integrity probes, no storms. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val add :
+  t -> vid:string -> idx:int -> cls:Pqueue.priority -> deadline:Sim.Time.t -> bool
+(** Track [vid] (global fleet index [idx], first deadline [deadline]).
+    Returns [false] when [vid] was already tracked here (the existing
+    entry is replaced) — a double-schedule the driver counts as a bug. *)
+
+val remove : t -> vid:string -> bool
+(** Stop tracking [vid]; [false] when it was not tracked here. *)
+
+val size : t -> int
+val vids : t -> string list
+(** Tracked VMs, in unspecified order (for end-of-run uniqueness checks). *)
+
+type probe = {
+  vid : string;
+  cls : Pqueue.priority;  (** Periodic normally, Recheck when forced *)
+  prop : Core.Property.t;
+  deadline : Sim.Time.t;  (** completing after this counts as a miss *)
+  token : int;  (** pass back to {!complete}; stale tokens are ignored *)
+}
+
+type tick_result = {
+  probes : probe list;  (** due entries to submit, in fleet-index order *)
+  dedups : string list;  (** due entries answered from cache, same order *)
+  fresh : int;  (** entries whose verdict is younger than the budget *)
+  total : int;  (** entries tracked at this tick *)
+}
+
+val tick :
+  t ->
+  now:Sim.Time.t ->
+  fresh_until:(vid:string -> prop:Core.Property.t -> Sim.Time.t option) ->
+  tick_result
+(** One scheduler tick.  [fresh_until] consults the shard's verdict cache:
+    [Some t'] means a cached verdict for (vid, prop) stays inside the
+    freshness budget until [t'] (> [now] dedups the probe and moves the
+    deadline to [t']).  Entries already in flight are skipped — cluster
+    coalescing handles collisions with arrival traffic, this handles
+    collisions with the scheduler itself. *)
+
+val complete : t -> probe -> now:Sim.Time.t -> served:bool -> unit
+(** Report the cluster verdict for a probe.  [served = true] marks the
+    entry fresh until [now + budget] and re-arms its periodic deadline;
+    [served = false] (shed) leaves the deadline armed so the next tick
+    retries.  A pending force (see {!force_all}) is applied either way.
+    No-op when the entry was removed or replaced since the probe was
+    emitted (the probe's token no longer matches). *)
+
+val force_all :
+  t -> now:Sim.Time.t -> cls:Pqueue.priority -> prop:Core.Property.t -> string list
+(** Force every tracked VM to re-prove [prop] as class [cls] with deadline
+    [now + recheck_budget]; in-flight entries pick the force up when their
+    current probe completes.  Returns the affected vids in fleet-index
+    order. *)
+
+val due_storms : t -> now:Sim.Time.t -> (int * storm) list
+(** Storms with [at <= now] not yet handed out, with their index in
+    [config.storms]; each storm is returned exactly once. *)
+
+val fresh_until_of_report : config -> Core.Report.t -> Sim.Time.t
+(** [produced_at + budget]: when a cached verdict stops satisfying the
+    freshness budget — the value [tick]'s [fresh_until] callback should
+    derive from a cache hit. *)

@@ -6,6 +6,9 @@ type payload =
       arrived : Sim.Time.t;
     }
   | Invalidate of { vid : string }
+  | Mon_add of { vid : string; idx : int }
+  | Mon_del of { vid : string; moved_to : int }
+  | Compromise of { vid : string; storm : int }
 
 type t = {
   at : Sim.Time.t;
@@ -28,6 +31,9 @@ let encode_payload = function
         (Core.Property.to_string property)
         (Pqueue.rank priority) arrived
   | Invalidate { vid } -> "I|" ^ vid
+  | Mon_add { vid; idx } -> Printf.sprintf "A|%s|%d" vid idx
+  | Mon_del { vid; moved_to } -> Printf.sprintf "D|%s|%d" vid moved_to
+  | Compromise { vid; storm } -> Printf.sprintf "C|%s|%d" vid storm
 
 let encode m =
   Printf.sprintf "%d|%d|%d|%d|%s" m.at m.src m.seq m.dst

@@ -21,6 +21,20 @@ type payload =
   | Invalidate of { vid : string }
       (** Lifecycle churn moved [vid] into or out of the destination's
           cluster; drop any cached verdicts for it. *)
+  | Mon_add of { vid : string; idx : int }
+      (** Churn moved [vid] onto the destination's cluster: start tracking
+          it in the destination's re-attestation scheduler (as a recheck,
+          due soon).  Only sent when the monitor is on. *)
+  | Mon_del of { vid : string; moved_to : int }
+      (** Churn moved [vid] off the destination's cluster (to
+          [moved_to]): stop tracking it.  Paired with exactly one
+          {!Mon_add}, so a migrating VM is rescheduled exactly once.  Only
+          sent when the monitor is on. *)
+  | Compromise of { vid : string; storm : int }
+      (** A storm scenario (index [storm] in the monitor config) planted a
+          compromise on [vid], which the destination's cluster currently
+          serves: its measurements must observe it.  Only sent when the
+          monitor is on. *)
 
 type t = {
   at : Sim.Time.t;  (** send time on the source shard's clock *)

@@ -37,6 +37,33 @@ let random_config prng =
       |].(Sim.Prng.int prng 4);
     domains = 1;
     epoch = Sim.Time.ms (Sim.Prng.int_in prng 20 120);
+    (* Half the campaign runs unmonitored (those configs must keep every
+       mon_* counter at zero); the rest arms the re-attestation scheduler,
+       sometimes with a storm, so the determinism and sharding oracles
+       cover monitored runs too. *)
+    monitor =
+      (if Sim.Prng.int prng 2 = 0 then None
+       else
+         let storms =
+           match Sim.Prng.int prng 4 with
+           | 0 -> []
+           | 1 -> [ Fleet.Monitor.Rack_compromise { at = Sim.Time.ms 200; cluster = 0 } ]
+           | 2 ->
+               [
+                 Fleet.Monitor.Image_cve
+                   { at = Sim.Time.ms 200; property = Core.Property.Runtime_integrity };
+               ]
+           | _ -> [ Fleet.Monitor.Migration_wave { at = Sim.Time.ms 200; count = 8 } ]
+         in
+         Some
+           {
+             Fleet.Monitor.default_config with
+             tick = Sim.Time.ms (Sim.Prng.int_in prng 100 300);
+             budget = Sim.Time.ms (Sim.Prng.int_in prng 800 2000);
+             recheck_budget = Sim.Time.ms 400;
+             lead = Sim.Time.ms 400;
+             storms;
+           });
   }
 
 let check ~seed =
@@ -53,10 +80,13 @@ let check ~seed =
     r.Fleet.Driver.shed_customer < 0 || r.Fleet.Driver.shed_periodic < 0
     || r.Fleet.Driver.shed_recheck < 0 || r.Fleet.Driver.served < 0
   then flag "fleet-conservation" "negative counter";
-  if r.Fleet.Driver.offered <> r.Fleet.Driver.served + sheds then
+  (* Monitor probes are submissions the arrival process never offered, so
+     they join the left-hand side of the ledger. *)
+  if r.Fleet.Driver.offered + r.Fleet.Driver.mon_scheduled <> r.Fleet.Driver.served + sheds
+  then
     flag "fleet-conservation"
-      (Printf.sprintf "offered %d <> served %d + shed %d" r.Fleet.Driver.offered
-         r.Fleet.Driver.served sheds);
+      (Printf.sprintf "offered %d + probes %d <> served %d + shed %d"
+         r.Fleet.Driver.offered r.Fleet.Driver.mon_scheduled r.Fleet.Driver.served sheds);
   (* Determinism: the driver documents equal configs => equal results. *)
   let r2 = Fleet.Driver.run config in
   if r2 <> r then flag "fleet-determinism" "same config produced different results";
@@ -102,6 +132,40 @@ let check ~seed =
   if config.Fleet.Driver.batch_max = 1 && r.Fleet.Driver.batches <> 0 then
     flag "fleet-batch1-inert"
       (Printf.sprintf "batch_max=1 ran %d batched rounds" r.Fleet.Driver.batches);
+  (* Monitor strictly pay-if-enabled, and when enabled: every scheduled
+     probe is accounted for exactly once, and the end-of-run entry census
+     covers the fleet with no double-schedules. *)
+  (match config.Fleet.Driver.monitor with
+  | None ->
+      if
+        r.Fleet.Driver.mon_scheduled <> 0
+        || r.Fleet.Driver.mon_ticks <> 0
+        || r.Fleet.Driver.mon_entries <> 0
+        || r.Fleet.Driver.mon_storms <> []
+      then
+        flag "fleet-monitor-off"
+          (Printf.sprintf "monitor off but counters %d/%d/%d" r.Fleet.Driver.mon_scheduled
+             r.Fleet.Driver.mon_ticks r.Fleet.Driver.mon_entries)
+  | Some _ ->
+      let missed =
+        r.Fleet.Driver.mon_missed_periodic + r.Fleet.Driver.mon_missed_recheck
+      in
+      if
+        r.Fleet.Driver.mon_scheduled
+        <> r.Fleet.Driver.mon_served + missed + r.Fleet.Driver.mon_shed
+      then
+        flag "fleet-monitor-conservation"
+          (Printf.sprintf "scheduled %d <> served %d + missed %d + shed %d"
+             r.Fleet.Driver.mon_scheduled r.Fleet.Driver.mon_served missed
+             r.Fleet.Driver.mon_shed);
+      if
+        r.Fleet.Driver.mon_entries <> config.Fleet.Driver.vms
+        || r.Fleet.Driver.mon_entry_dups <> 0
+      then
+        flag "fleet-monitor-census"
+          (Printf.sprintf "%d entries over %d VMs, %d double-schedule(s)"
+             r.Fleet.Driver.mon_entries config.Fleet.Driver.vms
+             r.Fleet.Driver.mon_entry_dups));
   List.rev !violations
 
 let campaign ~seed0 ~runs =

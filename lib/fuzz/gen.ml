@@ -29,6 +29,12 @@ let fault prng =
 let ttl_ms prng = [| 0; 50; 200; 1000; 5000 |].(Sim.Prng.int prng 5)
 let advance_ms prng = [| 1; 10; 60; 250; 1200 |].(Sim.Prng.int prng 5)
 
+(* Monitor periods straddle the advance sizes too, so chunked catch-up and
+   the freshness bound both get exercised; the pool stays at or under the
+   largest advance so a period change can never instantly strand a VM
+   beyond the oracle's bound. *)
+let mon_period_ms prng = [| 200; 500; 1000 |].(Sim.Prng.int prng 3)
+
 let body_op prng ~launched =
   Sim.Prng.weighted prng
     [
@@ -52,6 +58,9 @@ let body_op prng ~launched =
       (2, `Vtpm_clone);
       (3, `Vtpm_rebind);
       (4, `Protocol);
+      (3, `Monitor_enable);
+      (2, `Monitor_period);
+      (2, `Monitor_storm);
     ]
   |> function
   | `Launch -> launch prng
@@ -86,6 +95,11 @@ let body_op prng ~launched =
         if Sim.Prng.int prng 4 = 0 then Phrase_gen.weaken prng phrase else phrase
       in
       Op.Protocol_term phrase
+  | `Monitor_enable ->
+      (* one in five disarms; the rest (re)arm with a pool period *)
+      Op.Monitor_enable (if Sim.Prng.int prng 5 = 0 then 0 else mon_period_ms prng)
+  | `Monitor_period -> Op.Monitor_period (mon_period_ms prng)
+  | `Monitor_storm -> Op.Monitor_storm (slot prng launched)
 
 let generate ~seed ~ops =
   let prng = Sim.Prng.create (seed lxor 0x66757a7a (* "fuzz" *)) in

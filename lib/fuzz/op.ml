@@ -21,6 +21,13 @@ type op =
   | Vtpm_rebind of int  (** re-register vm#slot's host vTPM with the Privacy CA *)
   | Protocol_term of Copland.Phrase.t
       (** run a protocol phrase through the Controller interpreter *)
+  | Monitor_enable of int
+      (** arm continuous monitoring with this re-attestation period (ms);
+          0 disarms *)
+  | Monitor_period of int  (** change the period of an armed monitor (ms) *)
+  | Monitor_storm of int
+      (** rack-style incident: hide malware in every VM co-hosted with
+          vm#slot *)
 
 type scenario = { seed : int; ops : op list }
 
@@ -42,7 +49,9 @@ let properties = Array.of_list Core.Property.all
      x<slot> infect             i<image> corrupt image
      vs<slot> vTPM save+restore   vm<src>.<dst> vTPM clone   vr<slot> vTPM rebind
      fd<n> fg<n> fl<drop>.<garble> fb    faults;   f0  clear fault
-     P<phrase>   protocol term (Copland codec; no ';' or space inside) *)
+     P<phrase>   protocol term (Copland codec; no ';' or space inside)
+     me<ms> monitor enable (0 disarms)   mp<ms> monitor period
+     mt<slot> monitor storm (infect vm#slot's whole host) *)
 
 let op_to_string = function
   | Launch { image; monitored; workload } ->
@@ -69,6 +78,9 @@ let op_to_string = function
   | Vtpm_clone (src, dst) -> Printf.sprintf "vm%d.%d" src dst
   | Vtpm_rebind s -> Printf.sprintf "vr%d" s
   | Protocol_term p -> "P" ^ Copland.Phrase.to_string p
+  | Monitor_enable ms -> Printf.sprintf "me%d" ms
+  | Monitor_period ms -> Printf.sprintf "mp%d" ms
+  | Monitor_storm s -> Printf.sprintf "mt%d" s
 
 let int_of s = int_of_string_opt s
 
@@ -127,6 +139,16 @@ let op_of_string s =
         match Copland.Phrase.of_string rest with
         | Ok p -> Some (Protocol_term p)
         | Error _ -> None)
+    | 'm' ->
+        if n < 3 then None
+        else begin
+          let arg = String.sub s 2 (n - 2) in
+          match s.[1] with
+          | 'e' -> Option.map (fun ms -> Monitor_enable ms) (int_of arg)
+          | 'p' -> Option.map (fun ms -> Monitor_period ms) (int_of arg)
+          | 't' -> Option.map (fun s -> Monitor_storm s) (int_of arg)
+          | _ -> None
+        end
     | 'f' ->
         if rest = "0" then Some Clear_fault
         else if rest = "b" then Some (Set_fault Blackout)
@@ -218,6 +240,11 @@ let pp_op ppf op =
       Format.fprintf ppf "protocol %s%s"
         (Copland.Phrase.to_string p)
         (if Copland.Phrase.weakened p then " (weakened)" else "")
+  | Monitor_enable ms ->
+      if ms > 0 then Format.fprintf ppf "monitor enable, period %d ms" ms
+      else Format.fprintf ppf "monitor disarm"
+  | Monitor_period ms -> Format.fprintf ppf "monitor period := %d ms" ms
+  | Monitor_storm s -> Format.fprintf ppf "storm: infect host of vm#%d" s
 
 let pp ppf { seed; ops } =
   Format.fprintf ppf "@[<v>scenario seed=%d (%d ops)@," seed (List.length ops);

@@ -48,6 +48,19 @@ type op =
       (** run a protocol phrase through the Controller interpreter; an
           ill-typed phrase (e.g. a delegation that no longer matches the
           live placement) replays as a rejected no-op *)
+  | Monitor_enable of int
+      (** arm continuous monitoring: every monitored, running VM is
+          re-attested (Runtime_integrity) whenever its last probe is older
+          than this period in ms; 0 disarms.  Probing also happens {e
+          inside} [Advance] ops, in period-sized chunks, so long quiet
+          stretches stay covered *)
+  | Monitor_period of int
+      (** change the re-attestation period of an armed monitor (ms > 0;
+          a no-op while disarmed) *)
+  | Monitor_storm of int
+      (** correlated incident: hide malware in every VM co-hosted with
+          this slot's VM — an armed monitor must surface a Compromised
+          verdict within one period of any cached verdicts expiring *)
 
 type scenario = { seed : int; ops : op list }
 

@@ -24,6 +24,18 @@ type protocol_obs = {
   p_faulty : bool;  (* a network adversary was active *)
 }
 
+type monitor_probe = {
+  mp_vid : string;
+  mp_started : Sim.Time.t;  (* engine clock when this probe fired *)
+  mp_attest : attest_obs;
+}
+
+type monitor_obs = {
+  m_period : int;  (* re-attestation period (ms) in force after the op; 0 = off *)
+  m_probes : monitor_probe list;  (* catch-up probes this op ran, in order *)
+  m_storm : string list;  (* vids a Monitor_storm op planted malware in *)
+}
+
 type op_obs = {
   index : int;
   op : Op.op;
@@ -41,6 +53,7 @@ type op_obs = {
   vtpm_stale : string list;
   vtpm_rebound : string list;
   protocol : protocol_obs option;  (* set only for Protocol_term ops *)
+  monitor : monitor_obs option;  (* set only once the monitor has been touched *)
 }
 
 (* Model of the verdict cache: which (vid, property) entries MAY be validly
@@ -59,6 +72,12 @@ type t = {
   vm_monitored : (string, bool) Hashtbl.t;
   stale_hosts : (string, unit) Hashtbl.t;  (* restored-but-not-rebound vTPM hosts *)
   mutable terminated : string list;
+  suspended : (string, unit) Hashtbl.t;
+  mutable mon_period : int;  (* mirrors Monitor_enable/Monitor_period; ms, 0 = off *)
+  mon_attempt : (string, Sim.Time.t) Hashtbl.t;  (* vid -> last probe attempt *)
+  mutable fault_on : bool;  (* a network adversary is installed *)
+  mutable pending_storm : (Sim.Time.t * string list) option;
+      (* (detection deadline, planted vids) of an unacknowledged storm *)
   mutable last_time : Sim.Time.t;
   mutable last_messages : int;
   mutable last_bytes : int;
@@ -75,6 +94,11 @@ let create ~controller_key () =
     vm_monitored = Hashtbl.create 16;
     stale_hosts = Hashtbl.create 4;
     terminated = [];
+    suspended = Hashtbl.create 4;
+    mon_period = 0;
+    mon_attempt = Hashtbl.create 16;
+    fault_on = false;
+    pending_storm = None;
     last_time = 0;
     last_messages = 0;
     last_bytes = 0;
@@ -106,6 +130,20 @@ let model_invalidate_image t ~image =
   Hashtbl.iter
     (fun vid img -> if img = image then model_invalidate_vm t ~vid)
     t.vm_image
+
+(* A VM the continuous monitor is responsible for: launched with
+   monitoring requested, still alive, and not suspended (suspended VMs are
+   rebaselined on resume). *)
+let mon_tracked t vid =
+  Hashtbl.find_opt t.vm_monitored vid = Some true
+  && (not (Hashtbl.mem t.suspended vid))
+  && not (List.mem vid t.terminated)
+
+(* Slack on top of the period-derived freshness bound: probes are real
+   attestations that themselves advance the clock, so a catch-up train over
+   several VMs (or an op that runs long) legitimately delays the next
+   probe by real simulated time. *)
+let mon_grace = Sim.Time.sec 3
 
 let flag t ~oracle ~op_index detail =
   let v = { oracle; op_index; detail } in
@@ -300,11 +338,17 @@ let observe t (obs : op_obs) =
             obs.finished_at Sim.Time.pp obs.started_at));
   (match obs.op with
   | Op.Advance ms ->
-      if obs.finished_at - obs.started_at <> Sim.Time.ms ms then
+      (* With the monitor armed, catch-up probes run inside the advance and
+         add their own simulated time, so the clock may move further than
+         [ms] — never less. *)
+      let moved = obs.finished_at - obs.started_at in
+      let ok =
+        if obs.monitor = None then moved = Sim.Time.ms ms else moved >= Sim.Time.ms ms
+      in
+      if not ok then
         add
           (flag t ~oracle:"time-monotone" ~op_index:obs.index
-             (Format.asprintf "advance %d ms moved the clock by %a" ms Sim.Time.pp
-                (obs.finished_at - obs.started_at)))
+             (Format.asprintf "advance %d ms moved the clock by %a" ms Sim.Time.pp moved))
   | _ -> ());
   t.last_time <- obs.finished_at;
   (* Network counters only ever grow, and drops are a subset of messages. *)
@@ -359,9 +403,11 @@ let observe t (obs : op_obs) =
       | Some (vid, image, monitored) ->
           Hashtbl.replace t.vm_image vid image;
           Hashtbl.replace t.vm_monitored vid monitored;
-          if monitored then
+          if monitored then begin
             model_store t ~vid ~property:Core.Property.Startup_integrity
-              ~now:obs.started_at
+              ~now:obs.started_at;
+            if t.mon_period > 0 then Hashtbl.replace t.mon_attempt vid obs.started_at
+          end
       | None -> ())
   | Op.Terminate _ -> (
       match obs.target with
@@ -369,9 +415,21 @@ let observe t (obs : op_obs) =
           model_invalidate_vm t ~vid;
           if obs.lifecycle_ok then t.terminated <- vid :: t.terminated
       | None -> ())
-  | Op.Suspend _ | Op.Resume _ -> (
+  | Op.Suspend _ -> (
       match obs.target with
-      | Some vid when obs.lifecycle_ok -> model_invalidate_vm t ~vid
+      | Some vid when obs.lifecycle_ok ->
+          model_invalidate_vm t ~vid;
+          Hashtbl.replace t.suspended vid ()
+      | _ -> ())
+  | Op.Resume _ -> (
+      match obs.target with
+      | Some vid when obs.lifecycle_ok ->
+          model_invalidate_vm t ~vid;
+          Hashtbl.remove t.suspended vid;
+          (* the VM was unprobeable while suspended; its freshness clock
+             restarts here, exactly as the replayer's does *)
+          if t.mon_period > 0 && mon_tracked t vid then
+            Hashtbl.replace t.mon_attempt vid obs.started_at
       | _ -> ())
   | Op.Migrate _ -> (
       match obs.target with
@@ -390,14 +448,121 @@ let observe t (obs : op_obs) =
   | Op.Set_cache_ttl ms -> t.ttl <- Sim.Time.ms (max 0 ms)
   | Op.Corrupt_image i ->
       model_invalidate_image t ~image:(i mod Array.length Op.images)
+  | Op.Set_fault _ ->
+      (* An adversary can starve probes of verdicts; both monitor oracles
+         stand down until the network is honest again. *)
+      t.fault_on <- true;
+      t.pending_storm <- None
+  | Op.Clear_fault -> t.fault_on <- false
+  | Op.Monitor_enable ms ->
+      let ms = max 0 ms in
+      if ms > 0 then begin
+        (* arming (re)baselines every tracked VM: freshness is measured
+           from the moment the operator asked for it, not from launch *)
+        if t.mon_period = 0 then
+          Hashtbl.iter
+            (fun vid monitored ->
+              if monitored && mon_tracked t vid then
+                Hashtbl.replace t.mon_attempt vid obs.started_at)
+            t.vm_monitored;
+        t.mon_period <- ms
+      end
+      else begin
+        t.mon_period <- 0;
+        t.pending_storm <- None
+      end
+  | Op.Monitor_period ms -> if t.mon_period > 0 && ms > 0 then t.mon_period <- ms
   | Op.Attest _ | Op.Attest_many _ | Op.Set_batching _ | Op.Enable_audit
-  | Op.Set_fault _ | Op.Clear_fault | Op.Advance _ | Op.Infect _ | Op.Vtpm_cycle _
-  | Op.Vtpm_clone _ | Op.Vtpm_rebind _ | Op.Protocol_term _ ->
+  | Op.Advance _ | Op.Infect _ | Op.Vtpm_cycle _ | Op.Vtpm_clone _
+  | Op.Vtpm_rebind _ | Op.Protocol_term _ | Op.Monitor_storm _ ->
       ());
   (* vTPM binding model: restored state marks the host stale, the explicit
      Privacy-CA re-registration clears it. *)
   List.iter (fun host -> Hashtbl.replace t.stale_hosts host ()) obs.vtpm_stale;
   List.iter (fun host -> Hashtbl.remove t.stale_hosts host) obs.vtpm_rebound;
+  (* Continuous-monitoring oracles.  Both are one-sided and stand down
+     while an adversary is installed (faults turn probes into errors and
+     arbitrarily delay them via timeouts). *)
+  (match obs.monitor with
+  | None -> ()
+  | Some m ->
+      let bound = (2 * Sim.Time.ms t.mon_period) + mon_grace in
+      (* monitor-freshness, part 1: at op entry no tracked VM has gone
+         unprobed past the bound — catches a monitor that stopped waking
+         up entirely. *)
+      if t.mon_period > 0 && not t.fault_on then
+        Hashtbl.iter
+          (fun vid last ->
+            if mon_tracked t vid && obs.started_at - last > bound then
+              add
+                (flag t ~oracle:"monitor-freshness" ~op_index:obs.index
+                   (Format.asprintf "tracked VM %s unprobed for %a (bound %a)" vid
+                      Sim.Time.pp (obs.started_at - last) Sim.Time.pp bound)))
+          t.mon_attempt;
+      (* monitor-freshness, part 2: each probe fires within the bound of
+         the previous attempt.  Chunked catch-up inside Advance keeps this
+         true; a monitor that only wakes at op boundaries (the planted
+         Lazy_monitor mutant) is convicted by its first post-gap probe. *)
+      List.iter
+        (fun (p : monitor_probe) ->
+          (if not t.fault_on then
+             match Hashtbl.find_opt t.mon_attempt p.mp_vid with
+             | Some last when p.mp_started - last > bound ->
+                 add
+                   (flag t ~oracle:"monitor-freshness" ~op_index:obs.index
+                      (Format.asprintf
+                         "probe of %s fired %a after the previous attempt (bound %a)"
+                         p.mp_vid Sim.Time.pp (p.mp_started - last) Sim.Time.pp bound))
+             | _ -> ());
+          Hashtbl.replace t.mon_attempt p.mp_vid p.mp_started;
+          (* probes are real attestations: same signature/termination
+             checks, and their verdicts feed the cache model *)
+          add (check_attest t ~op_index:obs.index ~started_at:p.mp_started p.mp_attest))
+        m.m_probes;
+      (* monitor-storm-detect: a planted compromise of tracked VMs must
+         surface as a Compromised verdict within one period of any cached
+         Healthy verdicts aging out (the TTL term: a probe legitimately
+         dedups against a verdict cached just before the storm). *)
+      (if m.m_storm <> [] && t.mon_period > 0 && not t.fault_on then
+         match List.filter (mon_tracked t) m.m_storm with
+         | [] -> ()
+         | vids ->
+             let deadline =
+               obs.finished_at + Sim.Time.ms t.mon_period + t.ttl + mon_grace
+             in
+             t.pending_storm <- Some (deadline, vids));
+      (match t.pending_storm with
+      | None -> ()
+      | Some (deadline, vids) ->
+          let compromised (a : attest_obs) =
+            List.mem a.a_vid vids
+            &&
+            match a.a_result with
+            | Ok cr -> (
+                match cr.Core.Protocol.report.Core.Report.status with
+                | Core.Report.Compromised _ -> true
+                | _ -> false)
+            | Error _ -> false
+          in
+          let detected =
+            List.exists compromised obs.attests
+            || List.exists (fun (p : monitor_probe) -> compromised p.mp_attest) m.m_probes
+          in
+          if detected then t.pending_storm <- None
+          else
+            (* planted VMs that since terminated or suspended are no longer
+               the monitor's to catch *)
+            let vids = List.filter (mon_tracked t) vids in
+            if vids = [] then t.pending_storm <- None
+            else if obs.finished_at > deadline then begin
+              t.pending_storm <- None;
+              add
+                (flag t ~oracle:"monitor-storm-detect" ~op_index:obs.index
+                   (Format.asprintf
+                      "storm over [%s] still undetected %a past its deadline"
+                      (String.concat "," vids) Sim.Time.pp (obs.finished_at - deadline)))
+            end
+            else t.pending_storm <- Some (deadline, vids)));
   !vs
 
 let all t = List.rev t.violations
@@ -420,10 +585,21 @@ let digest_of_obs (obs : op_obs) =
     (match obs.launched with Some (vid, _, _) -> vid | None -> "-")
     obs.net_messages obs.net_bytes obs.net_drops obs.audit_evidence
   (* appended only for protocol ops, so historical digests are unchanged *)
+  ^ (match obs.protocol with
+    | None -> ""
+    | Some p ->
+        Printf.sprintf "|P%s:%b:%s:%d:%d:%d:%d"
+          (Copland.Phrase.to_string p.p_phrase)
+          p.p_accepted p.p_status p.p_leaves p.p_messages p.p_drops p.p_compute)
+  (* likewise appended only once the monitor has been touched *)
   ^
-  match obs.protocol with
+  match obs.monitor with
   | None -> ""
-  | Some p ->
-      Printf.sprintf "|P%s:%b:%s:%d:%d:%d:%d"
-        (Copland.Phrase.to_string p.p_phrase)
-        p.p_accepted p.p_status p.p_leaves p.p_messages p.p_drops p.p_compute
+  | Some m ->
+      Printf.sprintf "|M%d:%s:%s" m.m_period
+        (String.concat ","
+           (List.map
+              (fun p ->
+                Printf.sprintf "%s@%d%s" p.mp_vid p.mp_started (result_tag p.mp_attest))
+              m.m_probes))
+        (String.concat "," m.m_storm)

@@ -33,7 +33,17 @@
     - [protocol-estimate] — on a clean interpreter run (accepted, no
       adversary, no drops, no leaf errors) the measured wire messages and
       non-network compute stay inside the static {!Copland.Estimate}
-      envelope. *)
+      envelope.
+    - [monitor-freshness] — with continuous monitoring armed and no
+      network adversary, no tracked VM (monitored, alive, not suspended)
+      goes unprobed past twice the period plus a fixed slack, and every
+      probe fires within that bound of the previous attempt.  Catches a
+      monitor that only wakes at op boundaries instead of chunking its
+      catch-up through [Advance].
+    - [monitor-storm-detect] — a [Monitor_storm] compromise planted while
+      the monitor is armed and the network honest must surface as a
+      Compromised verdict within one period of any cached Healthy verdicts
+      aging out (period + cache TTL + slack). *)
 
 type violation = { oracle : string; op_index : int; detail : string }
 
@@ -62,6 +72,20 @@ type protocol_obs = {
   p_faulty : bool;  (** a network adversary was active during the run *)
 }
 
+(** One catch-up re-attestation the continuous monitor ran. *)
+type monitor_probe = {
+  mp_vid : string;
+  mp_started : Sim.Time.t;  (** engine clock when the probe fired *)
+  mp_attest : attest_obs;
+}
+
+(** What the replayer's continuous monitor did during one op. *)
+type monitor_obs = {
+  m_period : int;  (** re-attestation period (ms) in force after the op; 0 = off *)
+  m_probes : monitor_probe list;  (** catch-up probes, in firing order *)
+  m_storm : string list;  (** vids a [Monitor_storm] op planted malware in *)
+}
+
 type op_obs = {
   index : int;
   op : Op.op;
@@ -79,6 +103,10 @@ type op_obs = {
   vtpm_stale : string list;  (** hosts whose vTPM this op left holding restored state *)
   vtpm_rebound : string list;  (** hosts this op re-registered with the Privacy CA *)
   protocol : protocol_obs option;  (** set only for [Protocol_term] ops *)
+  monitor : monitor_obs option;
+      (** set for monitor ops and whenever the monitor is armed; [None] on
+          histories that never touch the monitor, keeping their digests
+          byte-identical to the pre-monitor grammar *)
 }
 
 type t

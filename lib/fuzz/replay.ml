@@ -6,6 +6,10 @@ type bug =
       (* management plane silently re-registers restored vTPM state with the
          Privacy CA, laundering a migrate-without-rebind into fresh Healthy
          verdicts — the vtpm-stale-binding oracle must catch it *)
+  | Lazy_monitor
+      (* continuous monitor only wakes at op boundaries instead of chunking
+         its catch-up through Advance, so a long quiet stretch leaves every
+         verdict stale — the monitor-freshness oracle must catch it *)
 
 type outcome = {
   scenario : Op.scenario;
@@ -124,6 +128,55 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
   (* Whether a network adversary is currently installed; the protocol
      estimate oracle only trusts its envelope on adversary-free runs. *)
   let fault_active = ref false in
+  (* Continuous monitor: while armed ([mon_period] > 0 ms), every tracked
+     VM — launched monitored, alive, not suspended — is re-attested for
+     Runtime_integrity whenever its last probe is older than the period.
+     Catch-up runs after every op and, crucially, inside Advance in
+     period-sized chunks, so freshness survives long quiet stretches. *)
+  let mon_period = ref 0 in
+  let mon_last : (string, Sim.Time.t) Hashtbl.t = Hashtbl.create 16 in
+  let monitored_set : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let suspended : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let mon_tracked vid =
+    Hashtbl.mem monitored_set vid
+    && (not (Hashtbl.mem suspended vid))
+    && not (Hashtbl.mem dead vid)
+  in
+  (* Probes of the current op, oldest first once reversed into the obs. *)
+  let probes = ref [] in
+  let mon_probe vid =
+    let mp_started = Core.Cloud.now cloud in
+    Hashtbl.replace mon_last vid mp_started;
+    let property = Core.Property.Runtime_integrity in
+    let nonce = Crypto.Drbg.nonce drbg in
+    let a_host = Core.Controller.vm_host ctl ~vid in
+    let result, _ledger =
+      Core.Controller.attest ctl { Core.Protocol.vid; property; nonce }
+    in
+    incr attests_run;
+    probes :=
+      {
+        Oracle.mp_vid = vid;
+        mp_started;
+        mp_attest =
+          { Oracle.a_vid = vid; a_property = property; a_nonce = nonce; a_result = result; a_host };
+      }
+      :: !probes
+  in
+  let catch_up () =
+    if !mon_period > 0 then
+      Array.iter
+        (fun vid ->
+          if mon_tracked vid then
+            let due =
+              match Hashtbl.find_opt mon_last vid with
+              | Some last -> Core.Cloud.now cloud - last >= Sim.Time.ms !mon_period
+              | None -> true
+            in
+            if due then mon_probe vid)
+        !vids
+  in
   let sha = Crypto.Sha256.init () in
   List.iteri
     (fun index op ->
@@ -140,6 +193,8 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       let vtpm_stale = ref [] in
       let vtpm_rebound = ref [] in
       let protocol = ref None in
+      let storm = ref [] in
+      probes := [];
       (* Shared by Vtpm_cycle and Vtpm_clone: restore [state] into [host]'s
          vTPM; under the planted bug the restore is silently laundered into
          a fresh binding, which the stale-binding oracle must flag. *)
@@ -170,22 +225,33 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
               let vid = info.Core.Commands.vid in
               vids := Array.append !vids [| vid |];
               incr vms_launched;
-              launched := Some (vid, image mod n_images, monitored)
+              launched := Some (vid, image mod n_images, monitored);
+              if monitored then begin
+                Hashtbl.replace monitored_set vid ();
+                if !mon_period > 0 then
+                  Hashtbl.replace mon_last vid (Core.Cloud.now cloud)
+              end
           | Error _ -> lifecycle_ok := false)
       | Op.Terminate s -> (
           match resolve s with
           | None -> ()
           | Some vid ->
               target := Some vid;
-              lifecycle_ok :=
-                Result.is_ok (Core.Controller.respond ctl Core.Controller.Terminate_vm ~vid))
+              let ok =
+                Result.is_ok (Core.Controller.respond ctl Core.Controller.Terminate_vm ~vid)
+              in
+              lifecycle_ok := ok;
+              if ok then Hashtbl.replace dead vid ())
       | Op.Suspend s -> (
           match resolve s with
           | None -> ()
           | Some vid ->
               target := Some vid;
-              lifecycle_ok :=
-                Result.is_ok (Core.Controller.respond ctl Core.Controller.Suspend_vm ~vid))
+              let ok =
+                Result.is_ok (Core.Controller.respond ctl Core.Controller.Suspend_vm ~vid)
+              in
+              lifecycle_ok := ok;
+              if ok then Hashtbl.replace suspended vid ())
       | Op.Resume s -> (
           match resolve s with
           | None -> ()
@@ -194,7 +260,13 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
               let snap = if bug = Skip_invalidate_on_resume then snapshot vid else [] in
               let ok = Result.is_ok (Core.Controller.resume ctl ~vid) in
               lifecycle_ok := ok;
-              if ok then restore snap)
+              if ok then begin
+                restore snap;
+                Hashtbl.remove suspended vid;
+                (* freshness restarts: the VM was unprobeable while out *)
+                if !mon_period > 0 then
+                  Hashtbl.replace mon_last vid (Core.Cloud.now cloud)
+              end)
       | Op.Migrate s -> (
           match resolve s with
           | None -> ()
@@ -254,7 +326,22 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
       | Op.Clear_fault ->
           fault_active := false;
           Net.Network.clear_adversary net
-      | Op.Advance ms -> Core.Cloud.run_for cloud (Sim.Time.ms ms)
+      | Op.Advance ms ->
+          let total = Sim.Time.ms ms in
+          if !mon_period > 0 && bug <> Lazy_monitor then begin
+            (* chunk the advance at the monitor period so probes fire when
+               due rather than piling up at the far end *)
+            let chunk = Sim.Time.ms !mon_period in
+            let rec go remaining =
+              if remaining > 0 then begin
+                Core.Cloud.run_for cloud (min remaining chunk);
+                catch_up ();
+                go (remaining - chunk)
+              end
+            in
+            go total
+          end
+          else Core.Cloud.run_for cloud total
       | Op.Infect s -> (
           match resolve s with
           | None -> ()
@@ -381,7 +468,51 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
                       p_estimate = Some (Copland.Estimate.of_phrase env phrase);
                       p_faulty = !fault_active;
                     }
-          end);
+          end
+      | Op.Monitor_enable ms ->
+          let ms = max 0 ms in
+          if ms > 0 then begin
+            (* arming (re)baselines every tracked VM at "now": the operator
+               asks for freshness from this moment on *)
+            if !mon_period = 0 then
+              Array.iter
+                (fun vid ->
+                  if mon_tracked vid then
+                    Hashtbl.replace mon_last vid (Core.Cloud.now cloud))
+                !vids;
+            mon_period := ms
+          end
+          else mon_period := 0
+      | Op.Monitor_period ms -> if !mon_period > 0 && ms > 0 then mon_period := ms
+      | Op.Monitor_storm s -> (
+          match resolve s with
+          | None -> ()
+          | Some vid0 -> (
+              target := Some vid0;
+              match Core.Controller.vm_host ctl ~vid:vid0 with
+              | None -> lifecycle_ok := false
+              | Some host -> (
+                  match Core.Cloud.find_server cloud host with
+                  | None -> lifecycle_ok := false
+                  | Some srv ->
+                      (* correlated incident: every VM sharing vid0's host
+                         is compromised at once *)
+                      Array.iter
+                        (fun vid ->
+                          match Hypervisor.Server.find srv vid with
+                          | None -> ()
+                          | Some inst ->
+                              ignore
+                                (Attacks.Malware.infect_hidden inst.Hypervisor.Server.vm ()
+                                  : Hypervisor.Guest_os.process);
+                              storm := vid :: !storm)
+                        !vids;
+                      storm := List.rev !storm;
+                      lifecycle_ok := !storm <> []))));
+      (* Op-boundary catch-up: whatever the op just did (launch, resume,
+         storm, plain time passing), overdue probes fire before the obs is
+         sealed, so the oracle sees them attributed to this op. *)
+      catch_up ();
       audit_poll ();
       let obs =
         {
@@ -401,6 +532,20 @@ let run ?(bug = No_bug) (scenario : Op.scenario) =
           vtpm_stale = List.rev !vtpm_stale;
           vtpm_rebound = List.rev !vtpm_rebound;
           protocol = !protocol;
+          monitor =
+            (let is_mop =
+               match op with
+               | Op.Monitor_enable _ | Op.Monitor_period _ | Op.Monitor_storm _ -> true
+               | _ -> false
+             in
+             if !mon_period > 0 || is_mop then
+               Some
+                 {
+                   Oracle.m_period = !mon_period;
+                   m_probes = List.rev !probes;
+                   m_storm = !storm;
+                 }
+             else None);
         }
       in
       ignore (Oracle.observe oracle obs : Oracle.violation list);

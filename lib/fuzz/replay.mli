@@ -14,12 +14,16 @@
     transition the controller just invalidated; [Rebind_on_restore] makes
     the management plane silently re-register restored vTPM state with the
     Privacy CA, so stale-state quotes come back Healthy — the
-    [vtpm-stale-binding] oracle must convict it. *)
+    [vtpm-stale-binding] oracle must convict it; [Lazy_monitor] makes the
+    continuous monitor wake only at op boundaries instead of chunking its
+    catch-up through [Advance], so one long quiet stretch leaves every
+    verdict stale — the [monitor-freshness] oracle must convict it. *)
 type bug =
   | No_bug
   | Skip_invalidate_on_migrate
   | Skip_invalidate_on_resume
   | Rebind_on_restore
+  | Lazy_monitor
 
 type outcome = {
   scenario : Op.scenario;
@@ -27,7 +31,8 @@ type outcome = {
   violations : Oracle.violation list;  (** oldest first *)
   digest : string;  (** SHA-256 over the per-op trace summaries *)
   vms_launched : int;
-  attests_run : int;  (** individual attestation results delivered *)
+  attests_run : int;
+      (** individual attestation results delivered, monitor probes included *)
 }
 
 val run : ?bug:bug -> Op.scenario -> outcome

@@ -308,6 +308,77 @@ let percentile xs p =
       let rank = if rank < 1 then 1 else if rank > n then n else rank in
       a.(rank - 1)
 
+module Fraction_series = struct
+  type t = {
+    mutable num : int array;
+    mutable den : int array;
+    mutable len : int;
+  }
+
+  let create () = { num = [||]; den = [||]; len = 0 }
+
+  let ensure_room t =
+    let room = Array.length t.num in
+    if t.len = room then begin
+      let bigger = Stdlib.max 16 (2 * room) in
+      let num = Array.make bigger 0 and den = Array.make bigger 0 in
+      Array.blit t.num 0 num 0 t.len;
+      Array.blit t.den 0 den 0 t.len;
+      t.num <- num;
+      t.den <- den
+    end
+
+  let record t ~num ~den =
+    if num < 0 || den < 0 || num > den then
+      invalid_arg "Fraction_series.record: need 0 <= num <= den";
+    ensure_room t;
+    t.num.(t.len) <- num;
+    t.den.(t.len) <- den;
+    t.len <- t.len + 1
+
+  let length t = t.len
+  let numerator t i = t.num.(i)
+  let denominator t i = t.den.(i)
+
+  let fraction t i =
+    if t.den.(i) = 0 then nan
+    else float_of_int t.num.(i) /. float_of_int t.den.(i)
+
+  (* Index-aligned: tick k of [b] folds into tick k of [a].  [a] grows when
+     [b] has seen more ticks, so merging per-shard series whose clocks tick
+     at the same absolute times yields the fleet-wide fraction per tick. *)
+  let merge_into a b =
+    for i = 0 to b.len - 1 do
+      if i < a.len then begin
+        a.num.(i) <- a.num.(i) + b.num.(i);
+        a.den.(i) <- a.den.(i) + b.den.(i)
+      end
+      else record a ~num:b.num.(i) ~den:b.den.(i)
+    done
+
+  (* Summaries skip empty ticks (den = 0): a shard with no tracked VMs
+     still ticks, and an all-empty series has no defined fraction. *)
+  let fold f init t =
+    let acc = ref init in
+    for i = 0 to t.len - 1 do
+      if t.den.(i) > 0 then acc := f !acc (fraction t i)
+    done;
+    !acc
+
+  let min_fraction t =
+    match fold (fun a x -> if x < a then x else a) infinity t with
+    | x when x = infinity -> nan
+    | x -> x
+
+  let mean_fraction t =
+    let n = fold (fun a _ -> a + 1) 0 t in
+    if n = 0 then nan else fold ( +. ) 0.0 t /. float_of_int n
+
+  let final_fraction t =
+    let rec last i = if i < 0 then nan else if t.den.(i) > 0 then fraction t i else last (i - 1) in
+    last (t.len - 1)
+end
+
 module Two_means = struct
   type result = {
     centers : float * float;

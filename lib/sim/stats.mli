@@ -122,6 +122,37 @@ module Gauge : sig
       between [set] calls (0 before the first). *)
 end
 
+(** Aligned per-tick fraction series (e.g. fraction of the fleet holding a
+    fresh verdict at each monitor tick).  Each tick records an exact
+    (numerator, denominator) pair; two series merge index-aligned, so
+    per-shard series whose ticks fire at the same absolute simulated times
+    combine into the fleet-wide fraction per tick — deterministically,
+    whatever the shard-to-domain assignment was. *)
+module Fraction_series : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> num:int -> den:int -> unit
+  (** Append one tick.  Requires [0 <= num <= den]. *)
+
+  val length : t -> int
+  val numerator : t -> int -> int
+  val denominator : t -> int -> int
+
+  val fraction : t -> int -> float
+  (** [num/den] at tick [i]; [nan] when the denominator is 0. *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into a b] adds [b]'s tick [k] into [a]'s tick [k] ([b]
+      unchanged); [a] grows when [b] is longer. *)
+
+  val min_fraction : t -> float
+  val mean_fraction : t -> float
+  val final_fraction : t -> float
+  (** Over ticks with a nonzero denominator; [nan] when there are none. *)
+end
+
 val mean : float list -> float
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy. *)

@@ -496,7 +496,7 @@ let test_epoch_barrier_migration_invalidates () =
     (Sim.Engine.schedule engine ~at:barrier (fun () ->
          match msg.Fleet.Msg.payload with
          | Fleet.Msg.Invalidate { vid } -> ignore (Verdict_cache.invalidate_vm cache ~vid : int)
-         | Fleet.Msg.Submit _ -> Alcotest.fail "unexpected payload")
+         | _ -> Alcotest.fail "unexpected payload")
       : Sim.Engine.handle);
   Sim.Engine.run_until engine barrier;
   Alcotest.(check bool) "gone after delivery" true

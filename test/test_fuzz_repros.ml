@@ -50,6 +50,15 @@ let pinned_clean =
     (* protocol run under a lossy adversary (estimate oracle stands down),
        then a clean all-merge over cold channels *)
     "seed=80 ops=L0.1.0;L0.1.0;fl10.10;P(a0.0>a1.0);f0;P(a0.0&Aa1.3)";
+    (* continuous monitor armed over long advances: chunked catch-up keeps
+       every verdict inside the freshness bound, then the monitor disarms *)
+    "seed=31 ops=L0.1.0;me500;t1200;a0.1;t1200;me0;t1200";
+    (* rack storm under an armed monitor: the planted compromise must be
+       probed out within one period, surviving the victim's termination *)
+    "seed=33 ops=L0.1.0;L0.1.0;me500;mt0;t1200;K0;t600";
+    (* period change plus suspend/resume: the resumed VM's freshness clock
+       restarts, so a post-resume gap is not a violation *)
+    "seed=37 ops=L0.1.0;me500;mp1000;S0;t1200;R0;t1200";
   ]
 
 let test_pinned_histories_clean () =
@@ -107,6 +116,9 @@ let test_codec_rejects_garbage () =
       "seed=1 ops=Pa0";
       "seed=1 ops=P(a0.0>a1.0";
       "seed=1 ops=Pa0.0x";
+      "seed=1 ops=mq3";
+      "seed=1 ops=me";
+      "seed=1 ops=mt1.2";
     ]
 
 (* --- Mutation testing: the oracles must catch the planted bugs ------------ *)
@@ -128,6 +140,17 @@ let test_planted_resume_bug () =
     (triggers ~bug:Fuzz.Replay.Skip_invalidate_on_resume line);
   Alcotest.(check bool) "clean without mutant" false
     (triggers ~bug:Fuzz.Replay.No_bug line)
+
+let test_planted_lazy_monitor_bug () =
+  (* A monitor that only wakes at op boundaries leaves the whole advance
+     unprobed; its first post-gap probe arrives far beyond the freshness
+     bound and the monitor-freshness oracle must convict exactly that. *)
+  let oracle = "monitor-freshness" in
+  let line = "seed=3 ops=L0.1.0;me200;t5000" in
+  Alcotest.(check bool) "caught under mutant" true
+    (triggers ~oracle ~bug:Fuzz.Replay.Lazy_monitor line);
+  Alcotest.(check bool) "clean without mutant" false
+    (triggers ~oracle ~bug:Fuzz.Replay.No_bug line)
 
 let test_planted_rebind_bug () =
   (* A management plane that silently re-registers restored vTPM state
@@ -164,12 +187,18 @@ let test_shrunk_repros_one_minimal () =
       (Fuzz.Replay.Skip_invalidate_on_resume, "seed=7 ops=L0.1.0;c5000;S0;a0.1;R0;a0.1");
     ];
   (* the rebind mutant's repro is 1-minimal under its own oracle *)
-  match Fuzz.Op.of_string "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" with
+  (match Fuzz.Op.of_string "seed=5 ops=L0.1.0;L0.1.0;vs1;a1.0" with
   | None -> Alcotest.fail "parse: rebind repro"
   | Some scenario ->
       Alcotest.(check bool) "rebind repro 1-minimal" true
         (one_minimal ~oracle:"vtpm-stale-binding" ~bug:Fuzz.Replay.Rebind_on_restore
-           scenario)
+           scenario));
+  (* and so is the lazy-monitor mutant's *)
+  match Fuzz.Op.of_string "seed=3 ops=L0.1.0;me200;t5000" with
+  | None -> Alcotest.fail "parse: lazy-monitor repro"
+  | Some scenario ->
+      Alcotest.(check bool) "lazy-monitor repro 1-minimal" true
+        (one_minimal ~oracle:"monitor-freshness" ~bug:Fuzz.Replay.Lazy_monitor scenario)
 
 let test_shrinker_strips_padding () =
   (* Pad the minimal migrate repro with inert ops; ddmin must strip every
@@ -213,6 +242,8 @@ let () =
           Alcotest.test_case "planted migrate bug caught" `Quick test_planted_migrate_bug;
           Alcotest.test_case "planted resume bug caught" `Quick test_planted_resume_bug;
           Alcotest.test_case "planted rebind bug caught" `Quick test_planted_rebind_bug;
+          Alcotest.test_case "planted lazy-monitor bug caught" `Quick
+            test_planted_lazy_monitor_bug;
         ] );
       ( "shrink",
         [
